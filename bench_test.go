@@ -1,0 +1,381 @@
+// Benchmarks mirroring every table and figure of the paper's
+// evaluation. Wall-clock numbers (ns/op) measure the real Go
+// implementation; the custom "simms/iter" metric reports the
+// deterministic simulated time the figures are built from. The
+// cmd/knorbench harness prints the full sweeps; these testing.B
+// benchmarks pin one representative configuration per artifact so
+// `go test -bench=. -benchmem` regenerates the headline comparisons.
+package knor_test
+
+import (
+	"testing"
+
+	"knor"
+	"knor/internal/dist"
+	"knor/internal/frameworks"
+	"knor/internal/kmeans"
+	"knor/internal/sem"
+	"knor/internal/workload"
+)
+
+func benchData(n, d int) *knor.Matrix {
+	return knor.Generate(knor.Spec{
+		Kind: knor.NaturalClusters, N: n, D: d,
+		Clusters: 10, Spread: 0.05, Seed: int64(d), Grouped: true,
+	})
+}
+
+func reportSim(b *testing.B, res *knor.Result) {
+	b.Helper()
+	b.ReportMetric(res.SimSeconds/float64(res.Iters)*1e3, "simms/iter")
+}
+
+// --- Table 3: serial implementation styles (real wall time) -----------
+
+func benchSerialStyle(b *testing.B, run func(*knor.Matrix, knor.Config) (*knor.Result, error)) {
+	data := benchData(20000, 8)
+	cfg := knor.Config{K: 10, MaxIters: 3, Tol: -1, Init: knor.InitForgy, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3KnoriSerial(b *testing.B) {
+	benchSerialStyle(b, kmeans.RunSerial)
+}
+
+func BenchmarkTable3GEMM(b *testing.B) {
+	benchSerialStyle(b, func(d *knor.Matrix, c knor.Config) (*knor.Result, error) {
+		return kmeans.RunGEMM(d, c, 4096, 1)
+	})
+}
+
+func BenchmarkTable3IterativeCopy(b *testing.B) {
+	benchSerialStyle(b, kmeans.RunIterativeCopying)
+}
+
+func BenchmarkTable3IterativeIndirect(b *testing.B) {
+	benchSerialStyle(b, kmeans.RunIterativeIndirect)
+}
+
+// --- Figure 4: NUMA-aware vs oblivious --------------------------------
+
+func benchFig4(b *testing.B, oblivious bool) {
+	data := benchData(66000, 8)
+	cfg := knor.Config{
+		K: 10, MaxIters: 4, Tol: -1, Init: knor.InitForgy, Seed: 1,
+		Threads: 16, TaskSize: 1024, Topo: knor.DefaultTopology(),
+		Sched: knor.SchedNUMAAware,
+	}
+	if oblivious {
+		cfg.NUMAOblivious = true
+		cfg.Placement = knor.PlaceSingleBank
+		cfg.Sched = knor.SchedFIFO
+	}
+	var last *knor.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := knor.Run(data, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportSim(b, last)
+}
+
+func BenchmarkFig4NUMAAware(b *testing.B)     { benchFig4(b, false) }
+func BenchmarkFig4NUMAOblivious(b *testing.B) { benchFig4(b, true) }
+
+// --- Figure 5: schedulers under pruning skew ---------------------------
+
+func benchFig5(b *testing.B, policy knor.Config) {
+	data := benchData(66000, 8)
+	cfg := knor.Config{
+		K: 50, MaxIters: 6, Tol: -1, Init: knor.InitKMeansPP, Seed: 1,
+		Threads: 16, TaskSize: 512, Topo: knor.DefaultTopology(),
+		Prune: knor.PruneMTI, Sched: policy.Sched,
+	}
+	var last *knor.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := knor.Run(data, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportSim(b, last)
+}
+
+func BenchmarkFig5SchedNUMAAware(b *testing.B) {
+	benchFig5(b, knor.Config{Sched: knor.SchedNUMAAware})
+}
+
+func BenchmarkFig5SchedFIFO(b *testing.B) {
+	benchFig5(b, knor.Config{Sched: knor.SchedFIFO})
+}
+
+func BenchmarkFig5SchedStatic(b *testing.B) {
+	benchFig5(b, knor.Config{Sched: knor.SchedStatic})
+}
+
+// --- Figures 6/7: knors I/O --------------------------------------------
+
+func benchKnors(b *testing.B, prune bool, rowCache int) {
+	data := benchData(40000, 32)
+	cfg := knor.SEMConfig{
+		Kmeans: knor.Config{
+			K: 10, MaxIters: 12, Tol: -1, Init: knor.InitKMeansPP, Seed: 1,
+			Threads: 8, TaskSize: 512,
+		},
+		Devices:        24,
+		PageCacheBytes: 1 << 20,
+		RowCacheBytes:  rowCache,
+	}
+	if prune {
+		cfg.Kmeans.Prune = knor.PruneMTI
+	}
+	var last *knor.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := knor.RunSEM(data, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportSim(b, last)
+	var read uint64
+	for _, st := range last.PerIter {
+		read += st.BytesRead
+	}
+	b.ReportMetric(float64(read)/float64(last.Iters)/1e6, "MBread/iter")
+}
+
+func BenchmarkFig6Knors(b *testing.B)            { benchKnors(b, true, 1<<23) }
+func BenchmarkFig6KnorsNoRC(b *testing.B)        { benchKnors(b, true, 0) }
+func BenchmarkFig6KnorsNoPruneNoRC(b *testing.B) { benchKnors(b, false, 0) }
+
+// --- Figure 8: MTI on/off ----------------------------------------------
+
+func benchFig8(b *testing.B, prune knor.Config) {
+	data := benchData(66000, 8)
+	cfg := knor.Config{
+		K: 20, MaxIters: 8, Tol: -1, Init: knor.InitKMeansPP, Seed: 1,
+		Threads: 16, TaskSize: 512, Topo: knor.DefaultTopology(),
+		Prune: prune.Prune, Sched: knor.SchedNUMAAware,
+	}
+	var last *knor.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := knor.Run(data, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportSim(b, last)
+}
+
+func BenchmarkFig8KnoriMTI(b *testing.B)  { benchFig8(b, knor.Config{Prune: knor.PruneMTI}) }
+func BenchmarkFig8KnoriNone(b *testing.B) { benchFig8(b, knor.Config{Prune: knor.PruneNone}) }
+func BenchmarkFig8KnoriTI(b *testing.B)   { benchFig8(b, knor.Config{Prune: knor.PruneTI}) }
+
+// --- Figure 9: frameworks ----------------------------------------------
+
+func benchFramework(b *testing.B, sys frameworks.System) {
+	data := benchData(40000, 8)
+	cfg := knor.Config{
+		K: 10, MaxIters: 5, Tol: -1, Init: knor.InitKMeansPP, Seed: 1,
+		Threads: 16, TaskSize: 512, Topo: knor.DefaultTopology(),
+	}
+	// Scale the fixed driver dispatch with the ~1/1650 dataset scale,
+	// as the knorbench harness does (EXPERIMENTS.md).
+	p := frameworks.ProfileOf(sys)
+	p.TaskDispatch /= 1650
+	var last *knor.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := frameworks.RunWithProfile(data, cfg, sys, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportSim(b, last)
+}
+
+func BenchmarkFig9MLlib(b *testing.B) { benchFramework(b, frameworks.MLlib) }
+func BenchmarkFig9H2O(b *testing.B)   { benchFramework(b, frameworks.H2O) }
+func BenchmarkFig9Turi(b *testing.B)  { benchFramework(b, frameworks.Turi) }
+
+// --- Figure 10: scalability dataset (uniform random) --------------------
+
+func BenchmarkFig10KnoriUniform(b *testing.B) {
+	data := knor.Generate(knor.Spec{Kind: knor.UniformMultivariate, N: 100000, D: 16, Seed: 856})
+	cfg := knor.Config{
+		K: 10, MaxIters: 4, Tol: -1, Init: knor.InitForgy, Seed: 1,
+		Threads: 16, TaskSize: 1024, Topo: knor.DefaultTopology(),
+		Prune: knor.PruneMTI, Sched: knor.SchedNUMAAware,
+	}
+	var last *knor.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := knor.Run(data, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportSim(b, last)
+}
+
+// --- Figures 11-13: distributed -----------------------------------------
+
+func benchDist(b *testing.B, mode dist.Mode) {
+	data := benchData(66000, 32)
+	cfg := knor.DistConfig{
+		Machines: 4,
+		Mode:     mode,
+		Kmeans: knor.Config{
+			K: 10, MaxIters: 4, Tol: -1, Init: knor.InitKMeansPP, Seed: 1,
+			Threads: 8, TaskSize: 512, Topo: knor.Topology{Nodes: 2, CoresPerNode: 9},
+			Prune: knor.PruneMTI, Sched: knor.SchedNUMAAware,
+		},
+	}
+	if mode == knor.ModeMLlib {
+		cfg.Kmeans.Prune = knor.PruneNone
+	}
+	var last *knor.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := knor.RunDistributed(data, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportSim(b, last)
+}
+
+func BenchmarkFig12Knord(b *testing.B) { benchDist(b, knor.ModeKnord) }
+func BenchmarkFig12MPI(b *testing.B)   { benchDist(b, knor.ModeMPI) }
+func BenchmarkFig12MLlib(b *testing.B) { benchDist(b, knor.ModeMLlib) }
+
+func BenchmarkFig13KnorsSingleNode(b *testing.B) {
+	data := benchData(66000, 32)
+	cfg := knor.SEMConfig{
+		Kmeans: knor.Config{
+			K: 10, MaxIters: 4, Tol: -1, Init: knor.InitKMeansPP, Seed: 1,
+			Threads: 16, TaskSize: 512, Prune: knor.PruneMTI,
+		},
+		Devices: 8, PageCacheBytes: 1 << 22, RowCacheBytes: 1 << 23,
+	}
+	var last *knor.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := knor.RunSEM(data, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	reportSim(b, last)
+}
+
+// --- Ablations: wall-clock-honest algorithmic comparisons ---------------
+
+// ||Lloyd's per-thread accumulation vs the naive shared-and-locked
+// phase II — real contention, real wall time (the paper's core claim).
+func BenchmarkAblationParallelLloyds(b *testing.B) {
+	data := benchData(100000, 8)
+	cfg := knor.Config{
+		K: 10, MaxIters: 3, Tol: -1, Init: knor.InitForgy, Seed: 1,
+		Threads: 8, TaskSize: 1024,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knor.Run(data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationNaiveLocking(b *testing.B) {
+	data := benchData(100000, 8)
+	cfg := knor.Config{
+		K: 10, MaxIters: 3, Tol: -1, Init: knor.InitForgy, Seed: 1,
+		Threads: 8, TaskSize: 1024,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kmeans.RunNaiveParallel(data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MTI wall-clock effect (not just simulated): fewer distance kernels.
+func BenchmarkAblationWallMTI(b *testing.B) {
+	data := benchData(100000, 8)
+	cfg := knor.Config{
+		K: 20, MaxIters: 6, Tol: -1, Init: knor.InitKMeansPP, Seed: 1,
+		Threads: 8, TaskSize: 1024, Prune: knor.PruneMTI,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knor.Run(data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWallNoPrune(b *testing.B) {
+	data := benchData(100000, 8)
+	cfg := knor.Config{
+		K: 20, MaxIters: 6, Tol: -1, Init: knor.InitKMeansPP, Seed: 1,
+		Threads: 8, TaskSize: 1024,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := knor.Run(data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Dataset generation throughput, for sizing experiment scripts.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	spec := workload.Spec{Kind: workload.NaturalClusters, N: 50000, D: 16, Clusters: 10, Spread: 0.05, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = workload.Generate(spec)
+	}
+}
+
+// Checkpoint write/restore cost.
+func BenchmarkSEMCheckpoint(b *testing.B) {
+	data := benchData(50000, 16)
+	cfg := knor.SEMConfig{
+		Kmeans:  knor.Config{K: 10, MaxIters: 5, Init: knor.InitForgy, Seed: 1, Threads: 4, TaskSize: 1024, Prune: knor.PruneMTI},
+		Devices: 8, PageCacheBytes: 1 << 20, RowCacheBytes: 1 << 20,
+	}
+	eng, err := sem.New(data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Step(); err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/ckpt.bin"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Checkpoint(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

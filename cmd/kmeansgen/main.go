@@ -1,0 +1,80 @@
+// Command kmeansgen generates synthetic datasets in knor's binary
+// row-major format — the natural-cluster mixtures standing in for the
+// Friendster eigenvectors and the uniform RM*/RU* scalability datasets
+// of Table 2.
+//
+// Usage:
+//
+//	kmeansgen -kind natural -n 1000000 -d 8 -clusters 10 -o friendster8.knor
+//	kmeansgen -kind uniform -n 856000 -d 16 -o rm856k.knor
+//	kmeansgen -table2 -scale 1000 -dir data/   # the whole catalogue, scaled
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"knor"
+	"knor/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "natural", "dataset kind: natural | uniform | univariate")
+		n        = flag.Int("n", 100000, "number of rows")
+		d        = flag.Int("d", 8, "dimensions")
+		clusters = flag.Int("clusters", 10, "true cluster count (natural only)")
+		spread   = flag.Float64("spread", 0.05, "within-cluster spread (natural only)")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		out      = flag.String("o", "data.knor", "output file")
+		table2   = flag.Bool("table2", false, "generate the paper's Table 2 catalogue instead")
+		scale    = flag.Int("scale", 1000, "row-count divisor for -table2")
+		dir      = flag.String("dir", ".", "output directory for -table2")
+	)
+	flag.Parse()
+
+	if *table2 {
+		if err := genCatalogue(*scale, *dir); err != nil {
+			fmt.Fprintln(os.Stderr, "kmeansgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var k workload.Kind
+	switch strings.ToLower(*kind) {
+	case "natural":
+		k = knor.NaturalClusters
+	case "uniform":
+		k = knor.UniformMultivariate
+	case "univariate":
+		k = knor.UniformUnivariate
+	default:
+		fmt.Fprintf(os.Stderr, "kmeansgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	spec := knor.Spec{Kind: k, N: *n, D: *d, Clusters: *clusters, Spread: *spread, Seed: *seed}
+	m := knor.Generate(spec)
+	if err := knor.SaveMatrix(m, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "kmeansgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d x %d (%.1f MB)\n", *out, m.Rows(), m.Cols(),
+		float64(m.Rows()*m.Cols()*8)/1e6)
+}
+
+func genCatalogue(scale int, dir string) error {
+	for _, spec := range workload.Catalogue(scale) {
+		m := knor.Generate(spec)
+		path := filepath.Join(dir, strings.ToLower(spec.Name)+".knor")
+		if err := knor.SaveMatrix(m, path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %-24s %10d x %-3d (%.1f MB)\n", path, m.Rows(), m.Cols(),
+			float64(m.Rows()*m.Cols()*8)/1e6)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"fmt"
+
+	"knor"
+)
+
+// ablation runs the design-choice sweeps DESIGN.md calls out, beyond
+// the paper's own figures.
+func ablation(e env) {
+	ablTaskSize(e)
+	ablICache(e)
+	ablPageSize(e)
+	ablClauseMix(e)
+	ablTIvsMTI(e)
+	ablInit(e)
+}
+
+// ablInit compares initialisation methods on solution quality and
+// convergence speed.
+func ablInit(e env) {
+	data := friendster(e, 8, 0.05)
+	fmt.Println("  [init] seeding method vs quality (k=10, MTI, best over 5 seeds)")
+	var rows [][]string
+	for _, in := range []struct {
+		name string
+		init knor.Config
+	}{
+		{"forgy", knor.Config{Init: knor.InitForgy}},
+		{"random-partition", knor.Config{Init: knor.InitRandomPartition}},
+		{"kmeans++", knor.Config{Init: knor.InitKMeansPP}},
+	} {
+		bestSSE, sumIters := 0.0, 0
+		for seed := int64(1); seed <= 5; seed++ {
+			cfg := knor.Config{
+				K: 10, MaxIters: 100, Init: in.init.Init, Seed: seed,
+				Threads: 8, TaskSize: 1024, Prune: knor.PruneMTI,
+			}
+			res, err := knor.Run(data, cfg)
+			if err != nil {
+				panic(err)
+			}
+			if seed == 1 || res.SSE < bestSSE {
+				bestSSE = res.SSE
+			}
+			sumIters += res.Iters
+		}
+		rows = append(rows, []string{in.name, fmt.Sprintf("%.6g", bestSSE), fmt.Sprintf("%.1f", float64(sumIters)/5)})
+	}
+	printTable([]string{"Init", "Best SSE", "Mean iters"}, rows)
+}
+
+// ablTaskSize sweeps the scheduler task granularity (the paper fixes
+// 8192 after the same experiment).
+func ablTaskSize(e env) {
+	data := friendster(e, 8, 0.05)
+	fmt.Println("  [task size] knori time/iter (s) vs task granularity (k=50, MTI, 48 threads)")
+	var rows [][]string
+	for _, ts := range []int{128, 512, 2048, 8192, 32768} {
+		cfg := knor.Config{
+			K: 50, MaxIters: 8, Tol: -1, Init: knor.InitKMeansPP, Seed: 1,
+			Threads: 48, TaskSize: ts, Topo: paperTopo(),
+			Prune: knor.PruneMTI, Sched: knor.SchedNUMAAware,
+		}
+		res, err := knor.Run(data, cfg)
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", ts), fmtSec(simPerIter(res))})
+	}
+	printTable([]string{"Task rows", "Time/iter"}, rows)
+}
+
+// ablICache sweeps the row-cache refresh interval.
+func ablICache(e env) {
+	data := semSlowData(e)
+	fmt.Println("  [I_cache] knors total SSD reads vs row-cache refresh interval")
+	var rows [][]string
+	for _, ic := range []int{1, 2, 5, 10, 20} {
+		cfg := semIOCfg(1<<23, true)
+		cfg.ICache = ic
+		cfg.Kmeans.MaxIters = 60
+		res, err := knor.RunSEM(data, cfg)
+		if err != nil {
+			panic(err)
+		}
+		var read, hits uint64
+		for _, st := range res.PerIter {
+			read += st.BytesRead
+			hits += st.RowCacheHits
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", ic), fmtGB(read), fmt.Sprintf("%d", hits)})
+	}
+	printTable([]string{"I_cache", "Read (GB)", "RC hits"}, rows)
+}
+
+// ablPageSize sweeps the SAFS page size (the paper picks 4KB).
+func ablPageSize(e env) {
+	data := semSlowData(e)
+	fmt.Println("  [page size] knors- SSD reads vs page size (fragmentation vs request count)")
+	var rows [][]string
+	for _, ps := range []int{1024, 4096, 16384, 65536} {
+		cfg := semIOCfg(0, true)
+		cfg.PageSize = ps
+		cfg.Kmeans.MaxIters = 30
+		res, err := knor.RunSEM(data, cfg)
+		if err != nil {
+			panic(err)
+		}
+		var read uint64
+		for _, st := range res.PerIter {
+			read += st.BytesRead
+		}
+		rows = append(rows, []string{fmt.Sprintf("%d", ps), fmtGB(read), fmtSec(simPerIter(res))})
+	}
+	printTable([]string{"Page bytes", "Read (GB)", "Time/iter"}, rows)
+}
+
+// ablClauseMix reports how much each MTI clause contributes.
+func ablClauseMix(e env) {
+	data := friendster(e, 8, 0.05)
+	cfg := knor.Config{
+		K: 20, MaxIters: 15, Tol: -1, Init: knor.InitKMeansPP, Seed: 1,
+		Threads: 8, TaskSize: 1024, Prune: knor.PruneMTI,
+	}
+	res, err := knor.Run(data, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("  [MTI clauses] per-iteration pruning breakdown (rows for C1; candidate distances for C2/C3)")
+	var rows [][]string
+	for i := 0; i < len(res.PerIter); i += 3 {
+		st := res.PerIter[i]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", st.Iter),
+			fmt.Sprintf("%d", st.PrunedC1),
+			fmt.Sprintf("%d", st.PrunedC2),
+			fmt.Sprintf("%d", st.PrunedC3),
+			fmt.Sprintf("%d", st.DistCalcs),
+		})
+	}
+	printTable([]string{"Iter", "C1 rows", "C2 cands", "C3 cands", "Exact dists"}, rows)
+}
+
+// ablTIvsMTI quantifies the MTI trade-off: distances computed vs memory.
+func ablTIvsMTI(e env) {
+	data := friendster(e, 8, 0.05)
+	fmt.Println("  [TI vs MTI vs Yinyang] pruning power vs bound-state memory (k=50)")
+	var rows [][]string
+	for _, pr := range []struct {
+		name string
+		p    knor.Config
+	}{
+		{"none", knor.Config{Prune: knor.PruneNone}},
+		{"MTI", knor.Config{Prune: knor.PruneMTI}},
+		{"yinyang", knor.Config{Prune: knor.PruneYinyang}},
+		{"full TI", knor.Config{Prune: knor.PruneTI}},
+	} {
+		cfg := knor.Config{
+			K: 50, MaxIters: 12, Tol: -1, Init: knor.InitKMeansPP, Seed: 1,
+			Threads: 8, TaskSize: 1024, Prune: pr.p.Prune,
+		}
+		res, err := knor.Run(data, cfg)
+		if err != nil {
+			panic(err)
+		}
+		var dists uint64
+		for _, st := range res.PerIter {
+			dists += st.DistCalcs
+		}
+		rows = append(rows, []string{pr.name, fmt.Sprintf("%d", dists), fmtMB(res.MemoryBytes), fmtSec(simPerIter(res))})
+	}
+	printTable([]string{"Pruning", "Exact dists", "Memory (MB)", "Time/iter"}, rows)
+}

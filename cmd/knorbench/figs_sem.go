@@ -1,0 +1,120 @@
+package main
+
+import (
+	"fmt"
+
+	"knor"
+)
+
+// semSlowData builds the Friendster-32-like dataset used by the I/O
+// figures; runs are forced to 100 iterations (Tol < 0) so the row
+// cache's lazy refresh schedule is visible as in the paper's Figures 6
+// and 7.
+func semSlowData(e env) *knor.Matrix {
+	n := 66_000_000 / e.friendScale
+	if e.quick {
+		n /= 4
+	}
+	return knor.Generate(knor.Spec{
+		Kind: knor.NaturalClusters, N: n, D: 32, Clusters: 10, Spread: 0.05, Seed: 32, Grouped: true,
+	})
+}
+
+func semIOCfg(rowCacheBytes int, prune bool) knor.SEMConfig {
+	cfg := knor.SEMConfig{
+		Kmeans: knor.Config{
+			K: 10, MaxIters: 100, Tol: -1, Init: knor.InitKMeansPP, Seed: 1,
+			Threads: 48, TaskSize: 512,
+		},
+		Devices:        24,
+		PageCacheBytes: 1 << 20, // scaled stand-in for the paper's 1GB
+		RowCacheBytes:  rowCacheBytes,
+	}
+	if prune {
+		cfg.Kmeans.Prune = knor.PruneMTI
+	}
+	return cfg
+}
+
+// fig6a prints the per-iteration requested/read series with and
+// without the row cache (MTI on in both, as in the paper).
+func fig6a(e env) {
+	data := semSlowData(e)
+	rcBytes := 1 << 24 // scaled stand-in for the paper's 512MB
+	withRC, err := knor.RunSEM(data, semIOCfg(rcBytes, true))
+	if err != nil {
+		panic(err)
+	}
+	noRC, err := knor.RunSEM(data, semIOCfg(0, true))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  (Friendster-32-like n=%d, k=10, MTI on; GB per iteration, every 5th iteration)\n", data.Rows())
+	var rows [][]string
+	maxIters := len(withRC.PerIter)
+	if len(noRC.PerIter) < maxIters {
+		maxIters = len(noRC.PerIter)
+	}
+	for i := 0; i < maxIters; i += 5 {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i),
+			fmtGB(noRC.PerIter[i].BytesWanted), fmtGB(noRC.PerIter[i].BytesRead),
+			fmtGB(withRC.PerIter[i].BytesWanted), fmtGB(withRC.PerIter[i].BytesRead),
+		})
+	}
+	printTable([]string{"Iter", "NoRC req(GB)", "NoRC read(GB)", "knors req(GB)", "knors read(GB)"}, rows)
+}
+
+// fig6b prints total requested vs read for the three knors variants.
+func fig6b(e env) {
+	data := semSlowData(e)
+	variants := []struct {
+		name string
+		cfg  knor.SEMConfig
+	}{
+		{"knors (MTI+RC)", semIOCfg(1<<24, true)},
+		{"knors- (MTI only)", semIOCfg(0, true)},
+		{"knors-- (neither)", semIOCfg(0, false)},
+	}
+	var rows [][]string
+	for _, v := range variants {
+		res, err := knor.RunSEM(data, v.cfg)
+		if err != nil {
+			panic(err)
+		}
+		var req, read uint64
+		for _, st := range res.PerIter {
+			req += st.BytesWanted
+			read += st.BytesRead
+		}
+		rows = append(rows, []string{v.name, fmtGB(req), fmtGB(read), fmt.Sprintf("%d", res.Iters)})
+	}
+	fmt.Println("  (totals over the run; paper: without pruning all data requested and read)")
+	printTable([]string{"Variant", "Requested (GB)", "Read from SSD (GB)", "Iters"}, rows)
+}
+
+// fig7 prints row-cache hits against the attainable maximum (active
+// points) per iteration.
+func fig7(e env) {
+	data := semSlowData(e)
+	res, err := knor.RunSEM(data, semIOCfg(1<<24, true))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  (Friendster-32-like n=%d; paper: hit rate approaches 100%% as activation stabilises)\n", data.Rows())
+	var rows [][]string
+	for i := 0; i < len(res.PerIter); i += 5 {
+		st := res.PerIter[i]
+		rate := 0.0
+		if st.ActiveRows > 0 {
+			rate = float64(st.RowCacheHits) / float64(st.ActiveRows) * 100
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i),
+			fmt.Sprintf("%d", st.RowCacheHits),
+			fmt.Sprintf("%d", st.ActiveRows),
+			fmt.Sprintf("%.1f%%", rate),
+		})
+	}
+	printTable([]string{"Iter", "Cache hits", "Active points", "Hit rate"}, rows)
+}

@@ -1,0 +1,102 @@
+// Command knori runs the NUMA-aware in-memory k-means module on a
+// dataset file (or a generated one), mirroring the paper's knori
+// binary.
+//
+// Usage:
+//
+//	knori -data friendster8.knor -k 10 -threads 16 -prune mti
+//	knori -gen-n 100000 -gen-d 8 -k 10 -iters 20 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knor"
+	"knor/internal/cliutil"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "input matrix file (empty: generate)")
+		genN      = flag.Int("gen-n", 100000, "rows to generate when -data is empty")
+		genD      = flag.Int("gen-d", 8, "dims to generate when -data is empty")
+		genSeed   = flag.Int64("gen-seed", 1, "generator seed")
+		k         = flag.Int("k", 10, "clusters")
+		iters     = flag.Int("iters", 100, "max iterations")
+		tol       = flag.Float64("tol", 0, "drift tolerance (0 = exact convergence)")
+		threads   = flag.Int("threads", 8, "worker threads")
+		taskSize  = flag.Int("tasksize", 8192, "rows per task")
+		prune     = flag.String("prune", "mti", "pruning: none | mti | ti")
+		schedP    = flag.String("sched", "numa", "scheduler: static | fifo | numa")
+		initM     = flag.String("init", "forgy", "init: forgy | random | kmeans++")
+		nodes     = flag.Int("nodes", 4, "simulated NUMA nodes")
+		cores     = flag.Int("cores", 12, "cores per NUMA node")
+		oblivious = flag.Bool("numa-oblivious", false, "disable NUMA policies (baseline)")
+		spherical = flag.Bool("spherical", false, "spherical k-means (cosine)")
+		seed      = flag.Int64("seed", 1, "algorithm seed")
+		verbose   = flag.Bool("v", false, "print per-iteration stats")
+	)
+	flag.Parse()
+
+	data, err := loadOrGen(*dataPath, *genN, *genD, *genSeed)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := knor.Config{
+		K: *k, MaxIters: *iters, Tol: *tol, Seed: *seed,
+		Threads: *threads, TaskSize: *taskSize,
+		Topo:      knor.Topology{Nodes: *nodes, CoresPerNode: *cores},
+		Spherical: *spherical,
+	}
+	if cfg.Prune, err = cliutil.ParsePrune(*prune); err != nil {
+		fatal(err)
+	}
+	if cfg.Init, err = cliutil.ParseInit(*initM); err != nil {
+		fatal(err)
+	}
+	if cfg.Sched, err = cliutil.ParseSched(*schedP); err != nil {
+		fatal(err)
+	}
+	if *oblivious {
+		cfg.NUMAOblivious = true
+		cfg.Placement = knor.PlaceSingleBank
+		cfg.Sched = knor.SchedFIFO
+	}
+	res, err := knor.Run(data, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res, *verbose)
+}
+
+func loadOrGen(path string, n, d int, seed int64) (*knor.Matrix, error) {
+	if path != "" {
+		return knor.LoadMatrix(path)
+	}
+	return knor.Generate(knor.Spec{
+		Kind: knor.NaturalClusters, N: n, D: d, Clusters: 10, Spread: 0.05, Seed: seed,
+	}), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "knori:", err)
+	os.Exit(1)
+}
+
+func printResult(res *knor.Result, verbose bool) {
+	fmt.Printf("iterations:     %d (converged=%v)\n", res.Iters, res.Converged)
+	fmt.Printf("SSE:            %.6g\n", res.SSE)
+	fmt.Printf("simulated time: %.4fs (%.4fs/iter)\n", res.SimSeconds, res.SimSeconds/float64(res.Iters))
+	fmt.Printf("memory:         %.1f MB\n", float64(res.MemoryBytes)/1e6)
+	fmt.Printf("cluster sizes:  %v\n", res.Sizes)
+	if verbose {
+		fmt.Println("iter  time(ms)   dists      C1        C2        C3        changed  active")
+		for _, st := range res.PerIter {
+			fmt.Printf("%4d  %8.3f  %9d  %8d  %8d  %8d  %7d  %7d\n",
+				st.Iter, st.SimSeconds*1e3, st.DistCalcs, st.PrunedC1, st.PrunedC2, st.PrunedC3,
+				st.RowsChanged, st.ActiveRows)
+		}
+	}
+}

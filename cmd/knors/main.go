@@ -1,0 +1,121 @@
+// Command knors runs the semi-external-memory k-means module: O(n)
+// state in memory, row data streamed from the simulated SSD array,
+// with the partitioned lazily-updated row cache and optional
+// checkpointing.
+//
+// Usage:
+//
+//	knors -data friendster32.knor -k 10 -rowcache 512MB-equivalent bytes
+//	knors -gen-n 200000 -gen-d 32 -k 10 -rowcache 4194304 -ckpt state.bin -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knor"
+	"knor/internal/cliutil"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "input matrix file (empty: generate)")
+		genN      = flag.Int("gen-n", 200000, "rows to generate when -data is empty")
+		genD      = flag.Int("gen-d", 32, "dims to generate when -data is empty")
+		genSeed   = flag.Int64("gen-seed", 1, "generator seed")
+		k         = flag.Int("k", 10, "clusters")
+		iters     = flag.Int("iters", 100, "max iterations")
+		threads   = flag.Int("threads", 8, "worker threads")
+		taskSize  = flag.Int("tasksize", 8192, "rows per task")
+		prune     = flag.String("prune", "mti", "pruning: none | mti | ti")
+		initM     = flag.String("init", "forgy", "init: forgy | random | kmeans++")
+		devices   = flag.Int("devices", 24, "SSD array width")
+		pageCache = flag.Int("pagecache", 1<<26, "page cache bytes")
+		rowCache  = flag.Int("rowcache", 1<<25, "row cache bytes (0 disables: knors-)")
+		icache    = flag.Int("icache", 5, "row cache update interval")
+		ckpt      = flag.String("ckpt", "", "checkpoint file (enables checkpointing)")
+		ckptEvery = flag.Int("ckpt-every", 5, "checkpoint interval in iterations")
+		resume    = flag.Bool("resume", false, "restore from -ckpt before running")
+		seed      = flag.Int64("seed", 1, "algorithm seed")
+		verbose   = flag.Bool("v", false, "print per-iteration I/O stats")
+	)
+	flag.Parse()
+
+	var data *knor.Matrix
+	var err error
+	if *dataPath != "" {
+		data, err = knor.LoadMatrix(*dataPath)
+	} else {
+		data = knor.Generate(knor.Spec{
+			Kind: knor.NaturalClusters, N: *genN, D: *genD, Clusters: 10, Spread: 0.05, Seed: *genSeed,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	kcfg := knor.Config{
+		K: *k, MaxIters: *iters, Seed: *seed,
+		Threads: *threads, TaskSize: *taskSize,
+	}
+	if kcfg.Prune, err = cliutil.ParsePrune(*prune); err != nil {
+		fatal(err)
+	}
+	if kcfg.Init, err = cliutil.ParseInit(*initM); err != nil {
+		fatal(err)
+	}
+	cfg := knor.SEMConfig{
+		Kmeans:          kcfg,
+		Devices:         *devices,
+		PageCacheBytes:  *pageCache,
+		RowCacheBytes:   *rowCache,
+		ICache:          *icache,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckptEvery,
+	}
+
+	eng, err := knor.NewSEMEngine(data, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *resume {
+		if *ckpt == "" {
+			fatal(fmt.Errorf("-resume requires -ckpt"))
+		}
+		if err := eng.RestoreEngine(*ckpt); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resumed from %s at iteration %d\n", *ckpt, eng.Iter())
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("iterations:     %d (converged=%v)\n", res.Iters, res.Converged)
+	fmt.Printf("SSE:            %.6g\n", res.SSE)
+	fmt.Printf("simulated time: %.4fs (%.4fs/iter)\n", res.SimSeconds, res.SimSeconds/float64(res.Iters))
+	fmt.Printf("memory:         %.1f MB (SEM: excludes row data)\n", float64(res.MemoryBytes)/1e6)
+	var req, read, hits uint64
+	for _, st := range res.PerIter {
+		req += st.BytesWanted
+		read += st.BytesRead
+		hits += st.RowCacheHits
+	}
+	fmt.Printf("I/O:            requested %.1f MB, read %.1f MB, row-cache hits %d\n",
+		float64(req)/1e6, float64(read)/1e6, hits)
+	if *verbose {
+		fmt.Println("iter  time(ms)   active    reqMB    readMB   rcHits")
+		for _, st := range res.PerIter {
+			fmt.Printf("%4d  %8.3f  %8d  %7.2f  %7.2f  %7d\n",
+				st.Iter, st.SimSeconds*1e3, st.ActiveRows,
+				float64(st.BytesWanted)/1e6, float64(st.BytesRead)/1e6, st.RowCacheHits)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "knors:", err)
+	os.Exit(1)
+}

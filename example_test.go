@@ -1,0 +1,110 @@
+package knor_test
+
+import (
+	"fmt"
+
+	"knor"
+)
+
+// ExampleRunSerial clusters a tiny dataset with the reference serial
+// engine (deterministic output).
+func ExampleRunSerial() {
+	data, _ := knor.FromRows([][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{5, 5}, {5.1, 5}, {5, 5.1},
+	})
+	res, err := knor.RunSerial(data, knor.Config{K: 2, Init: knor.InitForgy, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("cluster of row 0 == row 1:", res.Assign[0] == res.Assign[1])
+	fmt.Println("cluster of row 0 == row 3:", res.Assign[0] == res.Assign[3])
+	// Output:
+	// converged: true
+	// cluster of row 0 == row 1: true
+	// cluster of row 0 == row 3: false
+}
+
+// ExampleRun shows the NUMA-aware in-memory module (knori) with MTI
+// pruning on a generated dataset.
+func ExampleRun() {
+	data := knor.Generate(knor.Spec{
+		Kind: knor.NaturalClusters, N: 3000, D: 8, Clusters: 5, Spread: 0.04, Seed: 9,
+	})
+	res, err := knor.Run(data, knor.Config{
+		K: 5, Init: knor.InitKMeansPP, Seed: 2,
+		Prune: knor.PruneMTI, Threads: 4,
+		Topo: knor.DefaultTopology(), Sched: knor.SchedNUMAAware,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", res.Centroids.Rows())
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("all rows assigned:", len(res.Assign) == 3000)
+	// Output:
+	// clusters: 5
+	// converged: true
+	// all rows assigned: true
+}
+
+// ExampleRunSEM runs the semi-external-memory module (knors) and shows
+// that clause-1 pruning spares I/O after the first iteration.
+func ExampleRunSEM() {
+	data := knor.Generate(knor.Spec{
+		Kind: knor.NaturalClusters, N: 2000, D: 8, Clusters: 4, Spread: 0.04, Seed: 5,
+	})
+	res, err := knor.RunSEM(data, knor.SEMConfig{
+		Kmeans: knor.Config{
+			K: 4, Init: knor.InitKMeansPP, Seed: 1, Threads: 2, Prune: knor.PruneMTI,
+		},
+		Devices: 8, RowCacheBytes: 1 << 20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	first := res.PerIter[0].BytesWanted
+	last := res.PerIter[len(res.PerIter)-1].BytesWanted
+	fmt.Println("first iteration requests the full data:", first == 2000*8*8)
+	fmt.Println("later iterations request less:", last < first)
+	// Output:
+	// first iteration requests the full data: true
+	// later iterations request less: true
+}
+
+// ExampleRunDistributed runs knord across simulated machines; the
+// result matches the single-machine engine.
+func ExampleRunDistributed() {
+	data := knor.Generate(knor.Spec{
+		Kind: knor.NaturalClusters, N: 2000, D: 8, Clusters: 4, Spread: 0.04, Seed: 5,
+	})
+	cfg := knor.Config{K: 4, Init: knor.InitForgy, Seed: 7, Threads: 2}
+	local, _ := knor.Run(data, cfg)
+	distr, err := knor.RunDistributed(data, knor.DistConfig{
+		Machines: 4, Mode: knor.ModeKnord, Kmeans: cfg,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("same iterations:", local.Iters == distr.Iters)
+	fmt.Println("same centroids:", local.Centroids.Equal(distr.Centroids, 1e-9))
+	// Output:
+	// same iterations: true
+	// same centroids: true
+}
+
+// ExampleAgglomerateCentroids cuts a Ward hierarchy built over k-means
+// centroids.
+func ExampleAgglomerateCentroids() {
+	centroids, _ := knor.FromRows([][]float64{
+		{0, 0}, {0.2, 0}, {8, 8}, {8.2, 8},
+	})
+	_, flat, err := knor.AgglomerateCentroids(centroids, []int{50, 50, 50, 50}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("pairs merged:", flat[0] == flat[1] && flat[2] == flat[3] && flat[0] != flat[2])
+	// Output:
+	// pairs merged: true
+}

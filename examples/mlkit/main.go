@@ -1,0 +1,96 @@
+// MLkit: the paper's future-work section (§9) promises a generalised
+// framework for NUMA-aware machine learning with k-means variants, GMM,
+// agglomerative clustering and k-nearest-neighbours built on top. This
+// example exercises that whole pipeline on one dataset:
+//
+//  1. k-means++ seeded, MTI-pruned k-means (knori) over-segments the
+//     data with a generous k,
+//  2. a diagonal-covariance GMM (EM on the generalised driver) refines
+//     the clusters into a probabilistic model,
+//  3. Ward agglomeration over the k-means centroids recovers a coarse
+//     hierarchy, and
+//  4. a NUMA-parallel kNN query answers "which points resemble this
+//     one" against the raw data.
+//
+// Run with:
+//
+//	go run ./examples/mlkit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"knor"
+)
+
+func main() {
+	const (
+		n      = 40_000
+		d      = 12
+		truthK = 6
+		overK  = 18 // deliberate over-segmentation
+	)
+	data := knor.Generate(knor.Spec{
+		Kind: knor.NaturalClusters, N: n, D: d,
+		Clusters: truthK, Spread: 0.06, Seed: 17, Grouped: true,
+	})
+
+	// 1. Over-segmenting k-means.
+	km, err := knor.Run(data, knor.Config{
+		K: overK, MaxIters: 80, Init: knor.InitKMeansPP, Seed: 2,
+		Prune: knor.PruneMTI, Threads: 8,
+		Topo: knor.DefaultTopology(), Sched: knor.SchedNUMAAware,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k-means: k=%d, %d iterations, SSE %.4g, silhouette %.3f\n",
+		overK, km.Iters, km.SSE, knor.Silhouette(data, km.Centroids, km.Assign))
+
+	// 2. GMM refinement on the generalised NUMA-ML driver.
+	gmm := knor.NewGMM(km.Centroids, 1e-5)
+	stats, err := knor.RunKernel(data, gmm, knor.MLConfig{
+		MaxIters: 60, Threads: 8, Topo: knor.DefaultTopology(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GMM: converged=%v after %d EM iterations, mean log-likelihood %.4f\n",
+		stats.Converged, stats.Iters, gmm.MeanLogLikelihood())
+	gmmAssign := gmm.Assign(data)
+	ari, _ := knor.AdjustedRand(km.Assign, gmmAssign)
+	fmt.Printf("GMM vs k-means agreement (ARI): %.3f\n", ari)
+
+	// 3. Ward agglomeration of the k-means centroids down to the true
+	// cluster count.
+	dend, flat, err := knor.AgglomerateCentroids(km.Centroids, km.Sizes, truthK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agglomeration: %d merges; coarse labels per fine cluster: %v\n",
+		len(dend.Steps), flat)
+	coarse := make([]int32, n)
+	for i, a := range km.Assign {
+		coarse[i] = int32(flat[a])
+	}
+	nmi, _ := knor.NMI(km.Assign, coarse)
+	fmt.Printf("fine->coarse NMI: %.3f\n", nmi)
+
+	// 4. kNN against the raw data for three probe points.
+	queries := knor.NewMatrix(3, d)
+	for i := 0; i < 3; i++ {
+		copy(queries.Row(i), data.Row(i*1000))
+	}
+	qk := knor.NewKNN(queries, 5)
+	if _, err := knor.RunKernel(data, qk, knor.MLConfig{Threads: 8, Topo: knor.DefaultTopology()}); err != nil {
+		log.Fatal(err)
+	}
+	for qi := 0; qi < 3; qi++ {
+		fmt.Printf("query %d (row %d) nearest:", qi, qi*1000)
+		for _, nb := range qk.Neighbors(qi) {
+			fmt.Printf(" %d(d²=%.3g)", nb.Row, nb.SqDist)
+		}
+		fmt.Println()
+	}
+}

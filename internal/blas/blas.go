@@ -1,0 +1,154 @@
+// Package blas implements the small set of dense linear-algebra kernels
+// the reproduction needs: level-1 vector ops and a cache-blocked,
+// optionally parallel Dgemm. These back the GEMM-formulated k-means
+// baseline of the paper's Table 3 (MATLAB/BLAS rows), which computes all
+// point-to-centroid distances as ‖v‖² + ‖c‖² − 2·V·Cᵀ.
+package blas
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ddot returns xᵀy.
+func Ddot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("blas: Ddot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Daxpy computes y += alpha*x.
+func Daxpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("blas: Daxpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Dscal computes x *= alpha.
+func Dscal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dnrm2Sq returns ‖x‖² (squared Euclidean norm).
+func Dnrm2Sq(x []float64) float64 { return Ddot(x, x) }
+
+// RowNormsSq fills out[i] with the squared norm of row i of the m×n
+// row-major matrix a.
+func RowNormsSq(a []float64, m, n int, out []float64) {
+	if len(a) < m*n || len(out) < m {
+		panic("blas: RowNormsSq size mismatch")
+	}
+	for i := 0; i < m; i++ {
+		out[i] = Dnrm2Sq(a[i*n : (i+1)*n])
+	}
+}
+
+const blockDim = 64 // cache block edge, tuned for L1-resident tiles
+
+// Dgemm computes C = alpha*A*Bᵀ + beta*C where A is m×k, B is n×k, and
+// C is m×n, all row-major. The B-transposed convention matches the
+// k-means use (points × centroidsᵀ) and keeps both inner streams
+// sequential. threads <= 1 runs serially.
+func Dgemm(alpha float64, a []float64, m, k int, b []float64, n int, beta float64, c []float64, threads int) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic(fmt.Sprintf("blas: Dgemm size mismatch m=%d n=%d k=%d", m, n, k))
+	}
+	if beta != 1 {
+		for i := range c[:m*n] {
+			c[i] *= beta
+		}
+	}
+	if threads <= 1 {
+		dgemmBlock(alpha, a, m, k, b, n, c, 0, m)
+		return
+	}
+	// Split rows of A across workers in contiguous stripes.
+	var wg sync.WaitGroup
+	stripe := (m + threads - 1) / threads
+	for w := 0; w < threads; w++ {
+		lo := w * stripe
+		if lo >= m {
+			break
+		}
+		hi := lo + stripe
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			dgemmBlock(alpha, a, m, k, b, n, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// dgemmBlock computes rows [rlo, rhi) of C += alpha*A*Bᵀ with cache
+// blocking over all three dimensions.
+func dgemmBlock(alpha float64, a []float64, m, k int, b []float64, n int, c []float64, rlo, rhi int) {
+	for i0 := rlo; i0 < rhi; i0 += blockDim {
+		iMax := min(i0+blockDim, rhi)
+		for j0 := 0; j0 < n; j0 += blockDim {
+			jMax := min(j0+blockDim, n)
+			for p0 := 0; p0 < k; p0 += blockDim {
+				pMax := min(p0+blockDim, k)
+				for i := i0; i < iMax; i++ {
+					arow := a[i*k : i*k+k]
+					crow := c[i*n : i*n+n]
+					for j := j0; j < jMax; j++ {
+						brow := b[j*k : j*k+k]
+						var s float64
+						for p := p0; p < pMax; p++ {
+							s += arow[p] * brow[p]
+						}
+						crow[j] += alpha * s
+					}
+				}
+			}
+		}
+	}
+}
+
+// PairwiseSqDist fills dist (m×n row-major) with squared Euclidean
+// distances between rows of a (m×k) and rows of b (n×k) using the GEMM
+// identity. Small negative values from cancellation are clamped to 0.
+func PairwiseSqDist(a []float64, m int, b []float64, n, k int, dist []float64, threads int) {
+	if len(dist) < m*n {
+		panic("blas: PairwiseSqDist dist too small")
+	}
+	an := make([]float64, m)
+	bn := make([]float64, n)
+	RowNormsSq(a, m, k, an)
+	RowNormsSq(b, n, k, bn)
+	for i := range dist[:m*n] {
+		dist[i] = 0
+	}
+	Dgemm(-2, a, m, k, b, n, 0, dist, threads)
+	for i := 0; i < m; i++ {
+		row := dist[i*n : (i+1)*n]
+		for j := range row {
+			v := row[j] + an[i] + bn[j]
+			if v < 0 {
+				v = 0
+			}
+			row[j] = v
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"knor/internal/matrix"
+)
+
+func TestDdot(t *testing.T) {
+	if got := Ddot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Ddot = %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Ddot([]float64{1}, []float64{1, 2})
+}
+
+func TestDaxpyDscal(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Daxpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Daxpy = %v", y)
+		}
+	}
+	Dscal(0.5, y)
+	for i := range y {
+		if y[i] != want[i]/2 {
+			t.Fatalf("Dscal = %v", y)
+		}
+	}
+}
+
+func TestRowNormsSq(t *testing.T) {
+	a := []float64{3, 4, 0, 5, 12, 0}
+	out := make([]float64, 2)
+	RowNormsSq(a, 2, 3, out)
+	if out[0] != 25 || out[1] != 169 {
+		t.Fatalf("RowNormsSq = %v", out)
+	}
+}
+
+// naive reference GEMM: C = alpha*A*B^T + beta*C
+func refGemm(alpha float64, a []float64, m, k int, b []float64, n int, beta float64, c []float64) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[j*k+p]
+			}
+			c[i*n+j] = beta*c[i*n+j] + alpha*s
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func TestDgemmMatchesReferenceSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {64, 64, 64}, {65, 63, 130}, {200, 17, 33}} {
+		m, n, k := dims[0], dims[1], dims[2]
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, n*k)
+		c := randSlice(rng, m*n)
+		want := append([]float64(nil), c...)
+		refGemm(1.5, a, m, k, b, n, 0.5, want)
+		Dgemm(1.5, a, m, k, b, n, 0.5, c, 1)
+		for i := range c {
+			if math.Abs(c[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("dims %v: c[%d]=%g want %g", dims, i, c[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDgemmParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, n, k := 137, 41, 29
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, n*k)
+	c1 := make([]float64, m*n)
+	c4 := make([]float64, m*n)
+	Dgemm(1, a, m, k, b, n, 0, c1, 1)
+	Dgemm(1, a, m, k, b, n, 0, c4, 4)
+	for i := range c1 {
+		if c1[i] != c4[i] {
+			t.Fatalf("parallel mismatch at %d: %g vs %g", i, c4[i], c1[i])
+		}
+	}
+}
+
+func TestDgemmMoreThreadsThanRows(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	c := make([]float64, 1)
+	Dgemm(1, a, 1, 2, b, 1, 0, c, 16)
+	if c[0] != 11 {
+		t.Fatalf("c = %v", c)
+	}
+}
+
+func TestPairwiseSqDistMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, n, k := 23, 7, 11
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, n*k)
+	dist := make([]float64, m*n)
+	PairwiseSqDist(a, m, b, n, k, dist, 2)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			want := matrix.SqDist(a[i*k:(i+1)*k], b[j*k:(j+1)*k])
+			if math.Abs(dist[i*n+j]-want) > 1e-8*(1+want) {
+				t.Fatalf("dist[%d,%d]=%g want %g", i, j, dist[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestPairwiseSqDistNonNegative(t *testing.T) {
+	// Identical rows cancel to ~0; must be clamped, never negative.
+	a := []float64{1e8, 1e-8}
+	dist := make([]float64, 1)
+	PairwiseSqDist(a, 1, a, 1, 2, dist, 1)
+	if dist[0] < 0 {
+		t.Fatalf("negative distance %g", dist[0])
+	}
+}
+
+// Property: Dgemm distributes over alpha and agrees with the naive
+// reference for random small shapes.
+func TestDgemmProperty(t *testing.T) {
+	f := func(seed int64, mr, nr, kr uint8) bool {
+		m := int(mr)%20 + 1
+		n := int(nr)%20 + 1
+		k := int(kr)%20 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, n*k)
+		c := make([]float64, m*n)
+		want := make([]float64, m*n)
+		refGemm(2, a, m, k, b, n, 0, want)
+		Dgemm(2, a, m, k, b, n, 0, c, 3)
+		for i := range c {
+			if math.Abs(c[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDgemm128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, n, k := 128, 128, 128
+	a := randSlice(rng, m*k)
+	bb := randSlice(rng, n*k)
+	c := make([]float64, m*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dgemm(1, a, m, k, bb, n, 0, c, 1)
+	}
+}

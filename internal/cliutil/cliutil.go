@@ -1,0 +1,53 @@
+// Package cliutil holds the flag-parsing helpers shared by the knor
+// command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	"knor/internal/kmeans"
+	"knor/internal/sched"
+)
+
+// ParsePrune maps a flag string to a pruning mode.
+func ParsePrune(s string) (kmeans.Prune, error) {
+	switch strings.ToLower(s) {
+	case "none", "":
+		return kmeans.PruneNone, nil
+	case "mti":
+		return kmeans.PruneMTI, nil
+	case "ti":
+		return kmeans.PruneTI, nil
+	default:
+		return 0, fmt.Errorf("unknown pruning mode %q (want none|mti|ti)", s)
+	}
+}
+
+// ParseInit maps a flag string to an initialisation method.
+func ParseInit(s string) (kmeans.Init, error) {
+	switch strings.ToLower(s) {
+	case "forgy", "":
+		return kmeans.InitForgy, nil
+	case "random", "random-partition":
+		return kmeans.InitRandomPartition, nil
+	case "kmeans++", "kmeanspp", "pp":
+		return kmeans.InitKMeansPP, nil
+	default:
+		return 0, fmt.Errorf("unknown init method %q (want forgy|random|kmeans++)", s)
+	}
+}
+
+// ParseSched maps a flag string to a scheduler policy.
+func ParseSched(s string) (sched.Policy, error) {
+	switch strings.ToLower(s) {
+	case "static":
+		return sched.Static, nil
+	case "fifo":
+		return sched.FIFO, nil
+	case "numa", "numa-aware", "":
+		return sched.NUMAAware, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q (want static|fifo|numa)", s)
+	}
+}

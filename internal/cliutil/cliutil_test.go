@@ -1,0 +1,59 @@
+package cliutil
+
+import (
+	"testing"
+
+	"knor/internal/kmeans"
+	"knor/internal/sched"
+)
+
+func TestParsePrune(t *testing.T) {
+	cases := map[string]kmeans.Prune{
+		"none": kmeans.PruneNone, "": kmeans.PruneNone,
+		"mti": kmeans.PruneMTI, "MTI": kmeans.PruneMTI,
+		"ti": kmeans.PruneTI,
+	}
+	for in, want := range cases {
+		got, err := ParsePrune(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePrune(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePrune("bogus"); err == nil {
+		t.Fatal("bogus accepted")
+	}
+}
+
+func TestParseInit(t *testing.T) {
+	cases := map[string]kmeans.Init{
+		"forgy": kmeans.InitForgy, "": kmeans.InitForgy,
+		"random":   kmeans.InitRandomPartition,
+		"kmeans++": kmeans.InitKMeansPP, "pp": kmeans.InitKMeansPP,
+	}
+	for in, want := range cases {
+		got, err := ParseInit(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseInit(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseInit("bogus"); err == nil {
+		t.Fatal("bogus accepted")
+	}
+}
+
+func TestParseSched(t *testing.T) {
+	cases := map[string]sched.Policy{
+		"static": sched.Static,
+		"fifo":   sched.FIFO,
+		"numa":   sched.NUMAAware, "": sched.NUMAAware,
+	}
+	for in, want := range cases {
+		got, err := ParseSched(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSched(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSched("bogus"); err == nil {
+		t.Fatal("bogus accepted")
+	}
+}

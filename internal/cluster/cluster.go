@@ -1,0 +1,152 @@
+// Package cluster simulates the multi-machine substrate knord runs on:
+// M machines with one NIC each on a switched network, plus the MPI-style
+// collectives the paper's distributed modules use (broadcast, allreduce,
+// gather, barrier).
+//
+// Cost structure is the standard alpha-beta model: one hop costs
+// NetLatency + bytes/NetBandwidth. Allreduce uses recursive doubling
+// (log₂M rounds, each moving the full payload), matching MPI
+// implementations; Gather serialises all senders through the root's
+// NIC — the master bottleneck that separates decentralised knord from
+// master-worker designs in Figures 11–12.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"knor/internal/simclock"
+)
+
+// Network is a simulated cluster.
+type Network struct {
+	M     int
+	Model simclock.CostModel
+	nics  []*simclock.Resource
+
+	clocks []simclock.Clock // one per machine
+}
+
+// New creates a network of m machines at simulated time zero.
+func New(m int, model simclock.CostModel) *Network {
+	if m <= 0 {
+		panic("cluster: need at least one machine")
+	}
+	n := &Network{M: m, Model: model, clocks: make([]simclock.Clock, m)}
+	n.nics = make([]*simclock.Resource, m)
+	for i := range n.nics {
+		n.nics[i] = simclock.NewResource(fmt.Sprintf("nic-%d", i))
+	}
+	return n
+}
+
+// Clock returns machine i's clock.
+func (n *Network) Clock(i int) *simclock.Clock { return &n.clocks[i] }
+
+// NIC returns machine i's NIC resource.
+func (n *Network) NIC(i int) *simclock.Resource { return n.nics[i] }
+
+// hop returns the cost of moving `bytes` across one link.
+func (n *Network) hop(bytes int) float64 {
+	return n.Model.NetLatency + float64(bytes)/n.Model.NetBandwidth
+}
+
+// maxClock returns the latest machine time.
+func (n *Network) maxClock() float64 {
+	m := n.clocks[0].Now()
+	for i := 1; i < n.M; i++ {
+		if t := n.clocks[i].Now(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// rounds returns ceil(log2(M)), the stage count of tree collectives.
+func (n *Network) rounds() int {
+	if n.M <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n.M))))
+}
+
+// Barrier synchronises all machines: everyone advances to the global
+// max plus a latency-scaled tree cost.
+func (n *Network) Barrier() float64 {
+	t := n.maxClock() + float64(n.rounds())*n.Model.NetLatency
+	for i := range n.clocks {
+		n.clocks[i].Reset(t)
+	}
+	return t
+}
+
+// Bcast broadcasts `bytes` from root along a binomial tree. All
+// machines end synchronised at the completion time.
+func (n *Network) Bcast(root, bytes int) float64 {
+	start := n.clocks[root].Now()
+	// Receivers can't finish before they are ready themselves.
+	t := start + float64(n.rounds())*n.hop(bytes)
+	if mx := n.maxClock(); mx > t {
+		t = mx
+	}
+	for i := range n.clocks {
+		n.clocks[i].Reset(t)
+	}
+	return t
+}
+
+// Allreduce reduces `bytes` across all machines with recursive
+// doubling: log₂M rounds, each a pairwise exchange of the payload.
+// Afterwards every machine holds the result and is synchronised (the
+// collective is itself a barrier). Returns completion time.
+func (n *Network) Allreduce(bytes int) float64 {
+	t := n.maxClock() + float64(n.rounds())*n.hop(bytes)
+	for i := range n.clocks {
+		n.clocks[i].Reset(t)
+	}
+	return t
+}
+
+// Gather sends `bytes` from every non-root machine to root, serialised
+// through root's NIC (the master-bottleneck pattern). Root's clock
+// advances to the last arrival; senders advance past their own send.
+func (n *Network) Gather(root, bytes int) float64 {
+	end := n.clocks[root].Now()
+	for i := 0; i < n.M; i++ {
+		if i == root {
+			continue
+		}
+		sendStart := n.clocks[i].Now() + n.Model.NetLatency
+		done := n.nics[root].Acquire(sendStart, float64(bytes)/n.Model.NetBandwidth)
+		n.clocks[i].AdvanceTo(done)
+		if done > end {
+			end = done
+		}
+	}
+	n.clocks[root].AdvanceTo(end)
+	return end
+}
+
+// MasterDispatch models a centralised scheduler handing out `tasks`
+// work items: each dispatch serialises through the root NIC for
+// overhead seconds. Workers pick tasks up round-robin; every machine's
+// clock advances past its last dispatch. This is the per-task driver
+// overhead of master-worker frameworks.
+func (n *Network) MasterDispatch(root, tasks int, overhead float64) {
+	for t := 0; t < tasks; t++ {
+		w := t % n.M
+		done := n.nics[root].Acquire(n.clocks[root].Now(), overhead)
+		n.clocks[root].AdvanceTo(done)
+		n.clocks[w].AdvanceTo(done + n.Model.NetLatency)
+	}
+}
+
+// ResetAll sets every machine clock to t and clears NIC state.
+func (n *Network) ResetAll(t float64) {
+	for i := range n.clocks {
+		n.clocks[i].Reset(t)
+	}
+	for _, nic := range n.nics {
+		nic.Reset()
+	}
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"knor/internal/simclock"
+)
+
+func model() simclock.CostModel { return simclock.DefaultCostModel() }
+
+func TestBarrierSynchronises(t *testing.T) {
+	n := New(4, model())
+	n.Clock(2).Advance(1.0)
+	after := n.Barrier()
+	if after < 1.0 {
+		t.Fatalf("barrier went backwards: %g", after)
+	}
+	for i := 0; i < 4; i++ {
+		if n.Clock(i).Now() != after {
+			t.Fatalf("machine %d desynced", i)
+		}
+	}
+}
+
+func TestBcastCost(t *testing.T) {
+	m := model()
+	n := New(8, m)
+	after := n.Bcast(0, 1000)
+	want := 3 * (m.NetLatency + 1000/m.NetBandwidth) // ceil(log2(8)) = 3 rounds
+	if math.Abs(after-want) > 1e-12 {
+		t.Fatalf("bcast = %g, want %g", after, want)
+	}
+}
+
+func TestBcastSingleMachineFree(t *testing.T) {
+	n := New(1, model())
+	if after := n.Bcast(0, 1<<20); after != 0 {
+		t.Fatalf("single-machine bcast cost %g", after)
+	}
+}
+
+func TestAllreduceScalesLogarithmically(t *testing.T) {
+	m := model()
+	cost := func(machines int) float64 {
+		n := New(machines, m)
+		return n.Allreduce(4096)
+	}
+	c2, c4, c16 := cost(2), cost(4), cost(16)
+	if !(c2 < c4 && c4 < c16) {
+		t.Fatalf("allreduce not growing: %g %g %g", c2, c4, c16)
+	}
+	// log-scaling: 16 machines cost 4 rounds vs 1 round for 2.
+	if math.Abs(c16/c2-4) > 1e-9 {
+		t.Fatalf("allreduce not logarithmic: ratio %g", c16/c2)
+	}
+}
+
+func TestGatherSerialisesAtRoot(t *testing.T) {
+	m := model()
+	M := 8
+	n := New(M, m)
+	end := n.Gather(0, 1<<20)
+	// 7 senders × transfer time must serialise through root's NIC.
+	per := float64(1<<20) / m.NetBandwidth
+	if end < 7*per {
+		t.Fatalf("gather overlapped at root: %g < %g", end, 7*per)
+	}
+	// Allreduce of the same payload must be cheaper for large M — the
+	// master bottleneck in one inequality.
+	n2 := New(M, m)
+	ar := n2.Allreduce(1 << 20)
+	if ar >= end {
+		t.Fatalf("allreduce (%g) not cheaper than gather (%g)", ar, end)
+	}
+}
+
+func TestGatherAdvancesSenders(t *testing.T) {
+	n := New(3, model())
+	n.Gather(0, 1000)
+	for i := 1; i < 3; i++ {
+		if n.Clock(i).Now() == 0 {
+			t.Fatalf("sender %d clock unchanged", i)
+		}
+	}
+}
+
+func TestMasterDispatchSerialises(t *testing.T) {
+	m := model()
+	n := New(4, m)
+	n.MasterDispatch(0, 100, 1e-3)
+	// 100 tasks × 1ms through one NIC = at least 100ms at the master.
+	if n.Clock(0).Now() < 0.1 {
+		t.Fatalf("dispatch too cheap: %g", n.Clock(0).Now())
+	}
+	// Workers must have received their dispatches.
+	for i := 1; i < 4; i++ {
+		if n.Clock(i).Now() == 0 {
+			t.Fatalf("worker %d never dispatched", i)
+		}
+	}
+}
+
+func TestResetAll(t *testing.T) {
+	n := New(2, model())
+	n.Clock(0).Advance(5)
+	n.Gather(0, 1000)
+	n.ResetAll(0)
+	if n.Clock(0).Now() != 0 || n.Clock(1).Now() != 0 {
+		t.Fatal("clocks not reset")
+	}
+	if n.NIC(0).BusyTime() != 0 {
+		t.Fatal("NIC not reset")
+	}
+}
+
+func TestNewPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0, model())
+}
+
+// Property: collectives never move any clock backwards and always leave
+// Bcast/Allreduce/Barrier participants synchronised.
+func TestCollectiveMonotoneProperty(t *testing.T) {
+	f := func(machinesRaw, opsRaw uint8, seeds []uint8) bool {
+		M := int(machinesRaw)%8 + 1
+		n := New(M, model())
+		prevMax := 0.0
+		for i, s := range seeds {
+			op := int(s) % 4
+			n.Clock(i % M).Advance(float64(s) * 1e-6)
+			switch op {
+			case 0:
+				n.Barrier()
+			case 1:
+				n.Bcast(i%M, int(s)*100)
+			case 2:
+				n.Allreduce(int(s) * 100)
+			case 3:
+				n.Gather(i%M, int(s)*100)
+			}
+			max := 0.0
+			sync := true
+			first := n.Clock(0).Now()
+			for j := 0; j < M; j++ {
+				now := n.Clock(j).Now()
+				if now > max {
+					max = now
+				}
+				if now != first {
+					sync = false
+				}
+			}
+			if max < prevMax {
+				return false
+			}
+			if op != 3 && !sync {
+				return false // gather is the only non-synchronising op
+			}
+			prevMax = max
+		}
+		_ = opsRaw
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

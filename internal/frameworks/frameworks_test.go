@@ -1,0 +1,131 @@
+package frameworks
+
+import (
+	"testing"
+
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+	"knor/internal/numa"
+	"knor/internal/sched"
+	"knor/internal/workload"
+)
+
+func fwData(n, d, clusters int, seed int64) *matrix.Dense {
+	return workload.Generate(workload.Spec{
+		Kind: workload.NaturalClusters, N: n, D: d,
+		Clusters: clusters, Spread: 0.05, Seed: seed,
+	})
+}
+
+func fwCfg(k int) kmeans.Config {
+	return kmeans.Config{
+		K: k, MaxIters: 30, Init: kmeans.InitForgy, Seed: 1,
+		Threads: 4, TaskSize: 64,
+		Topo: numa.Topology{Nodes: 2, CoresPerNode: 2},
+	}
+}
+
+func TestFrameworksProduceExactLloyd(t *testing.T) {
+	data := fwData(1000, 8, 5, 91)
+	serial, err := kmeans.RunSerial(data, kmeans.Config{K: 5, MaxIters: 30, Init: kmeans.InitForgy, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []System{MLlib, H2O, Turi} {
+		res, err := Run(data, fwCfg(5), sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iters != serial.Iters {
+			t.Fatalf("%v: iters %d vs %d", sys, res.Iters, serial.Iters)
+		}
+		if !serial.Centroids.Equal(res.Centroids, 1e-9) {
+			t.Fatalf("%v: centroids differ — emulation changed the algorithm", sys)
+		}
+	}
+}
+
+func TestKnoriBeatsFrameworks(t *testing.T) {
+	// Figure 9: knori is at least an order of magnitude faster; even
+	// knori- (no pruning) is several times faster.
+	data := fwData(8192, 8, 6, 92)
+	cfg := fwCfg(6)
+	cfg.MaxIters = 10
+	cfg.Tol = -1
+	knoriCfg := cfg
+	knoriCfg.Prune = kmeans.PruneMTI
+	knoriCfg.Sched = sched.NUMAAware
+	knori, err := kmeans.Run(data, knoriCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knoriMinusCfg := cfg
+	knoriMinusCfg.Sched = sched.NUMAAware
+	knoriMinus, err := kmeans.Run(data, knoriMinusCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []System{MLlib, H2O, Turi} {
+		res, err := Run(data, cfg, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SimSeconds < knori.SimSeconds*5 {
+			t.Fatalf("%v (%g) not well behind knori (%g)", sys, res.SimSeconds, knori.SimSeconds)
+		}
+		if res.SimSeconds < knoriMinus.SimSeconds*2 {
+			t.Fatalf("%v (%g) not behind knori- (%g)", sys, res.SimSeconds, knoriMinus.SimSeconds)
+		}
+	}
+}
+
+func TestTuriSlowestMLlibMidH2OMid(t *testing.T) {
+	// Needs enough rows that per-row boxing (Turi's weakness) outweighs
+	// per-iteration driver dispatch (MLlib's weakness).
+	data := fwData(65536, 8, 5, 93)
+	cfg := fwCfg(5)
+	cfg.MaxIters = 5
+	cfg.Tol = -1
+	times := map[System]float64{}
+	for _, sys := range []System{MLlib, H2O, Turi} {
+		res, err := Run(data, cfg, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[sys] = res.SimSeconds
+	}
+	if !(times[Turi] > times[MLlib] && times[Turi] > times[H2O]) {
+		t.Fatalf("Turi not slowest: %v", times)
+	}
+}
+
+func TestFrameworkMemoryExceedsKnor(t *testing.T) {
+	// Figure 9c: frameworks hold multiples of the packed data size.
+	data := fwData(2000, 32, 5, 94)
+	cfg := fwCfg(5)
+	knori, _ := kmeans.Run(data, cfg)
+	for _, sys := range []System{MLlib, H2O, Turi} {
+		res, err := Run(data, cfg, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MemoryBytes <= knori.MemoryBytes {
+			t.Fatalf("%v memory %d not above knori %d", sys, res.MemoryBytes, knori.MemoryBytes)
+		}
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	if MLlib.String() != "MLlib" || H2O.String() != "H2O" || Turi.String() != "Turi" {
+		t.Fatal("System.String mismatch")
+	}
+}
+
+func TestProfileOfPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ProfileOf(System(42))
+}

@@ -1,0 +1,111 @@
+package kmeans
+
+import (
+	"sync"
+
+	"knor/internal/matrix"
+)
+
+// Accum is one thread's local centroid accumulator: running sums and
+// counts for the next iteration's centroids (the ptC structure of
+// Algorithm 1). Accums are merged pairwise in parallel at the end of
+// each iteration — the funnelsort-like reduction of Section 5.2.
+type Accum struct {
+	K, D  int
+	Sum   []float64 // k*d running sums
+	Count []int64   // k memberships
+}
+
+// NewAccum allocates a zeroed accumulator.
+func NewAccum(k, d int) *Accum {
+	return &Accum{K: k, D: d, Sum: make([]float64, k*d), Count: make([]int64, k)}
+}
+
+// Reset zeroes the accumulator for the next iteration.
+func (a *Accum) Reset() {
+	for i := range a.Sum {
+		a.Sum[i] = 0
+	}
+	for i := range a.Count {
+		a.Count[i] = 0
+	}
+}
+
+// Add accumulates a row into cluster c.
+func (a *Accum) Add(row []float64, c int) {
+	dst := a.Sum[c*a.D : (c+1)*a.D]
+	_ = row[len(dst)-1]
+	for j := range dst {
+		dst[j] += row[j]
+	}
+	a.Count[c]++
+}
+
+// Remove subtracts a row from cluster c (used for incremental updates
+// where a row migrates between clusters without a full rebuild).
+func (a *Accum) Remove(row []float64, c int) {
+	dst := a.Sum[c*a.D : (c+1)*a.D]
+	_ = row[len(dst)-1]
+	for j := range dst {
+		dst[j] -= row[j]
+	}
+	a.Count[c]--
+}
+
+// Merge folds other into a.
+func (a *Accum) Merge(other *Accum) {
+	for i := range a.Sum {
+		a.Sum[i] += other.Sum[i]
+	}
+	for i := range a.Count {
+		a.Count[i] += other.Count[i]
+	}
+}
+
+// MergeTree reduces the accumulators into accs[0] with a parallel
+// pairwise tree (O(log T) levels), matching the paper's reduction. The
+// merge order is deterministic: level ℓ merges accs[i] ← accs[i+stride].
+func MergeTree(accs []*Accum) *Accum {
+	n := len(accs)
+	if n == 0 {
+		return nil
+	}
+	for stride := 1; stride < n; stride *= 2 {
+		var wg sync.WaitGroup
+		for i := 0; i+stride < n; i += 2 * stride {
+			wg.Add(1)
+			go func(dst, src int) {
+				defer wg.Done()
+				accs[dst].Merge(accs[src])
+			}(i, i+stride)
+		}
+		wg.Wait()
+	}
+	return accs[0]
+}
+
+// Centroids finalises the accumulator into mean centroids. Clusters
+// with no members keep their previous centroid (prev row), the standard
+// empty-cluster policy for Lloyd's.
+func (a *Accum) Centroids(prev *matrix.Dense) *matrix.Dense {
+	out := matrix.NewDense(a.K, a.D)
+	for c := 0; c < a.K; c++ {
+		row := out.Row(c)
+		if a.Count[c] == 0 {
+			copy(row, prev.Row(c))
+			continue
+		}
+		inv := 1 / float64(a.Count[c])
+		src := a.Sum[c*a.D : (c+1)*a.D]
+		for j := range row {
+			row[j] = src[j] * inv
+		}
+	}
+	return out
+}
+
+// SerializedBytes returns the wire size of the accumulator (k*d sums +
+// k counts), the payload knord's allreduce moves per machine.
+func (a *Accum) SerializedBytes() int {
+	return a.K*a.D*8 + a.K*8
+}

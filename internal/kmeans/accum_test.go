@@ -1,0 +1,170 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"knor/internal/matrix"
+)
+
+func TestAccumAddRemove(t *testing.T) {
+	a := NewAccum(2, 3)
+	a.Add([]float64{1, 2, 3}, 0)
+	a.Add([]float64{4, 5, 6}, 0)
+	a.Add([]float64{7, 8, 9}, 1)
+	if a.Count[0] != 2 || a.Count[1] != 1 {
+		t.Fatalf("counts %v", a.Count)
+	}
+	if a.Sum[0] != 5 || a.Sum[2] != 9 || a.Sum[3] != 7 {
+		t.Fatalf("sums %v", a.Sum)
+	}
+	a.Remove([]float64{1, 2, 3}, 0)
+	if a.Count[0] != 1 || a.Sum[0] != 4 {
+		t.Fatalf("after remove: count=%d sum=%v", a.Count[0], a.Sum)
+	}
+	a.Reset()
+	for _, v := range a.Sum {
+		if v != 0 {
+			t.Fatal("Reset left sums")
+		}
+	}
+}
+
+func TestAccumMerge(t *testing.T) {
+	a := NewAccum(2, 2)
+	b := NewAccum(2, 2)
+	a.Add([]float64{1, 1}, 0)
+	b.Add([]float64{2, 2}, 0)
+	b.Add([]float64{3, 3}, 1)
+	a.Merge(b)
+	if a.Count[0] != 2 || a.Count[1] != 1 || a.Sum[0] != 3 || a.Sum[2] != 3 {
+		t.Fatalf("merge result %v %v", a.Sum, a.Count)
+	}
+}
+
+func TestMergeTreeEqualsSerialMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, nAccs := range []int{1, 2, 3, 4, 7, 8, 16} {
+		k, d := 3, 4
+		accs := make([]*Accum, nAccs)
+		ref := NewAccum(k, d)
+		for i := range accs {
+			accs[i] = NewAccum(k, d)
+			for r := 0; r < 10; r++ {
+				row := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+				c := rng.Intn(k)
+				accs[i].Add(row, c)
+				ref.Add(row, c)
+			}
+		}
+		got := MergeTree(accs)
+		for i := range ref.Sum {
+			if math.Abs(got.Sum[i]-ref.Sum[i]) > 1e-9 {
+				t.Fatalf("nAccs=%d: sum[%d]=%g want %g", nAccs, i, got.Sum[i], ref.Sum[i])
+			}
+		}
+		for i := range ref.Count {
+			if got.Count[i] != ref.Count[i] {
+				t.Fatalf("nAccs=%d: count[%d]=%d want %d", nAccs, i, got.Count[i], ref.Count[i])
+			}
+		}
+	}
+}
+
+func TestMergeTreeEmpty(t *testing.T) {
+	if MergeTree(nil) != nil {
+		t.Fatal("MergeTree(nil) != nil")
+	}
+}
+
+func TestCentroidsEmptyClusterKeepsPrev(t *testing.T) {
+	a := NewAccum(2, 2)
+	a.Add([]float64{2, 4}, 0)
+	a.Add([]float64{4, 6}, 0)
+	prev, _ := matrix.FromRows([][]float64{{9, 9}, {7, 7}})
+	c := a.Centroids(prev)
+	if c.At(0, 0) != 3 || c.At(0, 1) != 5 {
+		t.Fatalf("cluster 0 = %v", c.Row(0))
+	}
+	if c.At(1, 0) != 7 || c.At(1, 1) != 7 {
+		t.Fatalf("empty cluster 1 = %v, want prev", c.Row(1))
+	}
+}
+
+func TestSerializedBytes(t *testing.T) {
+	a := NewAccum(10, 32)
+	if got := a.SerializedBytes(); got != 10*32*8+10*8 {
+		t.Fatalf("SerializedBytes = %d", got)
+	}
+}
+
+// Property: MergeTree over any partition of the same add-stream matches
+// a single accumulator, exactly for counts and within fp tolerance for
+// sums.
+func TestMergeTreeProperty(t *testing.T) {
+	f := func(seed int64, parts uint8) bool {
+		nParts := int(parts)%10 + 1
+		rng := rand.New(rand.NewSource(seed))
+		k, d := 4, 3
+		accs := make([]*Accum, nParts)
+		for i := range accs {
+			accs[i] = NewAccum(k, d)
+		}
+		ref := NewAccum(k, d)
+		for r := 0; r < 200; r++ {
+			row := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			c := rng.Intn(k)
+			accs[rng.Intn(nParts)].Add(row, c)
+			ref.Add(row, c)
+		}
+		got := MergeTree(accs)
+		for i := range ref.Count {
+			if got.Count[i] != ref.Count[i] {
+				return false
+			}
+		}
+		for i := range ref.Sum {
+			if math.Abs(got.Sum[i]-ref.Sum[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add then Remove of the same stream returns to (near) zero.
+func TestAccumCancellationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAccum(3, 2)
+		rows := make([][]float64, 50)
+		cs := make([]int, 50)
+		for i := range rows {
+			rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			cs[i] = rng.Intn(3)
+			a.Add(rows[i], cs[i])
+		}
+		for i := range rows {
+			a.Remove(rows[i], cs[i])
+		}
+		for _, c := range a.Count {
+			if c != 0 {
+				return false
+			}
+		}
+		for _, s := range a.Sum {
+			if math.Abs(s) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"knor/internal/matrix"
+	"knor/internal/numa"
+)
+
+func TestKEqualsOne(t *testing.T) {
+	data := testData(200, 4, 3, 201)
+	for _, prune := range []Prune{PruneNone, PruneMTI, PruneTI, PruneYinyang} {
+		cfg := baseCfg(1)
+		cfg.Prune = prune
+		res, err := RunSerial(data, cfg)
+		if err != nil {
+			t.Fatalf("prune=%v: %v", prune, err)
+		}
+		// k=1: the centroid is the global mean.
+		mean := make([]float64, 4)
+		for i := 0; i < data.Rows(); i++ {
+			matrix.AddTo(mean, data.Row(i))
+		}
+		matrix.Scale(mean, 1/float64(data.Rows()))
+		if matrix.Dist(res.Centroids.Row(0), mean) > 1e-9 {
+			t.Fatalf("prune=%v: k=1 centroid not the mean", prune)
+		}
+		if !res.Converged || res.Iters > 2 {
+			t.Fatalf("prune=%v: k=1 took %d iterations", prune, res.Iters)
+		}
+	}
+}
+
+func TestDEqualsOne(t *testing.T) {
+	data := matrix.NewDense(100, 1)
+	for i := 0; i < 100; i++ {
+		if i < 50 {
+			data.Set(i, 0, float64(i)*0.01)
+		} else {
+			data.Set(i, 0, 10+float64(i)*0.01)
+		}
+	}
+	serial, err := RunSerial(data, baseCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := parCfg(2, 4)
+	cfg.Prune = PruneMTI
+	par, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Centroids.Equal(par.Centroids, 1e-9) {
+		t.Fatal("1-D centroids differ")
+	}
+	// The two obvious groups must separate.
+	if serial.Assign[0] == serial.Assign[99] {
+		t.Fatal("1-D clusters not separated")
+	}
+}
+
+func TestNEqualsK(t *testing.T) {
+	data := testData(8, 4, 3, 202)
+	res, err := RunSerial(data, baseCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every point gets its own cluster (distinct rows).
+	for _, s := range res.Sizes {
+		if s != 1 {
+			t.Fatalf("sizes %v", res.Sizes)
+		}
+	}
+	if res.SSE > 1e-18 {
+		t.Fatalf("n==k SSE = %g", res.SSE)
+	}
+}
+
+func TestAllIdenticalPoints(t *testing.T) {
+	data := matrix.NewDense(50, 3)
+	for i := 0; i < 50; i++ {
+		copy(data.Row(i), []float64{1, 2, 3})
+	}
+	cfg := Config{K: 3, MaxIters: 10, Init: InitRandomPartition, Seed: 1}
+	res, err := RunSerial(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSE != 0 {
+		t.Fatalf("identical points SSE = %g", res.SSE)
+	}
+	if !res.Converged {
+		t.Fatal("identical points did not converge")
+	}
+}
+
+func TestToleranceStopsEarly(t *testing.T) {
+	data := uniformData(2000, 6, 203)
+	tight := baseCfg(8)
+	tight.MaxIters = 100
+	loose := tight
+	loose.Tol = 1.0 // huge drift tolerance stops almost immediately
+	rTight, _ := RunSerial(data, tight)
+	rLoose, _ := RunSerial(data, loose)
+	if rLoose.Iters >= rTight.Iters {
+		t.Fatalf("loose tolerance (%d iters) not earlier than exact (%d)", rLoose.Iters, rTight.Iters)
+	}
+	if !rLoose.Converged {
+		t.Fatal("loose tolerance not marked converged")
+	}
+}
+
+func TestMaxItersHonoured(t *testing.T) {
+	data := uniformData(1000, 4, 204)
+	cfg := baseCfg(10)
+	cfg.MaxIters = 3
+	res, _ := RunSerial(data, cfg)
+	if res.Iters > 3 {
+		t.Fatalf("ran %d iterations", res.Iters)
+	}
+}
+
+func TestNUMAObliviousDeterministicResult(t *testing.T) {
+	// The oblivious random node choice affects only simulated time,
+	// never the numerical result; two runs must agree exactly.
+	data := testData(1000, 8, 5, 205)
+	cfg := parCfg(5, 8)
+	cfg.NUMAOblivious = true
+	cfg.Placement = numa.PlaceSingleBank
+	a, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit-exactness across runs is not guaranteed (delta summation
+	// order follows the racing task cursor), but agreement to fp-sum
+	// tolerance is.
+	if !a.Centroids.Equal(b.Centroids, 1e-9) {
+		t.Fatal("oblivious runs disagree numerically")
+	}
+	if a.SimSeconds != b.SimSeconds {
+		t.Fatalf("oblivious sim time not deterministic: %g vs %g", a.SimSeconds, b.SimSeconds)
+	}
+}
+
+func TestSimTimeDeterministicAcrossRuns(t *testing.T) {
+	data := testData(2000, 8, 5, 206)
+	cfg := parCfg(5, 8)
+	cfg.Prune = PruneMTI
+	a, _ := Run(data, cfg)
+	b, _ := Run(data, cfg)
+	if a.SimSeconds != b.SimSeconds {
+		t.Fatalf("sim time varies across identical runs: %g vs %g", a.SimSeconds, b.SimSeconds)
+	}
+	for i := range a.PerIter {
+		if a.PerIter[i].SimSeconds != b.PerIter[i].SimSeconds {
+			t.Fatalf("iter %d sim time differs", i)
+		}
+	}
+}
+
+func TestSphericalWithTIAndYinyang(t *testing.T) {
+	data := testData(500, 8, 4, 207)
+	ref := baseCfg(4)
+	ref.Spherical = true
+	exact, _ := RunSerial(data, ref)
+	for _, prune := range []Prune{PruneTI, PruneYinyang} {
+		cfg := ref
+		cfg.Prune = prune
+		got, err := RunSerial(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact.Centroids.Equal(got.Centroids, 1e-9) {
+			t.Fatalf("spherical+%v centroids differ", prune)
+		}
+	}
+}
+
+func TestConvergedAssignmentsAreArgmin(t *testing.T) {
+	// At convergence (no membership changes), every row must sit with
+	// its nearest centroid under every pruning mode — the end-to-end
+	// soundness of the bound pipeline. (Mid-run, assignments lag the
+	// returned centroids by one update, as in any Lloyd's.)
+	data := testData(800, 6, 5, 208)
+	for _, prune := range []Prune{PruneNone, PruneMTI, PruneTI, PruneYinyang} {
+		cfg := baseCfg(5)
+		cfg.Prune = prune
+		res, err := RunSerial(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("prune=%v did not converge", prune)
+		}
+		for i := 0; i < data.Rows(); i++ {
+			trueD := matrix.Dist(data.Row(i), res.Centroids.Row(int(res.Assign[i])))
+			bi, _ := nearest(data.Row(i), res.Centroids)
+			biD := matrix.Dist(data.Row(i), res.Centroids.Row(bi))
+			if trueD > biD+1e-9 {
+				t.Fatalf("prune=%v row %d assigned to non-nearest centroid (d=%g vs %g)",
+					prune, i, trueD, biD)
+			}
+		}
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	data := testData(200, 4, 3, 209)
+	cfg := baseCfg(3)
+	cfg.Threads = 2
+	eng, err := NewEngine(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.N() != 200 {
+		t.Fatalf("N = %d", eng.N())
+	}
+	if eng.Group().Size() != 2 {
+		t.Fatalf("group size %d", eng.Group().Size())
+	}
+	st, delta := eng.LocalPhase(0)
+	if st.ActiveRows != 200 {
+		t.Fatalf("first phase active %d", st.ActiveRows)
+	}
+	drift := eng.ApplyGlobal(delta)
+	if math.IsNaN(drift) || drift < 0 {
+		t.Fatalf("drift %g", drift)
+	}
+	if len(eng.Assign()) != 200 {
+		t.Fatal("assign length")
+	}
+	if eng.Centroids().Rows() != 3 {
+		t.Fatal("centroid shape")
+	}
+}
+
+func TestRunGEMMValidation(t *testing.T) {
+	data := testData(50, 4, 2, 210)
+	if _, err := RunGEMM(data, Config{K: 0}, 16, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSizesMatchAssignments(t *testing.T) {
+	data := testData(700, 6, 4, 211)
+	for _, prune := range []Prune{PruneNone, PruneMTI, PruneYinyang} {
+		cfg := parCfg(4, 4)
+		cfg.Prune = prune
+		res, err := Run(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, 4)
+		for _, a := range res.Assign {
+			counts[a]++
+		}
+		for c := range counts {
+			if counts[c] != res.Sizes[c] {
+				t.Fatalf("prune=%v cluster %d: size %d vs counted %d", prune, c, res.Sizes[c], counts[c])
+			}
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"knor/internal/matrix"
+	"knor/internal/numa"
+	"knor/internal/sched"
+	"knor/internal/simclock"
+)
+
+// Run executes ||Lloyd's (Algorithm 1) — knori.
+//
+// Each iteration has two layers:
+//
+//  1. a *real* parallel compute pass: worker goroutines process row-block
+//     tasks, compute assignments with the configured pruning, and
+//     accumulate membership deltas into per-thread accumulators, merged
+//     by a parallel tree after one barrier. This keeps wall-clock
+//     benchmarks honest and the results exact.
+//
+//  2. a *virtual* scheduling replay: the per-task costs recorded in (1)
+//     are replayed through the configured scheduler policy against
+//     simulated per-worker clocks and contended NUMA links. Replaying in
+//     virtual time makes the reported SimSeconds deterministic — they do
+//     not depend on how the Go runtime happened to interleave the real
+//     goroutines — while still expressing skew, stealing, locality and
+//     link contention exactly as the policy dictates.
+func Run(data *matrix.Dense, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults(data.Rows())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Spherical {
+		data = data.Clone()
+		normalizeRows(data)
+	}
+	eng := NewEngineValidated(data, cfg)
+	return eng.run()
+}
+
+// taskCost captures what one task did during the compute pass, for the
+// virtual replay.
+type taskCost struct {
+	dists   uint64
+	bytes   int
+	changed int
+	rows    int
+}
+
+// engine holds one run's state; the distributed module embeds one
+// engine per simulated machine.
+type Engine struct {
+	data *matrix.Dense
+	cfg  Config
+
+	n, d, k int
+	cents   *matrix.Dense
+	ps      *PruneState
+	gsum    *Accum   // persistent global sums
+	deltas  []*Accum // per-thread membership deltas
+	group   *simclock.Group
+	machine *numa.Machine
+	place   *numa.Placement
+	sc      sched.Scheduler
+	tasks   []sched.Task
+	costs   []taskCost
+
+	// baseClock lets an enclosing simulation (knord) start this
+	// machine's clocks at a given simulated time.
+	baseClock float64
+}
+
+func NewEngineValidated(data *matrix.Dense, cfg Config) *Engine {
+	n, d := data.Rows(), data.Cols()
+	e := &Engine{data: data, cfg: cfg, n: n, d: d, k: cfg.K}
+	e.cents = initCentroids(data, cfg)
+	if cfg.Spherical {
+		normalizeRows(e.cents)
+	}
+	e.ps = NewPruneState(cfg.Prune, n, cfg.K)
+	e.gsum = NewAccum(cfg.K, d)
+	e.deltas = make([]*Accum, cfg.Threads)
+	for i := range e.deltas {
+		e.deltas[i] = NewAccum(cfg.K, d)
+	}
+	e.group = simclock.NewGroup(cfg.Threads, cfg.Model)
+	e.machine = numa.NewMachine(cfg.Topo, cfg.Model)
+	e.place = numa.NewPlacement(cfg.Topo, cfg.Placement, n, cfg.TaskSize, cfg.Seed)
+	e.sc = sched.New(cfg.Sched, cfg.Threads, e.workerNode)
+	e.tasks = sched.MakeTasks(n, cfg.TaskSize, e.place.NodeOfRow)
+	e.costs = make([]taskCost, len(e.tasks))
+	return e
+}
+
+func (e *Engine) workerNode(w int) int {
+	return e.cfg.Topo.NodeOfThread(w, e.cfg.Threads)
+}
+
+func (e *Engine) run() (*Result, error) {
+	res := &Result{}
+	e.group.ResetAll(e.baseClock)
+	for iter := 0; iter < e.cfg.MaxIters; iter++ {
+		st, changed, drift := e.Iterate(iter)
+		res.PerIter = append(res.PerIter, st)
+		res.Iters = iter + 1
+		if iter > 0 && (changed == 0 || drift <= e.cfg.Tol) {
+			res.Converged = true
+			break
+		}
+	}
+	e.finish(res)
+	return res, nil
+}
+
+func (e *Engine) finish(res *Result) {
+	res.Centroids = e.cents
+	res.Assign = e.ps.Assign
+	res.Sizes = sizesOf(e.ps.Assign, e.k)
+	res.SSE = SSEOf(e.data, e.cents, e.ps.Assign)
+	res.SimSeconds = e.group.Max() - e.baseClock
+	// In-memory runs hold the full n×d data plus algorithm state.
+	res.MemoryBytes = uint64(e.n)*uint64(e.d)*8 +
+		StateBytes(e.n, e.d, e.k, e.cfg.Threads, e.cfg.Prune)
+}
+
+// Iterate performs one full iteration: the local super-phase followed
+// by the (machine-local) global apply. It returns the iteration stats,
+// the number of rows that changed membership, and total drift.
+func (e *Engine) Iterate(iter int) (IterStats, int, float64) {
+	startT := e.group.Clock(0).Now()
+	st, local := e.LocalPhase(iter)
+	drift := e.ApplyGlobal(local)
+	st.Drift = drift
+	st.SimSeconds = e.group.Max() - startT
+	return st, st.RowsChanged, drift
+}
+
+// LocalPhase runs the super-phase on this machine's shard: assignment
+// with pruning, per-thread delta accumulation, the single barrier, the
+// parallel delta merge, and the virtual scheduling replay. It returns
+// the iteration stats and the machine's merged delta accumulator —
+// which knord allreduces across machines before ApplyGlobal.
+func (e *Engine) LocalPhase(iter int) (IterStats, *Accum) {
+	model := e.cfg.Model
+	e.ps.UpdateCentroidDists(e.cents)
+
+	st := e.computePass(iter)
+	st.Iter = iter
+	merged := MergeTree(e.deltas)
+
+	// Virtual replay of the iteration through the scheduler.
+	e.replay(iter)
+
+	// Worker epilogue: centroid-distance refresh (O(k²d)) and the merge
+	// tree (log T levels of 2kd flops each), after the single barrier.
+	ccCost := float64(e.k*(e.k-1)/2) * model.DistanceCost(e.d)
+	levels := 0
+	if e.cfg.Threads > 1 {
+		levels = int(math.Ceil(math.Log2(float64(e.cfg.Threads))))
+	}
+	mergeCost := float64(levels) * float64(2*e.k*e.d) * model.FlopTime
+	e.group.Barrier()
+	for w := 0; w < e.cfg.Threads; w++ {
+		e.group.Clock(w).Advance(ccCost + mergeCost)
+	}
+	return st, merged
+}
+
+// ApplyGlobal folds a (possibly allreduced) delta accumulator into the
+// persistent global sums, produces the next centroids, computes drift
+// and loosens the pruning bounds. Returns total drift.
+func (e *Engine) ApplyGlobal(delta *Accum) float64 {
+	e.gsum.Merge(delta)
+	next := e.gsum.Centroids(e.cents)
+	if e.cfg.Spherical {
+		normalizeRows(next)
+	}
+	drift := e.ps.ComputeDrift(e.cents, next)
+	if e.cfg.Prune != PruneNone {
+		e.parallelLoosen()
+		perRow := 1.0
+		switch e.cfg.Prune {
+		case PruneTI:
+			perRow = float64(e.k)
+		case PruneYinyang:
+			perRow = float64(yinyangGroups(e.k))
+		}
+		loosenCost := float64(e.n) * perRow * e.cfg.Model.FlopTime / float64(e.cfg.Threads)
+		for w := 0; w < e.cfg.Threads; w++ {
+			e.group.Clock(w).Advance(loosenCost)
+		}
+	}
+	e.cents = next
+	return drift
+}
+
+// computePass runs the real parallel assignment pass. Tasks are claimed
+// off a shared atomic cursor (order is irrelevant for correctness: row
+// decisions are independent given the iteration's centroids).
+func (e *Engine) computePass(iter int) IterStats {
+	var cursor int64
+	type out struct {
+		ctr     PruneCounters
+		changed int
+	}
+	outs := make([]out, e.cfg.Threads)
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o := &outs[w]
+			delta := e.deltas[w]
+			delta.Reset()
+			for {
+				ti := int(atomic.AddInt64(&cursor, 1)) - 1
+				if ti >= len(e.tasks) {
+					return
+				}
+				task := e.tasks[ti]
+				before := o.ctr
+				changedBefore := o.changed
+				bytes := 0
+				for i := task.Lo; i < task.Hi; i++ {
+					if iter > 0 && !e.ps.NeedsRow(i) {
+						o.ctr.C1++
+						continue
+					}
+					bytes += e.d * 8
+					row := e.data.Row(i)
+					old := e.ps.Assign[i]
+					if e.ps.AssignRow(i, row, e.cents, &o.ctr) {
+						o.changed++
+						if old >= 0 {
+							delta.Remove(row, int(old))
+						}
+						delta.Add(row, int(e.ps.Assign[i]))
+					}
+				}
+				e.costs[ti] = taskCost{
+					dists:   o.ctr.DistCalcs - before.DistCalcs,
+					bytes:   bytes,
+					changed: o.changed - changedBefore,
+					rows:    task.Rows(),
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var st IterStats
+	changed := 0
+	for i := range outs {
+		st.DistCalcs += outs[i].ctr.DistCalcs
+		st.PrunedC1 += outs[i].ctr.C1
+		st.PrunedC2 += outs[i].ctr.C2
+		st.PrunedC3 += outs[i].ctr.C3
+		changed += outs[i].changed
+	}
+	for i := range e.costs {
+		st.BytesWanted += uint64(e.costs[i].bytes)
+	}
+	st.BytesRead = st.BytesWanted // in-memory: wanted == read
+	st.RowsChanged = changed
+	st.ActiveRows = e.n - int(st.PrunedC1)
+	return st
+}
+
+// replay simulates the iteration's task execution under the configured
+// scheduler policy in virtual time: the globally earliest worker pulls
+// its next task, pays the memory transfer through the (possibly
+// contended) NUMA links, then the compute cost. Deterministic given the
+// config.
+func (e *Engine) replay(iter int) {
+	model := e.cfg.Model
+	e.sc.Reset(e.tasks)
+	T := e.cfg.Threads
+	done := make([]bool, T)
+	remaining := T
+	var rng *rand.Rand
+	if e.cfg.NUMAOblivious {
+		rng = rand.New(rand.NewSource(e.cfg.Seed + int64(iter)))
+	}
+	// Beyond the physical core count, extra threads share cores via
+	// SMT; simultaneous multithreading yields ~25% extra throughput per
+	// core, so per-thread compute slows by T/(cores*1.25) — the paper's
+	// "speedup degrades slightly at 64 cores" on a 48-core box.
+	computeScale := 1.0
+	if cores := e.cfg.Topo.TotalCores(); T > cores {
+		computeScale = float64(T) / (float64(cores) * 1.25)
+	}
+	for remaining > 0 {
+		// Earliest active worker (lowest id breaks ties).
+		w := -1
+		for i := 0; i < T; i++ {
+			if done[i] {
+				continue
+			}
+			if w < 0 || e.group.Clock(i).Now() < e.group.Clock(w).Now() {
+				w = i
+			}
+		}
+		task, ok := e.sc.Next(w)
+		if !ok {
+			done[w] = true
+			remaining--
+			continue
+		}
+		at := e.workerNode(w)
+		if rng != nil {
+			// Unbound thread: the OS may run it on any node.
+			at = rng.Intn(e.cfg.Topo.Nodes)
+		}
+		clock := e.group.Clock(w)
+		cost := e.costs[task.ID]
+		// The streamed row reads overlap the distance kernel (prefetch
+		// hides transfer behind compute); the task ends at whichever
+		// finishes last. Remote execution additionally slows the
+		// compute itself: latency-bound accesses can't be prefetched.
+		scale := computeScale
+		if at != task.Node && model.RemoteComputePenalty > 1 {
+			scale *= model.RemoteComputePenalty
+		}
+		ioEnd := e.machine.TouchAsync(clock.Now(), at, task.Node, cost.bytes)
+		clock.Advance(scale * (float64(cost.dists)*model.DistanceCost(e.d) +
+			float64(cost.rows)*model.RowOverhead +
+			float64(cost.changed)*float64(2*e.d)*model.FlopTime))
+		clock.AdvanceTo(ioEnd)
+	}
+}
+
+// parallelLoosen applies post-update bound adjustments across threads.
+func (e *Engine) parallelLoosen() {
+	var wg sync.WaitGroup
+	stripe := (e.n + e.cfg.Threads - 1) / e.cfg.Threads
+	for w := 0; w < e.cfg.Threads; w++ {
+		lo := w * stripe
+		if lo >= e.n {
+			break
+		}
+		hi := lo + stripe
+		if hi > e.n {
+			hi = e.n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			e.ps.LoosenRows(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Centroids exposes the current centroids (used by knord between
+// allreduce steps).
+func (e *Engine) Centroids() *matrix.Dense { return e.cents }
+
+// NewEngine validates cfg against data and builds an engine for
+// drivers that run their own iteration loop (knord, benches).
+func NewEngine(data *matrix.Dense, cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults(data.Rows())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Spherical {
+		data = data.Clone()
+		normalizeRows(data)
+	}
+	return NewEngineValidated(data, cfg), nil
+}
+
+// Group exposes the engine's worker clocks so an enclosing simulation
+// (the cluster network) can synchronise machine time around
+// collectives.
+func (e *Engine) Group() *simclock.Group { return e.group }
+
+// Assign exposes the current assignment vector (shard-local indices).
+func (e *Engine) Assign() []int32 { return e.ps.Assign }
+
+// N returns the engine's shard size in rows.
+func (e *Engine) N() int { return e.n }

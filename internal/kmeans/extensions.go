@@ -1,0 +1,219 @@
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"knor/internal/matrix"
+)
+
+// This file implements the remaining algorithm extensions the paper's
+// future-work section names (§9): semi-supervised k-means++ (Yoder &
+// Priebe) and agglomerative clustering (Rokach & Maimon). Spherical
+// k-means and plain k-means++ live in the core config; GMM and kNN live
+// in package numaml.
+
+// RunSemiSupervised runs k-means seeded semi-supervisedly: rows with a
+// known label (labels[i] >= 0) pin their class's seed to the labelled
+// mean; the remaining clusters are seeded by k-means++ D² sampling that
+// respects the pinned seeds. Labelled rows otherwise participate like
+// any other row (soft supervision, as in semi-supervised k-means++).
+func RunSemiSupervised(data *matrix.Dense, labels []int32, cfg Config) (*Result, error) {
+	if len(labels) != data.Rows() {
+		return nil, fmt.Errorf("kmeans: %d labels for %d rows", len(labels), data.Rows())
+	}
+	vcfg, err := cfg.withDefaults(data.Rows())
+	if err != nil {
+		return nil, err
+	}
+	k, d := vcfg.K, data.Cols()
+	seeds := matrix.NewDense(k, d)
+	counts := make([]int, k)
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		if int(l) >= k {
+			return nil, fmt.Errorf("kmeans: label %d >= k=%d", l, k)
+		}
+		matrix.AddTo(seeds.Row(int(l)), data.Row(i))
+		counts[l]++
+	}
+	// Pinned seeds: classes with labelled support.
+	pinned := make([]bool, k)
+	anyPinned := false
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			matrix.Scale(seeds.Row(c), 1/float64(counts[c]))
+			pinned[c] = true
+			anyPinned = true
+		}
+	}
+	// Remaining seeds by D² sampling against the pinned ones.
+	rng := rand.New(rand.NewSource(vcfg.Seed))
+	d2 := make([]float64, data.Rows())
+	for i := range d2 {
+		d2[i] = math.Inf(1)
+	}
+	if anyPinned {
+		for i := range d2 {
+			for c := 0; c < k; c++ {
+				if pinned[c] {
+					if v := matrix.SqDist(data.Row(i), seeds.Row(c)); v < d2[i] {
+						d2[i] = v
+					}
+				}
+			}
+		}
+	}
+	for c := 0; c < k; c++ {
+		if pinned[c] {
+			continue
+		}
+		var pick int
+		if !anyPinned {
+			pick = rng.Intn(data.Rows())
+			anyPinned = true
+			for i := range d2 {
+				d2[i] = matrix.SqDist(data.Row(i), data.Row(pick))
+			}
+		} else {
+			var total float64
+			for _, v := range d2 {
+				total += v
+			}
+			if total <= 0 {
+				pick = rng.Intn(data.Rows())
+			} else {
+				target := rng.Float64() * total
+				acc := 0.0
+				pick = data.Rows() - 1
+				for i, v := range d2 {
+					acc += v
+					if acc >= target {
+						pick = i
+						break
+					}
+				}
+			}
+		}
+		copy(seeds.Row(c), data.Row(pick))
+		for i := range d2 {
+			if v := matrix.SqDist(data.Row(i), seeds.Row(c)); v < d2[i] {
+				d2[i] = v
+			}
+		}
+	}
+	runCfg := cfg
+	runCfg.Init = InitGiven
+	runCfg.Centroids = seeds
+	return Run(data, runCfg)
+}
+
+// Dendrogram is the merge history of an agglomerative run: each step
+// merges clusters A and B (indices into the evolving cluster list,
+// original clusters first) at the recorded dissimilarity.
+type Dendrogram struct {
+	Steps []MergeStep
+}
+
+// MergeStep is one agglomeration.
+type MergeStep struct {
+	A, B    int
+	Dist    float64
+	SizeNew int
+}
+
+// AgglomerateCentroids runs Ward-linkage agglomerative clustering over
+// a k-means result's centroids, weighted by cluster size — the classic
+// two-stage "k-means then merge" pipeline, giving the hierarchy the
+// paper's future work asks for without touching all n rows again.
+// It returns the dendrogram and a cut producing `cut` flat clusters
+// (mapping original centroid index -> merged cluster id).
+func AgglomerateCentroids(centroids *matrix.Dense, sizes []int, cut int) (*Dendrogram, []int, error) {
+	k := centroids.Rows()
+	if len(sizes) != k {
+		return nil, nil, fmt.Errorf("kmeans: %d sizes for %d centroids", len(sizes), k)
+	}
+	if cut < 1 || cut > k {
+		return nil, nil, fmt.Errorf("kmeans: cut %d out of range [1,%d]", cut, k)
+	}
+	type clus struct {
+		mean   []float64
+		weight float64
+		alive  bool
+		member int // flat id after cutting
+	}
+	clusters := make([]clus, k)
+	for c := 0; c < k; c++ {
+		mean := append([]float64(nil), centroids.Row(c)...)
+		w := float64(sizes[c])
+		if w <= 0 {
+			w = 1e-12 // empty cluster: mergeable at zero cost
+		}
+		clusters[c] = clus{mean: mean, weight: w, alive: true}
+	}
+	// Ward distance between weighted clusters:
+	// d(A,B) = (wA*wB)/(wA+wB) * ||meanA - meanB||².
+	ward := func(a, b clus) float64 {
+		return a.weight * b.weight / (a.weight + b.weight) * matrix.SqDist(a.mean, b.mean)
+	}
+	dend := &Dendrogram{}
+	parent := make([]int, k)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	alive := k
+	for alive > cut {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < k; i++ {
+			if !clusters[i].alive {
+				continue
+			}
+			for j := i + 1; j < k; j++ {
+				if !clusters[j].alive {
+					continue
+				}
+				if d := ward(clusters[i], clusters[j]); d < best {
+					best = d
+					bi, bj = i, j
+				}
+			}
+		}
+		// Merge bj into bi (weighted mean).
+		a, b := &clusters[bi], &clusters[bj]
+		total := a.weight + b.weight
+		for j := range a.mean {
+			a.mean[j] = (a.mean[j]*a.weight + b.mean[j]*b.weight) / total
+		}
+		a.weight = total
+		b.alive = false
+		parent[find(bj)] = find(bi)
+		alive--
+		dend.Steps = append(dend.Steps, MergeStep{A: bi, B: bj, Dist: math.Sqrt(best), SizeNew: int(math.Round(total))})
+	}
+	// Flat labels: compress roots to 0..cut-1.
+	flat := make([]int, k)
+	next := 0
+	rootID := map[int]int{}
+	for c := 0; c < k; c++ {
+		r := find(c)
+		id, ok := rootID[r]
+		if !ok {
+			id = next
+			rootID[r] = id
+			next++
+		}
+		flat[c] = id
+	}
+	return dend, flat, nil
+}

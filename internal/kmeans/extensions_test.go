@@ -1,0 +1,169 @@
+package kmeans
+
+import (
+	"testing"
+
+	"knor/internal/matrix"
+)
+
+func TestSemiSupervisedValidation(t *testing.T) {
+	data := testData(100, 4, 3, 101)
+	if _, err := RunSemiSupervised(data, make([]int32, 5), baseCfg(3)); err == nil {
+		t.Fatal("wrong label length accepted")
+	}
+	bad := make([]int32, 100)
+	bad[0] = 99
+	if _, err := RunSemiSupervised(data, bad, baseCfg(3)); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestSemiSupervisedUnlabelledEqualsUnsupervisedStructure(t *testing.T) {
+	// With no labels at all, semi-supervised seeding degenerates to
+	// k-means++-style D² seeding and must still converge properly.
+	data := testData(600, 6, 4, 102)
+	labels := make([]int32, 600)
+	for i := range labels {
+		labels[i] = -1
+	}
+	res, err := RunSemiSupervised(data, labels, baseCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+}
+
+func TestSemiSupervisedRespectsLabels(t *testing.T) {
+	// Label a handful of rows from each true cluster; the labelled
+	// rows must overwhelmingly land in their own pinned cluster.
+	data := testData(2000, 8, 4, 103)
+	serial, _ := RunSerial(data, baseCfg(4))
+	labels := make([]int32, 2000)
+	for i := range labels {
+		labels[i] = -1
+	}
+	// Use the converged unsupervised clustering as ground truth and
+	// label 10 rows per cluster with that id.
+	counts := make([]int, 4)
+	for i, a := range serial.Assign {
+		if counts[a] < 10 {
+			labels[i] = a
+			counts[a]++
+		}
+	}
+	res, err := RunSemiSupervised(data, labels, baseCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	total := 0
+	for i, l := range labels {
+		if l < 0 {
+			continue
+		}
+		total++
+		if res.Assign[i] == l {
+			agree++
+		}
+	}
+	if agree < total*9/10 {
+		t.Fatalf("labelled rows kept their class only %d/%d times", agree, total)
+	}
+}
+
+func TestSemiSupervisedImprovesSeedQuality(t *testing.T) {
+	// Fully labelled data seeds at the class means: convergence should
+	// be at least as fast as Forgy seeding.
+	data := testData(1500, 8, 5, 104)
+	serial, _ := RunSerial(data, baseCfg(5))
+	res, err := RunSemiSupervised(data, serial.Assign, baseCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters > serial.Iters {
+		t.Fatalf("supervised seeding took %d iters vs %d unsupervised", res.Iters, serial.Iters)
+	}
+	if res.SSE > serial.SSE*1.01 {
+		t.Fatalf("supervised SSE %g worse than %g", res.SSE, serial.SSE)
+	}
+}
+
+func TestAgglomerateValidation(t *testing.T) {
+	c := matrix.NewDense(3, 2)
+	if _, _, err := AgglomerateCentroids(c, []int{1, 2}, 2); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, _, err := AgglomerateCentroids(c, []int{1, 1, 1}, 0); err == nil {
+		t.Fatal("cut=0 accepted")
+	}
+	if _, _, err := AgglomerateCentroids(c, []int{1, 1, 1}, 4); err == nil {
+		t.Fatal("cut>k accepted")
+	}
+}
+
+func TestAgglomerateMergesNearestFirst(t *testing.T) {
+	// Four centroids: two tight pairs far apart. The first two merges
+	// must combine the pairs, and a 2-cut separates them.
+	c, _ := matrix.FromRows([][]float64{
+		{0, 0}, {0.1, 0}, {10, 10}, {10.1, 10},
+	})
+	dend, flat, err := AgglomerateCentroids(c, []int{100, 100, 100, 100}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dend.Steps) != 2 {
+		t.Fatalf("%d merge steps", len(dend.Steps))
+	}
+	if flat[0] != flat[1] || flat[2] != flat[3] || flat[0] == flat[2] {
+		t.Fatalf("flat labels %v", flat)
+	}
+	// Merge distances are non-decreasing for Ward on this geometry.
+	if dend.Steps[0].Dist > dend.Steps[1].Dist {
+		t.Fatalf("merge order wrong: %v", dend.Steps)
+	}
+}
+
+func TestAgglomerateFullHierarchy(t *testing.T) {
+	data := testData(1000, 6, 6, 105)
+	res, _ := RunSerial(data, baseCfg(6))
+	dend, flat, err := AgglomerateCentroids(res.Centroids, res.Sizes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dend.Steps) != 5 {
+		t.Fatalf("%d steps for k=6 cut=1", len(dend.Steps))
+	}
+	for _, f := range flat {
+		if f != 0 {
+			t.Fatalf("cut=1 produced labels %v", flat)
+		}
+	}
+	// cut == k is the identity partition.
+	_, flatK, _ := AgglomerateCentroids(res.Centroids, res.Sizes, 6)
+	seen := map[int]bool{}
+	for _, f := range flatK {
+		if seen[f] {
+			t.Fatalf("cut=k merged clusters: %v", flatK)
+		}
+		seen[f] = true
+	}
+}
+
+func TestAgglomerateWeighting(t *testing.T) {
+	// Ward weighting: merging with a tiny cluster is cheaper than with
+	// a huge one at the same distance — the tiny pair merges first.
+	c, _ := matrix.FromRows([][]float64{
+		{0, 0}, {1, 0}, // big pair
+		{10, 10}, {11, 10}, // tiny pair, same spacing
+	})
+	dend, _, err := AgglomerateCentroids(c, []int{10000, 10000, 2, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := dend.Steps[0]
+	if !(first.A == 2 && first.B == 3) {
+		t.Fatalf("first merge was %+v, want the small pair", first)
+	}
+}

@@ -1,0 +1,94 @@
+package kmeans
+
+import (
+	"testing"
+)
+
+func TestGEMMMatchesSerial(t *testing.T) {
+	data := testData(900, 8, 5, 51)
+	serial, _ := RunSerial(data, baseCfg(5))
+	res, err := RunGEMM(data, baseCfg(5), 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != serial.Iters {
+		t.Fatalf("iters %d vs %d", res.Iters, serial.Iters)
+	}
+	for i := range serial.Assign {
+		if serial.Assign[i] != res.Assign[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	if !serial.Centroids.Equal(res.Centroids, 1e-6) {
+		t.Fatal("GEMM centroids differ beyond fp tolerance")
+	}
+}
+
+func TestGEMMChunkBoundary(t *testing.T) {
+	// n not divisible by chunk exercises the tail chunk.
+	data := testData(257, 4, 3, 52)
+	serial, _ := RunSerial(data, baseCfg(3))
+	res, err := RunGEMM(data, baseCfg(3), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Centroids.Equal(res.Centroids, 1e-6) {
+		t.Fatal("tail chunk handled wrong")
+	}
+}
+
+func TestIterativeCopyingMatchesSerial(t *testing.T) {
+	data := testData(600, 6, 4, 53)
+	serial, _ := RunSerial(data, baseCfg(4))
+	res, err := RunIterativeCopying(data, baseCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Centroids.Equal(res.Centroids, 1e-9) {
+		t.Fatal("copying variant differs")
+	}
+}
+
+func TestIterativeIndirectMatchesSerial(t *testing.T) {
+	data := testData(600, 6, 4, 54)
+	serial, _ := RunSerial(data, baseCfg(4))
+	res, err := RunIterativeIndirect(data, baseCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Centroids.Equal(res.Centroids, 1e-9) {
+		t.Fatal("indirect variant differs")
+	}
+}
+
+func TestMiniBatchReasonableQuality(t *testing.T) {
+	data := testData(2000, 8, 5, 55)
+	exact, _ := RunSerial(data, baseCfg(5))
+	cfg := baseCfg(5)
+	cfg.MaxIters = 200
+	cfg.Tol = 1e-4
+	res, err := RunMiniBatch(data, cfg, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The approximation should land within a modest factor of exact.
+	if res.SSE > exact.SSE*5 {
+		t.Fatalf("minibatch SSE %g vs exact %g", res.SSE, exact.SSE)
+	}
+	if len(res.Assign) != 2000 {
+		t.Fatal("missing final assignment")
+	}
+}
+
+func TestMiniBatchSmallBatchClamped(t *testing.T) {
+	data := testData(50, 4, 3, 56)
+	cfg := baseCfg(3)
+	cfg.MaxIters = 10
+	res, err := RunMiniBatch(data, cfg, 10000) // > n, must clamp
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters == 0 {
+		t.Fatal("no iterations")
+	}
+}

@@ -1,0 +1,123 @@
+package kmeans
+
+import (
+	"math/rand"
+
+	"knor/internal/matrix"
+)
+
+// InitCentroidsFor exposes centroid initialisation for the SEM and
+// distributed engines, which drive their own iteration loops.
+func InitCentroidsFor(data *matrix.Dense, cfg Config) *matrix.Dense {
+	return initCentroids(data, cfg)
+}
+
+// initCentroids produces the iteration-0 centroids per the config.
+func initCentroids(data *matrix.Dense, cfg Config) *matrix.Dense {
+	switch cfg.Init {
+	case InitForgy:
+		return initForgy(data, cfg.K, cfg.Seed)
+	case InitRandomPartition:
+		return initRandomPartition(data, cfg.K, cfg.Seed)
+	case InitKMeansPP:
+		return initKMeansPP(data, cfg.K, cfg.Seed)
+	case InitGiven:
+		return cfg.Centroids.Clone()
+	default:
+		panic("kmeans: unknown init method")
+	}
+}
+
+// initForgy picks k distinct rows uniformly at random.
+func initForgy(data *matrix.Dense, k int, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	n := data.Rows()
+	picked := make(map[int]bool, k)
+	c := matrix.NewDense(k, data.Cols())
+	for i := 0; i < k; i++ {
+		r := rng.Intn(n)
+		for picked[r] {
+			r = rng.Intn(n)
+		}
+		picked[r] = true
+		copy(c.Row(i), data.Row(r))
+	}
+	return c
+}
+
+// initRandomPartition assigns every row a random cluster and uses the
+// cluster means as initial centroids. Empty clusters fall back to a
+// random row.
+func initRandomPartition(data *matrix.Dense, k int, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	d := data.Cols()
+	c := matrix.NewDense(k, d)
+	counts := make([]int, k)
+	for i := 0; i < data.Rows(); i++ {
+		g := rng.Intn(k)
+		counts[g]++
+		matrix.AddTo(c.Row(g), data.Row(i))
+	}
+	for g := 0; g < k; g++ {
+		if counts[g] == 0 {
+			copy(c.Row(g), data.Row(rng.Intn(data.Rows())))
+			continue
+		}
+		matrix.Scale(c.Row(g), 1/float64(counts[g]))
+	}
+	return c
+}
+
+// initKMeansPP implements k-means++ D² seeding (Arthur & Vassilvitskii),
+// listed in the paper's future work (§9) via semi-supervised k-means++.
+func initKMeansPP(data *matrix.Dense, k int, seed int64) *matrix.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	n := data.Rows()
+	c := matrix.NewDense(k, data.Cols())
+	copy(c.Row(0), data.Row(rng.Intn(n)))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = matrix.SqDist(data.Row(i), c.Row(0))
+	}
+	for g := 1; g < k; g++ {
+		var total float64
+		for _, v := range d2 {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, v := range d2 {
+				acc += v
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(c.Row(g), data.Row(pick))
+		// Update D² against the newly chosen centre.
+		for i := range d2 {
+			if nd := matrix.SqDist(data.Row(i), c.Row(g)); nd < d2[i] {
+				d2[i] = nd
+			}
+		}
+	}
+	return c
+}
+
+// normalizeRows scales every row of m to unit Euclidean norm in place
+// (zero rows are left untouched). Used by the spherical variant.
+func normalizeRows(m *matrix.Dense) {
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		n := matrix.Norm(row)
+		if n > 0 {
+			matrix.Scale(row, 1/n)
+		}
+	}
+}

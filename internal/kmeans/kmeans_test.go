@@ -1,0 +1,254 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"knor/internal/matrix"
+	"knor/internal/workload"
+)
+
+// testData returns a small natural-clusters dataset.
+func testData(n, d, clusters int, seed int64) *matrix.Dense {
+	return workload.Generate(workload.Spec{
+		Kind: workload.NaturalClusters, N: n, D: d,
+		Clusters: clusters, Spread: 0.05, Seed: seed,
+	})
+}
+
+func uniformData(n, d int, seed int64) *matrix.Dense {
+	return workload.Generate(workload.Spec{Kind: workload.UniformMultivariate, N: n, D: d, Seed: seed})
+}
+
+func baseCfg(k int) Config {
+	return Config{K: k, MaxIters: 50, Init: InitForgy, Seed: 1}
+}
+
+func TestConfigValidation(t *testing.T) {
+	data := testData(100, 4, 3, 1)
+	if _, err := RunSerial(data, Config{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := RunSerial(data, Config{K: 101}); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := RunSerial(data, Config{K: 3, Init: InitGiven}); err == nil {
+		t.Fatal("InitGiven without centroids accepted")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if PruneNone.String() != "none" || PruneMTI.String() != "mti" || PruneTI.String() != "ti" {
+		t.Fatal("Prune.String")
+	}
+	if InitForgy.String() != "forgy" || InitKMeansPP.String() != "kmeans++" ||
+		InitRandomPartition.String() != "random-partition" || InitGiven.String() != "given" {
+		t.Fatal("Init.String")
+	}
+}
+
+func TestStateBytesOrdering(t *testing.T) {
+	// Table 1: none < MTI < TI, and MTI adds only O(n + k²) over none.
+	n, d, k, T := 100000, 32, 100, 8
+	none := StateBytes(n, d, k, T, PruneNone)
+	mti := StateBytes(n, d, k, T, PruneMTI)
+	ti := StateBytes(n, d, k, T, PruneTI)
+	if !(none < mti && mti < ti) {
+		t.Fatalf("ordering violated: %d %d %d", none, mti, ti)
+	}
+	if mti-none != uint64(n)*8+uint64(k*k)*8 {
+		t.Fatalf("MTI increment = %d", mti-none)
+	}
+	if ti-mti != uint64(n)*uint64(k)*8 {
+		t.Fatalf("TI increment = %d", ti-mti)
+	}
+}
+
+func TestSerialConvergesAndSSEDecreases(t *testing.T) {
+	data := testData(1000, 8, 5, 2)
+	res, err := RunSerial(data, baseCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge on clustered data")
+	}
+	// SSE non-increasing is implied by drift trend on Lloyd's; check
+	// per-iteration drift goes to zero.
+	last := res.PerIter[len(res.PerIter)-1]
+	if last.RowsChanged != 0 {
+		t.Fatalf("converged with %d rows changing", last.RowsChanged)
+	}
+	total := 0
+	for _, s := range res.Sizes {
+		total += s
+	}
+	if total != 1000 {
+		t.Fatalf("sizes sum to %d", total)
+	}
+}
+
+func TestSSEMonotoneNonIncreasing(t *testing.T) {
+	// Run Lloyd's step by step via MaxIters and verify the objective
+	// never increases (the classic Lloyd's invariant).
+	data := uniformData(500, 6, 3)
+	prev := math.Inf(1)
+	for iters := 1; iters <= 10; iters++ {
+		cfg := baseCfg(8)
+		cfg.MaxIters = iters
+		res, err := RunSerial(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SSE > prev+1e-9 {
+			t.Fatalf("SSE increased at iter %d: %g > %g", iters, res.SSE, prev)
+		}
+		prev = res.SSE
+	}
+}
+
+func TestSerialMTIMatchesExact(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		data := testData(800, 8, 6, seed)
+		cfgN := baseCfg(6)
+		cfgN.Prune = PruneNone
+		cfgM := baseCfg(6)
+		cfgM.Prune = PruneMTI
+		cfgT := baseCfg(6)
+		cfgT.Prune = PruneTI
+		rn, err := RunSerial(data, cfgN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := RunSerial(data, cfgM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := RunSerial(data, cfgT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rn.Assign {
+			if rn.Assign[i] != rm.Assign[i] {
+				t.Fatalf("seed %d: MTI changed assignment of row %d", seed, i)
+			}
+			if rn.Assign[i] != rt.Assign[i] {
+				t.Fatalf("seed %d: TI changed assignment of row %d", seed, i)
+			}
+		}
+		if !rn.Centroids.Equal(rm.Centroids, 1e-9) || !rn.Centroids.Equal(rt.Centroids, 1e-9) {
+			t.Fatalf("seed %d: pruned centroids differ", seed)
+		}
+		if rm.Iters != rn.Iters || rt.Iters != rn.Iters {
+			t.Fatalf("seed %d: iteration counts differ %d/%d/%d", seed, rn.Iters, rm.Iters, rt.Iters)
+		}
+	}
+}
+
+func TestMTIOnUniformDataStillExact(t *testing.T) {
+	// Uniform data is the paper's worst case for pruning; correctness
+	// must still hold.
+	data := uniformData(600, 4, 7)
+	cfgN := baseCfg(10)
+	cfgM := baseCfg(10)
+	cfgM.Prune = PruneMTI
+	rn, _ := RunSerial(data, cfgN)
+	rm, _ := RunSerial(data, cfgM)
+	if rn.Iters != rm.Iters {
+		t.Fatalf("iters differ: %d vs %d", rn.Iters, rm.Iters)
+	}
+	for i := range rn.Assign {
+		if rn.Assign[i] != rm.Assign[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestMTIPrunesOnClusteredData(t *testing.T) {
+	data := testData(2000, 8, 8, 4)
+	cfg := baseCfg(8)
+	cfg.Prune = PruneMTI
+	res, err := RunSerial(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters < 3 {
+		t.Skip("converged too fast to observe pruning")
+	}
+	// In later iterations most rows should be clause-1 pruned.
+	var pruned, possible uint64
+	for _, st := range res.PerIter[2:] {
+		pruned += st.PrunedC1
+		possible += 2000
+	}
+	if pruned == 0 {
+		t.Fatal("clause 1 never fired on clustered data")
+	}
+	// Exact distance computations with pruning must be well below the
+	// unpruned n*k per iteration.
+	cfgN := baseCfg(8)
+	rn, _ := RunSerial(data, cfgN)
+	var dp, dn uint64
+	for _, st := range res.PerIter {
+		dp += st.DistCalcs
+	}
+	for _, st := range rn.PerIter {
+		dn += st.DistCalcs
+	}
+	if dp*2 > dn {
+		t.Fatalf("MTI pruned too little: %d vs %d distance calcs", dp, dn)
+	}
+}
+
+func TestTIPrunesAtLeastAsMuchAsMTI(t *testing.T) {
+	data := testData(1500, 8, 6, 9)
+	cfgM := baseCfg(6)
+	cfgM.Prune = PruneMTI
+	cfgT := baseCfg(6)
+	cfgT.Prune = PruneTI
+	rm, _ := RunSerial(data, cfgM)
+	rt, _ := RunSerial(data, cfgT)
+	var dm, dt uint64
+	for _, st := range rm.PerIter {
+		dm += st.DistCalcs
+	}
+	for _, st := range rt.PerIter {
+		dt += st.DistCalcs
+	}
+	if dt > dm {
+		t.Fatalf("full TI computed more distances (%d) than MTI (%d)", dt, dm)
+	}
+}
+
+func TestSphericalSerial(t *testing.T) {
+	data := testData(500, 8, 4, 11)
+	cfg := baseCfg(4)
+	cfg.Spherical = true
+	res, err := RunSerial(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centroids must be unit vectors.
+	for c := 0; c < 4; c++ {
+		n := matrix.Norm(res.Centroids.Row(c))
+		if math.Abs(n-1) > 1e-9 {
+			t.Fatalf("centroid %d norm %g", c, n)
+		}
+	}
+}
+
+func TestSphericalMTIMatchesExact(t *testing.T) {
+	data := testData(600, 8, 5, 12)
+	cfgN := baseCfg(5)
+	cfgN.Spherical = true
+	cfgM := baseCfg(5)
+	cfgM.Spherical = true
+	cfgM.Prune = PruneMTI
+	rn, _ := RunSerial(data, cfgN)
+	rm, _ := RunSerial(data, cfgM)
+	for i := range rn.Assign {
+		if rn.Assign[i] != rm.Assign[i] {
+			t.Fatalf("spherical MTI row %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package kmeans
+
+import (
+	"math/rand"
+
+	"knor/internal/matrix"
+)
+
+// RunMiniBatch implements mini-batch k-means (Sculley's web-scale
+// variant, discussed in the paper's related work as the approximation
+// family knor deliberately avoids). It is provided as an extension so
+// the quality-vs-speed trade-off the paper alludes to can be measured:
+// per batch, sampled rows are assigned to their nearest centroid and
+// centroids take a gradient step with per-centroid learning rates.
+func RunMiniBatch(data *matrix.Dense, cfg Config, batch int) (*Result, error) {
+	cfg, err := cfg.withDefaults(data.Rows())
+	if err != nil {
+		return nil, err
+	}
+	if batch <= 0 {
+		batch = 256
+	}
+	n, d, k := data.Rows(), data.Cols(), cfg.K
+	if batch > n {
+		batch = n
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cents := initCentroids(data, cfg)
+	counts := make([]int64, k)
+	res := &Result{}
+	prev := cents.Clone()
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		copy(prev.Data, cents.Data)
+		for b := 0; b < batch; b++ {
+			i := rng.Intn(n)
+			row := data.Row(i)
+			bi, _ := nearest(row, cents)
+			counts[bi]++
+			eta := 1 / float64(counts[bi])
+			cr := cents.Row(bi)
+			for j := range cr {
+				cr[j] += eta * (row[j] - cr[j])
+			}
+		}
+		drift := 0.0
+		for c := 0; c < k; c++ {
+			drift += matrix.Dist(prev.Row(c), cents.Row(c))
+		}
+		res.PerIter = append(res.PerIter, IterStats{Iter: iter, ActiveRows: batch, Drift: drift})
+		res.Iters = iter + 1
+		if iter > 0 && drift <= cfg.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	// Final full assignment pass for reporting.
+	assign := make([]int32, n)
+	for i := range assign {
+		bi, _ := nearest(data.Row(i), cents)
+		assign[i] = int32(bi)
+	}
+	res.Centroids = cents
+	res.Assign = assign
+	res.Sizes = sizesOf(assign, k)
+	res.SSE = SSEOf(data, cents, assign)
+	res.MemoryBytes = StateBytes(n, d, k, 1, PruneNone)
+	return res, nil
+}

@@ -1,0 +1,290 @@
+package kmeans
+
+import (
+	"math"
+
+	"knor/internal/matrix"
+)
+
+// PruneCounters tallies pruning behaviour within one iteration.
+type PruneCounters struct {
+	DistCalcs uint64 // exact distance computations
+	C1        uint64 // rows skipped entirely (clause 1)
+	C2        uint64 // candidates skipped pre-tighten (clause 2)
+	C3        uint64 // candidates skipped post-tighten (clause 3)
+}
+
+// Add accumulates other into c.
+func (c *PruneCounters) Add(o PruneCounters) {
+	c.DistCalcs += o.DistCalcs
+	c.C1 += o.C1
+	c.C2 += o.C2
+	c.C3 += o.C3
+}
+
+// PruneState holds the triangle-inequality bound state shared by the
+// in-memory, SEM and distributed engines.
+//
+// MTI (the paper's contribution) keeps an O(n) upper bound per row plus
+// an O(k²) centroid-to-centroid half-distance structure — three of
+// Elkan's four pruning clauses without the O(nk) lower-bound matrix.
+// PruneTI adds that matrix for the full Elkan comparison.
+type PruneState struct {
+	Mode   Prune
+	N, K   int
+	Assign []int32
+	UB     []float64 // upper bound of d(v, assigned centroid); pruned modes
+	CC     []float64 // k×k centroid pairwise distances (MTI/TI)
+	SHalf  []float64 // 0.5 × min distance from centroid c to any other
+	LB     []float64 // n×k lower bounds (TI only)
+	Drift  []float64 // per-centroid movement after last update
+
+	// Yinyang group state (PruneYinyang only).
+	T            int       // group count, ~k/10
+	GroupOf      []int     // centroid -> group
+	GroupMembers [][]int   // group -> member centroids
+	LBG          []float64 // n×t per-group lower bounds
+	GroupDrift   []float64 // per-group max drift
+}
+
+// NewPruneState allocates state for n rows and k clusters.
+func NewPruneState(mode Prune, n, k int) *PruneState {
+	p := &PruneState{Mode: mode, N: n, K: k, Assign: make([]int32, n)}
+	for i := range p.Assign {
+		p.Assign[i] = -1
+	}
+	switch mode {
+	case PruneMTI, PruneTI:
+		p.UB = make([]float64, n)
+		p.CC = make([]float64, k*k)
+		p.SHalf = make([]float64, k)
+		p.Drift = make([]float64, k)
+		if mode == PruneTI {
+			p.LB = make([]float64, n*k)
+		}
+	case PruneYinyang:
+		p.UB = make([]float64, n)
+		p.Drift = make([]float64, k)
+		p.initYinyang(k)
+	}
+	return p
+}
+
+// MemoryBytes reports the bound-state footprint, the quantity Table 1
+// and Figure 8c track.
+func (p *PruneState) MemoryBytes() uint64 {
+	b := uint64(len(p.Assign)) * 4
+	b += uint64(len(p.UB)+len(p.CC)+len(p.SHalf)+len(p.LB)+len(p.Drift)) * 8
+	b += uint64(len(p.LBG)+len(p.GroupDrift)) * 8
+	b += uint64(len(p.GroupOf)) * 8
+	return b
+}
+
+// UpdateCentroidDists refreshes CC and SHalf for the iteration's
+// centroids. Cost O(k²d); every engine calls it once per iteration.
+func (p *PruneState) UpdateCentroidDists(cents *matrix.Dense) {
+	if p.Mode == PruneNone || p.Mode == PruneYinyang {
+		return // Yinyang keeps no centroid-to-centroid structure
+	}
+	k := p.K
+	for a := 0; a < k; a++ {
+		p.CC[a*k+a] = 0
+		for b := a + 1; b < k; b++ {
+			d := matrix.Dist(cents.Row(a), cents.Row(b))
+			p.CC[a*k+b] = d
+			p.CC[b*k+a] = d
+		}
+	}
+	for c := 0; c < k; c++ {
+		m := math.Inf(1)
+		for o := 0; o < k; o++ {
+			if o != c && p.CC[c*k+o] < m {
+				m = p.CC[c*k+o]
+			}
+		}
+		p.SHalf[c] = 0.5 * m
+	}
+}
+
+// NeedsRow reports whether row i's data must be touched this iteration.
+// For MTI/TI this is the negation of Clause 1: if the upper bound is
+// within half the distance to the nearest other centroid, the row
+// cannot change membership and — crucially for knors — needs no I/O.
+func (p *PruneState) NeedsRow(i int) bool {
+	switch p.Mode {
+	case PruneNone:
+		return true
+	case PruneYinyang:
+		return p.yinyangNeedsRow(i)
+	}
+	b := p.Assign[i]
+	if b < 0 {
+		return true
+	}
+	return p.UB[i] > p.SHalf[b]
+}
+
+// AssignRow (re)assigns row i given its data, assuming NeedsRow(i)
+// returned true (the engine counts clause-1 skips itself via
+// CountClause1). Returns whether membership changed.
+func (p *PruneState) AssignRow(i int, row []float64, cents *matrix.Dense, ctr *PruneCounters) bool {
+	if p.Mode == PruneYinyang {
+		if p.Assign[i] < 0 {
+			return p.yinyangExact(i, row, cents, ctr)
+		}
+		return p.yinyangAssign(i, row, cents, ctr)
+	}
+	if p.Mode == PruneNone || p.Assign[i] < 0 {
+		return p.assignExact(i, row, cents, ctr)
+	}
+	k := p.K
+	b := int(p.Assign[i])
+	u := p.UB[i]
+	tight := false
+	for c := 0; c < k; c++ {
+		if c == b {
+			continue
+		}
+		bound := 0.5 * p.CC[b*k+c]
+		if p.Mode == PruneTI && p.LB[i*k+c] > bound {
+			bound = p.LB[i*k+c]
+		}
+		if u <= bound {
+			if tight {
+				ctr.C3++
+			} else {
+				ctr.C2++
+			}
+			continue
+		}
+		if !tight {
+			u = matrix.Dist(row, cents.Row(b))
+			ctr.DistCalcs++
+			tight = true
+			if p.Mode == PruneTI {
+				p.LB[i*k+b] = u
+			}
+			// Re-check this candidate with the exact bound (clause 3).
+			if u <= bound {
+				ctr.C3++
+				continue
+			}
+		}
+		d := matrix.Dist(row, cents.Row(c))
+		ctr.DistCalcs++
+		if p.Mode == PruneTI {
+			p.LB[i*k+c] = d
+		}
+		if d < u {
+			b = c
+			u = d
+		}
+	}
+	changed := int32(b) != p.Assign[i]
+	p.Assign[i] = int32(b)
+	p.UB[i] = u
+	return changed
+}
+
+// assignExact performs the unpruned argmin scan, also priming bounds
+// when pruning is enabled (used for iteration 0 and PruneNone). The
+// PruneNone/MTI paths compare squared distances — no per-candidate
+// sqrt — which is what keeps the serial baseline competitive with the
+// fused iterative kernels of Table 3. Full TI needs every true
+// distance to prime its lower-bound matrix.
+func (p *PruneState) assignExact(i int, row []float64, cents *matrix.Dense, ctr *PruneCounters) bool {
+	k := p.K
+	best := math.Inf(1)
+	bi := 0
+	ctr.DistCalcs += uint64(k) // counted per row, outside the hot loop
+	if p.Mode == PruneTI {
+		for c := 0; c < k; c++ {
+			d := matrix.Dist(row, cents.Row(c))
+			p.LB[i*k+c] = d
+			if d < best {
+				best = d
+				bi = c
+			}
+		}
+		p.UB[i] = best
+	} else {
+		for c := 0; c < k; c++ {
+			d2 := matrix.SqDist(row, cents.Row(c))
+			if d2 < best {
+				best = d2
+				bi = c
+			}
+		}
+		if p.Mode == PruneMTI {
+			p.UB[i] = math.Sqrt(best)
+		}
+	}
+	changed := int32(bi) != p.Assign[i]
+	p.Assign[i] = int32(bi)
+	return changed
+}
+
+// UpdateAfterMove recomputes per-centroid drift after a centroid update
+// and loosens the row bounds accordingly (ub += drift of its centroid;
+// lb -= drift of each centroid). Returns total drift, the convergence
+// quantity f(c) summed over centroids. Safe for parallel row ranges via
+// LoosenRows; this single-threaded variant loosens everything.
+func (p *PruneState) UpdateAfterMove(old, next *matrix.Dense) float64 {
+	total := 0.0
+	if p.Mode == PruneNone {
+		for c := 0; c < p.K; c++ {
+			total += matrix.Dist(old.Row(c), next.Row(c))
+		}
+		return total
+	}
+	total = p.ComputeDrift(old, next)
+	p.LoosenRows(0, p.N)
+	return total
+}
+
+// ComputeDrift fills Drift without touching row bounds (engines that
+// loosen rows in parallel call this then LoosenRows per range).
+func (p *PruneState) ComputeDrift(old, next *matrix.Dense) float64 {
+	total := 0.0
+	if p.Mode == PruneNone {
+		for c := 0; c < p.K; c++ {
+			total += matrix.Dist(old.Row(c), next.Row(c))
+		}
+		return total
+	}
+	if p.Mode == PruneYinyang {
+		return p.yinyangComputeDrift(old, next)
+	}
+	for c := 0; c < p.K; c++ {
+		p.Drift[c] = matrix.Dist(old.Row(c), next.Row(c))
+		total += p.Drift[c]
+	}
+	return total
+}
+
+// LoosenRows applies the post-update bound adjustment to rows [lo, hi).
+func (p *PruneState) LoosenRows(lo, hi int) {
+	if p.Mode == PruneNone {
+		return
+	}
+	if p.Mode == PruneYinyang {
+		p.yinyangLoosen(lo, hi)
+		return
+	}
+	k := p.K
+	for i := lo; i < hi; i++ {
+		a := p.Assign[i]
+		if a >= 0 {
+			p.UB[i] += p.Drift[a]
+		}
+		if p.Mode == PruneTI {
+			lb := p.LB[i*k : (i+1)*k]
+			for c := 0; c < k; c++ {
+				lb[c] -= p.Drift[c]
+				if lb[c] < 0 {
+					lb[c] = 0
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package kmeans
+
+import (
+	"testing"
+	"testing/quick"
+
+	"knor/internal/numa"
+	"knor/internal/sched"
+)
+
+func TestYinyangMatchesExactSerial(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, k := range []int{5, 10, 25} {
+			data := testData(700, 6, 6, seed)
+			exact, err := RunSerial(data, baseCfg(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			yy := baseCfg(k)
+			yy.Prune = PruneYinyang
+			got, err := RunSerial(data, yy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Iters != exact.Iters {
+				t.Fatalf("seed %d k=%d: iters %d vs %d", seed, k, got.Iters, exact.Iters)
+			}
+			for i := range exact.Assign {
+				if exact.Assign[i] != got.Assign[i] {
+					t.Fatalf("seed %d k=%d: row %d differs", seed, k, i)
+				}
+			}
+			if !exact.Centroids.Equal(got.Centroids, 1e-9) {
+				t.Fatalf("seed %d k=%d: centroids differ", seed, k)
+			}
+		}
+	}
+}
+
+func TestYinyangMatchesExactParallel(t *testing.T) {
+	data := testData(1000, 8, 5, 31)
+	exact, _ := RunSerial(data, baseCfg(12))
+	cfg := parCfg(12, 4)
+	cfg.Prune = PruneYinyang
+	got, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Centroids.Equal(got.Centroids, 1e-9) {
+		t.Fatal("parallel yinyang centroids differ")
+	}
+	for i := range exact.Assign {
+		if exact.Assign[i] != got.Assign[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestYinyangOnUniformData(t *testing.T) {
+	data := uniformData(500, 4, 32)
+	exact, _ := RunSerial(data, baseCfg(15))
+	yy := baseCfg(15)
+	yy.Prune = PruneYinyang
+	got, err := RunSerial(data, yy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iters != exact.Iters {
+		t.Fatalf("iters %d vs %d", got.Iters, exact.Iters)
+	}
+	for i := range exact.Assign {
+		if exact.Assign[i] != got.Assign[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestYinyangPrunes(t *testing.T) {
+	data := testData(3000, 8, 8, 33)
+	yy := baseCfg(20)
+	yy.Prune = PruneYinyang
+	yyRes, _ := RunSerial(data, yy)
+	none, _ := RunSerial(data, baseCfg(20))
+	var dYY, dNone uint64
+	for _, st := range yyRes.PerIter {
+		dYY += st.DistCalcs
+	}
+	for _, st := range none.PerIter {
+		dNone += st.DistCalcs
+	}
+	if dYY*2 > dNone {
+		t.Fatalf("yinyang pruned too little: %d vs %d", dYY, dNone)
+	}
+}
+
+func TestYinyangMemoryBetweenMTIAndTI(t *testing.T) {
+	n, d, k, T := 100000, 16, 50, 8
+	mti := StateBytes(n, d, k, T, PruneMTI)
+	yy := StateBytes(n, d, k, T, PruneYinyang)
+	ti := StateBytes(n, d, k, T, PruneTI)
+	if !(mti < yy && yy < ti) {
+		t.Fatalf("memory ordering violated: mti=%d yy=%d ti=%d", mti, yy, ti)
+	}
+	// The group-bound matrix is n*t with t=k/10.
+	want := uint64(n)*8 + uint64(n)*uint64(k/10)*8
+	if got := yy - StateBytes(n, d, k, T, PruneNone); got != want {
+		t.Fatalf("yinyang increment %d, want %d", got, want)
+	}
+}
+
+func TestYinyangGroups(t *testing.T) {
+	if yinyangGroups(5) != 1 || yinyangGroups(10) != 1 || yinyangGroups(100) != 10 {
+		t.Fatal("group count rule broken")
+	}
+	ps := NewPruneState(PruneYinyang, 10, 25)
+	if ps.T != 2 {
+		t.Fatalf("T = %d", ps.T)
+	}
+	// Every centroid belongs to exactly one group's member list.
+	seen := make([]bool, 25)
+	for g, members := range ps.GroupMembers {
+		for _, c := range members {
+			if seen[c] {
+				t.Fatalf("centroid %d in two groups", c)
+			}
+			seen[c] = true
+			if ps.GroupOf[c] != g {
+				t.Fatalf("GroupOf[%d]=%d but listed in group %d", c, ps.GroupOf[c], g)
+			}
+		}
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("centroid %d in no group", c)
+		}
+	}
+}
+
+// Property: for random small instances, Yinyang always reproduces the
+// exact Lloyd's trajectory (the bound invariants are lossless).
+func TestYinyangProperty(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%400 + 30
+		k := int(kRaw)%20 + 2
+		if k > n {
+			k = n
+		}
+		data := testData(n, 4, 5, seed)
+		cfg := Config{K: k, MaxIters: 20, Init: InitForgy, Seed: seed}
+		exact, err := RunSerial(data, cfg)
+		if err != nil {
+			return false
+		}
+		yy := cfg
+		yy.Prune = PruneYinyang
+		got, err := RunSerial(data, yy)
+		if err != nil {
+			return false
+		}
+		if got.Iters != exact.Iters {
+			return false
+		}
+		for i := range exact.Assign {
+			if exact.Assign[i] != got.Assign[i] {
+				return false
+			}
+		}
+		return exact.Centroids.Equal(got.Centroids, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parallel Yinyang with arbitrary schedulers matches serial.
+func TestYinyangParallelProperty(t *testing.T) {
+	f := func(seed int64, tRaw, pRaw uint8) bool {
+		threads := int(tRaw)%6 + 1
+		policy := sched.Policy(int(pRaw) % 3)
+		data := testData(300, 4, 4, seed)
+		cfg := Config{K: 8, MaxIters: 15, Init: InitForgy, Seed: seed}
+		serial, err := RunSerial(data, cfg)
+		if err != nil {
+			return false
+		}
+		pc := cfg
+		pc.Prune = PruneYinyang
+		pc.Threads = threads
+		pc.TaskSize = 32
+		pc.Topo = numa.Topology{Nodes: 2, CoresPerNode: 4}
+		pc.Sched = policy
+		got, err := Run(data, pc)
+		if err != nil {
+			return false
+		}
+		return serial.Centroids.Equal(got.Centroids, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package matrix provides the dense row-major float64 matrix type used
+// throughout knor-go, including the binary on-disk row-major format the
+// knors semi-external-memory module streams from, and helpers that view
+// a matrix as per-NUMA-node chunks matching the paper's data layout
+// (Figure 1).
+package matrix
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Dense is an n×d row-major matrix of float64.
+type Dense struct {
+	RowsN int
+	ColsN int
+	Data  []float64 // len == RowsN*ColsN
+}
+
+// NewDense allocates a zeroed n×d matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dims %dx%d", rows, cols))
+	}
+	return &Dense{RowsN: rows, ColsN: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a Dense from a slice of equal-length rows, copying.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return NewDense(0, 0), nil
+	}
+	d := len(rows[0])
+	m := NewDense(len(rows), d)
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("matrix: row %d has %d cols, want %d", i, len(r), d)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 {
+	return m.Data[i*m.ColsN : (i+1)*m.ColsN]
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.ColsN+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.ColsN+j] = v }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.RowsN }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.ColsN }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.RowsN, m.ColsN)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Equal reports element-wise equality within tol (absolute).
+func (m *Dense) Equal(o *Dense, tol float64) bool {
+	if m.RowsN != o.RowsN || m.ColsN != o.ColsN {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// RowBytes returns the size of one row in the binary format.
+func (m *Dense) RowBytes() int { return m.ColsN * 8 }
+
+// SqDist returns the squared Euclidean distance between two equal-length
+// vectors. It is the hot kernel of every k-means variant here; keep it
+// free of bounds checks the compiler can't elide.
+func SqDist(a, b []float64) float64 {
+	var s float64
+	_ = b[len(a)-1]
+	for i, av := range a {
+		d := av - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between two vectors.
+func Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	var s float64
+	_ = b[len(a)-1]
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// AddTo accumulates src into dst element-wise.
+func AddTo(dst, src []float64) {
+	_ = src[len(dst)-1]
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Scale multiplies v by s in place.
+func Scale(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// --- binary on-disk format -------------------------------------------
+//
+// The format mirrors knor's raw row-major input: a 32-byte header
+// (magic, version, n, d) followed by n*d little-endian float64 values.
+
+const (
+	magic   = 0x4b4e4f52 // "KNOR"
+	version = 1
+)
+
+var errBadMagic = errors.New("matrix: bad magic (not a knor matrix file)")
+
+// WriteTo writes the matrix in binary format.
+func (m *Dense) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [32]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(m.RowsN))
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(m.ColsN))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	var buf [8]byte
+	written := int64(len(hdr))
+	for _, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return written, err
+		}
+		written += 8
+	}
+	return written, bw.Flush()
+}
+
+// ReadFrom reads a matrix in binary format, replacing m's contents.
+func (m *Dense) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [32]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
+		return 0, errBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != version {
+		return 0, fmt.Errorf("matrix: unsupported version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint64(hdr[8:16]))
+	d := int(binary.LittleEndian.Uint64(hdr[16:24]))
+	if n < 0 || d < 0 || (d != 0 && n > (1<<40)/d) {
+		return 0, fmt.Errorf("matrix: implausible dims %dx%d", n, d)
+	}
+	m.RowsN, m.ColsN = n, d
+	m.Data = make([]float64, n*d)
+	read := int64(len(hdr))
+	var buf [8]byte
+	for i := range m.Data {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return read, err
+		}
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		read += 8
+	}
+	return read, nil
+}
+
+// SaveFile writes the matrix to a file path.
+func (m *Dense) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := m.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a matrix from a file path.
+func LoadFile(path string) (*Dense, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m Dense
+	if _, err := m.ReadFrom(f); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,245 @@
+package matrix
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseAndAccessors(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 || len(m.Data) != 12 {
+		t.Fatalf("dims %dx%d len %d", m.Rows(), m.Cols(), len(m.Data))
+	}
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("At(1,2) = %g", m.At(1, 2))
+	}
+	r := m.Row(1)
+	if len(r) != 4 || r[2] != 7.5 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	r[0] = 1 // Row aliases storage
+	if m.At(1, 0) != 1 {
+		t.Fatal("Row does not alias storage")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %g", m.At(2, 1))
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows() != 0 {
+		t.Fatalf("empty FromRows: %v %d", err, empty.Rows())
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	if !m.Equal(c, 0) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(0, 0, 9)
+	if m.Equal(c, 0) {
+		t.Fatal("clone shares storage")
+	}
+	if m.Equal(NewDense(2, 3), 0) {
+		t.Fatal("dim mismatch compared equal")
+	}
+	if !m.Equal(c, 10) {
+		t.Fatal("tolerance not honoured")
+	}
+}
+
+func TestSqDistAndDist(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{1, 2, 2}
+	if got := SqDist(a, b); got != 9 {
+		t.Fatalf("SqDist = %g", got)
+	}
+	if got := Dist(a, b); got != 3 {
+		t.Fatalf("Dist = %g", got)
+	}
+}
+
+func TestDotNormAddScale(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %g", got)
+	}
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm = %g", got)
+	}
+	dst := []float64{1, 1}
+	AddTo(dst, []float64{2, 3})
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("AddTo = %v", dst)
+	}
+	Scale(dst, 2)
+	if dst[0] != 6 || dst[1] != 8 {
+		t.Fatalf("Scale = %v", dst)
+	}
+}
+
+func TestRoundTripBuffer(t *testing.T) {
+	m, _ := FromRows([][]float64{{1.5, -2.25}, {math.Pi, math.Inf(1)}, {0, math.SmallestNonzeroFloat64}})
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Dense
+	if _, err := got.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(&got, 0) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.knor")
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got, 0) {
+		t.Fatal("file round trip mismatch")
+	}
+	// Expected file size: 32-byte header + 6 float64.
+	fi, _ := os.Stat(path)
+	if fi.Size() != 32+6*8 {
+		t.Fatalf("file size %d", fi.Size())
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	var m Dense
+	if _, err := m.ReadFrom(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadTruncated(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	var buf bytes.Buffer
+	m.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-5]
+	var got Dense
+	if _, err := got.ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.knor")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestNegativeDimsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dims did not panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestRowBytes(t *testing.T) {
+	if got := NewDense(2, 5).RowBytes(); got != 40 {
+		t.Fatalf("RowBytes = %d", got)
+	}
+}
+
+// Property: SqDist is symmetric, non-negative, zero iff equal vectors,
+// and satisfies the triangle inequality on its square root.
+func TestSqDistProperties(t *testing.T) {
+	clean := func(v []float64) []float64 {
+		out := make([]float64, 4)
+		for i := range out {
+			if i < len(v) && !math.IsNaN(v[i]) && !math.IsInf(v[i], 0) && math.Abs(v[i]) < 1e6 {
+				out[i] = v[i]
+			}
+		}
+		return out
+	}
+	f := func(ar, br, cr []float64) bool {
+		a, b, c := clean(ar), clean(br), clean(cr)
+		dab, dba := Dist(a, b), Dist(b, a)
+		if math.Abs(dab-dba) > 1e-9 {
+			return false
+		}
+		if SqDist(a, b) < 0 {
+			return false
+		}
+		if SqDist(a, a) != 0 {
+			return false
+		}
+		// triangle inequality with fp slack
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: binary round trip preserves every finite value exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		d := 3
+		n := len(vals) / d
+		m := NewDense(n, d)
+		for i := 0; i < n*d; i++ {
+			v := vals[i]
+			if math.IsNaN(v) {
+				v = 0
+			}
+			m.Data[i] = v
+		}
+		var buf bytes.Buffer
+		if _, err := m.WriteTo(&buf); err != nil {
+			return false
+		}
+		var got Dense
+		if _, err := got.ReadFrom(&buf); err != nil {
+			return false
+		}
+		return m.Equal(&got, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSqDist16(b *testing.B) {
+	x := make([]float64, 16)
+	y := make([]float64, 16)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i * 2)
+	}
+	b.ResetTimer()
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += SqDist(x, y)
+	}
+	_ = s
+}

@@ -1,0 +1,160 @@
+// Package metrics provides clustering-quality measures used by the
+// examples, tests and benchmark harness to verify that the optimised
+// engines do not trade correctness for speed: internal indices
+// (simplified silhouette, Davies-Bouldin) and external agreement
+// indices against reference labelings (adjusted Rand index, normalised
+// mutual information).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"knor/internal/matrix"
+)
+
+// SimplifiedSilhouette computes the centroid-based silhouette: for each
+// row, a = distance to its own centroid, b = distance to the nearest
+// other centroid, s = (b-a)/max(a,b). It is O(nk) instead of the O(n²)
+// full silhouette and tracks it closely for compact clusters.
+func SimplifiedSilhouette(data, centroids *matrix.Dense, assign []int32) float64 {
+	n := data.Rows()
+	if n == 0 || centroids.Rows() < 2 {
+		return 0
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		row := data.Row(i)
+		own := int(assign[i])
+		a := matrix.Dist(row, centroids.Row(own))
+		b := math.Inf(1)
+		for c := 0; c < centroids.Rows(); c++ {
+			if c == own {
+				continue
+			}
+			if d := matrix.Dist(row, centroids.Row(c)); d < b {
+				b = d
+			}
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(n)
+}
+
+// DaviesBouldin computes the Davies-Bouldin index (lower is better):
+// the mean over clusters of the worst-case (σi+σj)/d(ci,cj) ratio,
+// where σ is the mean within-cluster distance to the centroid.
+func DaviesBouldin(data, centroids *matrix.Dense, assign []int32) float64 {
+	k := centroids.Rows()
+	if k < 2 {
+		return 0
+	}
+	sigma := make([]float64, k)
+	counts := make([]float64, k)
+	for i := 0; i < data.Rows(); i++ {
+		c := int(assign[i])
+		sigma[c] += matrix.Dist(data.Row(i), centroids.Row(c))
+		counts[c]++
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] > 0 {
+			sigma[c] /= counts[c]
+		}
+	}
+	var total float64
+	for i := 0; i < k; i++ {
+		worst := 0.0
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			d := matrix.Dist(centroids.Row(i), centroids.Row(j))
+			if d == 0 {
+				continue
+			}
+			if r := (sigma[i] + sigma[j]) / d; r > worst {
+				worst = r
+			}
+		}
+		total += worst
+	}
+	return total / float64(k)
+}
+
+// contingency builds the confusion table between two labelings.
+func contingency(a, b []int32) (map[[2]int32]float64, map[int32]float64, map[int32]float64, float64, error) {
+	if len(a) != len(b) {
+		return nil, nil, nil, 0, fmt.Errorf("metrics: labelings of length %d and %d", len(a), len(b))
+	}
+	joint := map[[2]int32]float64{}
+	ma := map[int32]float64{}
+	mb := map[int32]float64{}
+	for i := range a {
+		joint[[2]int32{a[i], b[i]}]++
+		ma[a[i]]++
+		mb[b[i]]++
+	}
+	return joint, ma, mb, float64(len(a)), nil
+}
+
+// AdjustedRand computes the adjusted Rand index between two labelings:
+// 1 for identical partitions (up to renaming), ~0 for independent ones.
+func AdjustedRand(a, b []int32) (float64, error) {
+	joint, ma, mb, n, err := contingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	var sumJoint, sumA, sumB float64
+	for _, v := range joint {
+		sumJoint += choose2(v)
+	}
+	for _, v := range ma {
+		sumA += choose2(v)
+	}
+	for _, v := range mb {
+		sumB += choose2(v)
+	}
+	expected := sumA * sumB / choose2(n)
+	maxIdx := (sumA + sumB) / 2
+	if maxIdx == expected {
+		return 1, nil // both partitions trivial
+	}
+	return (sumJoint - expected) / (maxIdx - expected), nil
+}
+
+// NMI computes normalised mutual information (arithmetic normalisation)
+// between two labelings: 1 for identical partitions, 0 for independent.
+func NMI(a, b []int32) (float64, error) {
+	joint, ma, mb, n, err := contingency(a, b)
+	if err != nil {
+		return 0, err
+	}
+	entropy := func(m map[int32]float64) float64 {
+		var h float64
+		for _, v := range m {
+			p := v / n
+			if p > 0 {
+				h -= p * math.Log(p)
+			}
+		}
+		return h
+	}
+	ha, hb := entropy(ma), entropy(mb)
+	var mi float64
+	for key, v := range joint {
+		pxy := v / n
+		px := ma[key[0]] / n
+		py := mb[key[1]] / n
+		if pxy > 0 {
+			mi += pxy * math.Log(pxy/(px*py))
+		}
+	}
+	denom := (ha + hb) / 2
+	if denom == 0 {
+		return 1, nil
+	}
+	return mi / denom, nil
+}

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+	"knor/internal/workload"
+)
+
+func perm(labels []int32, mapping map[int32]int32) []int32 {
+	out := make([]int32, len(labels))
+	for i, l := range labels {
+		out[i] = mapping[l]
+	}
+	return out
+}
+
+func TestAdjustedRandIdentity(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2, 2}
+	got, err := AdjustedRand(a, a)
+	if err != nil || got != 1 {
+		t.Fatalf("ARI(a,a) = %g, %v", got, err)
+	}
+	// Invariant under label renaming.
+	b := perm(a, map[int32]int32{0: 2, 1: 0, 2: 1})
+	got, _ = AdjustedRand(a, b)
+	if got != 1 {
+		t.Fatalf("ARI under renaming = %g", got)
+	}
+}
+
+func TestAdjustedRandIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5000
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(rng.Intn(4))
+		b[i] = int32(rng.Intn(4))
+	}
+	got, _ := AdjustedRand(a, b)
+	if math.Abs(got) > 0.05 {
+		t.Fatalf("ARI of independent labelings = %g", got)
+	}
+}
+
+func TestAdjustedRandLengthMismatch(t *testing.T) {
+	if _, err := AdjustedRand([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestNMIIdentityAndIndependence(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2, 2, 0, 1}
+	got, err := NMI(a, a)
+	if err != nil || math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI(a,a) = %g, %v", got, err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	n := 5000
+	x := make([]int32, n)
+	y := make([]int32, n)
+	for i := range x {
+		x[i] = int32(rng.Intn(3))
+		y[i] = int32(rng.Intn(3))
+	}
+	got, _ = NMI(x, y)
+	if got > 0.05 {
+		t.Fatalf("NMI of independent labelings = %g", got)
+	}
+}
+
+func TestSilhouetteSeparatedBeatsOverlapping(t *testing.T) {
+	run := func(spread float64) float64 {
+		data := workload.Generate(workload.Spec{
+			Kind: workload.NaturalClusters, N: 1000, D: 6,
+			Clusters: 4, Spread: spread, Seed: 4,
+		})
+		res, err := kmeans.RunSerial(data, kmeans.Config{K: 4, MaxIters: 40, Init: kmeans.InitKMeansPP, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return SimplifiedSilhouette(data, res.Centroids, res.Assign)
+	}
+	tight, loose := run(0.02), run(0.5)
+	if tight <= loose {
+		t.Fatalf("silhouette tight=%g not above loose=%g", tight, loose)
+	}
+	if tight < 0.8 {
+		t.Fatalf("tight clusters silhouette only %g", tight)
+	}
+}
+
+func TestDaviesBouldinOrdering(t *testing.T) {
+	run := func(spread float64) float64 {
+		data := workload.Generate(workload.Spec{
+			Kind: workload.NaturalClusters, N: 1000, D: 6,
+			Clusters: 4, Spread: spread, Seed: 5,
+		})
+		res, _ := kmeans.RunSerial(data, kmeans.Config{K: 4, MaxIters: 40, Init: kmeans.InitKMeansPP, Seed: 1})
+		return DaviesBouldin(data, res.Centroids, res.Assign)
+	}
+	tight, loose := run(0.02), run(0.5)
+	if tight >= loose {
+		t.Fatalf("DB tight=%g not below loose=%g (lower is better)", tight, loose)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	data := matrix.NewDense(0, 3)
+	if got := SimplifiedSilhouette(data, matrix.NewDense(2, 3), nil); got != 0 {
+		t.Fatalf("empty data silhouette %g", got)
+	}
+	one := matrix.NewDense(5, 3)
+	if got := SimplifiedSilhouette(one, matrix.NewDense(1, 3), make([]int32, 5)); got != 0 {
+		t.Fatalf("single-cluster silhouette %g", got)
+	}
+	if got := DaviesBouldin(one, matrix.NewDense(1, 3), make([]int32, 5)); got != 0 {
+		t.Fatalf("single-cluster DB %g", got)
+	}
+}
+
+// Property: ARI and NMI are symmetric and invariant under relabeling.
+func TestIndicesPropertySymmetry(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 10 {
+			return true
+		}
+		a := make([]int32, len(raw))
+		b := make([]int32, len(raw))
+		for i, v := range raw {
+			a[i] = int32(v % 3)
+			b[i] = int32((v / 3) % 3)
+		}
+		ar1, _ := AdjustedRand(a, b)
+		ar2, _ := AdjustedRand(b, a)
+		if math.Abs(ar1-ar2) > 1e-12 {
+			return false
+		}
+		n1, _ := NMI(a, b)
+		n2, _ := NMI(b, a)
+		if math.Abs(n1-n2) > 1e-12 {
+			return false
+		}
+		// relabel b: swap 0 and 2
+		b2 := perm(b, map[int32]int32{0: 2, 1: 1, 2: 0})
+		ar3, _ := AdjustedRand(a, b2)
+		return math.Abs(ar1-ar3) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the three knor engines produce partitions with ARI == 1
+// against the serial oracle.
+func TestEnginesARIOneProperty(t *testing.T) {
+	data := workload.Generate(workload.Spec{
+		Kind: workload.NaturalClusters, N: 800, D: 6, Clusters: 4, Spread: 0.05, Seed: 6,
+	})
+	cfg := kmeans.Config{K: 4, MaxIters: 40, Init: kmeans.InitForgy, Seed: 2}
+	serial, err := kmeans.RunSerial(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := cfg
+	pcfg.Threads = 4
+	pcfg.TaskSize = 64
+	par, err := kmeans.Run(data, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, _ := AdjustedRand(serial.Assign, par.Assign)
+	if ari != 1 {
+		t.Fatalf("parallel ARI = %g", ari)
+	}
+}

@@ -1,0 +1,209 @@
+package numaml
+
+import (
+	"fmt"
+	"math"
+
+	"knor/internal/matrix"
+)
+
+// GMM fits a Gaussian mixture with diagonal covariance by EM, expressed
+// as a numaml Kernel — the first of the paper's future-work algorithms
+// (§9 cites Gauss for GMM). The E step is the row kernel (per-worker
+// accumulation of responsibilities); the M step is the reduction.
+type GMM struct {
+	K, D int
+	// Tol stops when the mean log-likelihood improves by less.
+	Tol float64
+
+	Means   *matrix.Dense // k×d
+	Vars    *matrix.Dense // k×d diagonal covariances
+	Weights []float64     // k mixing proportions
+
+	n       int
+	logLik  float64
+	prevLik float64
+	// iteration-constant terms recomputed in Begin
+	logNorm []float64 // per-component -0.5*(d*log(2π)+Σlogσ²) + logπ
+}
+
+// gmmScratch is one worker's E-step accumulator.
+type gmmScratch struct {
+	wsum []float64 // k: Σ responsibilities
+	msum []float64 // k*d: Σ r*x
+	vsum []float64 // k*d: Σ r*x²
+	lik  float64
+	resp []float64 // k scratch
+}
+
+// NewGMM initialises a mixture from k-means-style seed centroids.
+func NewGMM(seeds *matrix.Dense, tol float64) *GMM {
+	k, d := seeds.Rows(), seeds.Cols()
+	g := &GMM{K: k, D: d, Tol: tol, Means: seeds.Clone(), Vars: matrix.NewDense(k, d), Weights: make([]float64, k)}
+	for c := 0; c < k; c++ {
+		for j := 0; j < d; j++ {
+			g.Vars.Set(c, j, 1)
+		}
+		g.Weights[c] = 1 / float64(k)
+	}
+	g.logNorm = make([]float64, k)
+	g.prevLik = math.Inf(-1)
+	return g
+}
+
+// Begin implements Kernel.
+func (g *GMM) Begin(int) {
+	const log2pi = 1.8378770664093453
+	for c := 0; c < g.K; c++ {
+		s := -0.5 * float64(g.D) * log2pi
+		for j := 0; j < g.D; j++ {
+			s -= 0.5 * math.Log(g.Vars.At(c, j))
+		}
+		g.logNorm[c] = s + math.Log(g.Weights[c])
+	}
+	g.logLik = 0
+	g.n = 0
+}
+
+// NewScratch implements Kernel.
+func (g *GMM) NewScratch(int) Scratch {
+	return &gmmScratch{
+		wsum: make([]float64, g.K),
+		msum: make([]float64, g.K*g.D),
+		vsum: make([]float64, g.K*g.D),
+		resp: make([]float64, g.K),
+	}
+}
+
+// NeedsRow implements Kernel: EM has no sound row elision; every row
+// contributes to every component each iteration.
+func (g *GMM) NeedsRow(int, int) bool { return true }
+
+// RowFlops implements Kernel: ~5 flops per dimension per component.
+func (g *GMM) RowFlops() int { return 5 * g.K * g.D }
+
+// Process implements Kernel: one row's E step.
+func (g *GMM) Process(s Scratch, _ int, row []float64) {
+	sc := s.(*gmmScratch)
+	maxLog := math.Inf(-1)
+	for c := 0; c < g.K; c++ {
+		ll := g.logNorm[c]
+		mean := g.Means.Row(c)
+		vr := g.Vars.Row(c)
+		for j, x := range row {
+			diff := x - mean[j]
+			ll -= 0.5 * diff * diff / vr[j]
+		}
+		sc.resp[c] = ll
+		if ll > maxLog {
+			maxLog = ll
+		}
+	}
+	var norm float64
+	for c := 0; c < g.K; c++ {
+		sc.resp[c] = math.Exp(sc.resp[c] - maxLog)
+		norm += sc.resp[c]
+	}
+	sc.lik += maxLog + math.Log(norm)
+	for c := 0; c < g.K; c++ {
+		r := sc.resp[c] / norm
+		sc.wsum[c] += r
+		m := sc.msum[c*g.D : (c+1)*g.D]
+		v := sc.vsum[c*g.D : (c+1)*g.D]
+		for j, x := range row {
+			m[j] += r * x
+			v[j] += r * x * x
+		}
+	}
+}
+
+// Reduce implements Kernel: the M step.
+func (g *GMM) Reduce(scratches []Scratch, _ int) bool {
+	const varFloor = 1e-6
+	wsum := make([]float64, g.K)
+	msum := make([]float64, g.K*g.D)
+	vsum := make([]float64, g.K*g.D)
+	total := 0.0
+	g.logLik = 0
+	for _, s := range scratches {
+		sc := s.(*gmmScratch)
+		g.logLik += sc.lik
+		for c := 0; c < g.K; c++ {
+			wsum[c] += sc.wsum[c]
+		}
+		for i := range msum {
+			msum[i] += sc.msum[i]
+			vsum[i] += sc.vsum[i]
+		}
+		// reset for next iteration
+		for i := range sc.wsum {
+			sc.wsum[i] = 0
+		}
+		for i := range sc.msum {
+			sc.msum[i] = 0
+			sc.vsum[i] = 0
+		}
+		sc.lik = 0
+	}
+	for c := 0; c < g.K; c++ {
+		total += wsum[c]
+	}
+	if total == 0 {
+		return true
+	}
+	g.n = int(math.Round(total))
+	for c := 0; c < g.K; c++ {
+		if wsum[c] <= 0 {
+			continue // dead component keeps its parameters
+		}
+		inv := 1 / wsum[c]
+		mean := g.Means.Row(c)
+		vr := g.Vars.Row(c)
+		for j := 0; j < g.D; j++ {
+			mean[j] = msum[c*g.D+j] * inv
+			v := vsum[c*g.D+j]*inv - mean[j]*mean[j]
+			if v < varFloor {
+				v = varFloor
+			}
+			vr[j] = v
+		}
+		g.Weights[c] = wsum[c] / total
+	}
+	meanLik := g.logLik / total
+	prev := g.prevLik
+	g.prevLik = meanLik
+	return !math.IsInf(prev, -1) && math.Abs(meanLik-prev) <= g.Tol
+}
+
+// MeanLogLikelihood returns the last iteration's mean log-likelihood.
+func (g *GMM) MeanLogLikelihood() float64 { return g.prevLik }
+
+// Assign returns hard assignments (argmax responsibility) for data.
+func (g *GMM) Assign(data *matrix.Dense) []int32 {
+	out := make([]int32, data.Rows())
+	resp := make([]float64, g.K)
+	for i := 0; i < data.Rows(); i++ {
+		row := data.Row(i)
+		best := math.Inf(-1)
+		for c := 0; c < g.K; c++ {
+			ll := g.logNorm[c]
+			mean := g.Means.Row(c)
+			vr := g.Vars.Row(c)
+			for j, x := range row {
+				diff := x - mean[j]
+				ll -= 0.5 * diff * diff / vr[j]
+			}
+			resp[c] = ll
+			if ll > best {
+				best = ll
+				out[i] = int32(c)
+			}
+		}
+	}
+	return out
+}
+
+var _ Kernel = (*GMM)(nil)
+
+// String implements fmt.Stringer.
+func (g *GMM) String() string { return fmt.Sprintf("GMM(k=%d,d=%d)", g.K, g.D) }

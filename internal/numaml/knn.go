@@ -1,0 +1,131 @@
+package numaml
+
+import (
+	"sort"
+
+	"knor/internal/matrix"
+)
+
+// KNN answers k-nearest-neighbour queries with a NUMA-parallel brute
+// force scan expressed as a single-iteration Kernel — another of the
+// paper's future-work targets (§9 cites Duda & Hart). Each worker keeps
+// a bounded max-heap per query over its shard; the reduction merges
+// per-worker heaps.
+type KNN struct {
+	Queries *matrix.Dense
+	K       int
+
+	result [][]Neighbor
+}
+
+// Neighbor is one query result.
+type Neighbor struct {
+	Row    int
+	SqDist float64
+}
+
+type knnScratch struct {
+	heaps [][]Neighbor // one bounded max-heap per query
+}
+
+// NewKNN prepares a query batch.
+func NewKNN(queries *matrix.Dense, k int) *KNN {
+	if k <= 0 {
+		k = 1
+	}
+	return &KNN{Queries: queries, K: k}
+}
+
+// Begin implements Kernel.
+func (q *KNN) Begin(int) {}
+
+// NewScratch implements Kernel.
+func (q *KNN) NewScratch(int) Scratch {
+	h := make([][]Neighbor, q.Queries.Rows())
+	for i := range h {
+		h[i] = make([]Neighbor, 0, q.K)
+	}
+	return &knnScratch{heaps: h}
+}
+
+// NeedsRow implements Kernel.
+func (q *KNN) NeedsRow(int, int) bool { return true }
+
+// RowFlops implements Kernel.
+func (q *KNN) RowFlops() int { return 2 * q.Queries.Rows() * q.Queries.Cols() }
+
+// Process implements Kernel: compare a data row against every query.
+func (q *KNN) Process(s Scratch, i int, row []float64) {
+	sc := s.(*knnScratch)
+	for qi := 0; qi < q.Queries.Rows(); qi++ {
+		d := matrix.SqDist(q.Queries.Row(qi), row)
+		sc.heaps[qi] = pushBounded(sc.heaps[qi], Neighbor{Row: i, SqDist: d}, q.K)
+	}
+}
+
+// Reduce implements Kernel: merge the per-worker heaps; one iteration.
+func (q *KNN) Reduce(scratches []Scratch, _ int) bool {
+	nq := q.Queries.Rows()
+	q.result = make([][]Neighbor, nq)
+	for qi := 0; qi < nq; qi++ {
+		var merged []Neighbor
+		for _, s := range scratches {
+			merged = append(merged, s.(*knnScratch).heaps[qi]...)
+		}
+		sort.Slice(merged, func(a, b int) bool {
+			if merged[a].SqDist != merged[b].SqDist {
+				return merged[a].SqDist < merged[b].SqDist
+			}
+			return merged[a].Row < merged[b].Row
+		})
+		if len(merged) > q.K {
+			merged = merged[:q.K]
+		}
+		q.result[qi] = merged
+	}
+	return true // single pass
+}
+
+// Neighbors returns the result for query qi after a Run.
+func (q *KNN) Neighbors(qi int) []Neighbor { return q.result[qi] }
+
+var _ Kernel = (*KNN)(nil)
+
+// pushBounded inserts nb into a bounded max-heap (stored as a slice
+// with the worst element at index 0 once full).
+func pushBounded(h []Neighbor, nb Neighbor, bound int) []Neighbor {
+	if len(h) < bound {
+		h = append(h, nb)
+		if len(h) == bound {
+			// heapify (max-heap by SqDist)
+			for i := len(h)/2 - 1; i >= 0; i-- {
+				siftDown(h, i)
+			}
+		}
+		return h
+	}
+	if nb.SqDist >= h[0].SqDist {
+		return h
+	}
+	h[0] = nb
+	siftDown(h, 0)
+	return h
+}
+
+func siftDown(h []Neighbor, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h) && h[l].SqDist > h[largest].SqDist {
+			largest = l
+		}
+		if r < len(h) && h[r].SqDist > h[largest].SqDist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}

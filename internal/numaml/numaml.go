@@ -1,0 +1,199 @@
+// Package numaml is the generalized NUMA-aware machine-learning driver
+// the paper's future-work section promises (§9): "a C++ interface upon
+// which users may implement custom algorithms and benefit from our NUMA
+// and external memory optimizations" — here as a Go interface.
+//
+// A Kernel expresses an iterative row-streaming algorithm: per-worker
+// scratch state, a per-row update, an optional row-skip predicate (the
+// hook MTI uses for k-means, reusable by any bound-based pruning), and
+// a post-barrier reduction. The Driver supplies what knori supplies to
+// k-means: NUMA-partitioned data placement, bound worker threads,
+// per-thread state with a single barrier per iteration, and the
+// deterministic virtual-time accounting of the simulated machine.
+package numaml
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"knor/internal/matrix"
+	"knor/internal/numa"
+	"knor/internal/sched"
+	"knor/internal/simclock"
+)
+
+// Scratch is a worker's thread-local state for one iteration.
+type Scratch interface{}
+
+// Kernel is a row-streaming iterative algorithm.
+type Kernel interface {
+	// Begin is called once per iteration, before rows stream.
+	Begin(iter int)
+	// NewScratch allocates one worker's thread-local state; called once
+	// per worker per run. Reset is the kernel's business, inside Begin
+	// or Reduce.
+	NewScratch(worker int) Scratch
+	// NeedsRow reports whether row i must be visited this iteration.
+	// Returning false elides the row's compute and (in SEM settings)
+	// its I/O — the clause-1 hook.
+	NeedsRow(iter, i int) bool
+	// Process visits one row. FlopsUsed should return the approximate
+	// flop count of the visit for the simulated clock; kernels with
+	// uniform row cost can return a constant.
+	Process(s Scratch, i int, row []float64)
+	// RowFlops is the approximate flops per processed row, used by the
+	// virtual-time accounting.
+	RowFlops() int
+	// Reduce folds the worker scratches after the barrier and returns
+	// whether the algorithm has converged.
+	Reduce(scratches []Scratch, iter int) bool
+}
+
+// Config mirrors the relevant part of the k-means config.
+type Config struct {
+	MaxIters  int
+	Threads   int
+	TaskSize  int
+	Topo      numa.Topology
+	Placement numa.PlacementPolicy
+	Sched     sched.Policy
+	Model     simclock.CostModel
+	Seed      int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIters <= 0 {
+		c.MaxIters = 100
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.TaskSize <= 0 {
+		c.TaskSize = sched.DefaultTaskSize
+	}
+	if c.Topo.Nodes == 0 {
+		c.Topo = numa.Topology{Nodes: 1, CoresPerNode: c.Threads}
+	}
+	if c.Model == (simclock.CostModel{}) {
+		c.Model = simclock.DefaultCostModel()
+	}
+	return c
+}
+
+// Stats summarises a driver run.
+type Stats struct {
+	Iters       int
+	Converged   bool
+	SimSeconds  float64
+	RowsVisited uint64
+}
+
+// Run streams the data through the kernel until convergence. The
+// parallel pass is real (goroutines, per-worker scratch, one barrier);
+// the scheduling and NUMA costs are replayed in virtual time exactly as
+// the k-means engine does.
+func Run(data *matrix.Dense, k Kernel, cfg Config) (*Stats, error) {
+	if data.Rows() == 0 {
+		return nil, fmt.Errorf("numaml: empty data")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	n, d := data.Rows(), data.Cols()
+	place := numa.NewPlacement(cfg.Topo, cfg.Placement, n, cfg.TaskSize, cfg.Seed)
+	machine := numa.NewMachine(cfg.Topo, cfg.Model)
+	group := simclock.NewGroup(cfg.Threads, cfg.Model)
+	scheduler := sched.New(cfg.Sched, cfg.Threads, func(w int) int {
+		return cfg.Topo.NodeOfThread(w, cfg.Threads)
+	})
+	tasks := sched.MakeTasks(n, cfg.TaskSize, place.NodeOfRow)
+	costs := make([]struct {
+		rows  int
+		bytes int
+	}, len(tasks))
+
+	scratches := make([]Scratch, cfg.Threads)
+	for w := range scratches {
+		scratches[w] = k.NewScratch(w)
+	}
+
+	stats := &Stats{}
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		k.Begin(iter)
+
+		// Real parallel pass over tasks.
+		var cursor int64
+		var visited uint64
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Threads; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var local uint64
+				for {
+					ti := int(atomic.AddInt64(&cursor, 1)) - 1
+					if ti >= len(tasks) {
+						break
+					}
+					t := tasks[ti]
+					rows, bytes := 0, 0
+					for i := t.Lo; i < t.Hi; i++ {
+						if !k.NeedsRow(iter, i) {
+							continue
+						}
+						rows++
+						bytes += d * 8
+						k.Process(scratches[w], i, data.Row(i))
+					}
+					costs[ti].rows = rows
+					costs[ti].bytes = bytes
+					local += uint64(rows)
+				}
+				atomic.AddUint64(&visited, local)
+			}(w)
+		}
+		wg.Wait()
+		stats.RowsVisited += visited
+
+		// Virtual replay through the scheduler, as in the kmeans engine.
+		scheduler.Reset(tasks)
+		done := make([]bool, cfg.Threads)
+		remaining := cfg.Threads
+		flops := float64(k.RowFlops())
+		for remaining > 0 {
+			w := -1
+			for i := 0; i < cfg.Threads; i++ {
+				if done[i] {
+					continue
+				}
+				if w < 0 || group.Clock(i).Now() < group.Clock(w).Now() {
+					w = i
+				}
+			}
+			task, ok := scheduler.Next(w)
+			if !ok {
+				done[w] = true
+				remaining--
+				continue
+			}
+			clock := group.Clock(w)
+			at := cfg.Topo.NodeOfThread(w, cfg.Threads)
+			ioEnd := machine.TouchAsync(clock.Now(), at, task.Node, costs[task.ID].bytes)
+			clock.Advance(float64(costs[task.ID].rows)*flops*cfg.Model.FlopTime +
+				float64(task.Rows())*cfg.Model.RowOverhead)
+			clock.AdvanceTo(ioEnd)
+		}
+		group.Barrier()
+
+		converged := k.Reduce(scratches, iter)
+		stats.Iters = iter + 1
+		stats.SimSeconds = group.Max()
+		if converged {
+			stats.Converged = true
+			break
+		}
+	}
+	return stats, nil
+}

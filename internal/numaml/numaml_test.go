@@ -1,0 +1,212 @@
+package numaml
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+	"knor/internal/numa"
+	"knor/internal/workload"
+)
+
+func mlData(n, d, clusters int, seed int64) *matrix.Dense {
+	return workload.Generate(workload.Spec{
+		Kind: workload.NaturalClusters, N: n, D: d,
+		Clusters: clusters, Spread: 0.05, Seed: seed,
+	})
+}
+
+func mlCfg(threads int) Config {
+	return Config{
+		MaxIters: 50, Threads: threads, TaskSize: 64,
+		Topo: numa.Topology{Nodes: 2, CoresPerNode: 4},
+	}
+}
+
+// countKernel visits every row and counts visits — exercises the driver
+// plumbing independent of any algorithm.
+type countKernel struct {
+	n      int
+	counts []int64
+	iters  int
+}
+
+type countScratch struct{ local []int64 }
+
+func (c *countKernel) Begin(int)     {}
+func (c *countKernel) RowFlops() int { return 1 }
+func (c *countKernel) NeedsRow(iter, i int) bool {
+	return i%2 == 0 || iter == 0 // odd rows skipped after iteration 0
+}
+func (c *countKernel) NewScratch(int) Scratch {
+	return &countScratch{local: make([]int64, c.n)}
+}
+func (c *countKernel) Process(s Scratch, i int, _ []float64) {
+	s.(*countScratch).local[i]++
+}
+func (c *countKernel) Reduce(ss []Scratch, iter int) bool {
+	c.iters++
+	return c.iters >= 3
+}
+
+func TestDriverVisitsRowsExactlyOnce(t *testing.T) {
+	data := mlData(500, 4, 3, 1)
+	k := &countKernel{n: 500}
+	stats, err := Run(data, k, mlCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iters != 3 || !stats.Converged {
+		t.Fatalf("iters=%d converged=%v", stats.Iters, stats.Converged)
+	}
+	// iteration 0: all rows; iterations 1,2: even rows only.
+	want := uint64(500 + 2*250)
+	if stats.RowsVisited != want {
+		t.Fatalf("visited %d, want %d", stats.RowsVisited, want)
+	}
+	if stats.SimSeconds <= 0 {
+		t.Fatal("no simulated time")
+	}
+}
+
+func TestDriverEmptyData(t *testing.T) {
+	if _, err := Run(matrix.NewDense(0, 4), &countKernel{}, mlCfg(2)); err == nil {
+		t.Fatal("empty data accepted")
+	}
+}
+
+func TestGMMRecoversMixture(t *testing.T) {
+	spec := workload.Spec{Kind: workload.NaturalClusters, N: 3000, D: 6, Clusters: 4, Spread: 0.05, Seed: 3}
+	data := workload.Generate(spec)
+	// Seed from k-means for stability, as users would.
+	km, err := kmeans.RunSerial(data, kmeans.Config{K: 4, MaxIters: 30, Init: kmeans.InitKMeansPP, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGMM(km.Centroids, 1e-8)
+	stats, err := Run(data, g, mlCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Converged {
+		t.Fatal("GMM did not converge")
+	}
+	// Weights sum to 1.
+	var wsum float64
+	for _, w := range g.Weights {
+		wsum += w
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		t.Fatalf("weights sum %g", wsum)
+	}
+	// Learned variances should be near spread² = 0.0025.
+	for c := 0; c < 4; c++ {
+		for j := 0; j < 6; j++ {
+			v := g.Vars.At(c, j)
+			if v < 0.0005 || v > 0.02 {
+				t.Fatalf("component %d var[%d]=%g far from 0.0025", c, j, v)
+			}
+		}
+	}
+	// Hard assignments should agree with k-means on separated data.
+	ga := g.Assign(data)
+	agree := 0
+	for i := range ga {
+		if ga[i] == km.Assign[i] {
+			agree++
+		}
+	}
+	if agree < len(ga)*95/100 {
+		t.Fatalf("GMM and k-means agree on only %d/%d rows", agree, len(ga))
+	}
+}
+
+func TestGMMLikelihoodImproves(t *testing.T) {
+	data := mlData(1000, 4, 3, 5)
+	km, _ := kmeans.RunSerial(data, kmeans.Config{K: 3, MaxIters: 2, Init: kmeans.InitForgy, Seed: 1})
+	g := NewGMM(km.Centroids, 0) // never converges by tolerance
+	cfg := mlCfg(2)
+	cfg.MaxIters = 1
+	Run(data, g, cfg)
+	first := g.MeanLogLikelihood()
+	g2 := NewGMM(km.Centroids, 0)
+	cfg.MaxIters = 10
+	Run(data, g2, cfg)
+	if g2.MeanLogLikelihood() < first-1e-9 {
+		t.Fatalf("likelihood decreased: %g -> %g", first, g2.MeanLogLikelihood())
+	}
+}
+
+func TestGMMThreadCountInvariance(t *testing.T) {
+	data := mlData(800, 4, 3, 7)
+	km, _ := kmeans.RunSerial(data, kmeans.Config{K: 3, MaxIters: 10, Init: kmeans.InitKMeansPP, Seed: 1})
+	run := func(threads int) *GMM {
+		g := NewGMM(km.Centroids, 1e-10)
+		cfg := mlCfg(threads)
+		cfg.MaxIters = 15
+		if _, err := Run(data, g, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g1, g4 := run(1), run(4)
+	if !g1.Means.Equal(g4.Means, 1e-6) {
+		t.Fatal("GMM means differ across thread counts")
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	data := mlData(600, 5, 3, 9)
+	queries := matrix.NewDense(4, 5)
+	for i := 0; i < 4; i++ {
+		copy(queries.Row(i), data.Row(i*100))
+	}
+	q := NewKNN(queries, 7)
+	stats, err := Run(data, q, mlCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iters != 1 {
+		t.Fatalf("kNN took %d iterations", stats.Iters)
+	}
+	for qi := 0; qi < 4; qi++ {
+		// Brute-force reference.
+		type nb struct {
+			row int
+			d   float64
+		}
+		var ref []nb
+		for i := 0; i < data.Rows(); i++ {
+			ref = append(ref, nb{i, matrix.SqDist(queries.Row(qi), data.Row(i))})
+		}
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].d != ref[b].d {
+				return ref[a].d < ref[b].d
+			}
+			return ref[a].row < ref[b].row
+		})
+		got := q.Neighbors(qi)
+		if len(got) != 7 {
+			t.Fatalf("query %d returned %d neighbours", qi, len(got))
+		}
+		for j := range got {
+			if got[j].SqDist != ref[j].d {
+				t.Fatalf("query %d neighbour %d: dist %g want %g", qi, j, got[j].SqDist, ref[j].d)
+			}
+		}
+		// Nearest neighbour of a data row is itself.
+		if got[0].Row != qi*100 || got[0].SqDist != 0 {
+			t.Fatalf("query %d: self not nearest (%+v)", qi, got[0])
+		}
+	}
+}
+
+func TestKNNSmallK(t *testing.T) {
+	data := mlData(50, 3, 2, 11)
+	q := NewKNN(data, 0) // clamps to 1
+	if q.K != 1 {
+		t.Fatalf("K = %d", q.K)
+	}
+}

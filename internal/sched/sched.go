@@ -1,0 +1,274 @@
+// Package sched implements the three task schedulers the paper compares
+// in Figure 5: static preassignment, FIFO work stealing, and knor's
+// NUMA-aware partitioned priority task queue.
+//
+// A task is a contiguous block of data rows (the paper uses a minimum
+// task size of 8192 rows). The NUMA-aware queue is partitioned into one
+// part per worker, each guarded by its own lock; every part holds a
+// high-priority list (tasks whose rows live on the worker's NUMA node)
+// and a low-priority list. An idle worker drains its own part, then
+// steals from workers bound to the same NUMA node, and only then cycles
+// once through remote parts — accepting a lower-priority task rather
+// than starving (Section 5.2).
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultTaskSize is the paper's minimum task granularity in rows.
+const DefaultTaskSize = 8192
+
+// Task is a contiguous block of rows assigned to one worker at a time.
+type Task struct {
+	ID   int
+	Lo   int // first row, inclusive
+	Hi   int // last row, exclusive
+	Node int // NUMA node owning the rows
+}
+
+// Rows returns the number of rows in the task.
+func (t Task) Rows() int { return t.Hi - t.Lo }
+
+// MakeTasks splits n rows into blocks of at most taskSize rows and
+// labels each with its owning node from nodeOf (which may be nil for a
+// single-node machine).
+func MakeTasks(n, taskSize int, nodeOf func(row int) int) []Task {
+	if taskSize <= 0 {
+		panic("sched: taskSize must be positive")
+	}
+	var tasks []Task
+	for lo := 0; lo < n; lo += taskSize {
+		hi := lo + taskSize
+		if hi > n {
+			hi = n
+		}
+		node := 0
+		if nodeOf != nil {
+			node = nodeOf(lo)
+		}
+		tasks = append(tasks, Task{ID: len(tasks), Lo: lo, Hi: hi, Node: node})
+	}
+	return tasks
+}
+
+// Policy selects a scheduler implementation.
+type Policy int
+
+const (
+	// Static preassigns contiguous task ranges to workers; no stealing.
+	Static Policy = iota
+	// FIFO seeds workers with their local tasks and allows stealing
+	// from any worker in index order.
+	FIFO
+	// NUMAAware is knor's partitioned priority queue with local-first
+	// stealing.
+	NUMAAware
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Static:
+		return "static"
+	case FIFO:
+		return "fifo"
+	case NUMAAware:
+		return "numa-aware"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Scheduler hands out tasks to workers. Implementations are safe for
+// concurrent Next calls; Reset must be called between iterations with
+// no Next in flight.
+type Scheduler interface {
+	// Reset loads a fresh task set for the next iteration.
+	Reset(tasks []Task)
+	// Next returns the next task for the worker, and whether one
+	// remained. The second result false means the iteration's work is
+	// exhausted for this worker.
+	Next(worker int) (Task, bool)
+	// Policy identifies the implementation.
+	Policy() Policy
+}
+
+// WorkerNodeFunc maps a worker id to its NUMA node.
+type WorkerNodeFunc func(worker int) int
+
+// New builds a scheduler for the given worker count. workerNode may be
+// nil, in which case all workers are treated as node 0.
+func New(policy Policy, workers int, workerNode WorkerNodeFunc) Scheduler {
+	if workers <= 0 {
+		panic("sched: workers must be positive")
+	}
+	if workerNode == nil {
+		workerNode = func(int) int { return 0 }
+	}
+	switch policy {
+	case Static:
+		return &staticSched{workers: workers}
+	case FIFO:
+		return &stealSched{policy: FIFO, workers: workers, workerNode: workerNode}
+	case NUMAAware:
+		return &stealSched{policy: NUMAAware, workers: workers, workerNode: workerNode}
+	default:
+		panic(fmt.Sprintf("sched: unknown policy %d", int(policy)))
+	}
+}
+
+// --- static ------------------------------------------------------------
+
+type staticSched struct {
+	workers int
+	mu      []sync.Mutex
+	queues  [][]Task
+}
+
+func (s *staticSched) Policy() Policy { return Static }
+
+func (s *staticSched) Reset(tasks []Task) {
+	s.mu = make([]sync.Mutex, s.workers)
+	s.queues = make([][]Task, s.workers)
+	// Contiguous ranges: worker w gets tasks [w*per, (w+1)*per), i.e.
+	// n/T rows each, like the paper's static baseline.
+	per := (len(tasks) + s.workers - 1) / s.workers
+	for w := 0; w < s.workers; w++ {
+		lo := w * per
+		if lo > len(tasks) {
+			lo = len(tasks)
+		}
+		hi := lo + per
+		if hi > len(tasks) {
+			hi = len(tasks)
+		}
+		s.queues[w] = append([]Task(nil), tasks[lo:hi]...)
+	}
+}
+
+func (s *staticSched) Next(worker int) (Task, bool) {
+	s.mu[worker].Lock()
+	defer s.mu[worker].Unlock()
+	q := s.queues[worker]
+	if len(q) == 0 {
+		return Task{}, false
+	}
+	t := q[0]
+	s.queues[worker] = q[1:]
+	return t, true
+}
+
+// --- stealing (FIFO and NUMA-aware) -------------------------------------
+
+type part struct {
+	mu   sync.Mutex
+	high []Task // local to the owning worker's node
+	low  []Task
+}
+
+func (p *part) pop(priorityOnly bool) (Task, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.high) > 0 {
+		t := p.high[0]
+		p.high = p.high[1:]
+		return t, true
+	}
+	if !priorityOnly && len(p.low) > 0 {
+		t := p.low[0]
+		p.low = p.low[1:]
+		return t, true
+	}
+	return Task{}, false
+}
+
+type stealSched struct {
+	policy     Policy
+	workers    int
+	workerNode WorkerNodeFunc
+	parts      []*part
+	sameNode   [][]int // worker -> other workers on the same node
+}
+
+func (s *stealSched) Policy() Policy { return s.policy }
+
+func (s *stealSched) Reset(tasks []Task) {
+	s.parts = make([]*part, s.workers)
+	for i := range s.parts {
+		s.parts[i] = &part{}
+	}
+	if s.sameNode == nil {
+		s.sameNode = make([][]int, s.workers)
+		for w := 0; w < s.workers; w++ {
+			for o := 0; o < s.workers; o++ {
+				if o != w && s.workerNode(o) == s.workerNode(w) {
+					s.sameNode[w] = append(s.sameNode[w], o)
+				}
+			}
+		}
+	}
+	// Distribute each task to a worker on the task's node (round-robin
+	// within the node) so the high lists hold only local work. Tasks on
+	// nodes with no bound worker fall into low lists round-robin.
+	nodeWorkers := map[int][]int{}
+	for w := 0; w < s.workers; w++ {
+		n := s.workerNode(w)
+		nodeWorkers[n] = append(nodeWorkers[n], w)
+	}
+	rrHigh := map[int]int{}
+	rrLow := 0
+	for _, t := range tasks {
+		if ws, ok := nodeWorkers[t.Node]; ok {
+			w := ws[rrHigh[t.Node]%len(ws)]
+			rrHigh[t.Node]++
+			s.parts[w].high = append(s.parts[w].high, t)
+		} else {
+			w := rrLow % s.workers
+			rrLow++
+			s.parts[w].low = append(s.parts[w].low, t)
+		}
+	}
+}
+
+func (s *stealSched) Next(worker int) (Task, bool) {
+	// Own partition first.
+	if t, ok := s.parts[worker].pop(false); ok {
+		return t, true
+	}
+	if s.policy == NUMAAware {
+		// Steal from same-node workers: their high tasks are still
+		// local to this worker's node.
+		for _, o := range s.sameNode[worker] {
+			if t, ok := s.parts[o].pop(false); ok {
+				return t, true
+			}
+		}
+		// One cycle over all partitions looking for high-priority
+		// (any remaining local-to-someone) tasks, then settle for low.
+		for off := 1; off < s.workers; off++ {
+			o := (worker + off) % s.workers
+			if t, ok := s.parts[o].pop(true); ok {
+				return t, true
+			}
+		}
+		for off := 1; off < s.workers; off++ {
+			o := (worker + off) % s.workers
+			if t, ok := s.parts[o].pop(false); ok {
+				return t, true
+			}
+		}
+		return Task{}, false
+	}
+	// FIFO: steal in fixed index order regardless of locality.
+	for o := 0; o < s.workers; o++ {
+		if o == worker {
+			continue
+		}
+		if t, ok := s.parts[o].pop(false); ok {
+			return t, true
+		}
+	}
+	return Task{}, false
+}

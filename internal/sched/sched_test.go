@@ -1,0 +1,256 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeTasks(t *testing.T) {
+	tasks := MakeTasks(100, 30, nil)
+	if len(tasks) != 4 {
+		t.Fatalf("tasks = %d", len(tasks))
+	}
+	if tasks[3].Lo != 90 || tasks[3].Hi != 100 || tasks[3].Rows() != 10 {
+		t.Fatalf("last task %+v", tasks[3])
+	}
+	total := 0
+	for i, tk := range tasks {
+		if tk.ID != i {
+			t.Fatalf("task %d has ID %d", i, tk.ID)
+		}
+		total += tk.Rows()
+	}
+	if total != 100 {
+		t.Fatalf("rows covered = %d", total)
+	}
+	if len(MakeTasks(0, 10, nil)) != 0 {
+		t.Fatal("zero rows produced tasks")
+	}
+}
+
+func TestMakeTasksNodeLabels(t *testing.T) {
+	tasks := MakeTasks(40, 10, func(row int) int { return row / 20 })
+	if tasks[0].Node != 0 || tasks[3].Node != 1 {
+		t.Fatalf("node labels %+v", tasks)
+	}
+}
+
+func TestMakeTasksBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MakeTasks(10, 0, nil)
+}
+
+func TestPolicyString(t *testing.T) {
+	if Static.String() != "static" || FIFO.String() != "fifo" || NUMAAware.String() != "numa-aware" {
+		t.Fatal("Policy.String mismatch")
+	}
+}
+
+// drainAll runs `workers` goroutines pulling tasks until exhaustion and
+// returns the multiset of task IDs each worker received.
+func drainAll(s Scheduler, workers int) [][]int {
+	got := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				task, ok := s.Next(w)
+				if !ok {
+					return
+				}
+				got[w] = append(got[w], task.ID)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return got
+}
+
+func checkExactlyOnce(t *testing.T, got [][]int, nTasks int) {
+	t.Helper()
+	var all []int
+	for _, g := range got {
+		all = append(all, g...)
+	}
+	if len(all) != nTasks {
+		t.Fatalf("delivered %d tasks, want %d", len(all), nTasks)
+	}
+	sort.Ints(all)
+	for i, id := range all {
+		if id != i {
+			t.Fatalf("task IDs not exactly-once: %v...", all[:i+1])
+		}
+	}
+}
+
+func TestExactlyOnceAllPolicies(t *testing.T) {
+	nodeOf := func(w int) int { return w / 2 }
+	for _, p := range []Policy{Static, FIFO, NUMAAware} {
+		tasks := MakeTasks(1000, 7, func(row int) int { return (row / 250) % 4 })
+		s := New(p, 4, nodeOf)
+		s.Reset(tasks)
+		got := drainAll(s, 4)
+		checkExactlyOnce(t, got, len(tasks))
+	}
+}
+
+func TestStaticAssignmentIsContiguousAndFixed(t *testing.T) {
+	tasks := MakeTasks(80, 10, nil) // 8 tasks
+	s := New(Static, 4, nil)
+	s.Reset(tasks)
+	// Serial drain per worker: static gives worker w tasks 2w, 2w+1.
+	for w := 0; w < 4; w++ {
+		for j := 0; j < 2; j++ {
+			task, ok := s.Next(w)
+			if !ok || task.ID != 2*w+j {
+				t.Fatalf("worker %d got %+v ok=%v, want ID %d", w, task, ok, 2*w+j)
+			}
+		}
+		if _, ok := s.Next(w); ok {
+			t.Fatalf("worker %d had extra task", w)
+		}
+	}
+}
+
+func TestStaticNoStealing(t *testing.T) {
+	tasks := MakeTasks(40, 10, nil) // 4 tasks
+	s := New(Static, 4, nil)
+	s.Reset(tasks)
+	// Worker 3 takes its own task then stops even though others remain.
+	if _, ok := s.Next(3); !ok {
+		t.Fatal("worker 3 had no task")
+	}
+	if _, ok := s.Next(3); ok {
+		t.Fatal("static scheduler allowed stealing")
+	}
+	if _, ok := s.Next(0); !ok {
+		t.Fatal("worker 0's task was stolen")
+	}
+}
+
+func TestFIFOSteals(t *testing.T) {
+	tasks := MakeTasks(40, 10, nil)
+	s := New(FIFO, 4, nil)
+	s.Reset(tasks)
+	// One worker can drain everything.
+	count := 0
+	for {
+		if _, ok := s.Next(2); !ok {
+			break
+		}
+		count++
+	}
+	if count != 4 {
+		t.Fatalf("worker drained %d of 4 tasks", count)
+	}
+}
+
+func TestNUMAAwarePrefersLocal(t *testing.T) {
+	// 2 nodes, 2 workers per node. Tasks alternate nodes. The first
+	// tasks a worker pulls must live on its own node.
+	workerNode := func(w int) int { return w / 2 }
+	tasks := MakeTasks(400, 10, func(row int) int { return (row / 10) % 2 })
+	s := New(NUMAAware, 4, workerNode)
+	s.Reset(tasks)
+	for w := 0; w < 4; w++ {
+		task, ok := s.Next(w)
+		if !ok {
+			t.Fatalf("worker %d starved", w)
+		}
+		if task.Node != workerNode(w) {
+			t.Fatalf("worker %d (node %d) first task on node %d", w, workerNode(w), task.Node)
+		}
+	}
+}
+
+func TestNUMAAwareStealsLocalFirst(t *testing.T) {
+	// Node 0 has workers 0,1; node 1 has workers 2,3. All tasks on
+	// node 0. Worker 1's steals should come from worker 0's partition
+	// (same node) and remain node-0 tasks.
+	workerNode := func(w int) int { return w / 2 }
+	tasks := MakeTasks(100, 10, func(int) int { return 0 })
+	s := New(NUMAAware, 4, workerNode)
+	s.Reset(tasks)
+	seen := 0
+	for {
+		task, ok := s.Next(1)
+		if !ok {
+			break
+		}
+		if task.Node != 0 {
+			t.Fatalf("node-0 worker got node-%d task", task.Node)
+		}
+		seen++
+	}
+	if seen != 10 {
+		t.Fatalf("worker 1 saw %d of 10 tasks", seen)
+	}
+}
+
+func TestNUMAAwareNoStarvation(t *testing.T) {
+	// All tasks on node 3, all workers on node 0: everything lands in
+	// low lists but must still be delivered.
+	tasks := MakeTasks(50, 10, func(int) int { return 3 })
+	s := New(NUMAAware, 2, func(int) int { return 0 })
+	s.Reset(tasks)
+	got := drainAll(s, 2)
+	checkExactlyOnce(t, got, 5)
+}
+
+func TestResetBetweenIterations(t *testing.T) {
+	s := New(NUMAAware, 2, func(int) int { return 0 })
+	for iter := 0; iter < 3; iter++ {
+		s.Reset(MakeTasks(30, 10, nil))
+		got := drainAll(s, 2)
+		checkExactlyOnce(t, got, 3)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Static, 0, nil)
+}
+
+// Property: for any worker count, task count, node labelling, and
+// policy, concurrent draining delivers every task exactly once.
+func TestExactlyOnceProperty(t *testing.T) {
+	f := func(nRaw uint16, workersRaw, policyRaw, nodesRaw uint8) bool {
+		n := int(nRaw)%2000 + 1
+		workers := int(workersRaw)%8 + 1
+		nodes := int(nodesRaw)%4 + 1
+		policy := Policy(int(policyRaw) % 3)
+		tasks := MakeTasks(n, 13, func(row int) int { return (row / 13) % nodes })
+		s := New(policy, workers, func(w int) int { return w % nodes })
+		s.Reset(tasks)
+		got := drainAll(s, workers)
+		var all []int
+		for _, g := range got {
+			all = append(all, g...)
+		}
+		if len(all) != len(tasks) {
+			return false
+		}
+		sort.Ints(all)
+		for i, id := range all {
+			if id != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+package sem
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Lightweight checkpointing, mirroring FlashGraph's in-memory failure
+// tolerance: the O(n) algorithm state (assignment, upper bounds, global
+// sums, centroids, iteration counter) is persisted; row data stays on
+// the SSDs and is never part of a checkpoint. The row cache and page
+// cache are deliberately excluded — they are rebuilt after recovery,
+// costing only warm-up I/O, never correctness.
+
+const ckptMagic = 0x4b43504b // "KCPK"
+
+var errBadCheckpoint = errors.New("sem: bad checkpoint file")
+
+// Checkpoint writes the engine's recoverable state to path atomically
+// (write to temp, rename).
+func (e *Engine) Checkpoint(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	wr := func(vs ...uint64) {
+		var buf [8]byte
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(buf[:], v)
+			w.Write(buf[:])
+		}
+	}
+	wr(ckptMagic, uint64(e.iter), uint64(e.n), uint64(e.d), uint64(e.k))
+	for _, v := range e.cents.Data {
+		wr(math.Float64bits(v))
+	}
+	for _, a := range e.ps.Assign {
+		wr(uint64(uint32(a)))
+	}
+	for _, v := range e.ps.UB {
+		wr(math.Float64bits(v))
+	}
+	for _, v := range e.gsum.Sum {
+		wr(math.Float64bits(v))
+	}
+	for _, c := range e.gsum.Count {
+		wr(uint64(c))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RestoreEngine loads a checkpoint into a freshly constructed engine.
+// The engine must have been built with the same data and config shape
+// (n, d, k are verified).
+func (e *Engine) RestoreEngine(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	rd := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	magic, err := rd()
+	if err != nil || magic != ckptMagic {
+		return errBadCheckpoint
+	}
+	iterV, _ := rd()
+	nV, _ := rd()
+	dV, _ := rd()
+	kV, err := rd()
+	if err != nil {
+		return errBadCheckpoint
+	}
+	if int(nV) != e.n || int(dV) != e.d || int(kV) != e.k {
+		return fmt.Errorf("sem: checkpoint shape %dx%d k=%d does not match engine %dx%d k=%d",
+			nV, dV, kV, e.n, e.d, e.k)
+	}
+	for i := range e.cents.Data {
+		v, err := rd()
+		if err != nil {
+			return errBadCheckpoint
+		}
+		e.cents.Data[i] = math.Float64frombits(v)
+	}
+	for i := range e.ps.Assign {
+		v, err := rd()
+		if err != nil {
+			return errBadCheckpoint
+		}
+		e.ps.Assign[i] = int32(uint32(v))
+	}
+	for i := range e.ps.UB {
+		v, err := rd()
+		if err != nil {
+			return errBadCheckpoint
+		}
+		e.ps.UB[i] = math.Float64frombits(v)
+	}
+	for i := range e.gsum.Sum {
+		v, err := rd()
+		if err != nil {
+			return errBadCheckpoint
+		}
+		e.gsum.Sum[i] = math.Float64frombits(v)
+	}
+	for i := range e.gsum.Count {
+		v, err := rd()
+		if err != nil {
+			return errBadCheckpoint
+		}
+		e.gsum.Count[i] = int64(v)
+	}
+	e.iter = int(iterV)
+	e.converged = false
+	// Bounds beyond UB (the TI lower-bound matrix) are not persisted;
+	// reset them conservatively so pruning stays sound after recovery.
+	if e.ps.LB != nil {
+		for i := range e.ps.LB {
+			e.ps.LB[i] = 0
+		}
+	}
+	return nil
+}

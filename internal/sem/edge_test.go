@@ -1,0 +1,122 @@
+package sem
+
+import (
+	"testing"
+
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+)
+
+func TestSEMPageSpanningRows(t *testing.T) {
+	// d=65 makes rows 520 bytes — not a divisor of 4096, so rows span
+	// page boundaries and the page translation must stay correct.
+	data := matrix.NewDense(500, 65)
+	for i := 0; i < 500; i++ {
+		for j := 0; j < 65; j++ {
+			data.Set(i, j, float64((i*65+j)%97)/97)
+		}
+	}
+	serial, err := kmeans.RunSerial(data, kmeans.Config{K: 4, MaxIters: 30, Init: kmeans.InitForgy, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := semCfg(4, 2)
+	res, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Centroids.Equal(res.Centroids, 1e-9) {
+		t.Fatal("page-spanning rows broke the result")
+	}
+	// Fragmentation must be visible: reads exceed requests at the
+	// device when a sparse row set hits spanning pages.
+	var req, read uint64
+	for _, st := range res.PerIter {
+		req += st.BytesWanted
+		read += st.BytesRead
+	}
+	if read == 0 || req == 0 {
+		t.Fatal("no I/O recorded")
+	}
+}
+
+func TestSEMICacheOne(t *testing.T) {
+	// The most aggressive refresh schedule (1, 3, 7, 15, ...) must not
+	// change results.
+	data := semData(800, 8, 4, 301)
+	serial, _ := kmeans.RunSerial(data, kmeans.Config{K: 4, MaxIters: 40, Init: kmeans.InitForgy, Seed: 1})
+	cfg := semCfg(4, 2)
+	cfg.ICache = 1
+	res, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Centroids.Equal(res.Centroids, 1e-9) {
+		t.Fatal("icache=1 changed the result")
+	}
+}
+
+func TestSEMSingleThread(t *testing.T) {
+	data := semData(400, 8, 3, 302)
+	serial, _ := kmeans.RunSerial(data, kmeans.Config{K: 3, MaxIters: 40, Init: kmeans.InitForgy, Seed: 1})
+	cfg := semCfg(3, 1)
+	res, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Centroids.Equal(res.Centroids, 1e-9) {
+		t.Fatal("single-thread SEM differs")
+	}
+}
+
+func TestSEMSimTimeDeterministic(t *testing.T) {
+	data := semData(1500, 16, 5, 303)
+	cfg := semCfg(5, 4)
+	a, _ := Run(data, cfg)
+	b, _ := Run(data, cfg)
+	if a.SimSeconds != b.SimSeconds {
+		t.Fatalf("SEM sim time varies: %g vs %g", a.SimSeconds, b.SimSeconds)
+	}
+}
+
+func TestSEMTinyDevicesAndCaches(t *testing.T) {
+	data := semData(300, 8, 3, 304)
+	cfg := semCfg(3, 2)
+	cfg.Devices = 1
+	cfg.PageCacheBytes = 1 // clamps to one page
+	cfg.RowCacheBytes = 1  // clamps to one row
+	res, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters == 0 {
+		t.Fatal("no iterations")
+	}
+}
+
+func TestSEMValidation(t *testing.T) {
+	data := semData(10, 4, 2, 305)
+	cfg := semCfg(20, 2) // k > n
+	if _, err := Run(data, cfg); err == nil {
+		t.Fatal("k > n accepted")
+	}
+}
+
+func TestSEMYinyang(t *testing.T) {
+	data := semData(900, 8, 4, 306)
+	serial, _ := kmeans.RunSerial(data, kmeans.Config{K: 4, MaxIters: 40, Init: kmeans.InitForgy, Seed: 1})
+	cfg := semCfg(4, 2)
+	cfg.Kmeans.Prune = kmeans.PruneYinyang
+	res, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Centroids.Equal(res.Centroids, 1e-9) {
+		t.Fatal("SEM yinyang differs from oracle")
+	}
+	// Yinyang's global filter must elide I/O too.
+	late := res.PerIter[res.Iters-1]
+	if res.Iters > 3 && late.BytesWanted >= uint64(900*8*8) {
+		t.Fatal("yinyang global filter elided no I/O")
+	}
+}

@@ -1,0 +1,387 @@
+package sem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+	"knor/internal/simclock"
+	"knor/internal/ssd"
+)
+
+// Config controls a knors run: the embedded k-means algorithm config
+// plus the storage stack.
+type Config struct {
+	Kmeans kmeans.Config
+
+	// Devices is the SSD array width (the paper's machine has 24).
+	Devices int
+	// PageSize is the minimum read unit; 0 means ssd.DefaultPageSize.
+	PageSize int
+	// PageCacheBytes sizes the SAFS page cache.
+	PageCacheBytes int
+	// RowCacheBytes sizes the partitioned row cache; 0 disables it
+	// (knors- when pruning is on, knors-- when pruning is off too).
+	RowCacheBytes int
+	// ICache is the row-cache refresh interval; 0 means DefaultICache.
+	ICache int
+
+	// CheckpointPath, when non-empty, enables lightweight checkpointing
+	// every CheckpointEvery iterations (FlashGraph-style in-memory
+	// failure tolerance).
+	CheckpointPath  string
+	CheckpointEvery int
+}
+
+func (c Config) withDefaults(n int) (Config, error) {
+	var err error
+	c.Kmeans, err = c.Kmeans.WithDefaults(n)
+	if err != nil {
+		return c, err
+	}
+	if c.Devices <= 0 {
+		c.Devices = 24
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = ssd.DefaultPageSize
+	}
+	if c.PageCacheBytes <= 0 {
+		c.PageCacheBytes = 1 << 30
+	}
+	if c.ICache <= 0 {
+		c.ICache = DefaultICache
+	}
+	return c, nil
+}
+
+// Engine is the knors driver. Data passed to New is treated as
+// resident on the simulated SSD array; only O(n) algorithm state plus
+// the caches count as memory.
+type Engine struct {
+	data *matrix.Dense
+	cfg  Config
+
+	n, d, k int
+	cents   *matrix.Dense
+	ps      *kmeans.PruneState
+	gsum    *kmeans.Accum
+	deltas  []*kmeans.Accum
+	group   *simclock.Group
+	safs    *ssd.SAFS
+	rc      *RowCache // nil when disabled
+
+	tasks     []semTask
+	iter      int
+	converged bool
+	perIter   []kmeans.IterStats
+}
+
+type semTask struct {
+	lo, hi int
+	worker int
+	// per-iteration scratch, filled by the compute pass:
+	active  []int32
+	dists   uint64
+	changed int
+}
+
+// New builds a knors engine over data.
+func New(data *matrix.Dense, cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults(data.Rows())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Kmeans.Spherical {
+		data = data.Clone()
+		normalizeRowsSEM(data)
+	}
+	n, d := data.Rows(), data.Cols()
+	e := &Engine{data: data, cfg: cfg, n: n, d: d, k: cfg.Kmeans.K}
+	e.cents = kmeans.InitCentroidsFor(data, cfg.Kmeans)
+	if cfg.Kmeans.Spherical {
+		normalizeRowsSEM(e.cents)
+	}
+	e.ps = kmeans.NewPruneState(cfg.Kmeans.Prune, n, e.k)
+	e.gsum = kmeans.NewAccum(e.k, d)
+	e.deltas = make([]*kmeans.Accum, cfg.Kmeans.Threads)
+	for i := range e.deltas {
+		e.deltas[i] = kmeans.NewAccum(e.k, d)
+	}
+	e.group = simclock.NewGroup(cfg.Kmeans.Threads, cfg.Kmeans.Model)
+	array := ssd.NewArray(cfg.Devices, cfg.PageSize, cfg.Kmeans.Model)
+	e.safs = ssd.NewSAFS(array, cfg.PageCacheBytes, d*8)
+	if cfg.RowCacheBytes > 0 {
+		e.rc = NewRowCache(n, d*8, cfg.Kmeans.Threads, cfg.RowCacheBytes, cfg.ICache)
+	}
+	// FlashGraph partitions the matrix across threads; tasks are
+	// contiguous blocks statically owned by partition threads.
+	T := cfg.Kmeans.Threads
+	ts := cfg.Kmeans.TaskSize
+	for lo := 0; lo < n; lo += ts {
+		hi := lo + ts
+		if hi > n {
+			hi = n
+		}
+		worker := lo * T / n
+		if worker >= T {
+			worker = T - 1
+		}
+		e.tasks = append(e.tasks, semTask{lo: lo, hi: hi, worker: worker})
+	}
+	return e, nil
+}
+
+// Run executes a fresh knors run to convergence.
+func Run(data *matrix.Dense, cfg Config) (*kmeans.Result, error) {
+	e, err := New(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.Finish()
+}
+
+// Finish drives the engine from its current iteration to convergence
+// and returns the result. It may be called after a Restore.
+func (e *Engine) Finish() (*kmeans.Result, error) {
+	for !e.converged && e.iter < e.cfg.Kmeans.MaxIters {
+		if err := e.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return e.result(), nil
+}
+
+// Step runs exactly one iteration (exposed for checkpoint/recovery
+// tests and incremental drivers).
+func (e *Engine) Step() error {
+	iter := e.iter
+	model := e.cfg.Kmeans.Model
+	startT := e.group.Clock(0).Now()
+	e.ps.UpdateCentroidDists(e.cents)
+
+	st := e.computePass(iter)
+	st.Iter = iter
+
+	merged := kmeans.MergeTree(e.deltas)
+	e.gsum.Merge(merged)
+	next := e.gsum.Centroids(e.cents)
+	if e.cfg.Kmeans.Spherical {
+		normalizeRowsSEM(next)
+	}
+	drift := e.ps.ComputeDrift(e.cents, next)
+	if e.cfg.Kmeans.Prune != kmeans.PruneNone {
+		e.ps.LoosenRows(0, e.n)
+	}
+	e.cents = next
+	st.Drift = drift
+
+	e.replay(iter, &st)
+
+	ccCost := float64(e.k*(e.k-1)/2) * model.DistanceCost(e.d)
+	end := e.group.Barrier()
+	for w := 0; w < e.cfg.Kmeans.Threads; w++ {
+		e.group.Clock(w).Advance(ccCost)
+	}
+	end += ccCost
+	st.SimSeconds = end - startT
+
+	e.perIter = append(e.perIter, st)
+	e.iter++
+	if iter > 0 && (st.RowsChanged == 0 || drift <= e.cfg.Kmeans.Tol) {
+		e.converged = true
+	}
+	if e.cfg.CheckpointPath != "" && e.cfg.CheckpointEvery > 0 && e.iter%e.cfg.CheckpointEvery == 0 {
+		if err := e.Checkpoint(e.cfg.CheckpointPath); err != nil {
+			return fmt.Errorf("sem: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// computePass runs the real parallel assignment pass and records each
+// task's active rows for the deterministic I/O replay.
+func (e *Engine) computePass(iter int) kmeans.IterStats {
+	var cursor int64
+	T := e.cfg.Kmeans.Threads
+	type out struct {
+		ctr     kmeans.PruneCounters
+		changed int
+	}
+	outs := make([]out, T)
+	var wg sync.WaitGroup
+	for w := 0; w < T; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o := &outs[w]
+			delta := e.deltas[w]
+			delta.Reset()
+			for {
+				ti := int(atomic.AddInt64(&cursor, 1)) - 1
+				if ti >= len(e.tasks) {
+					return
+				}
+				task := &e.tasks[ti]
+				task.active = task.active[:0]
+				before := o.ctr
+				changedBefore := o.changed
+				for i := task.lo; i < task.hi; i++ {
+					if iter > 0 && !e.ps.NeedsRow(i) {
+						o.ctr.C1++
+						continue
+					}
+					task.active = append(task.active, int32(i))
+					row := e.data.Row(i)
+					old := e.ps.Assign[i]
+					if e.ps.AssignRow(i, row, e.cents, &o.ctr) {
+						o.changed++
+						if old >= 0 {
+							delta.Remove(row, int(old))
+						}
+						delta.Add(row, int(e.ps.Assign[i]))
+					}
+				}
+				task.dists = o.ctr.DistCalcs - before.DistCalcs
+				task.changed = o.changed - changedBefore
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var st kmeans.IterStats
+	changed := 0
+	for i := range outs {
+		st.DistCalcs += outs[i].ctr.DistCalcs
+		st.PrunedC1 += outs[i].ctr.C1
+		st.PrunedC2 += outs[i].ctr.C2
+		st.PrunedC3 += outs[i].ctr.C3
+		changed += outs[i].changed
+	}
+	st.RowsChanged = changed
+	st.ActiveRows = e.n - int(st.PrunedC1)
+	return st
+}
+
+// replay charges simulated time and I/O deterministically: tasks run on
+// their owning partition's worker; active rows consult the row cache,
+// misses go through SAFS (page cache → device array); compute overlaps
+// the asynchronous I/O, so a task finishes at max(computeEnd, ioEnd).
+func (e *Engine) replay(iter int, st *kmeans.IterStats) {
+	model := e.cfg.Kmeans.Model
+	reqBefore, readBefore := e.safs.Traffic()
+	var hitsBefore uint64
+	refresh := false
+	if e.rc != nil {
+		hitsBefore = e.rc.Hits()
+		if e.rc.IsRefreshIteration(iter) {
+			e.rc.BeginRefresh()
+			refresh = true
+		}
+	}
+	// Process tasks in earliest-worker order so simulated I/O issue
+	// times are monotone — a call-order FIFO on the device resources
+	// would otherwise let an eager worker's late-clock request inflate
+	// the queue seen by a fresh worker's time-zero request.
+	T := e.cfg.Kmeans.Threads
+	queues := make([][]*semTask, T)
+	for ti := range e.tasks {
+		t := &e.tasks[ti]
+		queues[t.worker] = append(queues[t.worker], t)
+	}
+	remaining := 0
+	for _, q := range queues {
+		if len(q) > 0 {
+			remaining++
+		}
+	}
+	var miss []int
+	for remaining > 0 {
+		w := -1
+		for i := 0; i < T; i++ {
+			if len(queues[i]) == 0 {
+				continue
+			}
+			if w < 0 || e.group.Clock(i).Now() < e.group.Clock(w).Now() {
+				w = i
+			}
+		}
+		task := queues[w][0]
+		queues[w] = queues[w][1:]
+		if len(queues[w]) == 0 {
+			remaining--
+		}
+		clock := e.group.Clock(w)
+		ioStart := clock.Now()
+		miss = miss[:0]
+		for _, r := range task.active {
+			if e.rc != nil {
+				if refresh {
+					// Refresh iteration: active rows do I/O and get
+					// pinned for the coming static period.
+					e.rc.Offer(r)
+				} else if e.rc.Contains(r) {
+					continue // row served from cache: no I/O
+				}
+			}
+			miss = append(miss, int(r))
+		}
+		ioEnd, _ := e.safs.ReadRows(ioStart, miss)
+		clock.Advance(float64(task.dists)*model.DistanceCost(e.d) +
+			float64(task.hi-task.lo)*model.RowOverhead +
+			float64(task.changed)*float64(2*e.d)*model.FlopTime)
+		clock.AdvanceTo(ioEnd) // overlap: end at the later of compute/IO
+	}
+	req, read := e.safs.Traffic()
+	st.BytesWanted = req - reqBefore
+	st.BytesRead = read - readBefore
+	if e.rc != nil {
+		st.RowCacheHits = e.rc.Hits() - hitsBefore
+	}
+}
+
+func (e *Engine) result() *kmeans.Result {
+	res := &kmeans.Result{
+		Centroids:  e.cents,
+		Assign:     e.ps.Assign,
+		Iters:      e.iter,
+		Converged:  e.converged,
+		SSE:        kmeans.SSEOf(e.data, e.cents, e.ps.Assign),
+		SimSeconds: e.group.Max(),
+		PerIter:    e.perIter,
+	}
+	res.Sizes = make([]int, e.k)
+	for _, a := range e.ps.Assign {
+		if a >= 0 {
+			res.Sizes[a]++
+		}
+	}
+	// SEM memory: O(n) state + per-thread centroids + caches — no nd
+	// data term (Table 1's point).
+	res.MemoryBytes = kmeans.StateBytes(e.n, e.d, e.k, e.cfg.Kmeans.Threads, e.cfg.Kmeans.Prune) +
+		uint64(e.cfg.PageCacheBytes)
+	if e.rc != nil {
+		res.MemoryBytes += uint64(e.cfg.RowCacheBytes)
+	}
+	return res
+}
+
+// Iter returns the next iteration index (how many have completed).
+func (e *Engine) Iter() int { return e.iter }
+
+// SAFS exposes the I/O stack for inspection in tests and benches.
+func (e *Engine) SAFS() *ssd.SAFS { return e.safs }
+
+// RC exposes the row cache (nil when disabled).
+func (e *Engine) RC() *RowCache { return e.rc }
+
+func normalizeRowsSEM(m *matrix.Dense) {
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		n := matrix.Norm(row)
+		if n > 0 {
+			matrix.Scale(row, 1/n)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package sem
+
+import (
+	"path/filepath"
+	"testing"
+
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+	"knor/internal/workload"
+)
+
+func semData(n, d, clusters int, seed int64) *matrix.Dense {
+	return workload.Generate(workload.Spec{
+		Kind: workload.NaturalClusters, N: n, D: d,
+		Clusters: clusters, Spread: 0.05, Seed: seed,
+	})
+}
+
+func semCfg(k, threads int) Config {
+	return Config{
+		Kmeans: kmeans.Config{
+			K: k, MaxIters: 60, Init: kmeans.InitForgy, Seed: 1,
+			Threads: threads, TaskSize: 64, Prune: kmeans.PruneMTI,
+		},
+		Devices:        8,
+		PageCacheBytes: 1 << 16, // small, so the row cache matters
+		RowCacheBytes:  1 << 20,
+	}
+}
+
+func TestSEMMatchesInMemory(t *testing.T) {
+	data := semData(1500, 8, 6, 61)
+	serialCfg := kmeans.Config{K: 6, MaxIters: 60, Init: kmeans.InitForgy, Seed: 1}
+	serial, err := kmeans.RunSerial(data, serialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prune := range []kmeans.Prune{kmeans.PruneNone, kmeans.PruneMTI} {
+		for _, rcBytes := range []int{0, 1 << 20} {
+			cfg := semCfg(6, 4)
+			cfg.Kmeans.Prune = prune
+			cfg.RowCacheBytes = rcBytes
+			res, err := Run(data, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Iters != serial.Iters {
+				t.Fatalf("prune=%v rc=%d: iters %d vs %d", prune, rcBytes, res.Iters, serial.Iters)
+			}
+			for i := range serial.Assign {
+				if serial.Assign[i] != res.Assign[i] {
+					t.Fatalf("prune=%v rc=%d: row %d differs", prune, rcBytes, i)
+				}
+			}
+			if !serial.Centroids.Equal(res.Centroids, 1e-9) {
+				t.Fatalf("prune=%v rc=%d: centroids differ", prune, rcBytes)
+			}
+		}
+	}
+}
+
+func TestSEMClause1SkipsIO(t *testing.T) {
+	// With MTI on clustered data, later iterations must request far
+	// fewer bytes than n*d*8 — clause-1 rows issue no I/O at all.
+	data := semData(3000, 8, 6, 62)
+	cfg := semCfg(6, 2)
+	cfg.Kmeans.Init = kmeans.InitKMeansPP // well-spread seeds
+	cfg.RowCacheBytes = 0                 // isolate the pruning effect (knors-)
+	res, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters < 4 {
+		t.Skip("converged too quickly")
+	}
+	full := uint64(3000 * 8 * 8)
+	late := res.PerIter[res.Iters-2]
+	if late.BytesWanted >= full/2 {
+		t.Fatalf("late iteration still requests %d of %d bytes", late.BytesWanted, full)
+	}
+	first := res.PerIter[0]
+	if first.BytesWanted != full {
+		t.Fatalf("first iteration requested %d, want %d", first.BytesWanted, full)
+	}
+}
+
+func TestSEMReadAtLeastRequested(t *testing.T) {
+	// Fragmentation: device reads are whole pages, so BytesRead >=
+	// BytesWanted whenever the page cache can't absorb them, and both
+	// appear in every iteration's stats.
+	data := semData(2000, 8, 5, 63)
+	cfg := semCfg(5, 2)
+	cfg.RowCacheBytes = 0
+	cfg.PageCacheBytes = 4096 // nearly no page cache
+	res, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.PerIter {
+		if st.BytesWanted > 0 && st.BytesRead < st.BytesWanted {
+			t.Fatalf("iter %d: read %d < requested %d with no caches",
+				st.Iter, st.BytesRead, st.BytesWanted)
+		}
+	}
+}
+
+func TestSEMRowCacheReducesReads(t *testing.T) {
+	data := semData(4000, 16, 6, 64)
+	run := func(rcBytes int) (*kmeans.Result, uint64) {
+		cfg := semCfg(6, 4)
+		cfg.Kmeans.MaxIters = 40
+		cfg.Kmeans.Tol = -1 // run all iterations
+		cfg.RowCacheBytes = rcBytes
+		cfg.PageCacheBytes = 1 << 14
+		res, err := Run(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var read uint64
+		for _, st := range res.PerIter {
+			read += st.BytesRead
+		}
+		return res, read
+	}
+	withRC, readRC := run(1 << 22)
+	withoutRC, readNoRC := run(0)
+	if readRC >= readNoRC {
+		t.Fatalf("row cache did not reduce reads: %d vs %d", readRC, readNoRC)
+	}
+	if !withRC.Centroids.Equal(withoutRC.Centroids, 1e-9) {
+		t.Fatal("row cache changed the result")
+	}
+	// And hits must be recorded after the first refresh (iter 5).
+	var hits uint64
+	for _, st := range withRC.PerIter {
+		hits += st.RowCacheHits
+	}
+	if hits == 0 {
+		t.Fatal("no row cache hits recorded")
+	}
+}
+
+func TestSEMHitsBoundedByActive(t *testing.T) {
+	data := semData(2000, 8, 5, 65)
+	cfg := semCfg(5, 2)
+	res, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.PerIter {
+		if st.RowCacheHits > uint64(st.ActiveRows) {
+			t.Fatalf("iter %d: hits %d > active %d", st.Iter, st.RowCacheHits, st.ActiveRows)
+		}
+	}
+}
+
+func TestSEMMemoryBelowInMemory(t *testing.T) {
+	// Table 1/Figure 9c: knors memory excludes the nd data and must be
+	// far below knori's for wide data.
+	data := semData(5000, 32, 5, 66)
+	cfg := semCfg(5, 4)
+	cfg.PageCacheBytes = 1 << 16
+	cfg.RowCacheBytes = 1 << 16
+	semRes, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imCfg := cfg.Kmeans
+	imRes, err := kmeans.Run(data, imCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if semRes.MemoryBytes >= imRes.MemoryBytes {
+		t.Fatalf("SEM memory %d not below in-memory %d", semRes.MemoryBytes, imRes.MemoryBytes)
+	}
+}
+
+func TestRowCacheRefreshSchedule(t *testing.T) {
+	rc := NewRowCache(1000, 64, 2, 1<<20, 5)
+	want := map[int]bool{5: true, 15: true, 35: true, 75: true}
+	for iter := 0; iter < 80; iter++ {
+		if rc.IsRefreshIteration(iter) != want[iter] {
+			t.Fatalf("iter %d: refresh=%v", iter, rc.IsRefreshIteration(iter))
+		}
+		if rc.IsRefreshIteration(iter) {
+			rc.BeginRefresh()
+		}
+	}
+	if rc.Refreshes() != 4 {
+		t.Fatalf("refreshes = %d", rc.Refreshes())
+	}
+}
+
+func TestRowCacheCapacity(t *testing.T) {
+	rc := NewRowCache(1000, 100, 4, 1000, 5) // 10 rows, 2 per partition
+	if rc.CapacityRows() != 10 {
+		t.Fatalf("capacity %d", rc.CapacityRows())
+	}
+	for i := int32(0); i < 1000; i += 10 {
+		rc.Offer(i)
+	}
+	if rc.Len() > 10 {
+		t.Fatalf("cache overfilled: %d rows", rc.Len())
+	}
+}
+
+func TestRowCacheHitCounting(t *testing.T) {
+	rc := NewRowCache(100, 64, 1, 1<<20, 5)
+	rc.Offer(7)
+	if !rc.Contains(7) {
+		t.Fatal("offered row missing")
+	}
+	if rc.Contains(8) {
+		t.Fatal("phantom row")
+	}
+	if rc.Hits() != 1 {
+		t.Fatalf("hits = %d", rc.Hits())
+	}
+	rc.BeginRefresh()
+	if rc.Contains(7) {
+		t.Fatal("refresh did not flush")
+	}
+}
+
+func TestCheckpointRestoreResumesExactly(t *testing.T) {
+	data := semData(1200, 8, 5, 67)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+
+	// Uninterrupted run.
+	cfg := semCfg(5, 2)
+	ref, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 4 iterations, checkpoint, then "crash".
+	e1, err := New(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := e1.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover into a fresh engine and finish.
+	e2, err := New(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.RestoreEngine(path); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Iter() != 4 {
+		t.Fatalf("restored iter = %d", e2.Iter())
+	}
+	res, err := e2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Centroids.Equal(res.Centroids, 1e-9) {
+		t.Fatal("recovered run diverged from uninterrupted run")
+	}
+	for i := range ref.Assign {
+		if ref.Assign[i] != res.Assign[i] {
+			t.Fatalf("row %d differs after recovery", i)
+		}
+	}
+}
+
+func TestCheckpointShapeMismatchRejected(t *testing.T) {
+	data := semData(500, 8, 4, 68)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	e1, _ := New(data, semCfg(4, 2))
+	e1.Step()
+	if err := e1.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	other := semData(500, 8, 4, 68)
+	e2, _ := New(other, semCfg(5, 2)) // different k
+	if err := e2.RestoreEngine(path); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestCheckpointAutoEvery(t *testing.T) {
+	data := semData(600, 8, 4, 69)
+	dir := t.TempDir()
+	cfg := semCfg(4, 2)
+	cfg.CheckpointPath = filepath.Join(dir, "auto.bin")
+	cfg.CheckpointEvery = 2
+	if _, err := Run(data, cfg); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := New(data, cfg)
+	if err := e.RestoreEngine(cfg.CheckpointPath); err != nil {
+		t.Fatalf("auto checkpoint unreadable: %v", err)
+	}
+	if e.Iter() == 0 {
+		t.Fatal("auto checkpoint has no progress")
+	}
+}
+
+func TestRestoreMissingFile(t *testing.T) {
+	data := semData(100, 4, 3, 70)
+	e, _ := New(data, semCfg(3, 1))
+	if err := e.RestoreEngine(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}

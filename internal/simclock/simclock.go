@@ -1,0 +1,224 @@
+// Package simclock provides deterministic virtual-time accounting for
+// simulated hardware effects (NUMA interconnects, SSD channels, cluster
+// NICs) layered on top of real goroutine parallelism.
+//
+// The model is intentionally simple: every worker carries a scalar clock
+// (seconds of simulated time). Computation advances a worker's clock by
+// an amount derived from a CostModel. Shared hardware (a memory link, an
+// SSD device, a NIC) is a Resource that serialises transfers: a worker
+// asking the resource to move B bytes at its current time is queued
+// behind whatever the resource is already doing, which is exactly the
+// contention behaviour that produces the paper's NUMA-oblivious slowdown
+// (Figure 4) and the master-NIC bottleneck in the distributed comparison
+// (Figure 12).
+//
+// At a barrier, the iteration's simulated duration is the maximum across
+// worker clocks — skew (Figure 5) falls out of that max.
+package simclock
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CostModel holds the calibration constants for simulated time. All
+// rates are bytes/second or seconds. The defaults approximate the
+// paper's evaluation machine (4-socket Xeon E7-4860, DDR3-1600, LSI HBAs
+// with 24 SATA SSDs, 10 GbE cluster interconnect); EXPERIMENTS.md
+// records them next to every reproduced figure.
+type CostModel struct {
+	// FlopTime is the simulated seconds per floating-point operation in
+	// the inner distance kernel (fused multiply-add counted as 2 flops).
+	FlopTime float64
+	// LocalBandwidth is per-NUMA-node local memory bank bandwidth.
+	LocalBandwidth float64
+	// RemoteBandwidth is the bandwidth of one inter-socket link.
+	RemoteBandwidth float64
+	// RemoteLatency is added once per remote task transfer.
+	RemoteLatency float64
+	// RemoteComputePenalty scales a task's compute cost when it runs
+	// on a node that does not own its data: latency-bound accesses
+	// (bounds, accumulators, cache misses on centroids) cannot be
+	// hidden by streaming prefetch the way bulk row reads can.
+	RemoteComputePenalty float64
+	// BarrierCost is added to every worker at each global barrier.
+	BarrierCost float64
+	// RowOverhead is the per-row fixed cost of touching a data point
+	// (pointer chasing, loop control). Framework emulators inflate it.
+	RowOverhead float64
+	// SSDSeek is the fixed per-request latency of one SSD read.
+	SSDSeek float64
+	// SSDBandwidth is per-device sequential read bandwidth.
+	SSDBandwidth float64
+	// NetLatency and NetBandwidth describe one cluster NIC/link.
+	NetLatency   float64
+	NetBandwidth float64
+}
+
+// DefaultCostModel returns the calibration used by the benchmark
+// harness. Values are rounded hardware figures, not fitted constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		FlopTime:             0.25e-9, // ~4 Gflop/s per core (scalar FMA)
+		LocalBandwidth:       25e9,    // DDR3-1600 x4 channels per socket
+		RemoteBandwidth:      10e9,    // one QPI link, effective
+		RemoteLatency:        300e-9,  // remote page touch
+		RemoteComputePenalty: 1.4,     // ~40% slowdown for unpinned access
+		BarrierCost:          5e-6,    // pthread barrier + cond broadcast
+		RowOverhead:          2e-9,    // loop + index arithmetic per row
+		SSDSeek:              80e-6,   // SATA SSD random 4KB read latency
+		SSDBandwidth:         450e6,   // one OCZ Intrepid 3000
+		NetLatency:           50e-6,   // 10 GbE + MPI stack
+		NetBandwidth:         1.15e9,  // ~9.2 Gb/s effective
+	}
+}
+
+// DistanceCost returns the simulated time for one d-dimensional
+// Euclidean distance computation (2 flops per dimension: sub + fma).
+func (m CostModel) DistanceCost(d int) float64 {
+	return float64(2*d) * m.FlopTime
+}
+
+// Clock is one worker's simulated time. Clocks are not safe for
+// concurrent use; each worker owns exactly one.
+type Clock struct {
+	now float64
+}
+
+// Now returns the worker's current simulated time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by dt seconds. Negative dt panics:
+// simulated time is monotone.
+func (c *Clock) Advance(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("simclock: negative advance %g", dt))
+	}
+	c.now += dt
+}
+
+// AdvanceTo moves the clock to t if t is later than the current time.
+func (c *Clock) AdvanceTo(t float64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset sets the clock to t.
+func (c *Clock) Reset(t float64) { c.now = t }
+
+// Resource is a serially-shared piece of hardware: a NUMA interconnect
+// link, an SSD device, or a NIC. Transfers queue behind one another.
+// Resource is safe for concurrent use.
+type Resource struct {
+	mu        sync.Mutex
+	name      string
+	busyUntil float64
+	busyTime  float64 // total busy seconds, for utilisation reporting
+	transfers uint64
+}
+
+// NewResource returns a named idle resource.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire schedules a transfer of the given duration starting no earlier
+// than now, queued behind prior transfers. It returns the completion
+// time. The caller should AdvanceTo the returned time.
+func (r *Resource) Acquire(now, duration float64) float64 {
+	if duration < 0 {
+		panic(fmt.Sprintf("simclock: negative duration %g on %s", duration, r.name))
+	}
+	r.mu.Lock()
+	start := now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end := start + duration
+	r.busyUntil = end
+	r.busyTime += duration
+	r.transfers++
+	r.mu.Unlock()
+	return end
+}
+
+// BusyTime reports the total simulated seconds the resource spent busy.
+func (r *Resource) BusyTime() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busyTime
+}
+
+// Transfers reports how many transfers the resource served.
+func (r *Resource) Transfers() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.transfers
+}
+
+// Reset returns the resource to idle at time zero, clearing statistics.
+func (r *Resource) Reset() {
+	r.mu.Lock()
+	r.busyUntil = 0
+	r.busyTime = 0
+	r.transfers = 0
+	r.mu.Unlock()
+}
+
+// Group is a set of per-worker clocks with barrier semantics. It models
+// one parallel region: workers advance independently, and Barrier
+// synchronises them to the max (plus the model's barrier cost).
+type Group struct {
+	clocks []Clock
+	model  CostModel
+}
+
+// NewGroup creates a Group of n worker clocks starting at time zero.
+func NewGroup(n int, model CostModel) *Group {
+	if n <= 0 {
+		panic("simclock: group size must be positive")
+	}
+	return &Group{clocks: make([]Clock, n), model: model}
+}
+
+// Clock returns worker i's clock.
+func (g *Group) Clock(i int) *Clock { return &g.clocks[i] }
+
+// Size returns the number of workers.
+func (g *Group) Size() int { return len(g.clocks) }
+
+// Model returns the group's cost model.
+func (g *Group) Model() CostModel { return g.model }
+
+// Max returns the latest worker time.
+func (g *Group) Max() float64 {
+	m := g.clocks[0].now
+	for i := 1; i < len(g.clocks); i++ {
+		if g.clocks[i].now > m {
+			m = g.clocks[i].now
+		}
+	}
+	return m
+}
+
+// Barrier synchronises all workers to the max clock plus BarrierCost,
+// returning the post-barrier time. Call only from a single goroutine
+// (between parallel sections).
+func (g *Group) Barrier() float64 {
+	t := g.Max() + g.model.BarrierCost
+	for i := range g.clocks {
+		g.clocks[i].now = t
+	}
+	return t
+}
+
+// ResetAll sets every worker clock to t.
+func (g *Group) ResetAll(t float64) {
+	for i := range g.clocks {
+		g.clocks[i].now = t
+	}
+}

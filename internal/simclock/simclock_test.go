@@ -1,0 +1,228 @@
+package simclock
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock = %g, want 0", c.Now())
+	}
+	c.Advance(1.5)
+	c.Advance(0.5)
+	if c.Now() != 2.0 {
+		t.Fatalf("after advances = %g, want 2", c.Now())
+	}
+	c.AdvanceTo(1.0) // earlier: no-op
+	if c.Now() != 2.0 {
+		t.Fatalf("AdvanceTo earlier moved clock to %g", c.Now())
+	}
+	c.AdvanceTo(3.0)
+	if c.Now() != 3.0 {
+		t.Fatalf("AdvanceTo(3) = %g", c.Now())
+	}
+	c.Reset(0)
+	if c.Now() != 0 {
+		t.Fatalf("Reset = %g", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestResourceSerialises(t *testing.T) {
+	r := NewResource("link")
+	// Two back-to-back transfers from time 0 must queue.
+	end1 := r.Acquire(0, 1.0)
+	end2 := r.Acquire(0, 1.0)
+	if end1 != 1.0 || end2 != 2.0 {
+		t.Fatalf("ends = %g, %g; want 1, 2", end1, end2)
+	}
+	// A transfer starting after the queue drains is not delayed.
+	end3 := r.Acquire(5.0, 0.5)
+	if end3 != 5.5 {
+		t.Fatalf("idle-start end = %g, want 5.5", end3)
+	}
+	if got := r.Transfers(); got != 3 {
+		t.Fatalf("transfers = %d, want 3", got)
+	}
+	if got := r.BusyTime(); got != 2.5 {
+		t.Fatalf("busy = %g, want 2.5", got)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource("x")
+	r.Acquire(0, 3)
+	r.Reset()
+	if r.BusyTime() != 0 || r.Transfers() != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+	if end := r.Acquire(0, 1); end != 1 {
+		t.Fatalf("post-reset end = %g, want 1", end)
+	}
+}
+
+func TestResourceConcurrentConservation(t *testing.T) {
+	// Under arbitrary concurrent interleavings, total busy time equals
+	// the sum of requested durations and the final completion time is at
+	// least that sum (a single resource cannot overlap transfers).
+	r := NewResource("dev")
+	const workers = 8
+	const per = 50
+	var wg sync.WaitGroup
+	ends := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var last float64
+			for i := 0; i < per; i++ {
+				last = r.Acquire(0, 0.001)
+			}
+			ends[w] = last
+		}(w)
+	}
+	wg.Wait()
+	want := workers * per * 0.001
+	if math.Abs(r.BusyTime()-want) > 1e-9 {
+		t.Fatalf("busy = %g, want %g", r.BusyTime(), want)
+	}
+	max := 0.0
+	for _, e := range ends {
+		if e > max {
+			max = e
+		}
+	}
+	if max < want-1e-9 {
+		t.Fatalf("last completion %g < total work %g", max, want)
+	}
+}
+
+func TestGroupBarrier(t *testing.T) {
+	m := DefaultCostModel()
+	g := NewGroup(4, m)
+	g.Clock(0).Advance(1.0)
+	g.Clock(2).Advance(3.0)
+	if g.Max() != 3.0 {
+		t.Fatalf("Max = %g", g.Max())
+	}
+	after := g.Barrier()
+	want := 3.0 + m.BarrierCost
+	if after != want {
+		t.Fatalf("Barrier = %g, want %g", after, want)
+	}
+	for i := 0; i < g.Size(); i++ {
+		if g.Clock(i).Now() != want {
+			t.Fatalf("worker %d = %g after barrier", i, g.Clock(i).Now())
+		}
+	}
+}
+
+func TestGroupResetAll(t *testing.T) {
+	g := NewGroup(3, DefaultCostModel())
+	g.Clock(1).Advance(9)
+	g.ResetAll(2)
+	for i := 0; i < 3; i++ {
+		if g.Clock(i).Now() != 2 {
+			t.Fatalf("worker %d = %g", i, g.Clock(i).Now())
+		}
+	}
+}
+
+func TestGroupSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGroup(0) did not panic")
+		}
+	}()
+	NewGroup(0, DefaultCostModel())
+}
+
+func TestDistanceCost(t *testing.T) {
+	m := DefaultCostModel()
+	if got, want := m.DistanceCost(8), 16*m.FlopTime; got != want {
+		t.Fatalf("DistanceCost(8) = %g, want %g", got, want)
+	}
+	if m.DistanceCost(0) != 0 {
+		t.Fatal("DistanceCost(0) != 0")
+	}
+}
+
+// Property: resource completion times are monotone in request order for
+// a single caller, and every completion is >= request time + duration.
+func TestResourceMonotoneProperty(t *testing.T) {
+	f := func(durs []float64) bool {
+		r := NewResource("p")
+		prev := 0.0
+		now := 0.0
+		for _, d := range durs {
+			d = math.Abs(d)
+			if math.IsNaN(d) || math.IsInf(d, 0) || d > 1e6 {
+				d = 1
+			}
+			end := r.Acquire(now, d)
+			if end < now+d-1e-12 || end < prev-1e-12 {
+				return false
+			}
+			prev = end
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a group barrier never moves time backwards and all clocks
+// agree afterwards.
+func TestGroupBarrierProperty(t *testing.T) {
+	f := func(adv []float64) bool {
+		g := NewGroup(4, DefaultCostModel())
+		for i, a := range adv {
+			a = math.Abs(a)
+			if math.IsNaN(a) || math.IsInf(a, 0) || a > 1e9 {
+				a = 1
+			}
+			g.Clock(i % 4).Advance(a)
+		}
+		before := g.Max()
+		after := g.Barrier()
+		if after < before {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			if g.Clock(i).Now() != after {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultCostModelSane(t *testing.T) {
+	m := DefaultCostModel()
+	if m.RemoteComputePenalty <= 1 {
+		t.Fatalf("remote compute penalty %g not > 1", m.RemoteComputePenalty)
+	}
+	if m.LocalBandwidth <= m.RemoteBandwidth {
+		t.Fatal("local bandwidth not above remote")
+	}
+	if m.SSDSeek <= 0 || m.NetLatency <= 0 || m.BarrierCost <= 0 {
+		t.Fatal("non-positive fixed costs")
+	}
+}

@@ -1,0 +1,258 @@
+package ssd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"knor/internal/simclock"
+)
+
+func model() simclock.CostModel { return simclock.DefaultCostModel() }
+
+func TestArrayReadPagesMerging(t *testing.T) {
+	a := NewArray(1, 4096, model())
+	// Pages 0,1,2 on one device are consecutive: one merged request.
+	end, bytes := a.ReadPages(0, []int{2, 0, 1})
+	if bytes != 3*4096 {
+		t.Fatalf("bytes = %d", bytes)
+	}
+	reads, reqs := a.Stats()
+	if reads != 3 || reqs != 1 {
+		t.Fatalf("reads=%d reqs=%d, want 3 merged into 1", reads, reqs)
+	}
+	wantEnd := model().SSDSeek + 3*4096/model().SSDBandwidth
+	if end != wantEnd {
+		t.Fatalf("end = %g, want %g", end, wantEnd)
+	}
+}
+
+func TestArrayScatteredNotMerged(t *testing.T) {
+	a := NewArray(1, 4096, model())
+	a.ReadPages(0, []int{0, 5, 10})
+	_, reqs := a.Stats()
+	if reqs != 3 {
+		t.Fatalf("scattered pages merged: %d requests", reqs)
+	}
+}
+
+func TestArrayStriping(t *testing.T) {
+	// With 4 devices, pages 0..3 land on different devices and proceed
+	// in parallel: completion is one request's duration, not four.
+	a := NewArray(4, 4096, model())
+	end, _ := a.ReadPages(0, []int{0, 1, 2, 3})
+	one := model().SSDSeek + 4096/model().SSDBandwidth
+	if end > one+1e-12 {
+		t.Fatalf("striped reads serialised: end=%g want %g", end, one)
+	}
+	// Pages 0, 4, 8 share device 0 and merge into one run (consecutive
+	// on-device), still one seek.
+	a2 := NewArray(4, 4096, model())
+	_, _ = a2.ReadPages(0, []int{0, 4, 8})
+	_, reqs := a2.Stats()
+	if reqs != 1 {
+		t.Fatalf("on-device consecutive run not merged: %d", reqs)
+	}
+}
+
+func TestArrayDedup(t *testing.T) {
+	a := NewArray(2, 4096, model())
+	_, bytes := a.ReadPages(0, []int{7, 7, 7})
+	if bytes != 4096 {
+		t.Fatalf("duplicate pages read repeatedly: %d bytes", bytes)
+	}
+}
+
+func TestArrayEmpty(t *testing.T) {
+	a := NewArray(2, 4096, model())
+	end, bytes := a.ReadPages(5, nil)
+	if end != 5 || bytes != 0 {
+		t.Fatalf("empty read: end=%g bytes=%d", end, bytes)
+	}
+}
+
+func TestPageCacheLRU(t *testing.T) {
+	c := NewPageCache(3*4096, 4096) // 3 pages
+	c.Insert([]int{1, 2, 3})
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Touch 1 so it becomes most recent; insert 4 evicts 2 (LRU).
+	if missing := c.Filter([]int{1}); missing != nil {
+		t.Fatalf("1 missing: %v", missing)
+	}
+	c.Insert([]int{4})
+	if c.Contains(2) {
+		t.Fatal("LRU page 2 not evicted")
+	}
+	if !c.Contains(1) || !c.Contains(3) || !c.Contains(4) {
+		t.Fatal("wrong residents")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestPageCacheFilter(t *testing.T) {
+	c := NewPageCache(10*4096, 4096)
+	c.Insert([]int{5})
+	missing := c.Filter([]int{5, 6, 6, 7})
+	if len(missing) != 2 || missing[0] != 6 || missing[1] != 7 {
+		t.Fatalf("missing = %v", missing)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestPageCacheMinCapacity(t *testing.T) {
+	c := NewPageCache(100, 4096) // less than one page
+	if c.Capacity() != 1 {
+		t.Fatalf("capacity = %d", c.Capacity())
+	}
+	c.Insert([]int{1, 2})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestSAFSRowTranslation(t *testing.T) {
+	a := NewArray(2, 4096, model())
+	s := NewSAFS(a, 1<<20, 256) // 16 rows per page
+	if f, l := s.PagesOfRow(0); f != 0 || l != 0 {
+		t.Fatalf("row 0 pages %d-%d", f, l)
+	}
+	if f, l := s.PagesOfRow(16); f != 1 || l != 1 {
+		t.Fatalf("row 16 pages %d-%d", f, l)
+	}
+	// A row spanning a page boundary (rowBytes not dividing page).
+	s2 := NewSAFS(a, 1<<20, 3000)
+	if f, l := s2.PagesOfRow(1); f != 0 || l != 1 {
+		t.Fatalf("spanning row pages %d-%d", f, l)
+	}
+}
+
+func TestSAFSFragmentation(t *testing.T) {
+	// Requesting 1 row out of each page reads whole pages: read bytes
+	// far exceed requested bytes — Figure 6's effect.
+	a := NewArray(4, 4096, model())
+	s := NewSAFS(a, 4096, 64) // tiny cache, 64 rows/page
+	var rows []int
+	for p := 0; p < 50; p++ {
+		rows = append(rows, p*64) // first row of each page
+	}
+	_, read := s.ReadRows(0, rows)
+	requested, readTotal := s.Traffic()
+	if requested != 50*64 {
+		t.Fatalf("requested = %d", requested)
+	}
+	if read != readTotal || readTotal != 50*4096 {
+		t.Fatalf("read = %d, want %d", readTotal, 50*4096)
+	}
+	if readTotal < requested*10 {
+		t.Fatal("fragmentation effect missing")
+	}
+}
+
+func TestSAFSPageCacheAbsorbsRereads(t *testing.T) {
+	a := NewArray(2, 4096, model())
+	s := NewSAFS(a, 1<<20, 64)
+	rows := []int{0, 1, 2, 100, 200}
+	s.ReadRows(0, rows)
+	_, read1 := s.Traffic()
+	_, read := s.ReadRows(1, rows) // all pages now cached
+	if read != 0 {
+		t.Fatalf("re-read hit devices: %d bytes", read)
+	}
+	_, read2 := s.Traffic()
+	if read2 != read1 {
+		t.Fatalf("device reads grew: %d -> %d", read1, read2)
+	}
+}
+
+func TestSAFSResetStats(t *testing.T) {
+	a := NewArray(2, 4096, model())
+	s := NewSAFS(a, 1<<20, 64)
+	s.ReadRows(0, []int{0, 1})
+	s.ResetStats()
+	req, read := s.Traffic()
+	if req != 0 || read != 0 {
+		t.Fatal("ResetStats left traffic")
+	}
+	if r, q := a.Stats(); r != 0 || q != 0 {
+		t.Fatal("ResetStats left array stats")
+	}
+}
+
+func TestArrayBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewArray(0, 4096, model())
+}
+
+// Property: bytes read from devices always covers bytes requested
+// (pages ⊇ rows) and equals pageReads × pageSize.
+func TestSAFSConservationProperty(t *testing.T) {
+	f := func(rowsRaw []uint16, devsRaw uint8) bool {
+		devs := int(devsRaw)%8 + 1
+		a := NewArray(devs, 4096, model())
+		s := NewSAFS(a, 64*4096, 128)
+		var rows []int
+		for _, r := range rowsRaw {
+			rows = append(rows, int(r)%10000)
+		}
+		if len(rows) == 0 {
+			return true
+		}
+		s.ReadRows(0, rows)
+		_, read := s.Traffic()
+		pr, _ := a.Stats()
+		if read != pr*4096 {
+			return false
+		}
+		// Every distinct requested page must now be cached.
+		for _, r := range rows {
+			f1, l1 := s.PagesOfRow(r)
+			for p := f1; p <= l1; p++ {
+				if !s.Cache.Contains(p) && s.Cache.Capacity() > len(rows)*2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LRU cache never exceeds capacity and hits+misses equals
+// distinct filtered pages.
+func TestPageCacheProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := NewPageCache(8*4096, 4096)
+		var filtered uint64
+		for _, op := range ops {
+			p := int(op) % 32
+			if op%2 == 0 {
+				c.Insert([]int{p})
+			} else {
+				seen := map[int]bool{p: true}
+				c.Filter([]int{p})
+				filtered += uint64(len(seen))
+			}
+			if c.Len() > c.Capacity() {
+				return false
+			}
+		}
+		h, m := c.Stats()
+		return h+m == filtered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"knor/internal/matrix"
+)
+
+func TestCatalogueShapes(t *testing.T) {
+	specs := Catalogue(1)
+	if len(specs) != 5 {
+		t.Fatalf("catalogue has %d entries", len(specs))
+	}
+	// Table 2 row counts and dims at scale divisor 1.
+	want := map[string][2]int{
+		"Friendster-8":  {66_000_000, 8},
+		"Friendster-32": {66_000_000, 32},
+		"RM856M":        {856_000_000, 16},
+		"RM1B":          {1_100_000_000, 32},
+		"RU2B":          {2_100_000_000, 64},
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Fatalf("unexpected dataset %q", s.Name)
+		}
+		if s.N != w[0] || s.D != w[1] {
+			t.Fatalf("%s: n=%d d=%d, want %v", s.Name, s.N, s.D, w)
+		}
+	}
+	// Scaled catalogue divides N but keeps D.
+	for i, s := range Catalogue(1000) {
+		if s.D != specs[i].D {
+			t.Fatalf("scaling changed dims for %s", s.Name)
+		}
+		if s.N >= specs[i].N {
+			t.Fatalf("scaling did not reduce %s", s.Name)
+		}
+		if s.N < 64 {
+			t.Fatalf("scaled below floor: %d", s.N)
+		}
+	}
+}
+
+func TestSpecBytes(t *testing.T) {
+	s := Spec{N: 1000, D: 8}
+	if s.Bytes() != 64000 {
+		t.Fatalf("Bytes = %d", s.Bytes())
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, k := range []Kind{NaturalClusters, UniformMultivariate, UniformUnivariate} {
+		s := Spec{Name: "t", Kind: k, N: 200, D: 4, Clusters: 3, Spread: 0.1, Seed: 7}
+		m := Generate(s)
+		if m.Rows() != 200 || m.Cols() != 4 {
+			t.Fatalf("%v: %dx%d", k, m.Rows(), m.Cols())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := Spec{Kind: NaturalClusters, N: 100, D: 8, Clusters: 4, Spread: 0.05, Seed: 99}
+	a := Generate(s)
+	b := Generate(s)
+	if !a.Equal(b, 0) {
+		t.Fatal("same seed produced different data")
+	}
+	s2 := s
+	s2.Seed = 100
+	c := Generate(s2)
+	if a.Equal(c, 0) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestNaturalClustersAreClustered(t *testing.T) {
+	// Points should sit near the true centres: SSE against true centres
+	// must be far below SSE against a single global centroid.
+	s := Spec{Kind: NaturalClusters, N: 2000, D: 8, Clusters: 8, Spread: 0.05, Seed: 5}
+	data := Generate(s)
+	centres := TrueCentres(s)
+	sseTrue := SSE(data, centres)
+	mean := matrix.NewDense(1, s.D)
+	for i := 0; i < data.Rows(); i++ {
+		matrix.AddTo(mean.Row(0), data.Row(i))
+	}
+	matrix.Scale(mean.Row(0), 1/float64(data.Rows()))
+	sseMean := SSE(data, mean)
+	if sseTrue > sseMean/10 {
+		t.Fatalf("data not clustered: sseTrue=%g sseMean=%g", sseTrue, sseMean)
+	}
+}
+
+func TestPowerLawWeights(t *testing.T) {
+	// First component should hold the plurality of points.
+	s := Spec{Kind: NaturalClusters, N: 5000, D: 4, Clusters: 5, Spread: 0.01, Seed: 11}
+	data := Generate(s)
+	centres := TrueCentres(s)
+	counts := make([]int, s.Clusters)
+	for i := 0; i < data.Rows(); i++ {
+		best, bi := math.Inf(1), 0
+		for c := 0; c < centres.Rows(); c++ {
+			if d := matrix.SqDist(data.Row(i), centres.Row(c)); d < best {
+				best, bi = d, c
+			}
+		}
+		counts[bi]++
+	}
+	for c := 1; c < s.Clusters; c++ {
+		if counts[0] <= counts[c] {
+			t.Fatalf("power-law weights violated: counts=%v", counts)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	m := Generate(Spec{Kind: UniformMultivariate, N: 500, D: 3, Seed: 2})
+	for _, v := range m.Data {
+		if v < 0 || v >= 1 {
+			t.Fatalf("uniform value %g out of [0,1)", v)
+		}
+	}
+}
+
+func TestUnivariateRowsNearlyConstant(t *testing.T) {
+	m := Generate(Spec{Kind: UniformUnivariate, N: 100, D: 8, Seed: 3})
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		for j := 1; j < len(row); j++ {
+			if math.Abs(row[j]-row[0]) > 2e-3 {
+				t.Fatalf("row %d not univariate: %v", i, row)
+			}
+		}
+	}
+}
+
+func TestSSEZeroOnCentroids(t *testing.T) {
+	data, _ := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	if got := SSE(data, data); got != 0 {
+		t.Fatalf("SSE(data, data) = %g", got)
+	}
+}
+
+func TestTrueCentresPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	TrueCentres(Spec{Kind: UniformMultivariate})
+}
+
+func TestKindString(t *testing.T) {
+	if NaturalClusters.String() != "natural-clusters" ||
+		UniformMultivariate.String() != "uniform-multivariate" ||
+		UniformUnivariate.String() != "uniform-univariate" {
+		t.Fatal("Kind.String mismatch")
+	}
+}
+
+// Property: generation never produces NaN/Inf and is shape-correct.
+func TestGenerateFiniteProperty(t *testing.T) {
+	f := func(nRaw, dRaw uint8, kindRaw uint8, seed int64) bool {
+		n := int(nRaw)%300 + 1
+		d := int(dRaw)%16 + 1
+		kind := Kind(int(kindRaw) % 3)
+		m := Generate(Spec{Kind: kind, N: n, D: d, Clusters: 4, Spread: 0.1, Seed: seed})
+		if m.Rows() != n || m.Cols() != d {
+			return false
+		}
+		for _, v := range m.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateLabeled(t *testing.T) {
+	s := Spec{Kind: NaturalClusters, N: 500, D: 6, Clusters: 5, Spread: 0.03, Seed: 13}
+	data, labels := GenerateLabeled(s)
+	if len(labels) != 500 {
+		t.Fatalf("labels len %d", len(labels))
+	}
+	centres := TrueCentres(s)
+	// Every row must be nearest its labelled component's centre at this
+	// separation.
+	for i := 0; i < data.Rows(); i++ {
+		best, bi := math.Inf(1), 0
+		for c := 0; c < centres.Rows(); c++ {
+			if d := matrix.SqDist(data.Row(i), centres.Row(c)); d < best {
+				best, bi = d, c
+			}
+		}
+		if int32(bi) != labels[i] {
+			t.Fatalf("row %d labelled %d but nearest centre %d", i, labels[i], bi)
+		}
+	}
+	// Uniform kinds have no labels.
+	if _, l := GenerateLabeled(Spec{Kind: UniformMultivariate, N: 10, D: 2, Seed: 1}); l != nil {
+		t.Fatal("uniform kind returned labels")
+	}
+}
+
+func TestGroupedOrdersLabels(t *testing.T) {
+	s := Spec{Kind: NaturalClusters, N: 400, D: 4, Clusters: 4, Spread: 0.05, Seed: 14, Grouped: true}
+	_, labels := GenerateLabeled(s)
+	for i := 1; i < len(labels); i++ {
+		if labels[i] < labels[i-1] {
+			t.Fatalf("grouped labels not sorted at %d", i)
+		}
+	}
+	// Grouped and ungrouped hold the same multiset of labels.
+	s2 := s
+	s2.Grouped = false
+	_, l2 := GenerateLabeled(s2)
+	count := func(ls []int32) map[int32]int {
+		m := map[int32]int{}
+		for _, l := range ls {
+			m[l]++
+		}
+		return m
+	}
+	c1, c2 := count(labels), count(l2)
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Fatalf("label %d count %d vs %d", k, v, c2[k])
+		}
+	}
+}

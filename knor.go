@@ -1,0 +1,235 @@
+// Package knor is a Go reproduction of "knor: A NUMA-Optimized
+// In-Memory, Distributed and Semi-External-Memory k-means Library"
+// (Mhembere et al., HPDC 2017).
+//
+// The library exposes the paper's three modules through one facade:
+//
+//   - Run — knori, the NUMA-aware in-memory ||Lloyd's engine with
+//     minimal-triangle-inequality (MTI) pruning;
+//   - RunSEM — knors, semi-external memory: O(n) state in RAM, row data
+//     streamed from a simulated SSD array through a SAFS-like layer with
+//     a partitioned lazily-updated row cache;
+//   - RunDistributed — knord, decentralised per-machine drivers merged
+//     with MPI-style allreduce collectives.
+//
+// Hardware-gated effects (thread pinning, NUMA banks, SSD arrays,
+// cluster NICs) run through a deterministic simulated-cost layer — Go
+// offers no portable NUMA control — while all algorithmic behaviour
+// (assignments, pruning, cache hits, byte counts) is computed for real.
+// Every engine is bit-compatible with the serial Lloyd's oracle; see
+// DESIGN.md for the substitution table and EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// Quickstart:
+//
+//	data := knor.Generate(knor.Spec{Kind: knor.NaturalClusters, N: 10000, D: 8, Clusters: 10, Seed: 1})
+//	res, err := knor.Run(data, knor.Config{K: 10, Prune: knor.PruneMTI, Threads: 8})
+package knor
+
+import (
+	"knor/internal/dist"
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+	"knor/internal/metrics"
+	"knor/internal/numa"
+	"knor/internal/numaml"
+	"knor/internal/sched"
+	"knor/internal/sem"
+	"knor/internal/simclock"
+	"knor/internal/workload"
+)
+
+// Core types, re-exported so callers need only this package.
+type (
+	// Matrix is a dense row-major float64 matrix.
+	Matrix = matrix.Dense
+	// Config controls an in-memory (knori) run.
+	Config = kmeans.Config
+	// Result is the outcome of any run.
+	Result = kmeans.Result
+	// IterStats records one iteration's behaviour.
+	IterStats = kmeans.IterStats
+	// SEMConfig controls a semi-external-memory (knors) run.
+	SEMConfig = sem.Config
+	// SEMEngine is a stepwise knors driver with checkpoint support.
+	SEMEngine = sem.Engine
+	// DistConfig controls a distributed (knord) run.
+	DistConfig = dist.Config
+	// Spec describes a synthetic dataset.
+	Spec = workload.Spec
+	// Topology describes the simulated NUMA machine.
+	Topology = numa.Topology
+	// CostModel holds the simulation's calibration constants.
+	CostModel = simclock.CostModel
+)
+
+// Pruning modes.
+const (
+	PruneNone    = kmeans.PruneNone
+	PruneMTI     = kmeans.PruneMTI
+	PruneTI      = kmeans.PruneTI
+	PruneYinyang = kmeans.PruneYinyang
+)
+
+// Initialisation methods.
+const (
+	InitForgy           = kmeans.InitForgy
+	InitRandomPartition = kmeans.InitRandomPartition
+	InitKMeansPP        = kmeans.InitKMeansPP
+	InitGiven           = kmeans.InitGiven
+)
+
+// Scheduler policies (Figure 5).
+const (
+	SchedStatic    = sched.Static
+	SchedFIFO      = sched.FIFO
+	SchedNUMAAware = sched.NUMAAware
+)
+
+// Placement policies for the simulated NUMA machine.
+const (
+	PlacePartitioned = numa.PlacePartitioned
+	PlaceSingleBank  = numa.PlaceSingleBank
+	PlaceInterleaved = numa.PlaceInterleaved
+	PlaceRandom      = numa.PlaceRandom
+)
+
+// Dataset generator kinds.
+const (
+	NaturalClusters     = workload.NaturalClusters
+	UniformMultivariate = workload.UniformMultivariate
+	UniformUnivariate   = workload.UniformUnivariate
+)
+
+// Distributed modes (Section 8.9).
+const (
+	ModeKnord = dist.ModeKnord
+	ModeMPI   = dist.ModeMPI
+	ModeMLlib = dist.ModeMLlib
+)
+
+// Run executes knori: NUMA-aware in-memory ||Lloyd's.
+func Run(data *Matrix, cfg Config) (*Result, error) {
+	return kmeans.Run(data, cfg)
+}
+
+// RunSerial executes the single-threaded reference Lloyd's (with
+// optional pruning), the oracle every optimised engine is tested
+// against.
+func RunSerial(data *Matrix, cfg Config) (*Result, error) {
+	return kmeans.RunSerial(data, cfg)
+}
+
+// RunSEM executes knors: semi-external-memory k-means over the
+// simulated SSD array.
+func RunSEM(data *Matrix, cfg SEMConfig) (*Result, error) {
+	return sem.Run(data, cfg)
+}
+
+// NewSEMEngine builds a stepwise knors engine (checkpoint/recovery).
+func NewSEMEngine(data *Matrix, cfg SEMConfig) (*SEMEngine, error) {
+	return sem.New(data, cfg)
+}
+
+// RunDistributed executes knord (or the MPI/MLlib comparison modes)
+// over the simulated cluster.
+func RunDistributed(data *Matrix, cfg DistConfig) (*Result, error) {
+	return dist.Run(data, cfg)
+}
+
+// RunMiniBatch executes the mini-batch approximation (extension).
+func RunMiniBatch(data *Matrix, cfg Config, batch int) (*Result, error) {
+	return kmeans.RunMiniBatch(data, cfg, batch)
+}
+
+// RunSemiSupervised runs k-means with semi-supervised k-means++ seeding
+// (labels[i] >= 0 pins that row's class seed; -1 means unlabelled) —
+// one of the paper's future-work variants (§9).
+func RunSemiSupervised(data *Matrix, labels []int32, cfg Config) (*Result, error) {
+	return kmeans.RunSemiSupervised(data, labels, cfg)
+}
+
+// Dendrogram is the merge history of an agglomerative run.
+type Dendrogram = kmeans.Dendrogram
+
+// AgglomerateCentroids builds a Ward-linkage hierarchy over a k-means
+// result's centroids (two-stage clustering; future work §9). It returns
+// the dendrogram and a flat cut into `cut` clusters.
+func AgglomerateCentroids(centroids *Matrix, sizes []int, cut int) (*Dendrogram, []int, error) {
+	return kmeans.AgglomerateCentroids(centroids, sizes, cut)
+}
+
+// --- generalised NUMA-ML framework (paper §9 future work) -------------
+
+type (
+	// MLKernel is a row-streaming iterative algorithm runnable on the
+	// NUMA-aware driver (the paper's promised generalised framework).
+	MLKernel = numaml.Kernel
+	// MLConfig configures the generalised driver.
+	MLConfig = numaml.Config
+	// MLStats summarises a driver run.
+	MLStats = numaml.Stats
+	// GMM is a diagonal-covariance Gaussian mixture fitted by EM.
+	GMM = numaml.GMM
+	// KNN answers k-nearest-neighbour queries by NUMA-parallel scan.
+	KNN = numaml.KNN
+	// Neighbor is one kNN result.
+	Neighbor = numaml.Neighbor
+)
+
+// RunKernel streams data through an MLKernel on the NUMA-aware driver.
+func RunKernel(data *Matrix, k MLKernel, cfg MLConfig) (*MLStats, error) {
+	return numaml.Run(data, k, cfg)
+}
+
+// NewGMM initialises a Gaussian mixture from seed centroids.
+func NewGMM(seeds *Matrix, tol float64) *GMM { return numaml.NewGMM(seeds, tol) }
+
+// NewKNN prepares a k-nearest-neighbour query batch.
+func NewKNN(queries *Matrix, k int) *KNN { return numaml.NewKNN(queries, k) }
+
+// --- clustering quality metrics ----------------------------------------
+
+// Silhouette computes the centroid-based simplified silhouette.
+func Silhouette(data, centroids *Matrix, assign []int32) float64 {
+	return metrics.SimplifiedSilhouette(data, centroids, assign)
+}
+
+// DaviesBouldin computes the Davies-Bouldin index (lower is better).
+func DaviesBouldin(data, centroids *Matrix, assign []int32) float64 {
+	return metrics.DaviesBouldin(data, centroids, assign)
+}
+
+// AdjustedRand computes the adjusted Rand index between two labelings.
+func AdjustedRand(a, b []int32) (float64, error) { return metrics.AdjustedRand(a, b) }
+
+// NMI computes normalised mutual information between two labelings.
+func NMI(a, b []int32) (float64, error) { return metrics.NMI(a, b) }
+
+// Generate materialises a synthetic dataset.
+func Generate(s Spec) *Matrix { return workload.Generate(s) }
+
+// GenerateLabeled materialises a dataset with its generating labels
+// (nil for the uniform kinds), for external-index evaluation.
+func GenerateLabeled(s Spec) (*Matrix, []int32) { return workload.GenerateLabeled(s) }
+
+// LoadMatrix reads a matrix from the binary on-disk format.
+func LoadMatrix(path string) (*Matrix, error) { return matrix.LoadFile(path) }
+
+// SaveMatrix writes a matrix in the binary on-disk format.
+func SaveMatrix(m *Matrix, path string) error { return m.SaveFile(path) }
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix { return matrix.NewDense(rows, cols) }
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) { return matrix.FromRows(rows) }
+
+// DefaultTopology mirrors the paper's evaluation machine (4×12 cores).
+func DefaultTopology() Topology { return numa.DefaultTopology() }
+
+// DefaultCostModel returns the simulation calibration constants.
+func DefaultCostModel() CostModel { return simclock.DefaultCostModel() }
+
+// SSE computes the k-means objective of centroids against data.
+func SSE(data, centroids *Matrix) float64 { return workload.SSE(data, centroids) }

@@ -1,0 +1,153 @@
+package knor_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"knor"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	data := knor.Generate(knor.Spec{
+		Kind: knor.NaturalClusters, N: 2000, D: 8, Clusters: 8, Spread: 0.05, Seed: 1,
+	})
+	res, err := knor.Run(data, knor.Config{
+		K: 8, MaxIters: 50, Init: knor.InitKMeansPP,
+		Prune: knor.PruneMTI, Threads: 4,
+		Topo: knor.DefaultTopology(), Sched: knor.SchedNUMAAware,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("quickstart did not converge")
+	}
+	if len(res.Assign) != 2000 || res.Centroids.Rows() != 8 {
+		t.Fatal("result shape wrong")
+	}
+}
+
+func TestFacadeThreeModulesAgree(t *testing.T) {
+	data := knor.Generate(knor.Spec{
+		Kind: knor.NaturalClusters, N: 1000, D: 8, Clusters: 5, Spread: 0.05, Seed: 2,
+	})
+	base := knor.Config{K: 5, MaxIters: 40, Init: knor.InitForgy, Seed: 3, Threads: 2, TaskSize: 64}
+
+	knori, err := knor.Run(data, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knors, err := knor.RunSEM(data, knor.SEMConfig{Kmeans: base, Devices: 4, RowCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	knord, err := knor.RunDistributed(data, knor.DistConfig{Machines: 3, Mode: knor.ModeKnord, Kmeans: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !knori.Centroids.Equal(knors.Centroids, 1e-9) {
+		t.Fatal("knori and knors disagree")
+	}
+	if !knori.Centroids.Equal(knord.Centroids, 1e-9) {
+		t.Fatal("knori and knord disagree")
+	}
+}
+
+func TestFacadeMatrixIO(t *testing.T) {
+	m, err := knor.FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.knor")
+	if err := knor.SaveMatrix(m, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := knor.LoadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got, 0) {
+		t.Fatal("round trip failed")
+	}
+	if knor.NewMatrix(3, 2).Rows() != 3 {
+		t.Fatal("NewMatrix shape")
+	}
+}
+
+func TestFacadeMiniBatchAndSSE(t *testing.T) {
+	data := knor.Generate(knor.Spec{Kind: knor.UniformMultivariate, N: 500, D: 4, Seed: 4})
+	res, err := knor.RunMiniBatch(data, knor.Config{K: 4, MaxIters: 50, Seed: 1, Tol: 1e-3}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := knor.SSE(data, res.Centroids); got <= 0 {
+		t.Fatalf("SSE = %g", got)
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	data, truth := knor.GenerateLabeled(knor.Spec{
+		Kind: knor.NaturalClusters, N: 1500, D: 6, Clusters: 4, Spread: 0.05, Seed: 8,
+	})
+	// k-means is a local optimiser; take the best of a few seeds, as a
+	// practitioner would.
+	var res *knor.Result
+	for seed := int64(1); seed <= 5; seed++ {
+		r, err := knor.Run(data, knor.Config{
+			K: 4, MaxIters: 50, Init: knor.InitKMeansPP, Seed: seed, Threads: 4,
+			Prune: knor.PruneYinyang,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res == nil || r.SSE < res.SSE {
+			res = r
+		}
+	}
+	ari, err := knor.AdjustedRand(truth, res.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.9 {
+		t.Fatalf("ARI vs truth %g on separated data", ari)
+	}
+	if s := knor.Silhouette(data, res.Centroids, res.Assign); s < 0.5 {
+		t.Fatalf("silhouette %g", s)
+	}
+	if db := knor.DaviesBouldin(data, res.Centroids, res.Assign); db <= 0 {
+		t.Fatalf("Davies-Bouldin %g", db)
+	}
+	if nmi, _ := knor.NMI(truth, res.Assign); nmi < 0.8 {
+		t.Fatalf("NMI %g", nmi)
+	}
+
+	// GMM + kNN through the generalised driver.
+	gmm := knor.NewGMM(res.Centroids, 1e-6)
+	stats, err := knor.RunKernel(data, gmm, knor.MLConfig{MaxIters: 30, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Iters == 0 {
+		t.Fatal("GMM ran no iterations")
+	}
+	q := knor.NewKNN(res.Centroids, 3)
+	if _, err := knor.RunKernel(data, q, knor.MLConfig{Threads: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Neighbors(0)) != 3 {
+		t.Fatal("kNN result shape")
+	}
+
+	// Semi-supervised seeding + agglomeration round out the pipeline.
+	labels := make([]int32, data.Rows())
+	for i := range labels {
+		labels[i] = -1
+	}
+	labels[0] = 0
+	if _, err := knor.RunSemiSupervised(data, labels, knor.Config{K: 4, MaxIters: 20, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, flat, err := knor.AgglomerateCentroids(res.Centroids, res.Sizes, 2); err != nil || len(flat) != 4 {
+		t.Fatalf("agglomerate: %v %v", flat, err)
+	}
+}
