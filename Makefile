@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test bench figs clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Headline benchmarks: one representative configuration per paper
+# artifact (Tables 1-3, Figures 4-13, ablations).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# Full figure sweeps (smaller -quick variants; drop -quick for the
+# complete scale-reduced reproduction).
+figs:
+	$(GO) run ./cmd/knorbench -quick
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,3 @@
+module knor
+
+go 1.24

@@ -4,11 +4,21 @@
 // gather, barrier).
 //
 // Cost structure is the standard alpha-beta model: one hop costs
-// NetLatency + bytes/NetBandwidth. Allreduce uses recursive doubling
-// (log₂M rounds, each moving the full payload), matching MPI
-// implementations; Gather serialises all senders through the root's
-// NIC — the master bottleneck that separates decentralised knord from
-// master-worker designs in Figures 11–12.
+// NetLatency + bytes/NetBandwidth. Two allreduce algorithms are
+// provided: Allreduce is recursive doubling (log₂M rounds, each moving
+// the full payload — the latency-optimal choice for small payloads),
+// while RingAllreduce is the bandwidth-optimal ring knord's and the
+// MPI mode's iteration merge use (2(M-1) rounds of bytes/M segments).
+// Gather serialises all senders through the root's NIC — the master
+// bottleneck that separates decentralised knord from master-worker
+// designs in Figures 11–12.
+//
+// Cost convention: Allreduce, Gather, Bcast and Barrier charge pure
+// alpha-beta wire costs; the software collective-initiation setup
+// (CostModel.NetSetup) is the caller's to charge per collective, as
+// knord's collectives layer does (internal/dist/collectives.go).
+// RingAllreduce is the one self-contained collective: it charges its
+// own setup and books transfer time on every NIC Resource.
 package cluster
 
 import (
@@ -101,6 +111,34 @@ func (n *Network) Bcast(root, bytes int) float64 {
 // collective is itself a barrier). Returns completion time.
 func (n *Network) Allreduce(bytes int) float64 {
 	t := n.maxClock() + float64(n.rounds())*n.hop(bytes)
+	for i := range n.clocks {
+		n.clocks[i].Reset(t)
+	}
+	return t
+}
+
+// RingAllreduce reduces `bytes` across all machines with the
+// bandwidth-optimal ring algorithm knord's collectives use: the payload
+// is split into M segments and 2(M-1) steps (a reduce-scatter followed
+// by an allgather) each ship one segment to the ring neighbour, so
+// every NIC moves 2·(M-1)/M·bytes in total regardless of cluster size.
+// All M NICs are busy in every step — the transfer time is charged on
+// each machine's Resource for utilisation reporting — and the
+// collective synchronises every machine at the returned completion
+// time. A single machine pays nothing.
+func (n *Network) RingAllreduce(bytes int) float64 {
+	t := n.maxClock()
+	if n.M > 1 {
+		t += n.Model.NetSetup
+		seg := (bytes + n.M - 1) / n.M
+		xfer := float64(seg) / n.Model.NetBandwidth
+		for s := 0; s < 2*(n.M-1); s++ {
+			for i := range n.nics {
+				n.nics[i].Acquire(t, xfer)
+			}
+			t += n.Model.NetLatency + xfer
+		}
+	}
 	for i := range n.clocks {
 		n.clocks[i].Reset(t)
 	}

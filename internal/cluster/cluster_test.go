@@ -57,6 +57,48 @@ func TestAllreduceScalesLogarithmically(t *testing.T) {
 	}
 }
 
+func TestRingAllreduceCost(t *testing.T) {
+	m := model()
+	for _, M := range []int{2, 4, 8} {
+		n := New(M, m)
+		after := n.RingAllreduce(1 << 20)
+		seg := float64((1<<20 + M - 1) / M)
+		want := m.NetSetup + float64(2*(M-1))*(m.NetLatency+seg/m.NetBandwidth)
+		if math.Abs(after-want) > 1e-12 {
+			t.Fatalf("M=%d: ring = %g, want %g", M, after, want)
+		}
+		for i := 0; i < M; i++ {
+			if n.Clock(i).Now() != after {
+				t.Fatalf("M=%d: machine %d desynced", M, i)
+			}
+			// Bandwidth optimality: each NIC moved ~2·bytes/M·(M-1).
+			wantBusy := float64(2*(M-1)) * seg / m.NetBandwidth
+			if math.Abs(n.NIC(i).BusyTime()-wantBusy) > 1e-12 {
+				t.Fatalf("M=%d: NIC %d busy %g, want %g", M, i, n.NIC(i).BusyTime(), wantBusy)
+			}
+		}
+	}
+}
+
+func TestRingAllreduceSingleMachineFree(t *testing.T) {
+	n := New(1, model())
+	if after := n.RingAllreduce(1 << 20); after != 0 {
+		t.Fatalf("single-machine ring cost %g", after)
+	}
+}
+
+func TestRingBeatsRecursiveDoublingForLargePayload(t *testing.T) {
+	// The ring moves 2B/M per step instead of the full payload per
+	// round: for bandwidth-dominated payloads it must win.
+	m := model()
+	M, payload := 8, 64<<20
+	ring := New(M, m).RingAllreduce(payload)
+	rd := New(M, m).Allreduce(payload)
+	if ring >= rd {
+		t.Fatalf("ring (%g) not below recursive doubling (%g)", ring, rd)
+	}
+}
+
 func TestGatherSerialisesAtRoot(t *testing.T) {
 	m := model()
 	M := 8

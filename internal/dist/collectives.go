@@ -1,0 +1,64 @@
+package dist
+
+// The collectives layer: how each mode moves the per-machine delta
+// accumulators (kmeans.Accum.SerializedBytes per machine) across the
+// simulated cluster once per iteration, and what it costs.
+//
+// The *value* of the reduction is always the fixed-machine-order sum
+// computed in run() — collectives here only advance simulated time, so
+// the numerical result is independent of the algorithm being costed.
+//
+// Costs, with M machines, payload B, latency α, bandwidth β⁻¹:
+//
+//	ring allreduce (knord, MPI):
+//	    setup + 2(M-1) · (α + B/(M·β))            — decentralised,
+//	    per-NIC traffic 2B(M-1)/M, flat in M for the B term
+//	driver aggregation (MLlib):
+//	    setup per collective (gather + broadcast), serialize(B) per
+//	    worker, then M-1 transfers of B queued through the master NIC,
+//	    the driver-side merge, and a binomial broadcast of the new
+//	    model — per-NIC traffic at the master grows linearly with M,
+//	    the Figure 12 bottleneck.
+
+// collective runs the configured iteration-merge over the network,
+// composing the machine engine clocks with the interconnect: machine
+// clocks are first synced into the cluster view, the collective
+// advances them through the NICs, and the result is pushed back into
+// every engine's worker clocks.
+func (c *clusterState) collective() {
+	c.syncNetClocks()
+	switch c.cfg.Mode {
+	case ModeKnord, ModeMPI:
+		c.net.RingAllreduce(c.payload)
+	case ModeMLlib:
+		c.driverAggregate()
+	}
+	c.pushNetClocks()
+}
+
+// driverAggregate is MLlib's master-worker merge: every executor
+// serialises its partial sums and ships them to the driver (machine 0),
+// queueing through the driver's NIC; the driver deserialises and folds
+// the M-1 payloads serially, then broadcasts the new model. Workers
+// deserialise the broadcast before resuming.
+func (c *clusterState) driverAggregate() {
+	model := c.kcfg.Model
+	ser := float64(c.payload) * model.SerializeByteCost
+	// Collective setup is paid once per collective — the gather here
+	// and the broadcast below — matching the ring's accounting, plus
+	// executor-side serialisation before the send leaves.
+	for m := 1; m < c.cfg.Machines; m++ {
+		c.net.Clock(m).Advance(model.NetSetup + ser)
+	}
+	c.net.Gather(0, c.payload)
+	// Driver-side deserialise + merge of each arriving payload, plus
+	// one model rebuild: serial work on the driver's clock. flops are
+	// one add per sum/count slot per merged payload.
+	flops := float64(c.payload) / 8 * model.FlopTime
+	c.net.Clock(0).Advance(float64(c.cfg.Machines-1)*(ser+flops) + model.NetSetup)
+	c.net.Bcast(0, c.payload)
+	// Every worker unpacks the broadcast model.
+	for m := 0; m < c.cfg.Machines; m++ {
+		c.net.Clock(m).Advance(ser)
+	}
+}

@@ -110,14 +110,6 @@ func initKMeansPP(data *matrix.Dense, k int, seed int64) *matrix.Dense {
 	return c
 }
 
-// normalizeRows scales every row of m to unit Euclidean norm in place
-// (zero rows are left untouched). Used by the spherical variant.
-func normalizeRows(m *matrix.Dense) {
-	for i := 0; i < m.Rows(); i++ {
-		row := m.Row(i)
-		n := matrix.Norm(row)
-		if n > 0 {
-			matrix.Scale(row, 1/n)
-		}
-	}
-}
+// normalizeRows is the spherical variant's row normalisation, shared
+// across engines via matrix.NormalizeRows.
+func normalizeRows(m *matrix.Dense) { matrix.NormalizeRows(m) }

@@ -130,6 +130,21 @@ func Scale(v []float64, s float64) {
 	}
 }
 
+// NormalizeRows scales every row of m to unit Euclidean norm in place
+// (zero rows are left untouched). The spherical k-means variants in
+// every engine share this one implementation: the distributed module's
+// oracle-exactness depends on shard rows and the globally-normalised
+// copy being produced by the bit-identical operation.
+func NormalizeRows(m *Dense) {
+	for i := 0; i < m.RowsN; i++ {
+		row := m.Row(i)
+		n := Norm(row)
+		if n > 0 {
+			Scale(row, 1/n)
+		}
+	}
+}
+
 // --- binary on-disk format -------------------------------------------
 //
 // The format mirrors knor's raw row-major input: a 32-byte header

@@ -243,3 +243,24 @@ func BenchmarkSqDist16(b *testing.B) {
 	}
 	_ = s
 }
+
+func TestNormalizeRows(t *testing.T) {
+	m, _ := FromRows([][]float64{{3, 4}, {0, 0}, {0, -2}})
+	NormalizeRows(m)
+	if math.Abs(Norm(m.Row(0))-1) > 1e-15 ||
+		math.Abs(m.At(0, 0)-0.6) > 1e-15 || math.Abs(m.At(0, 1)-0.8) > 1e-15 {
+		t.Fatalf("row 0 = %v", m.Row(0))
+	}
+	if m.At(1, 0) != 0 || m.At(1, 1) != 0 {
+		t.Fatalf("zero row changed: %v", m.Row(1))
+	}
+	if m.At(2, 1) != -1 {
+		t.Fatalf("row 2 = %v", m.Row(2))
+	}
+	// Idempotent on already-unit rows up to fp: norms stay within one ulp.
+	before := m.Clone()
+	NormalizeRows(m)
+	if !m.Equal(before, 1e-15) {
+		t.Fatal("re-normalising unit rows moved them")
+	}
+}

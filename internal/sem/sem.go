@@ -95,13 +95,13 @@ func New(data *matrix.Dense, cfg Config) (*Engine, error) {
 	}
 	if cfg.Kmeans.Spherical {
 		data = data.Clone()
-		normalizeRowsSEM(data)
+		matrix.NormalizeRows(data)
 	}
 	n, d := data.Rows(), data.Cols()
 	e := &Engine{data: data, cfg: cfg, n: n, d: d, k: cfg.Kmeans.K}
 	e.cents = kmeans.InitCentroidsFor(data, cfg.Kmeans)
 	if cfg.Kmeans.Spherical {
-		normalizeRowsSEM(e.cents)
+		matrix.NormalizeRows(e.cents)
 	}
 	e.ps = kmeans.NewPruneState(cfg.Kmeans.Prune, n, e.k)
 	e.gsum = kmeans.NewAccum(e.k, d)
@@ -168,7 +168,7 @@ func (e *Engine) Step() error {
 	e.gsum.Merge(merged)
 	next := e.gsum.Centroids(e.cents)
 	if e.cfg.Kmeans.Spherical {
-		normalizeRowsSEM(next)
+		matrix.NormalizeRows(next)
 	}
 	drift := e.ps.ComputeDrift(e.cents, next)
 	if e.cfg.Kmeans.Prune != kmeans.PruneNone {
@@ -375,13 +375,3 @@ func (e *Engine) SAFS() *ssd.SAFS { return e.safs }
 
 // RC exposes the row cache (nil when disabled).
 func (e *Engine) RC() *RowCache { return e.rc }
-
-func normalizeRowsSEM(m *matrix.Dense) {
-	for i := 0; i < m.Rows(); i++ {
-		row := m.Row(i)
-		n := matrix.Norm(row)
-		if n > 0 {
-			matrix.Scale(row, 1/n)
-		}
-	}
-}

@@ -53,6 +53,15 @@ type CostModel struct {
 	// NetLatency and NetBandwidth describe one cluster NIC/link.
 	NetLatency   float64
 	NetBandwidth float64
+	// NetSetup is the fixed software cost of initiating one collective
+	// (argument marshalling, algorithm selection inside the MPI
+	// library), paid once per collective regardless of cluster size.
+	NetSetup float64
+	// SerializeByteCost is the per-byte cost of framework object
+	// serialisation/deserialisation at a centralised driver (JVM
+	// closures, pickled task results). MPI-style collectives move raw
+	// buffers and never pay it.
+	SerializeByteCost float64
 }
 
 // DefaultCostModel returns the calibration used by the benchmark
@@ -70,6 +79,8 @@ func DefaultCostModel() CostModel {
 		SSDBandwidth:         450e6,   // one OCZ Intrepid 3000
 		NetLatency:           50e-6,   // 10 GbE + MPI stack
 		NetBandwidth:         1.15e9,  // ~9.2 Gb/s effective
+		NetSetup:             15e-6,   // MPI collective initiation
+		SerializeByteCost:    0.5e-9,  // ~2 GB/s JVM serialisation
 	}
 }
 

@@ -225,4 +225,18 @@ func TestDefaultCostModelSane(t *testing.T) {
 	if m.SSDSeek <= 0 || m.NetLatency <= 0 || m.BarrierCost <= 0 {
 		t.Fatal("non-positive fixed costs")
 	}
+	if m.NetSetup <= 0 || m.SerializeByteCost <= 0 {
+		t.Fatal("non-positive network calibration constants")
+	}
+	// Collective setup is software-only and must stay below the wire
+	// latency it precedes; serialisation must cost more than a local
+	// memory copy (it may still be faster than the NIC — modern JVM
+	// serialisers outrun 10 GbE), or the MLlib driver model would add
+	// nothing over the raw buffer the MPI collectives move.
+	if m.NetSetup >= m.NetLatency {
+		t.Fatalf("NetSetup %g not below NetLatency %g", m.NetSetup, m.NetLatency)
+	}
+	if m.SerializeByteCost <= 1/m.LocalBandwidth {
+		t.Fatalf("SerializeByteCost %g cheaper than a local memory copy", m.SerializeByteCost)
+	}
 }
