@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench figs clean
+.PHONY: all build vet test bench figs docs serve-loadtest clean
 
 all: vet build test
 
@@ -22,6 +22,19 @@ bench:
 # complete scale-reduced reproduction).
 figs:
 	$(GO) run ./cmd/knorbench -quick
+
+# Documentation hygiene: formatting, vet, and no dangling relative
+# links in any markdown file (mirrors the CI docs job).
+docs:
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/docscheck
+
+# The EXPERIMENTS.md serving row: sustained /assign req/s on a
+# 1M x 16, k=100 model over local HTTP.
+serve-loadtest:
+	$(GO) run ./cmd/knorserve -loadtest
 
 clean:
 	$(GO) clean ./...

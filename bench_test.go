@@ -9,6 +9,7 @@ package knor_test
 
 import (
 	"testing"
+	"time"
 
 	"knor"
 	"knor/internal/dist"
@@ -379,3 +380,47 @@ func BenchmarkSEMCheckpoint(b *testing.B) {
 		}
 	}
 }
+
+// --- Serving: batched /assign throughput --------------------------------
+
+// BenchmarkServeAssign drives concurrent clients through the serving
+// layer's batched GEMM assignment path against a k=100, d=16 model
+// (the EXPERIMENTS.md serving configuration, in-process). ns/op is the
+// per-request latency under load; req/s is reported as a metric.
+func BenchmarkServeAssign(b *testing.B) {
+	spec := knor.Spec{Kind: knor.NaturalClusters, N: 100000, D: 16, Clusters: 100, Spread: 0.05, Seed: 1}
+	data := knor.Generate(spec)
+	res, err := knor.RunMiniBatch(data, knor.Config{K: 100, MaxIters: 30, Seed: 1, Init: knor.InitKMeansPP}, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := knor.NewRegistry(4)
+	if _, err := knor.NewStreamEngine("bench", res.Centroids, reg); err != nil {
+		b.Fatal(err)
+	}
+	bat := knor.NewBatcher(reg, knor.BatcherOptions{Threads: 2})
+	defer bat.Close()
+	q := knor.NewQueryStream(spec, 7)
+	const pool = 64
+	batches := make([]*knor.Matrix, pool)
+	for i := range batches {
+		batches[i] = q.Next(4)
+	}
+	b.SetParallelism(16)
+	b.ResetTimer()
+	start := nowSeconds()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := bat.AssignBatch("bench", batches[i%pool]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	if dt := nowSeconds() - start; dt > 0 {
+		b.ReportMetric(float64(b.N)/dt, "req/s")
+	}
+}
+
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

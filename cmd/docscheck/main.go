@@ -1,0 +1,87 @@
+// Command docscheck validates the repository's markdown documentation:
+// every relative link target (`[text](path)`, excluding http(s)/mailto
+// URLs and pure #anchors) must exist on disk. The `make docs` target
+// and the CI docs job run it so README.md / EXPERIMENTS.md / DESIGN.md
+// cross-references can never dangle again.
+//
+// Usage:
+//
+//	docscheck [root]
+//
+// Exits non-zero listing every broken link.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links; group 2 is the target. Images
+// (![alt](target)) match too, which is what we want.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	broken := 0
+	files := 0
+	links := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "vendor" || name == "node_modules" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(strings.ToLower(d.Name()), ".md") {
+			return nil
+		}
+		files++
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if isExternal(target) {
+				continue
+			}
+			links++
+			// Strip a #fragment; a bare fragment links inside this file.
+			file, _, _ := strings.Cut(target, "#")
+			if file == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(file))
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "docscheck: %s: broken link %q (no %s)\n", path, target, resolved)
+				broken++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d markdown files, %d relative links, all resolve\n", files, links)
+}
+
+func isExternal(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:")
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"knor/internal/matrix"
+	"knor/internal/numa"
+	"knor/internal/sched"
+	"knor/internal/serve"
+)
+
+// serveExp extends the Figure 5 scheduler study to the serving layer:
+// the same placement and scheduling policies, applied to a simulated
+// online-assignment workload (per-model shards pinned to NUMA nodes,
+// request traffic skewed by a power law like the trainer datasets).
+// Throughput separates for the same reason Figure 5's curves do:
+// single-bank placement serialises every shard read through one memory
+// link, and locality-blind stealing turns local reads remote.
+func serveExp(e env) {
+	const (
+		models, k, d = 8, 100, 16
+	)
+	// Mixed request sizes (interactive single rows up to analytics
+	// scans) create the uneven task durations that make steal order
+	// matter, like the per-block pruning skew in Figure 5.
+	sizes := []int{8, 8, 32, 64, 64, 256}
+	requests := 4000
+	if e.quick {
+		requests = 800
+	}
+	reg := serve.NewRegistry(numa.DefaultTopology().Nodes)
+	rng := rand.New(rand.NewSource(1))
+	names := make([]string, models)
+	for i := range names {
+		names[i] = fmt.Sprintf("model-%d", i)
+		c := matrix.NewDense(k, d)
+		for j := range c.Data {
+			c.Data[j] = rng.NormFloat64()
+		}
+		if _, err := reg.Publish(names[i], c); err != nil {
+			panic(err)
+		}
+	}
+	// Power-law model popularity: model i drawn with weight 1/(i+1),
+	// like the cluster-size skew that separates the Figure 5 curves.
+	var cum []float64
+	var wsum float64
+	for i := 0; i < models; i++ {
+		wsum += 1 / float64(i+1)
+	}
+	acc := 0.0
+	for i := 0; i < models; i++ {
+		acc += 1 / float64(i+1) / wsum
+		cum = append(cum, acc)
+	}
+	reqs := make([]serve.Request, requests)
+	for i := range reqs {
+		u := rng.Float64()
+		m := 0
+		for m < models-1 && u > cum[m] {
+			m++
+		}
+		reqs[i] = serve.Request{Model: names[m], Rows: sizes[rng.Intn(len(sizes))]}
+	}
+
+	type combo struct {
+		place numa.PlacementPolicy
+		pol   sched.Policy
+	}
+	combos := []combo{
+		{numa.PlacePartitioned, sched.NUMAAware},
+		{numa.PlacePartitioned, sched.FIFO},
+		{numa.PlacePartitioned, sched.Static},
+		{numa.PlaceInterleaved, sched.NUMAAware},
+		{numa.PlaceRandom, sched.NUMAAware},
+		{numa.PlaceSingleBank, sched.NUMAAware},
+		{numa.PlaceSingleBank, sched.FIFO},
+	}
+	var rows [][]string
+	// First row: the registry's own publish-time round-robin pins (what
+	// a live knorserve uses), then the placement-policy sweep.
+	st, err := serve.SimulateServe(reg, reqs, serve.RouterConfig{
+		Sched: sched.NUMAAware, UseRegistryPins: true, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rows = append(rows, []string{
+		"registry-pins", sched.NUMAAware.String(),
+		fmtSec(st.SimSeconds),
+		fmt.Sprintf("%.0f", st.Throughput),
+		fmt.Sprintf("%.0f", st.RowsPerSec),
+		fmtGB(st.RemoteBytes),
+	})
+	for _, c := range combos {
+		st, err := serve.SimulateServe(reg, reqs, serve.RouterConfig{
+			Sched: c.pol, Placement: c.place, Seed: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rows = append(rows, []string{
+			c.place.String(), c.pol.String(),
+			fmtSec(st.SimSeconds),
+			fmt.Sprintf("%.0f", st.Throughput),
+			fmt.Sprintf("%.0f", st.RowsPerSec),
+			fmtGB(st.RemoteBytes),
+		})
+	}
+	fmt.Printf("  %d mixed-size requests (8-256 rows) over %d models (k=%d, d=%d), 48 workers\n\n",
+		requests, models, k, d)
+	printTable(
+		[]string{"placement", "sched", "sim-s", "req/s", "rows/s", "remote-GB"},
+		rows)
+}

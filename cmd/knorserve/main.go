@@ -1,0 +1,82 @@
+// Command knorserve exposes the online clustering service layer
+// (internal/serve) over HTTP/JSON: a model registry fed by any trainer,
+// a batched GEMM assignment path, and stream updaters that keep models
+// learning while they serve.
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness
+//	GET  /v1/models          list models (name, version, k, d, node)
+//	POST /v1/models          train & register: {"name","k",("spec"|"rows"),...}
+//	POST /v1/assign          {"model","rows":[[...],...]} -> clusters + sqdists
+//	POST /v1/observe         fold rows into a model's stream updater
+//	POST /v1/publish         snapshot a stream updater into a new version
+//	GET  /v1/stats           batcher counters and p50/p99 latency
+//
+// Usage:
+//
+//	knorserve -addr :8080
+//	knorserve -loadtest -lt-n 1000000 -lt-d 16 -lt-k 100
+//
+// The -loadtest mode boots the server on a loopback listener, registers
+// a model trained on an N×D dataset, then hammers /assign over HTTP
+// with concurrent clients and reports sustained requests/sec and
+// latency quantiles (the EXPERIMENTS.md serving row).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxBatch     = flag.Int("batch", 1024, "max rows per blocked assignment flush")
+		maxWait      = flag.Duration("wait", 200*time.Microsecond, "max time a request waits for its batch to fill")
+		threads      = flag.Int("threads", 0, "GEMM threads (0 = GOMAXPROCS)")
+		nodes        = flag.Int("nodes", 4, "simulated NUMA nodes to pin model shards across")
+		publishEvery = flag.Int("publish-every", 4096, "auto-publish a stream model every N observed rows (0 = manual)")
+
+		loadtest  = flag.Bool("loadtest", false, "run the self-contained /assign load test and exit")
+		ltN       = flag.Int("lt-n", 1_000_000, "loadtest: training rows")
+		ltD       = flag.Int("lt-d", 16, "loadtest: dimensions")
+		ltK       = flag.Int("lt-k", 100, "loadtest: clusters")
+		ltClients = flag.Int("lt-clients", 64, "loadtest: concurrent HTTP clients")
+		ltReqs    = flag.Int("lt-requests", 50_000, "loadtest: total /assign requests")
+		ltRows    = flag.Int("lt-rows", 4, "loadtest: query rows per request")
+		ltSeed    = flag.Int64("lt-seed", 1, "loadtest: dataset/query seed")
+	)
+	flag.Parse()
+	if *threads <= 0 {
+		*threads = runtime.GOMAXPROCS(0)
+	}
+	srv := newServer(serverOptions{
+		maxBatch: *maxBatch, maxWait: *maxWait, threads: *threads,
+		nodes: *nodes, publishEvery: *publishEvery,
+	})
+	defer srv.close()
+
+	if *loadtest {
+		err := runLoadTest(srv, loadTestOptions{
+			n: *ltN, d: *ltD, k: *ltK,
+			clients: *ltClients, requests: *ltReqs, rowsPerReq: *ltRows, seed: *ltSeed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knorserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("knorserve listening on %s (batch=%d wait=%s threads=%d)\n",
+		*addr, *maxBatch, *maxWait, *threads)
+	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
+		fmt.Fprintln(os.Stderr, "knorserve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,347 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+	"knor/internal/serve"
+	"knor/internal/workload"
+)
+
+type serverOptions struct {
+	maxBatch     int
+	maxWait      time.Duration
+	threads      int
+	nodes        int
+	publishEvery int
+}
+
+// server wires the registry, the batched assignment path, and one
+// stream updater per model behind JSON handlers.
+type server struct {
+	opts    serverOptions
+	reg     *serve.Registry
+	batcher *serve.Batcher
+
+	mu      sync.Mutex
+	streams map[string]*serve.StreamEngine
+	// unfolded counts rows observed since the last auto-publish.
+	unfolded map[string]int
+}
+
+func newServer(opts serverOptions) *server {
+	reg := serve.NewRegistry(opts.nodes)
+	return &server{
+		opts: opts,
+		reg:  reg,
+		batcher: serve.NewBatcher(reg, serve.BatcherOptions{
+			MaxBatch: opts.maxBatch, MaxWait: opts.maxWait, Threads: opts.threads,
+		}),
+		streams:  map[string]*serve.StreamEngine{},
+		unfolded: map[string]int{},
+	}
+}
+
+func (s *server) close() { s.batcher.Close() }
+
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	m.HandleFunc("GET /v1/models", s.handleListModels)
+	m.HandleFunc("POST /v1/models", s.handleCreateModel)
+	m.HandleFunc("POST /v1/assign", s.handleAssign)
+	m.HandleFunc("POST /v1/observe", s.handleObserve)
+	m.HandleFunc("POST /v1/publish", s.handlePublish)
+	m.HandleFunc("GET /v1/stats", s.handleStats)
+	return m
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+type modelInfo struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	K       int    `json:"k"`
+	D       int    `json:"d"`
+	Node    int    `json:"node"`
+}
+
+func infoOf(m *serve.Model) modelInfo {
+	return modelInfo{Name: m.Name, Version: m.Version, K: m.K(), D: m.Dims(), Node: m.Node}
+}
+
+func (s *server) handleListModels(w http.ResponseWriter, _ *http.Request) {
+	models := s.reg.List()
+	out := make([]modelInfo, len(models))
+	for i, m := range models {
+		out[i] = infoOf(m)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// createModelReq trains a model from inline rows or a generated spec
+// and registers it together with its stream updater.
+type createModelReq struct {
+	Name    string      `json:"name"`
+	K       int         `json:"k"`
+	Rows    [][]float64 `json:"rows,omitempty"`
+	Engine  string      `json:"engine,omitempty"` // "lloyd" (default) | "minibatch"
+	Iters   int         `json:"iters,omitempty"`
+	Seed    int64       `json:"seed,omitempty"`
+	Threads int         `json:"threads,omitempty"`
+	// Spec generates a synthetic training set when rows are omitted.
+	Spec *struct {
+		N        int     `json:"n"`
+		D        int     `json:"d"`
+		Clusters int     `json:"clusters"`
+		Spread   float64 `json:"spread"`
+		Seed     int64   `json:"seed"`
+	} `json:"spec,omitempty"`
+}
+
+func (s *server) handleCreateModel(w http.ResponseWriter, r *http.Request) {
+	var req createModelReq
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	// Reject duplicate names before paying for training (register
+	// re-checks under the same lock, so a racing create still loses
+	// cleanly there).
+	s.mu.Lock()
+	_, exists := s.streams[req.Name]
+	s.mu.Unlock()
+	if exists {
+		writeErr(w, http.StatusConflict, fmt.Errorf("model %q already exists", req.Name))
+		return
+	}
+	var data *matrix.Dense
+	var err error
+	switch {
+	case len(req.Rows) > 0:
+		data, err = matrix.FromRows(req.Rows)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.Spec != nil:
+		data = workload.Generate(workload.Spec{
+			Kind: workload.NaturalClusters, N: req.Spec.N, D: req.Spec.D,
+			Clusters: req.Spec.Clusters, Spread: req.Spec.Spread, Seed: req.Spec.Seed,
+		})
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("need rows or spec"))
+		return
+	}
+	cfg := kmeans.Config{
+		K: req.K, MaxIters: req.Iters, Seed: req.Seed,
+		Init: kmeans.InitKMeansPP, Prune: kmeans.PruneMTI, Threads: req.Threads,
+	}
+	var centroids *matrix.Dense
+	switch req.Engine {
+	case "", "lloyd":
+		res, rerr := kmeans.Run(data, cfg)
+		if rerr != nil {
+			writeErr(w, http.StatusBadRequest, rerr)
+			return
+		}
+		centroids = res.Centroids
+	case "minibatch":
+		res, rerr := kmeans.RunMiniBatch(data, cfg, 1024)
+		if rerr != nil {
+			writeErr(w, http.StatusBadRequest, rerr)
+			return
+		}
+		centroids = res.Centroids
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown engine %q", req.Engine))
+		return
+	}
+	snap, err := s.register(req.Name, centroids)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, infoOf(snap))
+}
+
+// register publishes seed centroids and attaches a stream updater.
+func (s *server) register(name string, centroids *matrix.Dense) (*serve.Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.streams[name]; exists {
+		return nil, fmt.Errorf("model %q already exists", name)
+	}
+	eng, err := serve.NewStreamEngine(name, centroids, s.reg)
+	if err != nil {
+		return nil, err
+	}
+	s.streams[name] = eng
+	snap, _ := s.reg.Get(name)
+	return snap, nil
+}
+
+type assignReq struct {
+	Model string      `json:"model"`
+	Rows  [][]float64 `json:"rows"`
+}
+
+type assignResp struct {
+	Version  int       `json:"version"`
+	Clusters []int32   `json:"clusters"`
+	SqDists  []float64 `json:"sqdists"`
+}
+
+func (s *server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	var req assignReq
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rows, err := matrix.FromRows(req.Rows)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	as, err := s.batcher.AssignBatch(req.Model, rows)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := assignResp{Clusters: make([]int32, len(as)), SqDists: make([]float64, len(as))}
+	if len(as) > 0 {
+		resp.Version = as[0].Version
+	}
+	for i, a := range as {
+		resp.Clusters[i] = a.Cluster
+		resp.SqDists[i] = a.SqDist
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type observeReq struct {
+	Model string      `json:"model"`
+	Rows  [][]float64 `json:"rows"`
+}
+
+func (s *server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req observeReq
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rows, err := matrix.FromRows(req.Rows)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	eng, ok := s.streams[req.Model]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown model %q", req.Model))
+		return
+	}
+	drift, err := eng.Observe(rows)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	version := 0
+	if snap, ok := s.reg.Get(req.Model); ok {
+		version = snap.Version
+	}
+	// Auto-publish once enough rows accumulated, so the query path
+	// keeps up with the stream without manual /publish calls.
+	if s.opts.publishEvery > 0 {
+		s.mu.Lock()
+		s.unfolded[req.Model] += rows.Rows()
+		doPublish := s.unfolded[req.Model] >= s.opts.publishEvery
+		if doPublish {
+			s.unfolded[req.Model] = 0
+		}
+		s.mu.Unlock()
+		if doPublish {
+			if snap, perr := eng.Publish(); perr == nil {
+				version = snap.Version
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"seen": eng.Seen(), "drift": drift, "version": version,
+	})
+}
+
+func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Model string `json:"model"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	eng, ok := s.streams[req.Model]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown model %q", req.Model))
+		return
+	}
+	snap, err := eng.Publish()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, infoOf(snap))
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.batcher.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests":  st.Requests,
+		"rows":      st.Rows,
+		"flushes":   st.Flushes,
+		"p50_ms":    nanToZero(st.P50 * 1e3),
+		"p99_ms":    nanToZero(st.P99 * 1e3),
+		"mean_ms":   st.Mean * 1e3,
+		"models":    len(s.reg.List()),
+		"avg_batch": avgBatch(st),
+	})
+}
+
+// nanToZero maps the latency recorder's empty-state NaN to 0: JSON has
+// no NaN, and encoding one after the 200 header is written would leave
+// the client an empty body.
+func nanToZero(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+func avgBatch(st serve.BatcherStats) float64 {
+	if st.Flushes == 0 {
+		return 0
+	}
+	return float64(st.Rows) / float64(st.Flushes)
+}

@@ -94,6 +94,51 @@ func ExampleRunDistributed() {
 	// same centroids: true
 }
 
+// ExampleStreamEngine shows the serving layer's streaming update path:
+// a model seeded by a short batch run is published into a registry,
+// improved by folding the dataset through in mini-batches, re-published
+// copy-on-write, and checkpointed/resumed exactly.
+func ExampleStreamEngine() {
+	data := knor.Generate(knor.Spec{
+		Kind: knor.NaturalClusters, N: 4000, D: 8, Clusters: 5, Spread: 0.04, Seed: 3,
+	})
+	// A deliberately rough seed model: one Lloyd's iteration.
+	seed, err := knor.RunSerial(data, knor.Config{K: 5, Init: knor.InitKMeansPP, Seed: 3, MaxIters: 1})
+	if err != nil {
+		panic(err)
+	}
+	reg := knor.NewRegistry(4)
+	eng, err := knor.NewStreamEngine("demo", seed.Centroids, reg)
+	if err != nil {
+		panic(err)
+	}
+	// Stream the dataset through the updater in batches of 200.
+	for lo := 0; lo < data.Rows(); lo += 200 {
+		batch := &knor.Matrix{RowsN: 200, ColsN: 8, Data: data.Data[lo*8 : (lo+200)*8]}
+		if _, err := eng.Observe(batch); err != nil {
+			panic(err)
+		}
+	}
+	snap, err := eng.Publish()
+	if err != nil {
+		panic(err)
+	}
+	cp := eng.Checkpoint()
+	resumed, err := knor.ResumeStreamEngine(cp, reg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rows folded:", eng.Seen())
+	fmt.Println("published version:", snap.Version)
+	fmt.Println("stream improved the seed:", knor.SSE(data, snap.Centroids) < knor.SSE(data, seed.Centroids))
+	fmt.Println("resume is exact:", resumed.Centroids().Equal(eng.Centroids(), 0))
+	// Output:
+	// rows folded: 4000
+	// published version: 2
+	// stream improved the seed: true
+	// resume is exact: true
+}
+
 // ExampleAgglomerateCentroids cuts a Ward hierarchy built over k-means
 // centroids.
 func ExampleAgglomerateCentroids() {

@@ -1,0 +1,101 @@
+// Serving: the online-clustering service layer end to end, through the
+// public facade. A knori-trained model is published into a registry;
+// concurrent clients stream assignment queries through the batched GEMM
+// path while a stream updater keeps folding fresh observations into the
+// model; a second version is published copy-on-write mid-traffic and
+// later queries pick it up without any client noticing.
+//
+// Run with:
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"knor"
+)
+
+func main() {
+	spec := knor.Spec{
+		Kind: knor.NaturalClusters, N: 20000, D: 8, Clusters: 6, Spread: 0.04, Seed: 42,
+	}
+	data := knor.Generate(spec)
+
+	// Train the first version with the NUMA-aware in-memory engine.
+	res, err := knor.Run(data, knor.Config{
+		K: 6, Init: knor.InitKMeansPP, Seed: 1, Prune: knor.PruneMTI, Threads: 4,
+	})
+	check(err)
+	fmt.Printf("trained v1: %d iters, SSE %.4g\n", res.Iters, res.SSE)
+
+	// Publish it and attach the streaming updater.
+	reg := knor.NewRegistry(4)
+	eng, err := knor.NewStreamEngine("users", res.Centroids, reg)
+	check(err)
+	batcher := knor.NewBatcher(reg, knor.BatcherOptions{Threads: 2})
+	defer batcher.Close()
+
+	// Concurrent clients query while the updater folds fresh traffic.
+	queries := knor.NewQueryStream(spec, 7)
+	updates := knor.NewQueryStream(spec, 8)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	versions := map[int]bool{}
+	clientBatches := make([][]*knor.Matrix, 4)
+	for c := range clientBatches {
+		for i := 0; i < 50; i++ {
+			clientBatches[c] = append(clientBatches[c], queries.Next(16))
+		}
+	}
+	for c := 0; c < 4; c++ { // query path: concurrent clients coalesce
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, batch := range clientBatches[c] {
+				as, err := batcher.AssignBatch("users", batch)
+				check(err)
+				mu.Lock()
+				versions[as[0].Version] = true
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() { // update path
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_, err := eng.Observe(updates.Next(64))
+			check(err)
+			if i == 50 { // mid-traffic publish: copy-on-write, no pause
+				snap, err := eng.Publish()
+				check(err)
+				fmt.Printf("published v%d after %d streamed rows\n", snap.Version, eng.Seen())
+			}
+		}
+	}()
+	wg.Wait()
+
+	// A checkpoint captures the updater's entire state.
+	cp := eng.Checkpoint()
+	resumed, err := knor.ResumeStreamEngine(cp, reg)
+	check(err)
+	fmt.Println("checkpoint resumes exactly:", resumed.Centroids().Equal(eng.Centroids(), 0))
+
+	latest, _ := reg.Get("users")
+	st := batcher.Stats()
+	fmt.Printf("served %d requests (%d rows) in %d flushes\n", st.Requests, st.Rows, st.Flushes)
+	fmt.Printf("model versions answering queries: %d distinct\n", len(versions))
+	fmt.Println("latest version >= 2:", latest.Version >= 2)
+	fmt.Println("stream kept quality:",
+		knor.SSE(data, latest.Centroids) < 1.10*res.SSE)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serving:", err)
+		os.Exit(1)
+	}
+}

@@ -1,17 +1,86 @@
 package kmeans
 
 import (
+	"fmt"
 	"math/rand"
 
 	"knor/internal/matrix"
 )
+
+// MiniBatchState is the explicit, resumable state of a mini-batch
+// k-means learner (Sculley's web-scale variant): the current centroids
+// plus the per-centroid observation counts that set the per-centroid
+// learning rates eta_c = 1/counts[c]. Folding a row is deterministic
+// given the state, so two learners with equal state that see the same
+// rows in the same order stay bit-identical — this is what makes the
+// serving layer's StreamEngine checkpoint/resume exact.
+type MiniBatchState struct {
+	Centroids *matrix.Dense
+	Counts    []int64
+}
+
+// NewMiniBatchState starts a learner from seed centroids (cloned).
+func NewMiniBatchState(centroids *matrix.Dense) *MiniBatchState {
+	return &MiniBatchState{
+		Centroids: centroids.Clone(),
+		Counts:    make([]int64, centroids.Rows()),
+	}
+}
+
+// Clone deep-copies the state.
+func (s *MiniBatchState) Clone() *MiniBatchState {
+	return &MiniBatchState{
+		Centroids: s.Centroids.Clone(),
+		Counts:    append([]int64(nil), s.Counts...),
+	}
+}
+
+// K returns the number of centroids.
+func (s *MiniBatchState) K() int { return s.Centroids.Rows() }
+
+// Dims returns the centroid dimensionality.
+func (s *MiniBatchState) Dims() int { return s.Centroids.Cols() }
+
+// Fold assigns row to its nearest centroid and moves that centroid one
+// gradient step toward the row with learning rate 1/count. It returns
+// the chosen centroid index.
+func (s *MiniBatchState) Fold(row []float64) int {
+	bi, _ := nearest(row, s.Centroids)
+	s.Counts[bi]++
+	eta := 1 / float64(s.Counts[bi])
+	cr := s.Centroids.Row(bi)
+	for j := range cr {
+		cr[j] += eta * (row[j] - cr[j])
+	}
+	return bi
+}
+
+// FoldMatrix folds every row of batch in order and returns the total
+// centroid drift (sum of per-centroid Euclidean movement) the batch
+// caused.
+func (s *MiniBatchState) FoldMatrix(batch *matrix.Dense) (float64, error) {
+	if batch.Cols() != s.Dims() {
+		return 0, fmt.Errorf("kmeans: fold dims %d, model dims %d", batch.Cols(), s.Dims())
+	}
+	prev := s.Centroids.Clone()
+	for i := 0; i < batch.Rows(); i++ {
+		s.Fold(batch.Row(i))
+	}
+	drift := 0.0
+	for c := 0; c < s.K(); c++ {
+		drift += matrix.Dist(prev.Row(c), s.Centroids.Row(c))
+	}
+	return drift, nil
+}
 
 // RunMiniBatch implements mini-batch k-means (Sculley's web-scale
 // variant, discussed in the paper's related work as the approximation
 // family knor deliberately avoids). It is provided as an extension so
 // the quality-vs-speed trade-off the paper alludes to can be measured:
 // per batch, sampled rows are assigned to their nearest centroid and
-// centroids take a gradient step with per-centroid learning rates.
+// centroids take a gradient step with per-centroid learning rates. The
+// learner itself lives in MiniBatchState, which the serving layer's
+// StreamEngine reuses for its update-forever mode.
 func RunMiniBatch(data *matrix.Dense, cfg Config, batch int) (*Result, error) {
 	cfg, err := cfg.withDefaults(data.Rows())
 	if err != nil {
@@ -25,26 +94,17 @@ func RunMiniBatch(data *matrix.Dense, cfg Config, batch int) (*Result, error) {
 		batch = n
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	cents := initCentroids(data, cfg)
-	counts := make([]int64, k)
+	st := &MiniBatchState{Centroids: initCentroids(data, cfg), Counts: make([]int64, k)}
 	res := &Result{}
-	prev := cents.Clone()
+	prev := st.Centroids.Clone()
 	for iter := 0; iter < cfg.MaxIters; iter++ {
-		copy(prev.Data, cents.Data)
+		copy(prev.Data, st.Centroids.Data)
 		for b := 0; b < batch; b++ {
-			i := rng.Intn(n)
-			row := data.Row(i)
-			bi, _ := nearest(row, cents)
-			counts[bi]++
-			eta := 1 / float64(counts[bi])
-			cr := cents.Row(bi)
-			for j := range cr {
-				cr[j] += eta * (row[j] - cr[j])
-			}
+			st.Fold(data.Row(rng.Intn(n)))
 		}
 		drift := 0.0
 		for c := 0; c < k; c++ {
-			drift += matrix.Dist(prev.Row(c), cents.Row(c))
+			drift += matrix.Dist(prev.Row(c), st.Centroids.Row(c))
 		}
 		res.PerIter = append(res.PerIter, IterStats{Iter: iter, ActiveRows: batch, Drift: drift})
 		res.Iters = iter + 1
@@ -53,6 +113,7 @@ func RunMiniBatch(data *matrix.Dense, cfg Config, batch int) (*Result, error) {
 			break
 		}
 	}
+	cents := st.Centroids
 	// Final full assignment pass for reporting.
 	assign := make([]int32, n)
 	for i := range assign {

@@ -1,0 +1,90 @@
+package kmeans
+
+import (
+	"testing"
+
+	"knor/internal/matrix"
+	"knor/internal/workload"
+)
+
+func TestRunMiniBatchDeterministic(t *testing.T) {
+	data := workload.Generate(workload.Spec{
+		Kind: workload.NaturalClusters, N: 3000, D: 6, Clusters: 5, Spread: 0.05, Seed: 4,
+	})
+	cfg := Config{K: 5, MaxIters: 40, Seed: 9, Init: InitKMeansPP}
+	a, err := RunMiniBatch(data, cfg, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMiniBatch(data, cfg, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Centroids.Equal(b.Centroids, 0) {
+		t.Fatal("same seed produced different centroids")
+	}
+	if a.SSE != b.SSE || a.Iters != b.Iters {
+		t.Fatalf("same seed produced different runs: %v/%v vs %v/%v", a.SSE, a.Iters, b.SSE, b.Iters)
+	}
+}
+
+func TestRunMiniBatchNearOracleOnSeparatedClusters(t *testing.T) {
+	data := workload.Generate(workload.Spec{
+		Kind: workload.NaturalClusters, N: 5000, D: 8, Clusters: 6, Spread: 0.03, Seed: 5,
+	})
+	cfg := Config{K: 6, Init: InitKMeansPP, Seed: 5}
+	oracle, err := RunSerial(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbCfg := cfg
+	mbCfg.MaxIters = 60
+	mb, err := RunMiniBatch(data, mbCfg, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.SSE > 1.05*oracle.SSE {
+		t.Fatalf("mini-batch SSE %.6g not within 5%% of oracle %.6g", mb.SSE, oracle.SSE)
+	}
+}
+
+func TestMiniBatchStateFold(t *testing.T) {
+	seeds, _ := matrix.FromRows([][]float64{{0, 0}, {10, 10}})
+	st := NewMiniBatchState(seeds)
+	// Mutating the seed matrix must not affect the state (it clones).
+	seeds.Set(0, 0, 99)
+	if st.Centroids.At(0, 0) != 0 {
+		t.Fatal("state aliased the seed centroids")
+	}
+	// First fold: eta = 1, centroid jumps to the row.
+	if c := st.Fold([]float64{2, 0}); c != 0 {
+		t.Fatalf("folded into centroid %d", c)
+	}
+	if st.Centroids.At(0, 0) != 2 || st.Counts[0] != 1 {
+		t.Fatalf("after first fold: %v counts %v", st.Centroids.Row(0), st.Counts)
+	}
+	// Second fold of the same point: eta = 1/2, midpoint.
+	st.Fold([]float64{4, 0})
+	if got := st.Centroids.At(0, 0); got != 3 {
+		t.Fatalf("after second fold: %v, want 3", got)
+	}
+	// Clone independence.
+	cl := st.Clone()
+	cl.Fold([]float64{100, 0})
+	if st.Centroids.At(0, 0) != 3 || st.Counts[0] != 2 {
+		t.Fatal("clone shares state with original")
+	}
+	// Dim mismatch is rejected.
+	if _, err := st.FoldMatrix(matrix.NewDense(1, 5)); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	// FoldMatrix reports drift.
+	b, _ := matrix.FromRows([][]float64{{5, 0}})
+	drift, err := st.FoldMatrix(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift <= 0 {
+		t.Fatalf("drift = %v", drift)
+	}
+}

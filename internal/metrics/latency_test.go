@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestLatencyQuantiles(t *testing.T) {
+	l := NewLatency(1)
+	if !math.IsNaN(l.Quantile(0.5)) {
+		t.Fatal("empty recorder should return NaN")
+	}
+	// 1..100 ms.
+	for i := 1; i <= 100; i++ {
+		l.Observe(float64(i) / 1e3)
+	}
+	if got := l.Quantile(0.50); got != 0.050 {
+		t.Fatalf("p50 = %v, want 0.050", got)
+	}
+	if got := l.Quantile(0.99); got != 0.099 {
+		t.Fatalf("p99 = %v, want 0.099", got)
+	}
+	if got := l.Quantile(0); got != 0.001 {
+		t.Fatalf("p0 = %v, want 0.001", got)
+	}
+	if got := l.Quantile(1); got != 0.100 {
+		t.Fatalf("p100 = %v, want 0.100", got)
+	}
+	if got, want := l.Mean(), 0.0505; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	l.Reset()
+	if l.Count() != 0 || !math.IsNaN(l.Quantile(0.5)) {
+		t.Fatal("reset did not clear the recorder")
+	}
+}
+
+func TestLatencyReservoirBounded(t *testing.T) {
+	l := NewLatency(2)
+	n := latencyCap + 5000
+	for i := 0; i < n; i++ {
+		l.Observe(1.0)
+	}
+	if l.Count() != uint64(n) {
+		t.Fatalf("count = %d, want %d", l.Count(), n)
+	}
+	if len(l.samples) != latencyCap {
+		t.Fatalf("reservoir grew to %d", len(l.samples))
+	}
+	if got := l.Quantile(0.99); got != 1.0 {
+		t.Fatalf("constant stream p99 = %v", got)
+	}
+}
+
+func TestLatencyConcurrent(t *testing.T) {
+	l := NewLatency(3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Observe(0.001)
+				_ = l.Quantile(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Count() != 8000 {
+		t.Fatalf("lost observations: %d", l.Count())
+	}
+}

@@ -1,0 +1,326 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"knor/internal/blas"
+	"knor/internal/matrix"
+	"knor/internal/metrics"
+)
+
+// Assignment is the answer for one query row.
+type Assignment struct {
+	Cluster int32   // nearest centroid index
+	SqDist  float64 // squared distance to it
+	Version int     // model version that answered
+}
+
+// BatcherOptions tune the assignment path.
+type BatcherOptions struct {
+	// MaxBatch flushes as soon as this many rows are queued (default
+	// 1024).
+	MaxBatch int
+	// MaxWait flushes a non-empty queue after this long even if
+	// MaxBatch was not reached (default 200µs).
+	MaxWait time.Duration
+	// Threads parallelises the blocked GEMM (default 1).
+	Threads int
+}
+
+func (o BatcherOptions) withDefaults() BatcherOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 200 * time.Microsecond
+	}
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	return o
+}
+
+// BatcherStats summarises the assignment path's behaviour.
+type BatcherStats struct {
+	Requests uint64  // Assign/AssignBatch calls answered
+	Rows     uint64  // query rows answered
+	Flushes  uint64  // blocked distance computations performed
+	P50      float64 // request latency quantiles, seconds
+	P99      float64
+	Mean     float64
+}
+
+// pendingReq is one waiter: a set of rows against one model, answered
+// together.
+type pendingReq struct {
+	model string
+	rows  *matrix.Dense
+	out   chan batchAnswer
+	start time.Time
+}
+
+type batchAnswer struct {
+	assigns []Assignment
+	err     error
+}
+
+// Batcher coalesces concurrent assignment requests into one blocked
+// ‖v‖²+‖c‖²−2·V·Cᵀ distance computation per flush. Callers block only
+// for their own answer; a background flusher drains the queue whenever
+// MaxBatch rows accumulate or MaxWait elapses after the first arrival.
+// All rows of a flush that target the same model are answered by a
+// single model snapshot, so a concurrent Publish never splits one batch
+// across versions.
+type Batcher struct {
+	reg  *Registry
+	opts BatcherOptions
+	lat  *metrics.Latency
+
+	mu      sync.Mutex
+	queue   []pendingReq
+	queued  int // rows currently queued
+	stopped bool
+
+	work chan struct{} // queue went empty -> non-empty
+	full chan struct{} // queued reached MaxBatch
+	stop chan struct{}
+	done chan struct{}
+
+	statsMu  sync.Mutex
+	requests uint64
+	rows     uint64
+	flushes  uint64
+}
+
+// NewBatcher starts the assignment path over a registry. Close it to
+// stop the background flusher.
+func NewBatcher(reg *Registry, opts BatcherOptions) *Batcher {
+	b := &Batcher{
+		reg:  reg,
+		opts: opts.withDefaults(),
+		lat:  metrics.NewLatency(1),
+		work: make(chan struct{}, 1),
+		full: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go b.flusher()
+	return b
+}
+
+// Assign answers one query row (blocking until its flush completes).
+func (b *Batcher) Assign(model string, row []float64) (Assignment, error) {
+	m := matrix.NewDense(1, len(row))
+	copy(m.Data, row)
+	as, err := b.AssignBatch(model, m)
+	if err != nil {
+		return Assignment{}, err
+	}
+	return as[0], nil
+}
+
+// AssignBatch answers every row of rows against the named model. The
+// rows matrix must not be mutated until the call returns.
+func (b *Batcher) AssignBatch(model string, rows *matrix.Dense) ([]Assignment, error) {
+	if rows.Rows() == 0 {
+		return nil, nil
+	}
+	req := pendingReq{model: model, rows: rows, out: make(chan batchAnswer, 1), start: time.Now()}
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("serve: batcher closed")
+	}
+	wasEmpty := len(b.queue) == 0
+	b.queue = append(b.queue, req)
+	b.queued += rows.Rows()
+	isFull := b.queued >= b.opts.MaxBatch
+	b.mu.Unlock()
+	if wasEmpty {
+		signal(b.work)
+	}
+	if isFull {
+		signal(b.full)
+	}
+	ans := <-req.out
+	if ans.err != nil {
+		return nil, ans.err
+	}
+	b.lat.Observe(time.Since(req.start).Seconds())
+	b.statsMu.Lock()
+	b.requests++
+	b.rows += uint64(rows.Rows())
+	b.statsMu.Unlock()
+	return ans.assigns, nil
+}
+
+// signal performs a non-blocking send on a 1-buffered channel.
+func signal(c chan struct{}) {
+	select {
+	case c <- struct{}{}:
+	default:
+	}
+}
+
+// Stats reports counters and latency quantiles.
+func (b *Batcher) Stats() BatcherStats {
+	b.statsMu.Lock()
+	st := BatcherStats{Requests: b.requests, Rows: b.rows, Flushes: b.flushes}
+	b.statsMu.Unlock()
+	st.P50 = b.lat.Quantile(0.50)
+	st.P99 = b.lat.Quantile(0.99)
+	st.Mean = b.lat.Mean()
+	return st
+}
+
+// Close rejects new requests, answers everything queued, and stops the
+// flusher.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return
+	}
+	b.stopped = true
+	b.mu.Unlock()
+	close(b.stop)
+	<-b.done
+}
+
+// flusher sleeps until work arrives, gives the queue MaxWait to fill
+// (woken early when MaxBatch rows are reached), then drains it. The
+// full channel only carries wakeups; the authoritative fullness check
+// is fullNow, so a token left over from a batch that drain already
+// picked up cannot cut the next batch's MaxWait window short.
+func (b *Batcher) flusher() {
+	defer close(b.done)
+	for {
+		select {
+		case <-b.work:
+		case <-b.stop:
+			b.drain()
+			return
+		}
+		if !b.fullNow() {
+			t := time.NewTimer(b.opts.MaxWait)
+		wait:
+			for {
+				select {
+				case <-b.full:
+					if b.fullNow() {
+						break wait
+					}
+					// Stale token: keep waiting out MaxWait.
+				case <-t.C:
+					break wait
+				case <-b.stop:
+					t.Stop()
+					b.drain()
+					return
+				}
+			}
+			t.Stop()
+		}
+		b.drain()
+	}
+}
+
+// fullNow reports whether MaxBatch rows are queued right now.
+func (b *Batcher) fullNow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queued >= b.opts.MaxBatch
+}
+
+// drain flushes until the queue is empty.
+func (b *Batcher) drain() {
+	for {
+		b.mu.Lock()
+		batch := b.queue
+		b.queue = nil
+		b.queued = 0
+		b.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		b.flush(batch)
+	}
+}
+
+// flush groups queued requests by model and answers each group with a
+// single GEMM-formulated distance computation against one snapshot.
+func (b *Batcher) flush(batch []pendingReq) {
+	groups := map[string][]int{}
+	for i, r := range batch {
+		groups[r.model] = append(groups[r.model], i)
+	}
+	for model, idxs := range groups {
+		snap, ok := b.reg.Get(model)
+		if !ok {
+			for _, i := range idxs {
+				batch[i].out <- batchAnswer{err: fmt.Errorf("serve: unknown model %q", model)}
+			}
+			continue
+		}
+		d := snap.Dims()
+		// Answer dim-mismatched requests with errors; pack the rest
+		// into one contiguous m×d block.
+		live := idxs[:0]
+		total := 0
+		for _, i := range idxs {
+			if batch[i].rows.Cols() != d {
+				batch[i].out <- batchAnswer{err: fmt.Errorf(
+					"serve: model %q dims %d, query dims %d", model, d, batch[i].rows.Cols())}
+				continue
+			}
+			live = append(live, i)
+			total += batch[i].rows.Rows()
+		}
+		if total == 0 {
+			continue
+		}
+		a := make([]float64, total*d)
+		off := 0
+		for _, i := range live {
+			copy(a[off:], batch[i].rows.Data)
+			off += len(batch[i].rows.Data)
+		}
+		assigns := assignBlock(a, total, snap, b.opts.Threads)
+		row := 0
+		for _, i := range live {
+			n := batch[i].rows.Rows()
+			batch[i].out <- batchAnswer{assigns: assigns[row : row+n : row+n]}
+			row += n
+		}
+	}
+	b.statsMu.Lock()
+	b.flushes++
+	b.statsMu.Unlock()
+}
+
+// assignBlock computes nearest centroids for an m×d row block via the
+// ‖v‖² + ‖c‖² − 2·V·Cᵀ identity, reusing the snapshot's cached ‖c‖².
+func assignBlock(a []float64, m int, snap *Model, threads int) []Assignment {
+	k, d := snap.K(), snap.Dims()
+	dist := make([]float64, m*k)
+	blas.Dgemm(-2, a, m, d, snap.Centroids.Data, k, 0, dist, threads)
+	an := make([]float64, m)
+	blas.RowNormsSq(a, m, d, an)
+	out := make([]Assignment, m)
+	for i := 0; i < m; i++ {
+		row := dist[i*k : (i+1)*k]
+		best, bi := row[0]+an[i]+snap.NormsSq[0], 0
+		for j := 1; j < k; j++ {
+			if v := row[j] + an[i] + snap.NormsSq[j]; v < best {
+				best, bi = v, j
+			}
+		}
+		if best < 0 { // numerical cancellation
+			best = 0
+		}
+		out[i] = Assignment{Cluster: int32(bi), SqDist: best, Version: snap.Version}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+	"knor/internal/workload"
+)
+
+func testModel(t *testing.T, r *Registry, name string, k, d int, seed int64) (*Model, *matrix.Dense) {
+	t.Helper()
+	data := workload.Generate(workload.Spec{
+		Kind: workload.NaturalClusters, N: 2000, D: d, Clusters: k, Spread: 0.05, Seed: seed,
+	})
+	res, err := kmeans.RunSerial(data, kmeans.Config{K: k, Init: kmeans.InitKMeansPP, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Publish(name, res.Centroids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, data
+}
+
+// bruteNearest is the oracle the batched GEMM path must match.
+func bruteNearest(row []float64, c *matrix.Dense) (int32, float64) {
+	best, bi := math.Inf(1), 0
+	for j := 0; j < c.Rows(); j++ {
+		if d := matrix.SqDist(row, c.Row(j)); d < best {
+			best, bi = d, j
+		}
+	}
+	return int32(bi), best
+}
+
+func TestBatcherMatchesBruteForce(t *testing.T) {
+	reg := NewRegistry(4)
+	snap, data := testModel(t, reg, "m", 8, 6, 3)
+	b := NewBatcher(reg, BatcherOptions{MaxBatch: 64, MaxWait: time.Millisecond})
+	defer b.Close()
+	q := workload.NewQueryStream(workload.Spec{
+		Kind: workload.NaturalClusters, N: 0, D: 6, Clusters: 8, Spread: 0.05, Seed: 3,
+	}, 99)
+	rows := q.Next(200)
+	got, err := b.AssignBatch("m", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = data
+	for i := 0; i < rows.Rows(); i++ {
+		wantC, wantD := bruteNearest(rows.Row(i), snap.Centroids)
+		if got[i].Cluster != wantC {
+			t.Fatalf("row %d: cluster %d, want %d", i, got[i].Cluster, wantC)
+		}
+		if math.Abs(got[i].SqDist-wantD) > 1e-9*(1+wantD) {
+			t.Fatalf("row %d: sqdist %v, want %v", i, got[i].SqDist, wantD)
+		}
+		if got[i].Version != snap.Version {
+			t.Fatalf("row %d answered by version %d, want %d", i, got[i].Version, snap.Version)
+		}
+	}
+}
+
+func TestBatcherConcurrentRequestsCoalesce(t *testing.T) {
+	reg := NewRegistry(4)
+	snap, _ := testModel(t, reg, "m", 5, 4, 7)
+	b := NewBatcher(reg, BatcherOptions{MaxBatch: 256, MaxWait: 2 * time.Millisecond})
+	defer b.Close()
+	q := workload.NewQueryStream(workload.Spec{
+		Kind: workload.NaturalClusters, D: 4, Clusters: 5, Spread: 0.05, Seed: 7,
+	}, 42)
+	const G, per = 16, 25
+	batches := make([]*matrix.Dense, G)
+	for g := range batches {
+		batches[g] = q.Next(per)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, G)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			as, err := b.AssignBatch("m", batches[g])
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range as {
+				wantC, _ := bruteNearest(batches[g].Row(i), snap.Centroids)
+				if as[i].Cluster != wantC {
+					errs <- errMismatch
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.Requests != G || st.Rows != G*per {
+		t.Fatalf("stats lost requests: %+v", st)
+	}
+	if st.Flushes == 0 || st.Flushes > st.Requests {
+		t.Fatalf("flushes out of range: %+v", st)
+	}
+	if math.IsNaN(st.P50) || math.IsNaN(st.P99) || st.P99 < st.P50 {
+		t.Fatalf("latency quantiles malformed: %+v", st)
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "batched assignment disagrees with brute force" }
+
+func TestBatcherErrors(t *testing.T) {
+	reg := NewRegistry(2)
+	testModel(t, reg, "m", 3, 4, 1)
+	b := NewBatcher(reg, BatcherOptions{MaxWait: time.Millisecond})
+	if _, err := b.Assign("nope", []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := b.Assign("m", []float64{1, 2}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if as, err := b.AssignBatch("m", matrix.NewDense(0, 4)); err != nil || as != nil {
+		t.Fatalf("empty batch: %v %v", as, err)
+	}
+	b.Close()
+	if _, err := b.Assign("m", []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("closed batcher accepted a request")
+	}
+	b.Close() // second close is a no-op
+}

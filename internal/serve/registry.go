@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"knor/internal/blas"
+	"knor/internal/matrix"
+)
+
+// Model is one immutable published snapshot of a centroid set. The
+// Centroids matrix and NormsSq slice must be treated as read-only by
+// every consumer; the Registry guarantees no writer retains them.
+type Model struct {
+	Name    string
+	Version int // 1-based, monotonically increasing per name
+	// Centroids is the k×d centroid matrix.
+	Centroids *matrix.Dense
+	// NormsSq caches ‖c‖² per centroid for the GEMM distance identity,
+	// computed once at publish time instead of once per batch.
+	NormsSq []float64
+	// Node is the simulated NUMA node the model's shard is pinned to,
+	// assigned round-robin at first publish and stable across
+	// versions. It is surfaced by the serving API and honoured by the
+	// router when RouterConfig.UseRegistryPins is set (otherwise the
+	// router re-pins under its own placement policy for the
+	// placement-sweep experiments).
+	Node int
+}
+
+// K returns the number of centroids.
+func (m *Model) K() int { return m.Centroids.Rows() }
+
+// Dims returns the centroid dimensionality.
+func (m *Model) Dims() int { return m.Centroids.Cols() }
+
+// Bytes returns the in-memory size of the centroid data.
+func (m *Model) Bytes() int { return m.K() * m.Dims() * 8 }
+
+// maxVersions bounds the per-model history the registry retains: a
+// stream updater auto-publishing forever must not grow memory without
+// bound. Older snapshots already handed out stay valid (immutable);
+// the registry merely forgets them.
+const maxVersions = 8
+
+// Registry holds named, versioned models. Publish is copy-on-write:
+// the input centroids are cloned into a fresh immutable Model, the
+// previous version stays readable, and Get hands out the snapshot
+// pointer without copying — so a query path never blocks on, or
+// observes, an in-progress training step. The last maxVersions
+// snapshots per model stay addressable through GetVersion.
+type Registry struct {
+	nodes int // NUMA nodes to pin shards across (>=1)
+
+	mu       sync.RWMutex
+	latest   map[string]*Model
+	versions map[string][]*Model
+	nextNode int
+}
+
+// NewRegistry builds a registry that pins model shards round-robin
+// across the given number of simulated NUMA nodes (values < 1 are
+// treated as 1).
+func NewRegistry(nodes int) *Registry {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &Registry{
+		nodes:    nodes,
+		latest:   map[string]*Model{},
+		versions: map[string][]*Model{},
+	}
+}
+
+// Publish clones centroids into a new immutable version of the named
+// model and returns the snapshot. The first publish of a name pins the
+// model to a NUMA node; later versions inherit the pin so a serving
+// shard never migrates mid-flight.
+func (r *Registry) Publish(name string, centroids *matrix.Dense) (*Model, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty model name")
+	}
+	if centroids == nil || centroids.Rows() == 0 || centroids.Cols() == 0 {
+		return nil, fmt.Errorf("serve: model %q published with no centroids", name)
+	}
+	cl := centroids.Clone()
+	norms := make([]float64, cl.Rows())
+	blas.RowNormsSq(cl.Data, cl.Rows(), cl.Cols(), norms)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := &Model{Name: name, Centroids: cl, NormsSq: norms}
+	if prev, ok := r.latest[name]; ok {
+		if prev.Dims() != m.Dims() {
+			return nil, fmt.Errorf("serve: model %q dims changed %d -> %d", name, prev.Dims(), m.Dims())
+		}
+		m.Version = prev.Version + 1
+		m.Node = prev.Node
+	} else {
+		m.Version = 1
+		m.Node = r.nextNode % r.nodes
+		r.nextNode++
+	}
+	r.latest[name] = m
+	vs := append(r.versions[name], m)
+	if len(vs) > maxVersions {
+		vs = append(vs[:0], vs[len(vs)-maxVersions:]...)
+	}
+	r.versions[name] = vs
+	return m, nil
+}
+
+// Get returns the latest version of the named model.
+func (r *Registry) Get(name string) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.latest[name]
+	return m, ok
+}
+
+// GetVersion returns a specific published version (1-based). Only the
+// last maxVersions snapshots are retained; older ones report not found.
+func (r *Registry) GetVersion(name string, version int) (*Model, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, m := range r.versions[name] {
+		if m.Version == version {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// List returns the latest snapshot of every model, sorted by name.
+func (r *Registry) List() []*Model {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Model, 0, len(r.latest))
+	for _, m := range r.latest {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Drop removes all versions of a model. Snapshots already handed out
+// stay valid (they are immutable); only the registry forgets them.
+func (r *Registry) Drop(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.latest, name)
+	delete(r.versions, name)
+}

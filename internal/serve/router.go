@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"knor/internal/numa"
+	"knor/internal/sched"
+	"knor/internal/simclock"
+)
+
+// RouterConfig drives a simulated serve epoch: worker shards pinned to
+// NUMA nodes answer a request trace under a scheduling policy, with
+// model centroid reads charged through the simulated memory links —
+// the serving-side analogue of the Figure 5 trainer comparison.
+type RouterConfig struct {
+	Topo    numa.Topology
+	Model   simclock.CostModel
+	Workers int
+	// Sched picks the task scheduler (Static / FIFO / NUMAAware).
+	Sched sched.Policy
+	// Placement spreads model shards across nodes (Partitioned pins
+	// one model per node round-robin; SingleBank hoards them on node
+	// 0, the NUMA-oblivious baseline).
+	Placement numa.PlacementPolicy
+	// UseRegistryPins routes by each Model.Node as recorded at publish
+	// time (the registry's round-robin pin), ignoring Placement.
+	UseRegistryPins bool
+	Seed            int64
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Topo.Nodes == 0 {
+		c.Topo = numa.DefaultTopology()
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.Topo.TotalCores()
+	}
+	if c.Model == (simclock.CostModel{}) {
+		c.Model = simclock.DefaultCostModel()
+	}
+	return c
+}
+
+// Request is one query batch against a named model.
+type Request struct {
+	Model string
+	Rows  int
+}
+
+// RouteStats summarises a simulated serve epoch.
+type RouteStats struct {
+	Requests    int
+	SimSeconds  float64 // makespan across workers
+	Throughput  float64 // requests per simulated second
+	RowsPerSec  float64
+	LocalBytes  uint64
+	RemoteBytes uint64
+	PerWorker   []int // requests served per worker shard
+}
+
+// SimulateServe routes a request trace over the registry's models. Each
+// model shard is placed on a NUMA node by cfg.Placement; each worker is
+// bound to a node; answering a request makes the worker pull the
+// model's centroid set (local stream or contended remote link) and pay
+// the blocked distance kernel for rows×k×d. Scheduling is greedy
+// list scheduling in simulated time: the earliest-free worker asks the
+// policy's scheduler for its next task, so NUMA-aware stealing behaves
+// exactly as in the trainers. Deterministic for a fixed config.
+func SimulateServe(reg *Registry, reqs []Request, cfg RouterConfig) (RouteStats, error) {
+	cfg = cfg.withDefaults()
+	models := reg.List()
+	if len(models) == 0 {
+		return RouteStats{}, fmt.Errorf("serve: no models registered")
+	}
+	// Pin model shards: either honour the registry's publish-time pins
+	// or re-pin under the requested placement policy (the sweep mode).
+	nodeOf := map[string]int{}
+	byName := map[string]*Model{}
+	var place *numa.Placement
+	if !cfg.UseRegistryPins {
+		place = numa.NewPlacement(cfg.Topo, cfg.Placement, len(models), 1, cfg.Seed)
+	}
+	for i, m := range models {
+		if cfg.UseRegistryPins {
+			nodeOf[m.Name] = m.Node % cfg.Topo.Nodes
+		} else {
+			nodeOf[m.Name] = place.NodeOfBlock(i)
+		}
+		byName[m.Name] = m
+	}
+	tasks := make([]sched.Task, len(reqs))
+	for i, r := range reqs {
+		n, ok := nodeOf[r.Model]
+		if !ok {
+			return RouteStats{}, fmt.Errorf("serve: request %d names unknown model %q", i, r.Model)
+		}
+		tasks[i] = sched.Task{ID: i, Lo: 0, Hi: r.Rows, Node: n}
+	}
+	workerNode := func(w int) int { return cfg.Topo.NodeOfThread(w, cfg.Workers) }
+	s := sched.New(cfg.Sched, cfg.Workers, workerNode)
+	s.Reset(tasks)
+
+	machine := numa.NewMachine(cfg.Topo, cfg.Model)
+	group := simclock.NewGroup(cfg.Workers, cfg.Model)
+	st := RouteStats{Requests: len(reqs), PerWorker: make([]int, cfg.Workers)}
+	alive := cfg.Workers
+	done := make([]bool, cfg.Workers)
+	for alive > 0 {
+		// Earliest-free worker takes the next task (greedy list
+		// scheduling over simulated time).
+		w, best := -1, math.Inf(1)
+		for i := 0; i < cfg.Workers; i++ {
+			if !done[i] && group.Clock(i).Now() < best {
+				w, best = i, group.Clock(i).Now()
+			}
+		}
+		t, ok := s.Next(w)
+		if !ok {
+			done[w] = true
+			alive--
+			continue
+		}
+		req := reqs[t.ID]
+		m := byName[req.Model]
+		c := group.Clock(w)
+		at := workerNode(w)
+		machine.Touch(c, at, t.Node, m.Bytes())
+		// Remote execution slows the kernel itself, exactly as in the
+		// trainers: latency-bound centroid accesses can't be prefetched.
+		scale := 1.0
+		if at != t.Node && cfg.Model.RemoteComputePenalty > 1 {
+			scale = cfg.Model.RemoteComputePenalty
+		}
+		c.Advance(scale * (cfg.Model.DistanceCost(m.Dims())*float64(req.Rows)*float64(m.K()) +
+			float64(req.Rows)*cfg.Model.RowOverhead))
+		st.PerWorker[w]++
+	}
+	st.SimSeconds = group.Max()
+	if st.SimSeconds > 0 {
+		st.Throughput = float64(len(reqs)) / st.SimSeconds
+		var rows int
+		for _, r := range reqs {
+			rows += r.Rows
+		}
+		st.RowsPerSec = float64(rows) / st.SimSeconds
+	}
+	st.LocalBytes, st.RemoteBytes = machine.Traffic()
+	return st, nil
+}

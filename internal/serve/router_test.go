@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"testing"
+
+	"knor/internal/matrix"
+	"knor/internal/numa"
+	"knor/internal/sched"
+)
+
+func routerFixture(t *testing.T, models int) (*Registry, []Request) {
+	t.Helper()
+	reg := NewRegistry(4)
+	k, d := 32, 16
+	for i := 0; i < models; i++ {
+		c := matrix.NewDense(k, d)
+		for j := range c.Data {
+			c.Data[j] = float64(i + j)
+		}
+		if _, err := reg.Publish(modelName(i), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var reqs []Request
+	for i := 0; i < 400; i++ {
+		reqs = append(reqs, Request{Model: modelName(i % models), Rows: 64})
+	}
+	return reg, reqs
+}
+
+func modelName(i int) string { return string(rune('a' + i)) }
+
+func TestSimulateServeServesEveryRequest(t *testing.T) {
+	reg, reqs := routerFixture(t, 4)
+	st, err := SimulateServe(reg, reqs, RouterConfig{
+		Topo:      numa.Topology{Nodes: 4, CoresPerNode: 2},
+		Workers:   8,
+		Sched:     sched.NUMAAware,
+		Placement: numa.PlacePartitioned,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range st.PerWorker {
+		total += n
+	}
+	if total != len(reqs) {
+		t.Fatalf("served %d of %d requests", total, len(reqs))
+	}
+	if st.Throughput <= 0 || st.SimSeconds <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+}
+
+func TestSimulateServePartitionedBeatsSingleBank(t *testing.T) {
+	reg, reqs := routerFixture(t, 4)
+	base := RouterConfig{
+		Topo:    numa.Topology{Nodes: 4, CoresPerNode: 2},
+		Workers: 8,
+	}
+	good := base
+	good.Sched, good.Placement = sched.NUMAAware, numa.PlacePartitioned
+	bad := base
+	bad.Sched, bad.Placement = sched.FIFO, numa.PlaceSingleBank
+	gst, err := SimulateServe(reg, reqs, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bst, err := SimulateServe(reg, reqs, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gst.Throughput < bst.Throughput {
+		t.Fatalf("NUMA-aware partitioned (%.0f req/s) slower than single-bank FIFO (%.0f req/s)",
+			gst.Throughput, bst.Throughput)
+	}
+	// Single-bank placement must show remote traffic from 3 of 4 nodes.
+	if bst.RemoteBytes == 0 {
+		t.Fatal("single-bank run shows no remote traffic")
+	}
+}
+
+func TestSimulateServeDeterministic(t *testing.T) {
+	reg, reqs := routerFixture(t, 3)
+	cfg := RouterConfig{
+		Topo:      numa.Topology{Nodes: 2, CoresPerNode: 3},
+		Workers:   6,
+		Sched:     sched.NUMAAware,
+		Placement: numa.PlaceRandom,
+		Seed:      5,
+	}
+	a, err := SimulateServe(reg, reqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateServe(reg, reqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimSeconds != b.SimSeconds || a.RemoteBytes != b.RemoteBytes {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulateServeHonorsRegistryPins(t *testing.T) {
+	// One model pinned to node 0 by the registry: with UseRegistryPins
+	// on a 2-node machine, workers bound to node 1 must pay remote
+	// traffic against that pin.
+	reg := NewRegistry(2)
+	c := matrix.NewDense(16, 8)
+	for i := range c.Data {
+		c.Data[i] = float64(i)
+	}
+	if _, err := reg.Publish("only", c); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := reg.Get("only")
+	reqs := make([]Request, 100)
+	for i := range reqs {
+		reqs[i] = Request{Model: "only", Rows: 32}
+	}
+	cfg := RouterConfig{
+		Topo:            numa.Topology{Nodes: 2, CoresPerNode: 2},
+		Workers:         4,
+		Sched:           sched.NUMAAware,
+		UseRegistryPins: true,
+	}
+	st, err := SimulateServe(reg, reqs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Node != 0 {
+		t.Fatalf("first publish pinned to node %d", m.Node)
+	}
+	// Workers on node 1 serve some requests remotely against the
+	// node-0 pin.
+	if st.RemoteBytes == 0 {
+		t.Fatal("registry-pinned run shows no remote traffic from the far node")
+	}
+}
+
+func TestSimulateServeErrors(t *testing.T) {
+	reg := NewRegistry(2)
+	if _, err := SimulateServe(reg, nil, RouterConfig{}); err == nil {
+		t.Fatal("empty registry accepted")
+	}
+	c := matrix.NewDense(2, 2)
+	c.Data = []float64{1, 0, 0, 1}
+	if _, err := reg.Publish("m", c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateServe(reg, []Request{{Model: "ghost", Rows: 1}}, RouterConfig{}); err == nil {
+		t.Fatal("unknown model in trace accepted")
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+)
+
+// StreamCheckpoint is the explicit, serialisable state of a
+// StreamEngine: everything needed to resume updating a model exactly
+// where it left off. Because folding is deterministic, an engine
+// resumed from a checkpoint and fed the remaining batches lands
+// bit-identically with one that ran uninterrupted.
+type StreamCheckpoint struct {
+	Model     string
+	Centroids *matrix.Dense
+	Counts    []int64
+	Seen      int64 // total rows folded
+	Published int   // publishes issued so far
+}
+
+// StreamEngine folds incoming observations into a model with
+// mini-batch gradient steps (kmeans.MiniBatchState), forever — the
+// update path of the serving layer. It is safe for concurrent Observe
+// calls; Publish snapshots the current centroids into the registry
+// copy-on-write, so the query path never sees a half-folded batch.
+type StreamEngine struct {
+	name string
+	reg  *Registry // may be nil: engine then only accumulates state
+
+	mu        sync.Mutex
+	state     *kmeans.MiniBatchState
+	seen      int64
+	published int
+}
+
+// NewStreamEngine starts an updater for the named model from seed
+// centroids (cloned). reg may be nil when the caller only wants the
+// learner; with a registry the seed is published immediately as the
+// model's first version.
+func NewStreamEngine(name string, seed *matrix.Dense, reg *Registry) (*StreamEngine, error) {
+	if seed == nil || seed.Rows() == 0 {
+		return nil, fmt.Errorf("serve: stream engine needs seed centroids")
+	}
+	e := &StreamEngine{name: name, reg: reg, state: kmeans.NewMiniBatchState(seed)}
+	if reg != nil {
+		if _, err := reg.Publish(name, seed); err != nil {
+			return nil, err
+		}
+		e.published = 1
+	}
+	return e, nil
+}
+
+// ResumeStreamEngine rebuilds an engine from a checkpoint. The
+// checkpoint's state is cloned, so the caller may keep it.
+func ResumeStreamEngine(cp StreamCheckpoint, reg *Registry) (*StreamEngine, error) {
+	if cp.Centroids == nil || cp.Centroids.Rows() != len(cp.Counts) {
+		return nil, fmt.Errorf("serve: malformed stream checkpoint for %q", cp.Model)
+	}
+	st := &kmeans.MiniBatchState{
+		Centroids: cp.Centroids.Clone(),
+		Counts:    append([]int64(nil), cp.Counts...),
+	}
+	return &StreamEngine{
+		name: cp.Model, reg: reg, state: st,
+		seen: cp.Seen, published: cp.Published,
+	}, nil
+}
+
+// Name returns the model name the engine updates.
+func (e *StreamEngine) Name() string { return e.name }
+
+// Observe folds every row of batch into the model in order and returns
+// the total centroid drift the batch caused.
+func (e *StreamEngine) Observe(batch *matrix.Dense) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	drift, err := e.state.FoldMatrix(batch)
+	if err != nil {
+		return 0, err
+	}
+	e.seen += int64(batch.Rows())
+	return drift, nil
+}
+
+// Seen returns the total number of rows folded so far.
+func (e *StreamEngine) Seen() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seen
+}
+
+// Centroids returns a copy of the current (unpublished) centroids.
+func (e *StreamEngine) Centroids() *matrix.Dense {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state.Centroids.Clone()
+}
+
+// Publish snapshots the current centroids into the registry as a new
+// version of the model and returns the snapshot.
+func (e *StreamEngine) Publish() (*Model, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.reg == nil {
+		return nil, fmt.Errorf("serve: stream engine %q has no registry", e.name)
+	}
+	m, err := e.reg.Publish(e.name, e.state.Centroids)
+	if err != nil {
+		return nil, err
+	}
+	e.published++
+	return m, nil
+}
+
+// Checkpoint captures the engine's full state (deep copy).
+func (e *StreamEngine) Checkpoint() StreamCheckpoint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return StreamCheckpoint{
+		Model:     e.name,
+		Centroids: e.state.Centroids.Clone(),
+		Counts:    append([]int64(nil), e.state.Counts...),
+		Seen:      e.seen,
+		Published: e.published,
+	}
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+	"knor/internal/workload"
+)
+
+func streamFixture(t *testing.T) (*matrix.Dense, *matrix.Dense, *kmeans.Result) {
+	t.Helper()
+	spec := workload.Spec{
+		Kind: workload.NaturalClusters, N: 4000, D: 8, Clusters: 6, Spread: 0.03, Seed: 11,
+	}
+	data := workload.Generate(spec)
+	cfg := kmeans.Config{K: 6, Init: kmeans.InitKMeansPP, Seed: 11}
+	oracle, err := kmeans.RunSerial(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cfg.WithDefaults(data.Rows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := kmeans.InitCentroidsFor(data, full)
+	return data, seeds, oracle
+}
+
+// feed streams the dataset through the engine in batches, in a fixed
+// shuffled order, for the given number of passes.
+func feed(t *testing.T, e *StreamEngine, data *matrix.Dense, batch, passes int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(data.Rows())
+	for p := 0; p < passes; p++ {
+		for lo := 0; lo < len(order); lo += batch {
+			hi := lo + batch
+			if hi > len(order) {
+				hi = len(order)
+			}
+			m := matrix.NewDense(hi-lo, data.Cols())
+			for i, idx := range order[lo:hi] {
+				copy(m.Row(i), data.Row(idx))
+			}
+			if _, err := e.Observe(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestStreamEngineConvergesToOracle(t *testing.T) {
+	data, seeds, oracle := streamFixture(t)
+	e, err := NewStreamEngine("m", seeds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, e, data, 256, 3, 5)
+	sse := workload.SSE(data, e.Centroids())
+	if sse > 1.05*oracle.SSE {
+		t.Fatalf("stream SSE %.6g not within 5%% of oracle %.6g", sse, oracle.SSE)
+	}
+	if e.Seen() != int64(3*data.Rows()) {
+		t.Fatalf("seen %d rows, want %d", e.Seen(), 3*data.Rows())
+	}
+}
+
+func TestStreamEngineDeterministic(t *testing.T) {
+	data, seeds, _ := streamFixture(t)
+	run := func() *matrix.Dense {
+		e, err := NewStreamEngine("m", seeds, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed(t, e, data, 128, 2, 9)
+		return e.Centroids()
+	}
+	a, b := run(), run()
+	if !a.Equal(b, 0) {
+		t.Fatal("identical seeds and batches produced different centroids")
+	}
+}
+
+func TestStreamEngineResumeEqualsUninterrupted(t *testing.T) {
+	data, seeds, _ := streamFixture(t)
+	reg := NewRegistry(4)
+
+	// Uninterrupted: 4 passes straight through.
+	whole, err := NewStreamEngine("m", seeds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, whole, data, 200, 4, 21)
+
+	// Interrupted: 2 passes, checkpoint, resume, 2 more passes with the
+	// same batch stream (feed re-derives the same order per pass pair).
+	half, err := NewStreamEngine("m", seeds, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	order := rng.Perm(data.Rows())
+	passFeed := func(e *StreamEngine, passes int) {
+		for p := 0; p < passes; p++ {
+			for lo := 0; lo < len(order); lo += 200 {
+				hi := lo + 200
+				if hi > len(order) {
+					hi = len(order)
+				}
+				m := matrix.NewDense(hi-lo, data.Cols())
+				for i, idx := range order[lo:hi] {
+					copy(m.Row(i), data.Row(idx))
+				}
+				if _, err := e.Observe(m); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	passFeed(half, 2)
+	cp := half.Checkpoint()
+	// Mutate the original after checkpointing: the checkpoint must be a
+	// deep copy.
+	passFeed(half, 1)
+	resumed, err := ResumeStreamEngine(cp, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passFeed(resumed, 2)
+
+	// feed() with seed 21 uses the same permutation for every pass, so
+	// "4 passes straight" must equal "2 passes + resume + 2 passes".
+	if !whole.Centroids().Equal(resumed.Centroids(), 0) {
+		t.Fatal("resumed run diverged from uninterrupted run")
+	}
+	if whole.Seen() != resumed.Seen() {
+		t.Fatalf("seen mismatch: %d vs %d", whole.Seen(), resumed.Seen())
+	}
+}
+
+func TestStreamEnginePublishVersions(t *testing.T) {
+	_, seeds, _ := streamFixture(t)
+	reg := NewRegistry(2)
+	e, err := NewStreamEngine("m", seeds, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := reg.Get("m")
+	if !ok || first.Version != 1 {
+		t.Fatalf("seed not published: %+v ok=%v", first, ok)
+	}
+	batch := matrix.NewDense(4, seeds.Cols())
+	for i := 0; i < 4; i++ {
+		copy(batch.Row(i), seeds.Row(0))
+	}
+	if _, err := e.Observe(batch); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := e.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 2 {
+		t.Fatalf("publish version = %d, want 2", snap.Version)
+	}
+	// The v1 snapshot must be untouched by the folds (copy-on-write).
+	if !first.Centroids.Equal(seeds, 0) {
+		t.Fatal("published v1 mutated by later Observe")
+	}
+}
+
+func TestResumeRejectsMalformedCheckpoint(t *testing.T) {
+	if _, err := ResumeStreamEngine(StreamCheckpoint{}, nil); err == nil {
+		t.Fatal("empty checkpoint accepted")
+	}
+	cp := StreamCheckpoint{Centroids: matrix.NewDense(3, 2), Counts: []int64{1, 2}}
+	if _, err := ResumeStreamEngine(cp, nil); err == nil {
+		t.Fatal("count/centroid mismatch accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"math/rand"
+
+	"knor/internal/matrix"
+)
+
+// QueryStream draws an endless stream of query rows from the same
+// generative process as a dataset Spec, so a serving layer can be
+// load-tested with traffic that matches the training distribution
+// (NaturalClusters queries land near the true mixture centres; uniform
+// kinds draw fresh uniform rows). The stream is deterministic for a
+// fixed (spec, seed) pair.
+type QueryStream struct {
+	spec    Spec
+	rng     *rand.Rand
+	centres *matrix.Dense // mixture centres for NaturalClusters
+	cum     []float64     // cumulative component weights
+}
+
+// NewQueryStream builds a stream for the spec. seed is independent of
+// the spec's dataset seed so train and query draws do not overlap.
+func NewQueryStream(s Spec, seed int64) *QueryStream {
+	q := &QueryStream{spec: s, rng: rand.New(rand.NewSource(seed))}
+	if s.Kind == NaturalClusters {
+		if q.spec.Clusters <= 0 {
+			q.spec.Clusters = 10
+		}
+		if q.spec.Spread <= 0 {
+			q.spec.Spread = 0.05
+		}
+		q.centres = TrueCentres(s)
+		weights := make([]float64, q.spec.Clusters)
+		var wsum float64
+		for c := range weights {
+			weights[c] = 1 / float64(c+1)
+			wsum += weights[c]
+		}
+		q.cum = make([]float64, q.spec.Clusters)
+		acc := 0.0
+		for c := range weights {
+			acc += weights[c] / wsum
+			q.cum[c] = acc
+		}
+	}
+	return q
+}
+
+// Next materialises the next batch of query rows.
+func (q *QueryStream) Next(batch int) *matrix.Dense {
+	m := matrix.NewDense(batch, q.spec.D)
+	for i := 0; i < batch; i++ {
+		row := m.Row(i)
+		switch q.spec.Kind {
+		case NaturalClusters:
+			u := q.rng.Float64()
+			c := 0
+			for c < q.spec.Clusters-1 && u > q.cum[c] {
+				c++
+			}
+			centre := q.centres.Row(c)
+			for j := range row {
+				row[j] = centre[j] + q.rng.NormFloat64()*q.spec.Spread
+			}
+		case UniformUnivariate:
+			v := q.rng.Float64()
+			for j := range row {
+				row[j] = v + q.rng.Float64()*1e-3
+			}
+		default: // UniformMultivariate
+			for j := range row {
+				row[j] = q.rng.Float64()
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+
+	"knor/internal/matrix"
+)
+
+func TestQueryStreamDeterministic(t *testing.T) {
+	spec := Spec{Kind: NaturalClusters, D: 8, Clusters: 5, Spread: 0.04, Seed: 9}
+	a := NewQueryStream(spec, 7).Next(100)
+	b := NewQueryStream(spec, 7).Next(100)
+	if !a.Equal(b, 0) {
+		t.Fatal("same (spec, seed) produced different queries")
+	}
+	c := NewQueryStream(spec, 8).Next(100)
+	if a.Equal(c, 0) {
+		t.Fatal("different seeds produced identical queries")
+	}
+}
+
+func TestQueryStreamMatchesTrainingDistribution(t *testing.T) {
+	spec := Spec{Kind: NaturalClusters, D: 8, Clusters: 5, Spread: 0.03, Seed: 11}
+	centres := TrueCentres(spec)
+	q := NewQueryStream(spec, 3).Next(500)
+	// Every query must land near one of the true mixture centres:
+	// within a few spread-lengths (here 5σ per coordinate would be
+	// 0.15; allow a generous Euclidean ball).
+	for i := 0; i < q.Rows(); i++ {
+		best := 1e18
+		for c := 0; c < centres.Rows(); c++ {
+			if d := matrix.Dist(q.Row(i), centres.Row(c)); d < best {
+				best = d
+			}
+		}
+		if best > 1.0 {
+			t.Fatalf("query %d is %.3f from every centre", i, best)
+		}
+	}
+}
+
+func TestQueryStreamUniformKinds(t *testing.T) {
+	for _, kind := range []Kind{UniformMultivariate, UniformUnivariate} {
+		q := NewQueryStream(Spec{Kind: kind, D: 4, Seed: 2}, 5).Next(200)
+		if q.Rows() != 200 || q.Cols() != 4 {
+			t.Fatalf("%v: wrong shape %dx%d", kind, q.Rows(), q.Cols())
+		}
+		for _, v := range q.Data {
+			if v < 0 || v >= 1.01 {
+				t.Fatalf("%v: value %v outside [0,1)+jitter", kind, v)
+			}
+		}
+	}
+	// Univariate rows are near-constant across coordinates.
+	q := NewQueryStream(Spec{Kind: UniformUnivariate, D: 4, Seed: 2}, 5).Next(50)
+	for i := 0; i < q.Rows(); i++ {
+		row := q.Row(i)
+		for j := 1; j < len(row); j++ {
+			if row[j]-row[0] > 1e-3+1e-9 || row[j]-row[0] < -1e-3-1e-9 {
+				t.Fatalf("univariate row %d varies too much: %v", i, row)
+			}
+		}
+	}
+}

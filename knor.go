@@ -12,6 +12,12 @@
 //   - RunDistributed — knord, decentralised per-machine drivers merged
 //     with MPI-style allreduce collectives.
 //
+// On top of the batch trainers sits an online serving layer (see
+// Registry, Batcher and StreamEngine, and the knorserve command):
+// models published copy-on-write, queries answered through batched GEMM
+// distance computations, and stream updaters that keep folding new
+// observations into a model while it serves.
+//
 // Hardware-gated effects (thread pinning, NUMA banks, SSD arrays,
 // cluster NICs) run through a deterministic simulated-cost layer — Go
 // offers no portable NUMA control — while all algorithmic behaviour
@@ -35,6 +41,7 @@ import (
 	"knor/internal/numaml"
 	"knor/internal/sched"
 	"knor/internal/sem"
+	"knor/internal/serve"
 	"knor/internal/simclock"
 	"knor/internal/workload"
 )
@@ -188,6 +195,49 @@ func NewGMM(seeds *Matrix, tol float64) *GMM { return numaml.NewGMM(seeds, tol) 
 // NewKNN prepares a k-nearest-neighbour query batch.
 func NewKNN(queries *Matrix, k int) *KNN { return numaml.NewKNN(queries, k) }
 
+// --- online clustering service layer (internal/serve) ------------------
+
+type (
+	// Registry holds named, versioned model snapshots (copy-on-write).
+	Registry = serve.Registry
+	// ServeModel is one immutable published centroid snapshot.
+	ServeModel = serve.Model
+	// StreamEngine folds observations into a model forever (the
+	// serving layer's updater), with exact checkpoint/resume.
+	StreamEngine = serve.StreamEngine
+	// StreamCheckpoint is a StreamEngine's explicit resumable state.
+	StreamCheckpoint = serve.StreamCheckpoint
+	// Batcher coalesces concurrent assignment requests into blocked
+	// GEMM distance computations.
+	Batcher = serve.Batcher
+	// BatcherOptions tune the assignment path.
+	BatcherOptions = serve.BatcherOptions
+	// Assignment is the answer for one query row.
+	Assignment = serve.Assignment
+)
+
+// NewRegistry builds a model registry pinning shards across the given
+// number of simulated NUMA nodes.
+func NewRegistry(nodes int) *Registry { return serve.NewRegistry(nodes) }
+
+// NewStreamEngine starts a streaming updater for the named model from
+// seed centroids, publishing them as version 1 when reg is non-nil.
+func NewStreamEngine(name string, seeds *Matrix, reg *Registry) (*StreamEngine, error) {
+	return serve.NewStreamEngine(name, seeds, reg)
+}
+
+// ResumeStreamEngine rebuilds a streaming updater from a checkpoint;
+// fed the same remaining batches it lands bit-identically with an
+// uninterrupted engine.
+func ResumeStreamEngine(cp StreamCheckpoint, reg *Registry) (*StreamEngine, error) {
+	return serve.ResumeStreamEngine(cp, reg)
+}
+
+// NewBatcher starts the batched assignment path over a registry.
+func NewBatcher(reg *Registry, opts BatcherOptions) *Batcher {
+	return serve.NewBatcher(reg, opts)
+}
+
 // --- clustering quality metrics ----------------------------------------
 
 // Silhouette computes the centroid-based simplified silhouette.
@@ -212,6 +262,13 @@ func Generate(s Spec) *Matrix { return workload.Generate(s) }
 // GenerateLabeled materialises a dataset with its generating labels
 // (nil for the uniform kinds), for external-index evaluation.
 func GenerateLabeled(s Spec) (*Matrix, []int32) { return workload.GenerateLabeled(s) }
+
+// QueryStream draws endless query traffic matching a dataset spec (the
+// serving layer's load generator).
+type QueryStream = workload.QueryStream
+
+// NewQueryStream builds a deterministic query stream for the spec.
+func NewQueryStream(s Spec, seed int64) *QueryStream { return workload.NewQueryStream(s, seed) }
 
 // LoadMatrix reads a matrix from the binary on-disk format.
 func LoadMatrix(path string) (*Matrix, error) { return matrix.LoadFile(path) }
