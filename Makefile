@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test bench figs docs serve-loadtest clean
+.PHONY: all build vet test race bench bench-precision figs docs serve-loadtest clean
 
 all: vet build test
 
@@ -13,10 +13,20 @@ vet:
 test:
 	$(GO) test ./...
 
+# Race-detector pass over the concurrent subsystems (mirrors CI).
+race:
+	$(GO) test -race ./internal/serve/... ./internal/kmeans/... ./cmd/knorserve/...
+
 # Headline benchmarks: one representative configuration per paper
 # artifact (Tables 1-3, Figures 4-13, ablations).
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
+
+# The float32 vs float64 kernel/serving pair behind EXPERIMENTS.md's
+# precision section.
+bench-precision:
+	$(GO) test -run=NONE -bench='Gemm32vs64' -benchtime=5x ./internal/blas
+	$(GO) test -run=NONE -bench='ServeAssign' -benchtime=20x ./internal/serve
 
 # Full figure sweeps (smaller -quick variants; drop -quick for the
 # complete scale-reduced reproduction).

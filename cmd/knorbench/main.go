@@ -9,7 +9,7 @@
 //	knorbench -exp fig4,fig5 -scale 2000
 //
 // Experiments: table1 table2 table3 fig4 fig5 fig6a fig6b fig7 fig8
-// fig8mem fig9 fig9mem fig10 fig11 fig12 fig13 ablation serve
+// fig8mem fig9 fig9mem fig10 fig11 fig12 fig13 ablation serve precision
 package main
 
 import (
@@ -53,6 +53,7 @@ var experiments = []experiment{
 	{"fig13", "Figure 13: knors single node vs distributed packages", fig13},
 	{"ablation", "Ablations: task size, I_cache, page size, clause mix, TI vs MTI", ablation},
 	{"serve", "Serving: simulated /assign throughput vs placement x scheduler", serveExp},
+	{"precision", "Precision: float32 vs float64 kernels, training and serving", precisionExp},
 }
 
 func main() {

@@ -35,6 +35,7 @@ func main() {
 		cores     = flag.Int("cores", 12, "cores per NUMA node")
 		oblivious = flag.Bool("numa-oblivious", false, "disable NUMA policies (baseline)")
 		spherical = flag.Bool("spherical", false, "spherical k-means (cosine)")
+		precision = flag.String("precision", "64", "numeric core element type: 32 | 64")
 		seed      = flag.Int64("seed", 1, "algorithm seed")
 		verbose   = flag.Bool("v", false, "print per-iteration stats")
 	)
@@ -64,7 +65,11 @@ func main() {
 		cfg.Placement = knor.PlaceSingleBank
 		cfg.Sched = knor.SchedFIFO
 	}
-	res, err := knor.Run(data, cfg)
+	prec, err := cliutil.ParsePrecision(*precision)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := knor.RunPrecision(data, cfg, prec)
 	if err != nil {
 		fatal(err)
 	}

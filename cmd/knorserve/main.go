@@ -16,7 +16,18 @@
 // Usage:
 //
 //	knorserve -addr :8080
+//	knorserve -addr :8080 -precision 32
 //	knorserve -loadtest -lt-n 1000000 -lt-d 16 -lt-k 100
+//
+// -precision 32 runs the batched assignment path in float32 against the
+// registry's precomputed float32 centroid mirrors: half the memory
+// traffic per flush, answers within the relative-error bounds
+// documented in EXPERIMENTS.md. Training and the registry's canonical
+// centroids stay float64.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: the listener
+// stops accepting, every in-flight request (including /assign rows
+// waiting on a batch flush) is answered, then the process exits.
 //
 // The -loadtest mode boots the server on a loopback listener, registers
 // a model trained on an N×D dataset, then hammers /assign over HTTP
@@ -25,12 +36,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
+	"net"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
+
+	"knor/internal/cliutil"
 )
 
 func main() {
@@ -41,6 +57,10 @@ func main() {
 		threads      = flag.Int("threads", 0, "GEMM threads (0 = GOMAXPROCS)")
 		nodes        = flag.Int("nodes", 4, "simulated NUMA nodes to pin model shards across")
 		publishEvery = flag.Int("publish-every", 4096, "auto-publish a stream model every N observed rows (0 = manual)")
+		precision    = flag.String("precision", "64", "assign-path element type: 32 | 64")
+		retainVers   = flag.Int("retain-versions", 0, "retained model versions per name (0 = default 8)")
+		retainAge    = flag.Duration("retain-age", 0, "evict unpinned versions older than this (0 = no age bound)")
+		drainWait    = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
 
 		loadtest  = flag.Bool("loadtest", false, "run the self-contained /assign load test and exit")
 		ltN       = flag.Int("lt-n", 1_000_000, "loadtest: training rows")
@@ -55,13 +75,19 @@ func main() {
 	if *threads <= 0 {
 		*threads = runtime.GOMAXPROCS(0)
 	}
+	prec, err := cliutil.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knorserve:", err)
+		os.Exit(2)
+	}
 	srv := newServer(serverOptions{
 		maxBatch: *maxBatch, maxWait: *maxWait, threads: *threads,
-		nodes: *nodes, publishEvery: *publishEvery,
+		nodes: *nodes, publishEvery: *publishEvery, precision: prec,
+		retainVersions: *retainVers, retainAge: *retainAge,
 	})
-	defer srv.close()
 
 	if *loadtest {
+		defer srv.close()
 		err := runLoadTest(srv, loadTestOptions{
 			n: *ltN, d: *ltD, k: *ltK,
 			clients: *ltClients, requests: *ltReqs, rowsPerReq: *ltRows, seed: *ltSeed,
@@ -73,10 +99,18 @@ func main() {
 		return
 	}
 
-	fmt.Printf("knorserve listening on %s (batch=%d wait=%s threads=%d)\n",
-		*addr, *maxBatch, *maxWait, *threads)
-	if err := http.ListenAndServe(*addr, srv.mux()); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "knorserve:", err)
 		os.Exit(1)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("knorserve listening on %s (batch=%d wait=%s threads=%d precision=%s)\n",
+		ln.Addr(), *maxBatch, *maxWait, *threads, prec)
+	if err := serveUntil(ctx, ln, srv, *drainWait); err != nil {
+		fmt.Fprintln(os.Stderr, "knorserve:", err)
+		os.Exit(1)
+	}
+	fmt.Println("knorserve: drained, bye")
 }

@@ -20,6 +20,12 @@ type serverOptions struct {
 	threads      int
 	nodes        int
 	publishEvery int
+	// precision selects the assign hot path's element type (the
+	// -precision flag): float32 halves per-flush memory traffic.
+	precision kmeans.Precision
+	// retainVersions/retainAge bound the registry's per-model history.
+	retainVersions int
+	retainAge      time.Duration
 }
 
 // server wires the registry, the batched assignment path, and one
@@ -27,7 +33,10 @@ type serverOptions struct {
 type server struct {
 	opts    serverOptions
 	reg     *serve.Registry
-	batcher *serve.Batcher
+	batcher serve.Assigner
+
+	closeOnce sync.Once
+	sweepStop chan struct{}
 
 	mu      sync.Mutex
 	streams map[string]*serve.StreamEngine
@@ -37,18 +46,57 @@ type server struct {
 
 func newServer(opts serverOptions) *server {
 	reg := serve.NewRegistry(opts.nodes)
-	return &server{
+	if opts.retainVersions > 0 || opts.retainAge > 0 {
+		reg.SetRetention(serve.Retention{MaxVersions: opts.retainVersions, MaxAge: opts.retainAge})
+	}
+	s := &server{
 		opts: opts,
 		reg:  reg,
-		batcher: serve.NewBatcher(reg, serve.BatcherOptions{
+		batcher: serve.NewAssigner(reg, serve.BatcherOptions{
 			MaxBatch: opts.maxBatch, MaxWait: opts.maxWait, Threads: opts.threads,
-		}),
-		streams:  map[string]*serve.StreamEngine{},
-		unfolded: map[string]int{},
+		}, opts.precision),
+		sweepStop: make(chan struct{}),
+		streams:   map[string]*serve.StreamEngine{},
+		unfolded:  map[string]int{},
+	}
+	if opts.retainAge > 0 {
+		// Publish-driven eviction never ages out a model that stopped
+		// publishing, so sweep on a timer (a few times per MaxAge).
+		go s.sweep(clampDuration(opts.retainAge/4, time.Second, time.Minute))
+	}
+	return s
+}
+
+// sweep applies the age bound periodically until close.
+func (s *server) sweep(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.reg.EvictExpired(time.Now())
+		case <-s.sweepStop:
+			return
+		}
 	}
 }
 
-func (s *server) close() { s.batcher.Close() }
+func clampDuration(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+func (s *server) close() {
+	s.closeOnce.Do(func() {
+		close(s.sweepStop)
+		s.batcher.Close()
+	})
+}
 
 func (s *server) mux() *http.ServeMux {
 	m := http.NewServeMux()
@@ -225,7 +273,7 @@ func (s *server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	as, err := s.batcher.AssignBatch(req.Model, rows)
+	as, err := s.batcher.AssignRows(req.Model, rows)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -326,6 +374,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"mean_ms":   st.Mean * 1e3,
 		"models":    len(s.reg.List()),
 		"avg_batch": avgBatch(st),
+		"precision": s.opts.precision.String(),
 	})
 }
 

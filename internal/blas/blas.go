@@ -3,19 +3,40 @@
 // optionally parallel Dgemm. These back the GEMM-formulated k-means
 // baseline of the paper's Table 3 (MATLAB/BLAS rows), which computes all
 // point-to-centroid distances as ‖v‖² + ‖c‖² − 2·V·Cᵀ.
+//
+// Every kernel is generic over Float. The float64 instantiation executes
+// exactly the pre-generic code (same loop structure, same operation
+// order), so it stays bit-identical with the serial oracle. The float32
+// instantiation halves memory traffic — the bandwidth lever the paper's
+// memory-hierarchy engineering is about — and additionally routes Dgemm
+// through a register-tiled microkernel (see dgemmBlock32): the float64
+// kernel cannot be rescheduled without breaking bit-identity, but the
+// float32 kernel is new surface and free to break the sequential FMA
+// dependency chain.
 package blas
 
 import (
 	"fmt"
 	"sync"
+
+	"knor/internal/fp"
 )
 
+// Float is the element-type constraint threaded through the matrix,
+// kmeans and serve layers: float64 is the oracle precision, float32 the
+// halved-bandwidth serving/training precision. (An alias of fp.Float —
+// the constraint lives in a leaf package so matrix can name it too.)
+type Float = fp.Float
+
+// ElemBytes returns the in-memory size of one element of T.
+func ElemBytes[T Float]() int { return fp.ElemBytes[T]() }
+
 // Ddot returns xᵀy.
-func Ddot(x, y []float64) float64 {
+func Ddot[T Float](x, y []T) T {
 	if len(x) != len(y) {
 		panic("blas: Ddot length mismatch")
 	}
-	var s float64
+	var s T
 	for i, v := range x {
 		s += v * y[i]
 	}
@@ -23,7 +44,7 @@ func Ddot(x, y []float64) float64 {
 }
 
 // Daxpy computes y += alpha*x.
-func Daxpy(alpha float64, x, y []float64) {
+func Daxpy[T Float](alpha T, x, y []T) {
 	if len(x) != len(y) {
 		panic("blas: Daxpy length mismatch")
 	}
@@ -33,18 +54,18 @@ func Daxpy(alpha float64, x, y []float64) {
 }
 
 // Dscal computes x *= alpha.
-func Dscal(alpha float64, x []float64) {
+func Dscal[T Float](alpha T, x []T) {
 	for i := range x {
 		x[i] *= alpha
 	}
 }
 
 // Dnrm2Sq returns ‖x‖² (squared Euclidean norm).
-func Dnrm2Sq(x []float64) float64 { return Ddot(x, x) }
+func Dnrm2Sq[T Float](x []T) T { return Ddot(x, x) }
 
 // RowNormsSq fills out[i] with the squared norm of row i of the m×n
 // row-major matrix a.
-func RowNormsSq(a []float64, m, n int, out []float64) {
+func RowNormsSq[T Float](a []T, m, n int, out []T) {
 	if len(a) < m*n || len(out) < m {
 		panic("blas: RowNormsSq size mismatch")
 	}
@@ -59,7 +80,7 @@ const blockDim = 64 // cache block edge, tuned for L1-resident tiles
 // C is m×n, all row-major. The B-transposed convention matches the
 // k-means use (points × centroidsᵀ) and keeps both inner streams
 // sequential. threads <= 1 runs serially.
-func Dgemm(alpha float64, a []float64, m, k int, b []float64, n int, beta float64, c []float64, threads int) {
+func Dgemm[T Float](alpha T, a []T, m, k int, b []T, n int, beta T, c []T, threads int) {
 	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
 		panic(fmt.Sprintf("blas: Dgemm size mismatch m=%d n=%d k=%d", m, n, k))
 	}
@@ -69,7 +90,7 @@ func Dgemm(alpha float64, a []float64, m, k int, b []float64, n int, beta float6
 		}
 	}
 	if threads <= 1 {
-		dgemmBlock(alpha, a, m, k, b, n, c, 0, m)
+		dgemmRange(alpha, a, m, k, b, n, c, 0, m)
 		return
 	}
 	// Split rows of A across workers in contiguous stripes.
@@ -87,15 +108,27 @@ func Dgemm(alpha float64, a []float64, m, k int, b []float64, n int, beta float6
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			dgemmBlock(alpha, a, m, k, b, n, c, lo, hi)
+			dgemmRange(alpha, a, m, k, b, n, c, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
 }
 
+// dgemmRange dispatches rows [rlo, rhi) to the width-specific kernel:
+// float64 must keep the legacy operation order (bit-identity with the
+// oracle), float32 runs the register-tiled microkernel.
+func dgemmRange[T Float](alpha T, a []T, m, k int, b []T, n int, c []T, rlo, rhi int) {
+	if a32, ok := any(a).([]float32); ok {
+		dgemmBlock32(float32(alpha), a32, m, k, any(b).([]float32), n, any(c).([]float32), rlo, rhi)
+		return
+	}
+	dgemmBlock(alpha, a, m, k, b, n, c, rlo, rhi)
+}
+
 // dgemmBlock computes rows [rlo, rhi) of C += alpha*A*Bᵀ with cache
-// blocking over all three dimensions.
-func dgemmBlock(alpha float64, a []float64, m, k int, b []float64, n int, c []float64, rlo, rhi int) {
+// blocking over all three dimensions. This is the reference schedule:
+// the float64 path must not deviate from it.
+func dgemmBlock[T Float](alpha T, a []T, m, k int, b []T, n int, c []T, rlo, rhi int) {
 	for i0 := rlo; i0 < rhi; i0 += blockDim {
 		iMax := min(i0+blockDim, rhi)
 		for j0 := 0; j0 < n; j0 += blockDim {
@@ -107,8 +140,75 @@ func dgemmBlock(alpha float64, a []float64, m, k int, b []float64, n int, c []fl
 					crow := c[i*n : i*n+n]
 					for j := j0; j < jMax; j++ {
 						brow := b[j*k : j*k+k]
-						var s float64
+						var s T
 						for p := p0; p < pMax; p++ {
+							s += arow[p] * brow[p]
+						}
+						crow[j] += alpha * s
+					}
+				}
+			}
+		}
+	}
+}
+
+// dgemmBlock32 is the float32 microkernel: the same cache blocking as
+// dgemmBlock, but register-tiled 4 columns wide with 2-way unrolled
+// inner products (8 independent accumulator chains). The sequential
+// s += a*b loop of the reference schedule compiles to a chained FMA —
+// one fused op per add-latency — so it is latency-bound at either
+// width; breaking the chain is what converts float32's halved element
+// size into measured throughput (BenchmarkGemm32vs64, knorbench -exp
+// precision). Summation order differs from the reference kernel, which
+// is fine at float32: consumers get a relative-error contract, not
+// bit-identity (see internal/kmeans precision tests).
+func dgemmBlock32(alpha float32, a []float32, m, k int, b []float32, n int, c []float32, rlo, rhi int) {
+	for i0 := rlo; i0 < rhi; i0 += blockDim {
+		iMax := min(i0+blockDim, rhi)
+		for j0 := 0; j0 < n; j0 += blockDim {
+			jMax := min(j0+blockDim, n)
+			for p0 := 0; p0 < k; p0 += blockDim {
+				pMax := min(p0+blockDim, k)
+				kl := pMax - p0
+				for i := i0; i < iMax; i++ {
+					arow := a[i*k+p0 : i*k+pMax]
+					crow := c[i*n : i*n+n]
+					j := j0
+					for ; j+4 <= jMax; j += 4 {
+						b0 := b[j*k+p0 : j*k+pMax]
+						b1 := b[(j+1)*k+p0 : (j+1)*k+pMax]
+						b2 := b[(j+2)*k+p0 : (j+2)*k+pMax]
+						b3 := b[(j+3)*k+p0 : (j+3)*k+pMax]
+						var s0a, s1a, s2a, s3a float32
+						var s0b, s1b, s2b, s3b float32
+						p := 0
+						for ; p+2 <= kl; p += 2 {
+							av0, av1 := arow[p], arow[p+1]
+							s0a += av0 * b0[p]
+							s0b += av1 * b0[p+1]
+							s1a += av0 * b1[p]
+							s1b += av1 * b1[p+1]
+							s2a += av0 * b2[p]
+							s2b += av1 * b2[p+1]
+							s3a += av0 * b3[p]
+							s3b += av1 * b3[p+1]
+						}
+						for ; p < kl; p++ {
+							av := arow[p]
+							s0a += av * b0[p]
+							s1a += av * b1[p]
+							s2a += av * b2[p]
+							s3a += av * b3[p]
+						}
+						crow[j] += alpha * (s0a + s0b)
+						crow[j+1] += alpha * (s1a + s1b)
+						crow[j+2] += alpha * (s2a + s2b)
+						crow[j+3] += alpha * (s3a + s3b)
+					}
+					for ; j < jMax; j++ {
+						brow := b[j*k+p0 : j*k+pMax]
+						var s float32
+						for p := 0; p < kl; p++ {
 							s += arow[p] * brow[p]
 						}
 						crow[j] += alpha * s
@@ -122,12 +222,12 @@ func dgemmBlock(alpha float64, a []float64, m, k int, b []float64, n int, c []fl
 // PairwiseSqDist fills dist (m×n row-major) with squared Euclidean
 // distances between rows of a (m×k) and rows of b (n×k) using the GEMM
 // identity. Small negative values from cancellation are clamped to 0.
-func PairwiseSqDist(a []float64, m int, b []float64, n, k int, dist []float64, threads int) {
+func PairwiseSqDist[T Float](a []T, m int, b []T, n, k int, dist []T, threads int) {
 	if len(dist) < m*n {
 		panic("blas: PairwiseSqDist dist too small")
 	}
-	an := make([]float64, m)
-	bn := make([]float64, n)
+	an := make([]T, m)
+	bn := make([]T, n)
 	RowNormsSq(a, m, k, an)
 	RowNormsSq(b, n, k, bn)
 	for i := range dist[:m*n] {

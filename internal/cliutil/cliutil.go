@@ -38,6 +38,11 @@ func ParseInit(s string) (kmeans.Init, error) {
 	}
 }
 
+// ParsePrecision maps a -precision flag string to a numeric precision.
+func ParsePrecision(s string) (kmeans.Precision, error) {
+	return kmeans.ParsePrecision(strings.ToLower(s))
+}
+
 // ParseSched maps a flag string to a scheduler policy.
 func ParseSched(s string) (sched.Policy, error) {
 	switch strings.ToLower(s) {

@@ -1,0 +1,18 @@
+// Package fp holds the element-type constraint shared by the numeric
+// layers (blas → matrix → kmeans → serve). It is a leaf package so that
+// matrix can name the constraint while the blas tests import matrix;
+// the canonical spelling for callers is the blas.Float alias.
+package fp
+
+// Float constrains the element type of every numeric kernel: float64 is
+// the oracle precision, float32 the halved-bandwidth precision.
+type Float interface{ float32 | float64 }
+
+// ElemBytes returns the in-memory size of one element of T.
+func ElemBytes[T Float]() int {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return 4
+	}
+	return 8
+}

@@ -3,26 +3,36 @@ package kmeans
 import (
 	"sync"
 
+	"knor/internal/blas"
 	"knor/internal/matrix"
 )
 
-// Accum is one thread's local centroid accumulator: running sums and
+// AccumOf is one thread's local centroid accumulator: running sums and
 // counts for the next iteration's centroids (the ptC structure of
 // Algorithm 1). Accums are merged pairwise in parallel at the end of
-// each iteration — the funnelsort-like reduction of Section 5.2.
-type Accum struct {
+// each iteration — the funnelsort-like reduction of Section 5.2. It is
+// generic over the element type; Accum is the float64 instantiation the
+// oracle engines use.
+type AccumOf[T blas.Float] struct {
 	K, D  int
-	Sum   []float64 // k*d running sums
-	Count []int64   // k memberships
+	Sum   []T     // k*d running sums
+	Count []int64 // k memberships
 }
 
-// NewAccum allocates a zeroed accumulator.
-func NewAccum(k, d int) *Accum {
-	return &Accum{K: k, D: d, Sum: make([]float64, k*d), Count: make([]int64, k)}
+// Accum is the float64 accumulator (bit-identical with the pre-generic
+// implementation).
+type Accum = AccumOf[float64]
+
+// NewAccum allocates a zeroed float64 accumulator.
+func NewAccum(k, d int) *Accum { return NewAccumOf[float64](k, d) }
+
+// NewAccumOf allocates a zeroed accumulator of element type T.
+func NewAccumOf[T blas.Float](k, d int) *AccumOf[T] {
+	return &AccumOf[T]{K: k, D: d, Sum: make([]T, k*d), Count: make([]int64, k)}
 }
 
 // Reset zeroes the accumulator for the next iteration.
-func (a *Accum) Reset() {
+func (a *AccumOf[T]) Reset() {
 	for i := range a.Sum {
 		a.Sum[i] = 0
 	}
@@ -32,7 +42,7 @@ func (a *Accum) Reset() {
 }
 
 // Add accumulates a row into cluster c.
-func (a *Accum) Add(row []float64, c int) {
+func (a *AccumOf[T]) Add(row []T, c int) {
 	dst := a.Sum[c*a.D : (c+1)*a.D]
 	_ = row[len(dst)-1]
 	for j := range dst {
@@ -43,7 +53,7 @@ func (a *Accum) Add(row []float64, c int) {
 
 // Remove subtracts a row from cluster c (used for incremental updates
 // where a row migrates between clusters without a full rebuild).
-func (a *Accum) Remove(row []float64, c int) {
+func (a *AccumOf[T]) Remove(row []T, c int) {
 	dst := a.Sum[c*a.D : (c+1)*a.D]
 	_ = row[len(dst)-1]
 	for j := range dst {
@@ -53,7 +63,7 @@ func (a *Accum) Remove(row []float64, c int) {
 }
 
 // Merge folds other into a.
-func (a *Accum) Merge(other *Accum) {
+func (a *AccumOf[T]) Merge(other *AccumOf[T]) {
 	for i := range a.Sum {
 		a.Sum[i] += other.Sum[i]
 	}
@@ -62,10 +72,15 @@ func (a *Accum) Merge(other *Accum) {
 	}
 }
 
-// MergeTree reduces the accumulators into accs[0] with a parallel
+// MergeTree reduces float64 accumulators into accs[0]. (Kept
+// non-generic so untyped nil calls need no type argument; MergeTreeOf
+// is the generic variant.)
+func MergeTree(accs []*Accum) *Accum { return MergeTreeOf(accs) }
+
+// MergeTreeOf reduces the accumulators into accs[0] with a parallel
 // pairwise tree (O(log T) levels), matching the paper's reduction. The
 // merge order is deterministic: level ℓ merges accs[i] ← accs[i+stride].
-func MergeTree(accs []*Accum) *Accum {
+func MergeTreeOf[T blas.Float](accs []*AccumOf[T]) *AccumOf[T] {
 	n := len(accs)
 	if n == 0 {
 		return nil
@@ -87,15 +102,15 @@ func MergeTree(accs []*Accum) *Accum {
 // Centroids finalises the accumulator into mean centroids. Clusters
 // with no members keep their previous centroid (prev row), the standard
 // empty-cluster policy for Lloyd's.
-func (a *Accum) Centroids(prev *matrix.Dense) *matrix.Dense {
-	out := matrix.NewDense(a.K, a.D)
+func (a *AccumOf[T]) Centroids(prev *matrix.Mat[T]) *matrix.Mat[T] {
+	out := matrix.New[T](a.K, a.D)
 	for c := 0; c < a.K; c++ {
 		row := out.Row(c)
 		if a.Count[c] == 0 {
 			copy(row, prev.Row(c))
 			continue
 		}
-		inv := 1 / float64(a.Count[c])
+		inv := 1 / T(a.Count[c])
 		src := a.Sum[c*a.D : (c+1)*a.D]
 		for j := range row {
 			row[j] = src[j] * inv
@@ -106,6 +121,6 @@ func (a *Accum) Centroids(prev *matrix.Dense) *matrix.Dense {
 
 // SerializedBytes returns the wire size of the accumulator (k*d sums +
 // k counts), the payload knord's allreduce moves per machine.
-func (a *Accum) SerializedBytes() int {
-	return a.K*a.D*8 + a.K*8
+func (a *AccumOf[T]) SerializedBytes() int {
+	return a.K*a.D*blas.ElemBytes[T]() + a.K*8
 }

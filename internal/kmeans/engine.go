@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"knor/internal/blas"
 	"knor/internal/matrix"
 	"knor/internal/numa"
 	"knor/internal/sched"
@@ -29,7 +30,12 @@ import (
 //     not depend on how the Go runtime happened to interleave the real
 //     goroutines — while still expressing skew, stealing, locality and
 //     link contention exactly as the policy dictates.
-func Run(data *matrix.Dense, cfg Config) (*Result, error) {
+func Run(data *matrix.Dense, cfg Config) (*Result, error) { return RunOf(data, cfg) }
+
+// RunOf is Run generic over the element type: the float64 instantiation
+// is the oracle engine, the float32 instantiation is the
+// halved-bandwidth variant selected by Precision32 (see RunPrecision).
+func RunOf[T blas.Float](data *matrix.Mat[T], cfg Config) (*Result, error) {
 	cfg, err := cfg.withDefaults(data.Rows())
 	if err != nil {
 		return nil, err
@@ -51,17 +57,17 @@ type taskCost struct {
 	rows    int
 }
 
-// engine holds one run's state; the distributed module embeds one
-// engine per simulated machine.
-type Engine struct {
-	data *matrix.Dense
+// EngineOf holds one run's state, generic over the element type; the
+// distributed module embeds one (float64) engine per simulated machine.
+type EngineOf[T blas.Float] struct {
+	data *matrix.Mat[T]
 	cfg  Config
 
 	n, d, k int
-	cents   *matrix.Dense
-	ps      *PruneState
-	gsum    *Accum   // persistent global sums
-	deltas  []*Accum // per-thread membership deltas
+	cents   *matrix.Mat[T]
+	ps      *PruneStateOf[T]
+	gsum    *AccumOf[T]   // persistent global sums
+	deltas  []*AccumOf[T] // per-thread membership deltas
 	group   *simclock.Group
 	machine *numa.Machine
 	place   *numa.Placement
@@ -74,18 +80,22 @@ type Engine struct {
 	baseClock float64
 }
 
-func NewEngineValidated(data *matrix.Dense, cfg Config) *Engine {
+// Engine is the float64 engine, bit-identical with the pre-generic
+// implementation.
+type Engine = EngineOf[float64]
+
+func NewEngineValidated[T blas.Float](data *matrix.Mat[T], cfg Config) *EngineOf[T] {
 	n, d := data.Rows(), data.Cols()
-	e := &Engine{data: data, cfg: cfg, n: n, d: d, k: cfg.K}
+	e := &EngineOf[T]{data: data, cfg: cfg, n: n, d: d, k: cfg.K}
 	e.cents = initCentroids(data, cfg)
 	if cfg.Spherical {
 		normalizeRows(e.cents)
 	}
-	e.ps = NewPruneState(cfg.Prune, n, cfg.K)
-	e.gsum = NewAccum(cfg.K, d)
-	e.deltas = make([]*Accum, cfg.Threads)
+	e.ps = NewPruneStateOf[T](cfg.Prune, n, cfg.K)
+	e.gsum = NewAccumOf[T](cfg.K, d)
+	e.deltas = make([]*AccumOf[T], cfg.Threads)
 	for i := range e.deltas {
-		e.deltas[i] = NewAccum(cfg.K, d)
+		e.deltas[i] = NewAccumOf[T](cfg.K, d)
 	}
 	e.group = simclock.NewGroup(cfg.Threads, cfg.Model)
 	e.machine = numa.NewMachine(cfg.Topo, cfg.Model)
@@ -96,11 +106,11 @@ func NewEngineValidated(data *matrix.Dense, cfg Config) *Engine {
 	return e
 }
 
-func (e *Engine) workerNode(w int) int {
+func (e *EngineOf[T]) workerNode(w int) int {
 	return e.cfg.Topo.NodeOfThread(w, e.cfg.Threads)
 }
 
-func (e *Engine) run() (*Result, error) {
+func (e *EngineOf[T]) run() (*Result, error) {
 	res := &Result{}
 	e.group.ResetAll(e.baseClock)
 	for iter := 0; iter < e.cfg.MaxIters; iter++ {
@@ -116,21 +126,23 @@ func (e *Engine) run() (*Result, error) {
 	return res, nil
 }
 
-func (e *Engine) finish(res *Result) {
-	res.Centroids = e.cents
+func (e *EngineOf[T]) finish(res *Result) {
+	res.Centroids = matrix.ToFloat64(e.cents)
 	res.Assign = e.ps.Assign
 	res.Sizes = sizesOf(e.ps.Assign, e.k)
 	res.SSE = SSEOf(e.data, e.cents, e.ps.Assign)
 	res.SimSeconds = e.group.Max() - e.baseClock
-	// In-memory runs hold the full n×d data plus algorithm state.
-	res.MemoryBytes = uint64(e.n)*uint64(e.d)*8 +
-		StateBytes(e.n, e.d, e.k, e.cfg.Threads, e.cfg.Prune)
+	// In-memory runs hold the full n×d data plus algorithm state; both
+	// scale with the element size.
+	eb := blas.ElemBytes[T]()
+	res.MemoryBytes = uint64(e.n)*uint64(e.d)*uint64(eb) +
+		stateBytesElem(e.n, e.d, e.k, e.cfg.Threads, e.cfg.Prune, eb)
 }
 
 // Iterate performs one full iteration: the local super-phase followed
 // by the (machine-local) global apply. It returns the iteration stats,
 // the number of rows that changed membership, and total drift.
-func (e *Engine) Iterate(iter int) (IterStats, int, float64) {
+func (e *EngineOf[T]) Iterate(iter int) (IterStats, int, float64) {
 	startT := e.group.Clock(0).Now()
 	st, local := e.LocalPhase(iter)
 	drift := e.ApplyGlobal(local)
@@ -144,13 +156,13 @@ func (e *Engine) Iterate(iter int) (IterStats, int, float64) {
 // parallel delta merge, and the virtual scheduling replay. It returns
 // the iteration stats and the machine's merged delta accumulator —
 // which knord allreduces across machines before ApplyGlobal.
-func (e *Engine) LocalPhase(iter int) (IterStats, *Accum) {
+func (e *EngineOf[T]) LocalPhase(iter int) (IterStats, *AccumOf[T]) {
 	model := e.cfg.Model
 	e.ps.UpdateCentroidDists(e.cents)
 
 	st := e.computePass(iter)
 	st.Iter = iter
-	merged := MergeTree(e.deltas)
+	merged := MergeTreeOf(e.deltas)
 
 	// Virtual replay of the iteration through the scheduler.
 	e.replay(iter)
@@ -173,7 +185,7 @@ func (e *Engine) LocalPhase(iter int) (IterStats, *Accum) {
 // ApplyGlobal folds a (possibly allreduced) delta accumulator into the
 // persistent global sums, produces the next centroids, computes drift
 // and loosens the pruning bounds. Returns total drift.
-func (e *Engine) ApplyGlobal(delta *Accum) float64 {
+func (e *EngineOf[T]) ApplyGlobal(delta *AccumOf[T]) float64 {
 	e.gsum.Merge(delta)
 	next := e.gsum.Centroids(e.cents)
 	if e.cfg.Spherical {
@@ -201,13 +213,14 @@ func (e *Engine) ApplyGlobal(delta *Accum) float64 {
 // computePass runs the real parallel assignment pass. Tasks are claimed
 // off a shared atomic cursor (order is irrelevant for correctness: row
 // decisions are independent given the iteration's centroids).
-func (e *Engine) computePass(iter int) IterStats {
+func (e *EngineOf[T]) computePass(iter int) IterStats {
 	var cursor int64
 	type out struct {
 		ctr     PruneCounters
 		changed int
 	}
 	outs := make([]out, e.cfg.Threads)
+	rowBytes := e.d * blas.ElemBytes[T]()
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Threads; w++ {
 		wg.Add(1)
@@ -230,7 +243,7 @@ func (e *Engine) computePass(iter int) IterStats {
 						o.ctr.C1++
 						continue
 					}
-					bytes += e.d * 8
+					bytes += rowBytes
 					row := e.data.Row(i)
 					old := e.ps.Assign[i]
 					if e.ps.AssignRow(i, row, e.cents, &o.ctr) {
@@ -275,12 +288,12 @@ func (e *Engine) computePass(iter int) IterStats {
 // its next task, pays the memory transfer through the (possibly
 // contended) NUMA links, then the compute cost. Deterministic given the
 // config.
-func (e *Engine) replay(iter int) {
+func (e *EngineOf[T]) replay(iter int) {
 	model := e.cfg.Model
 	e.sc.Reset(e.tasks)
-	T := e.cfg.Threads
-	done := make([]bool, T)
-	remaining := T
+	nw := e.cfg.Threads
+	done := make([]bool, nw)
+	remaining := nw
 	var rng *rand.Rand
 	if e.cfg.NUMAOblivious {
 		rng = rand.New(rand.NewSource(e.cfg.Seed + int64(iter)))
@@ -290,13 +303,13 @@ func (e *Engine) replay(iter int) {
 	// core, so per-thread compute slows by T/(cores*1.25) — the paper's
 	// "speedup degrades slightly at 64 cores" on a 48-core box.
 	computeScale := 1.0
-	if cores := e.cfg.Topo.TotalCores(); T > cores {
-		computeScale = float64(T) / (float64(cores) * 1.25)
+	if cores := e.cfg.Topo.TotalCores(); nw > cores {
+		computeScale = float64(nw) / (float64(cores) * 1.25)
 	}
 	for remaining > 0 {
 		// Earliest active worker (lowest id breaks ties).
 		w := -1
-		for i := 0; i < T; i++ {
+		for i := 0; i < nw; i++ {
 			if done[i] {
 				continue
 			}
@@ -334,7 +347,7 @@ func (e *Engine) replay(iter int) {
 }
 
 // parallelLoosen applies post-update bound adjustments across threads.
-func (e *Engine) parallelLoosen() {
+func (e *EngineOf[T]) parallelLoosen() {
 	var wg sync.WaitGroup
 	stripe := (e.n + e.cfg.Threads - 1) / e.cfg.Threads
 	for w := 0; w < e.cfg.Threads; w++ {
@@ -357,11 +370,11 @@ func (e *Engine) parallelLoosen() {
 
 // Centroids exposes the current centroids (used by knord between
 // allreduce steps).
-func (e *Engine) Centroids() *matrix.Dense { return e.cents }
+func (e *EngineOf[T]) Centroids() *matrix.Mat[T] { return e.cents }
 
 // NewEngine validates cfg against data and builds an engine for
 // drivers that run their own iteration loop (knord, benches).
-func NewEngine(data *matrix.Dense, cfg Config) (*Engine, error) {
+func NewEngine[T blas.Float](data *matrix.Mat[T], cfg Config) (*EngineOf[T], error) {
 	cfg, err := cfg.withDefaults(data.Rows())
 	if err != nil {
 		return nil, err
@@ -376,10 +389,10 @@ func NewEngine(data *matrix.Dense, cfg Config) (*Engine, error) {
 // Group exposes the engine's worker clocks so an enclosing simulation
 // (the cluster network) can synchronise machine time around
 // collectives.
-func (e *Engine) Group() *simclock.Group { return e.group }
+func (e *EngineOf[T]) Group() *simclock.Group { return e.group }
 
 // Assign exposes the current assignment vector (shard-local indices).
-func (e *Engine) Assign() []int32 { return e.ps.Assign }
+func (e *EngineOf[T]) Assign() []int32 { return e.ps.Assign }
 
 // N returns the engine's shard size in rows.
-func (e *Engine) N() int { return e.n }
+func (e *EngineOf[T]) N() int { return e.n }

@@ -1,8 +1,6 @@
 package kmeans
 
 import (
-	"math"
-
 	"knor/internal/blas"
 	"knor/internal/matrix"
 )
@@ -14,11 +12,11 @@ import (
 // come from the styles themselves (GEMM materialises an n×k distance
 // matrix; "copying" clones each row; "indirect" calls through a
 // function value per distance like a generic library kernel).
-type styleRunner func(data, cents *matrix.Dense, assign []int32, gsum *Accum) int
+type styleRunner[T blas.Float] func(data, cents *matrix.Mat[T], assign []int32, gsum *AccumOf[T]) int
 
 // runStyled drives full Lloyd's iterations with the given assignment
 // pass and incremental sums, sharing convergence logic.
-func runStyled(data *matrix.Dense, cfg Config, pass styleRunner) (*Result, error) {
+func runStyled[T blas.Float](data *matrix.Mat[T], cfg Config, pass styleRunner[T]) (*Result, error) {
 	cfg, err := cfg.withDefaults(data.Rows())
 	if err != nil {
 		return nil, err
@@ -29,14 +27,14 @@ func runStyled(data *matrix.Dense, cfg Config, pass styleRunner) (*Result, error
 	for i := range assign {
 		assign[i] = -1
 	}
-	gsum := NewAccum(k, d)
+	gsum := NewAccumOf[T](k, d)
 	res := &Result{}
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		changed := pass(data, cents, assign, gsum)
 		next := gsum.Centroids(cents)
 		drift := 0.0
 		for c := 0; c < k; c++ {
-			drift += matrix.Dist(cents.Row(c), next.Row(c))
+			drift += float64(matrix.Dist(cents.Row(c), next.Row(c)))
 		}
 		cents = next
 		res.PerIter = append(res.PerIter, IterStats{Iter: iter, RowsChanged: changed, ActiveRows: n, Drift: drift})
@@ -46,7 +44,7 @@ func runStyled(data *matrix.Dense, cfg Config, pass styleRunner) (*Result, error
 			break
 		}
 	}
-	res.Centroids = cents
+	res.Centroids = matrix.ToFloat64(cents)
 	res.Assign = assign
 	res.Sizes = sizesOf(assign, k)
 	res.SSE = SSEOf(data, cents, assign)
@@ -59,15 +57,24 @@ func runStyled(data *matrix.Dense, cfg Config, pass styleRunner) (*Result, error
 // argmin pass assigns rows. Chunking keeps the distance matrix L2-sized
 // as the vendor libraries do.
 func RunGEMM(data *matrix.Dense, cfg Config, chunk, threads int) (*Result, error) {
+	return RunGEMMOf(data, cfg, chunk, threads)
+}
+
+// RunGEMMOf is RunGEMM generic over the element type. At float32 the
+// blocked distance computation routes through the register-tiled
+// float32 Dgemm microkernel — the serving assign path's kernel — so
+// this is also the float32 training baseline knorbench's precision
+// sweep measures.
+func RunGEMMOf[T blas.Float](data *matrix.Mat[T], cfg Config, chunk, threads int) (*Result, error) {
 	if chunk <= 0 {
 		chunk = 4096
 	}
 	if threads <= 0 {
 		threads = 1
 	}
-	return runStyled(data, cfg, func(data, cents *matrix.Dense, assign []int32, gsum *Accum) int {
+	return runStyled(data, cfg, func(data, cents *matrix.Mat[T], assign []int32, gsum *AccumOf[T]) int {
 		n, d, k := data.Rows(), data.Cols(), cents.Rows()
-		dist := make([]float64, chunk*k)
+		dist := make([]T, chunk*k)
 		changed := 0
 		for lo := 0; lo < n; lo += chunk {
 			hi := lo + chunk
@@ -78,7 +85,7 @@ func RunGEMM(data *matrix.Dense, cfg Config, chunk, threads int) (*Result, error
 			blas.PairwiseSqDist(data.Data[lo*d:hi*d], m, cents.Data, k, d, dist, threads)
 			for i := 0; i < m; i++ {
 				row := dist[i*k : (i+1)*k]
-				best, bi := math.Inf(1), 0
+				best, bi := inf[T](), 0
 				for c, v := range row {
 					if v < best {
 						best, bi = v, c
@@ -138,7 +145,7 @@ func RunIterativeIndirect(data *matrix.Dense, cfg Config) (*Result, error) {
 		changed := 0
 		for i := 0; i < n; i++ {
 			row := data.Row(i)
-			best, bi := math.Inf(1), 0
+			best, bi := inf[float64](), 0
 			for c := 0; c < cents.Rows(); c++ {
 				if d := metric(row, cents.Row(c)); d < best {
 					best, bi = d, c

@@ -3,6 +3,7 @@ package kmeans
 import (
 	"math/rand"
 
+	"knor/internal/blas"
 	"knor/internal/matrix"
 )
 
@@ -12,8 +13,11 @@ func InitCentroidsFor(data *matrix.Dense, cfg Config) *matrix.Dense {
 	return initCentroids(data, cfg)
 }
 
-// initCentroids produces the iteration-0 centroids per the config.
-func initCentroids(data *matrix.Dense, cfg Config) *matrix.Dense {
+// initCentroids produces the iteration-0 centroids per the config. The
+// RNG consumption is data-independent for Forgy and random-partition,
+// so those draws match across element types; k-means++ samples by D²
+// mass, so float32 runs may pick different seeds near ties.
+func initCentroids[T blas.Float](data *matrix.Mat[T], cfg Config) *matrix.Mat[T] {
 	switch cfg.Init {
 	case InitForgy:
 		return initForgy(data, cfg.K, cfg.Seed)
@@ -22,18 +26,27 @@ func initCentroids(data *matrix.Dense, cfg Config) *matrix.Dense {
 	case InitKMeansPP:
 		return initKMeansPP(data, cfg.K, cfg.Seed)
 	case InitGiven:
-		return cfg.Centroids.Clone()
+		return centroidsAs[T](cfg.Centroids)
 	default:
 		panic("kmeans: unknown init method")
 	}
 }
 
+// centroidsAs copies the config's float64 centroids at the engine's
+// element type.
+func centroidsAs[T blas.Float](c *matrix.Dense) *matrix.Mat[T] {
+	if m, ok := any(c).(*matrix.Mat[T]); ok {
+		return m.Clone()
+	}
+	return matrix.Convert[T](c)
+}
+
 // initForgy picks k distinct rows uniformly at random.
-func initForgy(data *matrix.Dense, k int, seed int64) *matrix.Dense {
+func initForgy[T blas.Float](data *matrix.Mat[T], k int, seed int64) *matrix.Mat[T] {
 	rng := rand.New(rand.NewSource(seed))
 	n := data.Rows()
 	picked := make(map[int]bool, k)
-	c := matrix.NewDense(k, data.Cols())
+	c := matrix.New[T](k, data.Cols())
 	for i := 0; i < k; i++ {
 		r := rng.Intn(n)
 		for picked[r] {
@@ -48,10 +61,10 @@ func initForgy(data *matrix.Dense, k int, seed int64) *matrix.Dense {
 // initRandomPartition assigns every row a random cluster and uses the
 // cluster means as initial centroids. Empty clusters fall back to a
 // random row.
-func initRandomPartition(data *matrix.Dense, k int, seed int64) *matrix.Dense {
+func initRandomPartition[T blas.Float](data *matrix.Mat[T], k int, seed int64) *matrix.Mat[T] {
 	rng := rand.New(rand.NewSource(seed))
 	d := data.Cols()
-	c := matrix.NewDense(k, d)
+	c := matrix.New[T](k, d)
 	counts := make([]int, k)
 	for i := 0; i < data.Rows(); i++ {
 		g := rng.Intn(k)
@@ -63,26 +76,29 @@ func initRandomPartition(data *matrix.Dense, k int, seed int64) *matrix.Dense {
 			copy(c.Row(g), data.Row(rng.Intn(data.Rows())))
 			continue
 		}
-		matrix.Scale(c.Row(g), 1/float64(counts[g]))
+		matrix.Scale(c.Row(g), 1/T(counts[g]))
 	}
 	return c
 }
 
 // initKMeansPP implements k-means++ D² seeding (Arthur & Vassilvitskii),
 // listed in the paper's future work (§9) via semi-supervised k-means++.
-func initKMeansPP(data *matrix.Dense, k int, seed int64) *matrix.Dense {
+func initKMeansPP[T blas.Float](data *matrix.Mat[T], k int, seed int64) *matrix.Mat[T] {
 	rng := rand.New(rand.NewSource(seed))
 	n := data.Rows()
-	c := matrix.NewDense(k, data.Cols())
+	c := matrix.New[T](k, data.Cols())
 	copy(c.Row(0), data.Row(rng.Intn(n)))
-	d2 := make([]float64, n)
+	d2 := make([]T, n)
 	for i := range d2 {
 		d2[i] = matrix.SqDist(data.Row(i), c.Row(0))
 	}
 	for g := 1; g < k; g++ {
+		// The D² prefix sum runs in float64 at every width: at float32 a
+		// large-n total saturates (ulp ~ total·ε), silently zeroing the
+		// tail rows' sampling mass. The per-row d2 values stay in T.
 		var total float64
 		for _, v := range d2 {
-			total += v
+			total += float64(v)
 		}
 		var pick int
 		if total <= 0 {
@@ -92,7 +108,7 @@ func initKMeansPP(data *matrix.Dense, k int, seed int64) *matrix.Dense {
 			acc := 0.0
 			pick = n - 1
 			for i, v := range d2 {
-				acc += v
+				acc += float64(v)
 				if acc >= target {
 					pick = i
 					break
@@ -112,4 +128,4 @@ func initKMeansPP(data *matrix.Dense, k int, seed int64) *matrix.Dense {
 
 // normalizeRows is the spherical variant's row normalisation, shared
 // across engines via matrix.NormalizeRows.
-func normalizeRows(m *matrix.Dense) { matrix.NormalizeRows(m) }
+func normalizeRows[T blas.Float](m *matrix.Mat[T]) { matrix.NormalizeRows(m) }

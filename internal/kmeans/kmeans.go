@@ -9,8 +9,8 @@ package kmeans
 
 import (
 	"fmt"
-	"math"
 
+	"knor/internal/blas"
 	"knor/internal/matrix"
 	"knor/internal/numa"
 	"knor/internal/sched"
@@ -184,41 +184,50 @@ type Result struct {
 	MemoryBytes uint64
 }
 
-// SSEOf computes the k-means objective for an assignment.
-func SSEOf(data, centroids *matrix.Dense, assign []int32) float64 {
+// SSEOf computes the k-means objective for an assignment. The per-row
+// squared distances are computed at the data's element type; the sum is
+// accumulated in float64 at every width.
+func SSEOf[T blas.Float](data, centroids *matrix.Mat[T], assign []int32) float64 {
 	var sse float64
 	for i := 0; i < data.Rows(); i++ {
-		sse += matrix.SqDist(data.Row(i), centroids.Row(int(assign[i])))
+		sse += float64(matrix.SqDist(data.Row(i), centroids.Row(int(assign[i]))))
 	}
 	return sse
 }
 
 // StateBytes returns the asymptotic-memory-model byte count for the
-// routine described (Table 1): per-thread centroid copies Tkd, bounds
-// state for MTI/TI, and the assignment vector.
+// float64 routine described (Table 1): per-thread centroid copies Tkd,
+// bounds state for MTI/TI, and the assignment vector.
 func StateBytes(n, d, k, threads int, prune Prune) uint64 {
-	b := uint64(threads) * uint64(k) * uint64(d) * 8 // per-thread centroids
-	b += uint64(k) * uint64(d) * 8 * 2               // current + next centroids
+	return stateBytesElem(n, d, k, threads, prune, 8)
+}
+
+// stateBytesElem is StateBytes for an arbitrary element size (the
+// float32 engines carry half the float state per entry).
+func stateBytesElem(n, d, k, threads int, prune Prune, eb int) uint64 {
+	e := uint64(eb)
+	b := uint64(threads) * uint64(k) * uint64(d) * e // per-thread centroids
+	b += uint64(k) * uint64(d) * e * 2               // current + next centroids
 	b += uint64(n) * 4                               // assignment (int32)
 	switch prune {
 	case PruneMTI:
-		b += uint64(n) * 8             // upper bounds
-		b += uint64(k) * uint64(k) * 8 // centroid-centroid matrix
+		b += uint64(n) * e             // upper bounds
+		b += uint64(k) * uint64(k) * e // centroid-centroid matrix
 	case PruneTI:
-		b += uint64(n) * 8
-		b += uint64(k) * uint64(k) * 8
-		b += uint64(n) * uint64(k) * 8 // lower-bound matrix
+		b += uint64(n) * e
+		b += uint64(k) * uint64(k) * e
+		b += uint64(n) * uint64(k) * e // lower-bound matrix
 	case PruneYinyang:
-		b += uint64(n) * 8                            // upper bounds
-		b += uint64(n) * uint64(yinyangGroups(k)) * 8 // group bounds
+		b += uint64(n) * e                            // upper bounds
+		b += uint64(n) * uint64(yinyangGroups(k)) * e // group bounds
 	}
 	return b
 }
 
 // nearest returns the index of and squared distance to the closest
 // centroid (first index wins ties).
-func nearest(row []float64, centroids *matrix.Dense) (int, float64) {
-	best := math.Inf(1)
+func nearest[T blas.Float](row []T, centroids *matrix.Mat[T]) (int, T) {
+	best := inf[T]()
 	bi := 0
 	for c := 0; c < centroids.Rows(); c++ {
 		if d := matrix.SqDist(row, centroids.Row(c)); d < best {

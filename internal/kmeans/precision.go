@@ -1,0 +1,68 @@
+package kmeans
+
+import (
+	"fmt"
+
+	"knor/internal/matrix"
+)
+
+// Precision selects the element type of a run's numeric core at the
+// API edges (the -precision flag of cmd/knori and cmd/knorserve, the
+// facade's RunPrecision). The generic entry points (RunOf, RunGEMMOf,
+// serve.NewBatcherOf) are the compile-time spelling of the same choice.
+type Precision int
+
+const (
+	// Precision64 runs the float64 oracle engines (the default;
+	// bit-identical with the pre-generic implementation).
+	Precision64 Precision = iota
+	// Precision32 converts the data once and runs the float32 engines:
+	// half the memory traffic on every kernel, answers within the
+	// relative-error bounds documented in EXPERIMENTS.md.
+	Precision32
+)
+
+// String implements fmt.Stringer.
+func (p Precision) String() string {
+	switch p {
+	case Precision64:
+		return "64"
+	case Precision32:
+		return "32"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// ParsePrecision parses a -precision flag value ("32" or "64").
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "64", "float64", "f64":
+		return Precision64, nil
+	case "32", "float32", "f32":
+		return Precision32, nil
+	default:
+		return Precision64, fmt.Errorf("kmeans: unknown precision %q (want 32 or 64)", s)
+	}
+}
+
+// RunPrecision executes knori at the requested precision. Precision64
+// is exactly Run; Precision32 converts the data once (rounding each
+// element to nearest float32) and runs the float32 engine. The Result
+// is always reported in float64: centroids are widened exactly, SSE is
+// accumulated in float64 either way.
+func RunPrecision(data *matrix.Dense, cfg Config, p Precision) (*Result, error) {
+	if p == Precision32 {
+		return RunOf(matrix.Convert[float32](data), cfg)
+	}
+	return Run(data, cfg)
+}
+
+// RunGEMMPrecision is RunGEMM at the requested precision (the Table 3
+// GEMM baseline and the shape of the serving assign path).
+func RunGEMMPrecision(data *matrix.Dense, cfg Config, chunk, threads int, p Precision) (*Result, error) {
+	if p == Precision32 {
+		return RunGEMMOf(matrix.Convert[float32](data), cfg, chunk, threads)
+	}
+	return RunGEMM(data, cfg, chunk, threads)
+}

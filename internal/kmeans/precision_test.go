@@ -1,0 +1,193 @@
+package kmeans
+
+// Precision contract of the float32 engines against the float64 oracle.
+//
+// Tolerance derivation (referenced by EXPERIMENTS.md): one float32
+// operation rounds with ε = 2⁻²⁴ ≈ 5.96e-8. A d-dimensional squared
+// distance accumulates ≤ ~(d+2)·ε relative error; over an entire run
+// the per-row errors are independent rounding noise, so the SSE — a sum
+// of n such terms — concentrates around the float64 value with relative
+// error O(d·ε) ≈ 64·6e-8 ≈ 4e-6 for d ≤ 64. What dominates instead is
+// decision divergence: near-tie rows may assign to a different centroid
+// and shift both runs onto different (equally valid) Lloyd's
+// trajectories. On well-separated data those trajectories reconverge,
+// so the tests assert SSE within 1e-3 *relative* of the oracle — loose
+// enough for trajectory divergence on ties, tight enough that a wrong
+// kernel (scale error, dropped term) fails immediately.
+
+import (
+	"math"
+	"testing"
+
+	"knor/internal/matrix"
+	"knor/internal/workload"
+)
+
+const sseRelTol32 = 1e-3
+
+func clusteredData(n, d, k int, seed int64) *matrix.Dense {
+	return workload.Generate(workload.Spec{
+		Kind: workload.NaturalClusters, N: n, D: d, Clusters: k, Spread: 0.05, Seed: seed,
+	})
+}
+
+func relDiff(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// TestRun32WithinToleranceOfOracle runs the float32 engine across the
+// pruning modes and checks it lands within the documented relative
+// tolerance of the float64 oracle's objective.
+func TestRun32WithinToleranceOfOracle(t *testing.T) {
+	data := clusteredData(4000, 8, 10, 1)
+	data32 := matrix.Convert[float32](data)
+	for _, prune := range []Prune{PruneNone, PruneMTI, PruneTI, PruneYinyang} {
+		cfg := Config{K: 10, MaxIters: 50, Seed: 7, Prune: prune, Threads: 2}
+		want, err := Run(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunOf(data32, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd := relDiff(got.SSE, want.SSE); rd > sseRelTol32 {
+			t.Errorf("prune=%v: SSE32=%g SSE64=%g reldiff=%g > %g",
+				prune, got.SSE, want.SSE, rd, sseRelTol32)
+		}
+		if !got.Converged {
+			t.Errorf("prune=%v: float32 run did not converge (%d iters)", prune, got.Iters)
+		}
+		// The float32 engine's state footprint must reflect the halved
+		// element size (data + float bound state are 4-byte).
+		if got.MemoryBytes >= want.MemoryBytes {
+			t.Errorf("prune=%v: float32 MemoryBytes %d >= float64 %d",
+				prune, got.MemoryBytes, want.MemoryBytes)
+		}
+	}
+}
+
+// TestRunPrecision64IsOracleExact pins the facade: Precision64 must be
+// the oracle run, bit for bit.
+func TestRunPrecision64IsOracleExact(t *testing.T) {
+	data := clusteredData(2000, 6, 8, 2)
+	cfg := Config{K: 8, MaxIters: 40, Seed: 3, Prune: PruneMTI, Threads: 2}
+	want, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunPrecision(data, cfg, Precision64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SSE != want.SSE || got.Iters != want.Iters {
+		t.Fatalf("Precision64 diverged: SSE %g vs %g, iters %d vs %d",
+			got.SSE, want.SSE, got.Iters, want.Iters)
+	}
+	for i := range want.Assign {
+		if got.Assign[i] != want.Assign[i] {
+			t.Fatalf("Precision64 assign[%d] = %d, want %d", i, got.Assign[i], want.Assign[i])
+		}
+	}
+	if !got.Centroids.Equal(want.Centroids, 0) {
+		t.Fatal("Precision64 centroids not bit-identical")
+	}
+}
+
+func TestRunPrecision32(t *testing.T) {
+	data := clusteredData(2000, 6, 8, 2)
+	cfg := Config{K: 8, MaxIters: 40, Seed: 3, Prune: PruneMTI, Threads: 2}
+	want, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunPrecision(data, cfg, Precision32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd := relDiff(got.SSE, want.SSE); rd > sseRelTol32 {
+		t.Fatalf("Precision32 SSE=%g oracle=%g reldiff=%g", got.SSE, want.SSE, rd)
+	}
+	// Result is reported in float64 regardless of engine precision.
+	if got.Centroids.Rows() != 8 || got.Centroids.Cols() != 6 {
+		t.Fatalf("centroid dims %dx%d", got.Centroids.Rows(), got.Centroids.Cols())
+	}
+}
+
+// TestRunGEMM32WithinTolerance covers the GEMM-formulated baseline at
+// float32 — the kernel shape the serve assign path uses — including the
+// register-tiled Dgemm microkernel under chunking and threading.
+func TestRunGEMM32WithinTolerance(t *testing.T) {
+	data := clusteredData(3000, 16, 10, 4)
+	cfg := Config{K: 10, MaxIters: 50, Seed: 5}
+	want, err := RunGEMM(data, cfg, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunGEMMPrecision(data, cfg, 512, 2, Precision32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd := relDiff(got.SSE, want.SSE); rd > sseRelTol32 {
+		t.Fatalf("GEMM32 SSE=%g oracle=%g reldiff=%g", got.SSE, want.SSE, rd)
+	}
+}
+
+// TestRun32SphericalAndInits exercises the float32 engine through the
+// remaining init methods and the spherical variant.
+func TestRun32SphericalAndInits(t *testing.T) {
+	data := clusteredData(1500, 8, 6, 6)
+	data32 := matrix.Convert[float32](data)
+	for _, init := range []Init{InitForgy, InitRandomPartition, InitKMeansPP} {
+		cfg := Config{K: 6, MaxIters: 40, Seed: 9, Init: init, Prune: PruneMTI, Spherical: init == InitKMeansPP}
+		want, err := Run(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RunOf(data32, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd := relDiff(got.SSE, want.SSE); rd > sseRelTol32 {
+			t.Errorf("init=%v: SSE32=%g SSE64=%g reldiff=%g", init, got.SSE, want.SSE, rd)
+		}
+	}
+}
+
+// TestInitGivenConverts32 checks InitGiven centroids (always float64 in
+// Config) reach a float32 engine converted, not rejected.
+func TestInitGivenConverts32(t *testing.T) {
+	data := clusteredData(500, 4, 4, 8)
+	seeds := InitCentroidsFor(data, Config{K: 4, Init: InitKMeansPP, Seed: 1, MaxIters: 1})
+	cfg := Config{K: 4, MaxIters: 30, Init: InitGiven, Centroids: seeds}
+	got, err := RunOf(matrix.Convert[float32](data), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd := relDiff(got.SSE, want.SSE); rd > sseRelTol32 {
+		t.Fatalf("InitGiven32 SSE=%g oracle=%g reldiff=%g", got.SSE, want.SSE, rd)
+	}
+}
+
+func TestParsePrecision(t *testing.T) {
+	for s, want := range map[string]Precision{"32": Precision32, "64": Precision64, "f32": Precision32, "float64": Precision64} {
+		got, err := ParsePrecision(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePrecision(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePrecision("16"); err == nil {
+		t.Error("ParsePrecision(16) accepted")
+	}
+	if Precision32.String() != "32" || Precision64.String() != "64" {
+		t.Error("Precision.String() wrong")
+	}
+}

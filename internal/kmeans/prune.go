@@ -3,8 +3,17 @@ package kmeans
 import (
 	"math"
 
+	"knor/internal/blas"
 	"knor/internal/matrix"
 )
+
+// inf returns +Inf in T (exact at every width).
+func inf[T blas.Float]() T { return T(math.Inf(1)) }
+
+// sqrtT computes √x through float64 (widening float32 is exact, so the
+// float64 path is unchanged and the float32 result is correctly
+// rounded).
+func sqrtT[T blas.Float](x T) T { return T(math.Sqrt(float64(x))) }
 
 // PruneCounters tallies pruning behaviour within one iteration.
 type PruneCounters struct {
@@ -22,67 +31,84 @@ func (c *PruneCounters) Add(o PruneCounters) {
 	c.C3 += o.C3
 }
 
-// PruneState holds the triangle-inequality bound state shared by the
-// in-memory, SEM and distributed engines.
+// PruneStateOf holds the triangle-inequality bound state shared by the
+// in-memory, SEM and distributed engines, generic over the element
+// type. PruneState is the float64 instantiation.
 //
 // MTI (the paper's contribution) keeps an O(n) upper bound per row plus
 // an O(k²) centroid-to-centroid half-distance structure — three of
 // Elkan's four pruning clauses without the O(nk) lower-bound matrix.
 // PruneTI adds that matrix for the full Elkan comparison.
-type PruneState struct {
+//
+// At float32 the bound comparisons are performed in float32: the bounds
+// themselves are computed from correctly-rounded distances, so pruning
+// decisions can differ from the float64 engine near ties — the float32
+// engines carry a relative-error contract, not bit-identity.
+type PruneStateOf[T blas.Float] struct {
 	Mode   Prune
 	N, K   int
 	Assign []int32
-	UB     []float64 // upper bound of d(v, assigned centroid); pruned modes
-	CC     []float64 // k×k centroid pairwise distances (MTI/TI)
-	SHalf  []float64 // 0.5 × min distance from centroid c to any other
-	LB     []float64 // n×k lower bounds (TI only)
-	Drift  []float64 // per-centroid movement after last update
+	UB     []T // upper bound of d(v, assigned centroid); pruned modes
+	CC     []T // k×k centroid pairwise distances (MTI/TI)
+	SHalf  []T // 0.5 × min distance from centroid c to any other
+	LB     []T // n×k lower bounds (TI only)
+	Drift  []T // per-centroid movement after last update
 
 	// Yinyang group state (PruneYinyang only).
-	T            int       // group count, ~k/10
-	GroupOf      []int     // centroid -> group
-	GroupMembers [][]int   // group -> member centroids
-	LBG          []float64 // n×t per-group lower bounds
-	GroupDrift   []float64 // per-group max drift
+	T            int     // group count, ~k/10
+	GroupOf      []int   // centroid -> group
+	GroupMembers [][]int // group -> member centroids
+	LBG          []T     // n×t per-group lower bounds
+	GroupDrift   []T     // per-group max drift
 }
 
-// NewPruneState allocates state for n rows and k clusters.
+// PruneState is the float64 bound state of the oracle engines.
+type PruneState = PruneStateOf[float64]
+
+// NewPruneState allocates float64 state for n rows and k clusters.
 func NewPruneState(mode Prune, n, k int) *PruneState {
-	p := &PruneState{Mode: mode, N: n, K: k, Assign: make([]int32, n)}
+	return NewPruneStateOf[float64](mode, n, k)
+}
+
+// NewPruneStateOf allocates state of element type T for n rows and k
+// clusters.
+func NewPruneStateOf[T blas.Float](mode Prune, n, k int) *PruneStateOf[T] {
+	p := &PruneStateOf[T]{Mode: mode, N: n, K: k, Assign: make([]int32, n)}
 	for i := range p.Assign {
 		p.Assign[i] = -1
 	}
 	switch mode {
 	case PruneMTI, PruneTI:
-		p.UB = make([]float64, n)
-		p.CC = make([]float64, k*k)
-		p.SHalf = make([]float64, k)
-		p.Drift = make([]float64, k)
+		p.UB = make([]T, n)
+		p.CC = make([]T, k*k)
+		p.SHalf = make([]T, k)
+		p.Drift = make([]T, k)
 		if mode == PruneTI {
-			p.LB = make([]float64, n*k)
+			p.LB = make([]T, n*k)
 		}
 	case PruneYinyang:
-		p.UB = make([]float64, n)
-		p.Drift = make([]float64, k)
+		p.UB = make([]T, n)
+		p.Drift = make([]T, k)
 		p.initYinyang(k)
 	}
 	return p
 }
 
 // MemoryBytes reports the bound-state footprint, the quantity Table 1
-// and Figure 8c track.
-func (p *PruneState) MemoryBytes() uint64 {
+// and Figure 8c track. Bound arrays are element-sized, so the float32
+// engines report half the bound memory.
+func (p *PruneStateOf[T]) MemoryBytes() uint64 {
+	eb := uint64(blas.ElemBytes[T]())
 	b := uint64(len(p.Assign)) * 4
-	b += uint64(len(p.UB)+len(p.CC)+len(p.SHalf)+len(p.LB)+len(p.Drift)) * 8
-	b += uint64(len(p.LBG)+len(p.GroupDrift)) * 8
+	b += uint64(len(p.UB)+len(p.CC)+len(p.SHalf)+len(p.LB)+len(p.Drift)) * eb
+	b += uint64(len(p.LBG)+len(p.GroupDrift)) * eb
 	b += uint64(len(p.GroupOf)) * 8
 	return b
 }
 
 // UpdateCentroidDists refreshes CC and SHalf for the iteration's
 // centroids. Cost O(k²d); every engine calls it once per iteration.
-func (p *PruneState) UpdateCentroidDists(cents *matrix.Dense) {
+func (p *PruneStateOf[T]) UpdateCentroidDists(cents *matrix.Mat[T]) {
 	if p.Mode == PruneNone || p.Mode == PruneYinyang {
 		return // Yinyang keeps no centroid-to-centroid structure
 	}
@@ -96,7 +122,7 @@ func (p *PruneState) UpdateCentroidDists(cents *matrix.Dense) {
 		}
 	}
 	for c := 0; c < k; c++ {
-		m := math.Inf(1)
+		m := inf[T]()
 		for o := 0; o < k; o++ {
 			if o != c && p.CC[c*k+o] < m {
 				m = p.CC[c*k+o]
@@ -110,7 +136,7 @@ func (p *PruneState) UpdateCentroidDists(cents *matrix.Dense) {
 // For MTI/TI this is the negation of Clause 1: if the upper bound is
 // within half the distance to the nearest other centroid, the row
 // cannot change membership and — crucially for knors — needs no I/O.
-func (p *PruneState) NeedsRow(i int) bool {
+func (p *PruneStateOf[T]) NeedsRow(i int) bool {
 	switch p.Mode {
 	case PruneNone:
 		return true
@@ -127,7 +153,7 @@ func (p *PruneState) NeedsRow(i int) bool {
 // AssignRow (re)assigns row i given its data, assuming NeedsRow(i)
 // returned true (the engine counts clause-1 skips itself via
 // CountClause1). Returns whether membership changed.
-func (p *PruneState) AssignRow(i int, row []float64, cents *matrix.Dense, ctr *PruneCounters) bool {
+func (p *PruneStateOf[T]) AssignRow(i int, row []T, cents *matrix.Mat[T], ctr *PruneCounters) bool {
 	if p.Mode == PruneYinyang {
 		if p.Assign[i] < 0 {
 			return p.yinyangExact(i, row, cents, ctr)
@@ -192,9 +218,9 @@ func (p *PruneState) AssignRow(i int, row []float64, cents *matrix.Dense, ctr *P
 // sqrt — which is what keeps the serial baseline competitive with the
 // fused iterative kernels of Table 3. Full TI needs every true
 // distance to prime its lower-bound matrix.
-func (p *PruneState) assignExact(i int, row []float64, cents *matrix.Dense, ctr *PruneCounters) bool {
+func (p *PruneStateOf[T]) assignExact(i int, row []T, cents *matrix.Mat[T], ctr *PruneCounters) bool {
 	k := p.K
-	best := math.Inf(1)
+	best := inf[T]()
 	bi := 0
 	ctr.DistCalcs += uint64(k) // counted per row, outside the hot loop
 	if p.Mode == PruneTI {
@@ -216,7 +242,7 @@ func (p *PruneState) assignExact(i int, row []float64, cents *matrix.Dense, ctr 
 			}
 		}
 		if p.Mode == PruneMTI {
-			p.UB[i] = math.Sqrt(best)
+			p.UB[i] = sqrtT(best)
 		}
 	}
 	changed := int32(bi) != p.Assign[i]
@@ -229,11 +255,11 @@ func (p *PruneState) assignExact(i int, row []float64, cents *matrix.Dense, ctr 
 // lb -= drift of each centroid). Returns total drift, the convergence
 // quantity f(c) summed over centroids. Safe for parallel row ranges via
 // LoosenRows; this single-threaded variant loosens everything.
-func (p *PruneState) UpdateAfterMove(old, next *matrix.Dense) float64 {
+func (p *PruneStateOf[T]) UpdateAfterMove(old, next *matrix.Mat[T]) float64 {
 	total := 0.0
 	if p.Mode == PruneNone {
 		for c := 0; c < p.K; c++ {
-			total += matrix.Dist(old.Row(c), next.Row(c))
+			total += float64(matrix.Dist(old.Row(c), next.Row(c)))
 		}
 		return total
 	}
@@ -244,11 +270,11 @@ func (p *PruneState) UpdateAfterMove(old, next *matrix.Dense) float64 {
 
 // ComputeDrift fills Drift without touching row bounds (engines that
 // loosen rows in parallel call this then LoosenRows per range).
-func (p *PruneState) ComputeDrift(old, next *matrix.Dense) float64 {
+func (p *PruneStateOf[T]) ComputeDrift(old, next *matrix.Mat[T]) float64 {
 	total := 0.0
 	if p.Mode == PruneNone {
 		for c := 0; c < p.K; c++ {
-			total += matrix.Dist(old.Row(c), next.Row(c))
+			total += float64(matrix.Dist(old.Row(c), next.Row(c)))
 		}
 		return total
 	}
@@ -257,13 +283,13 @@ func (p *PruneState) ComputeDrift(old, next *matrix.Dense) float64 {
 	}
 	for c := 0; c < p.K; c++ {
 		p.Drift[c] = matrix.Dist(old.Row(c), next.Row(c))
-		total += p.Drift[c]
+		total += float64(p.Drift[c])
 	}
 	return total
 }
 
 // LoosenRows applies the post-update bound adjustment to rows [lo, hi).
-func (p *PruneState) LoosenRows(lo, hi int) {
+func (p *PruneStateOf[T]) LoosenRows(lo, hi int) {
 	if p.Mode == PruneNone {
 		return
 	}

@@ -1,8 +1,6 @@
 package kmeans
 
 import (
-	"math"
-
 	"knor/internal/matrix"
 )
 
@@ -34,7 +32,7 @@ func yinyangGroups(k int) int {
 }
 
 // initYinyang sizes the group state on a PruneState.
-func (p *PruneState) initYinyang(k int) {
+func (p *PruneStateOf[T]) initYinyang(k int) {
 	p.T = yinyangGroups(k)
 	p.GroupOf = make([]int, k)
 	p.GroupMembers = make([][]int, p.T)
@@ -43,14 +41,14 @@ func (p *PruneState) initYinyang(k int) {
 		p.GroupOf[c] = g
 		p.GroupMembers[g] = append(p.GroupMembers[g], c)
 	}
-	p.LBG = make([]float64, p.N*p.T)
-	p.GroupDrift = make([]float64, p.T)
+	p.LBG = make([]T, p.N*p.T)
+	p.GroupDrift = make([]T, p.T)
 }
 
 // yinyangNeedsRow is the global filter: if the upper bound sits below
 // every group's lower bound, no centroid can have come closer — the row
 // keeps its membership with no data access (the clause-1 analogue).
-func (p *PruneState) yinyangNeedsRow(i int) bool {
+func (p *PruneStateOf[T]) yinyangNeedsRow(i int) bool {
 	if p.Assign[i] < 0 {
 		return true
 	}
@@ -66,7 +64,7 @@ func (p *PruneState) yinyangNeedsRow(i int) bool {
 
 // yinyangAssign reassigns row i under group filtering. The engine has
 // already established that the global filter fails.
-func (p *PruneState) yinyangAssign(i int, row []float64, cents *matrix.Dense, ctr *PruneCounters) bool {
+func (p *PruneStateOf[T]) yinyangAssign(i int, row []T, cents *matrix.Mat[T], ctr *PruneCounters) bool {
 	t := p.T
 	b := int(p.Assign[i])
 	lbg := p.LBG[i*t : (i+1)*t]
@@ -84,7 +82,7 @@ func (p *PruneState) yinyangAssign(i int, row []float64, cents *matrix.Dense, ct
 		}
 		// Scan the group's members (excluding the original assignment),
 		// tracking the two smallest distances to rebuild the bound.
-		min1, min2 := math.Inf(1), math.Inf(1)
+		min1, min2 := inf[T](), inf[T]()
 		min1c := -1
 		for _, c := range p.GroupMembers[g] {
 			if c == b {
@@ -137,11 +135,11 @@ func (p *PruneState) yinyangAssign(i int, row []float64, cents *matrix.Dense, ct
 }
 
 // yinyangExact primes the bounds with a full scan.
-func (p *PruneState) yinyangExact(i int, row []float64, cents *matrix.Dense, ctr *PruneCounters) bool {
+func (p *PruneStateOf[T]) yinyangExact(i int, row []T, cents *matrix.Mat[T], ctr *PruneCounters) bool {
 	t := p.T
 	k := p.K
-	dists := make([]float64, k)
-	best, bi := math.Inf(1), 0
+	dists := make([]T, k)
+	best, bi := inf[T](), 0
 	ctr.DistCalcs += uint64(k)
 	for c := 0; c < k; c++ {
 		dists[c] = matrix.Dist(row, cents.Row(c))
@@ -152,7 +150,7 @@ func (p *PruneState) yinyangExact(i int, row []float64, cents *matrix.Dense, ctr
 	}
 	lbg := p.LBG[i*t : (i+1)*t]
 	for g := 0; g < t; g++ {
-		lbg[g] = math.Inf(1)
+		lbg[g] = inf[T]()
 	}
 	for c := 0; c < k; c++ {
 		if c == bi {
@@ -172,7 +170,7 @@ func (p *PruneState) yinyangExact(i int, row []float64, cents *matrix.Dense, ctr
 // yinyangLoosen applies the post-update drift adjustment for rows
 // [lo, hi): ub grows by the assigned centroid's drift; each group bound
 // shrinks by the group's maximum drift.
-func (p *PruneState) yinyangLoosen(lo, hi int) {
+func (p *PruneStateOf[T]) yinyangLoosen(lo, hi int) {
 	t := p.T
 	for i := lo; i < hi; i++ {
 		a := p.Assign[i]
@@ -190,7 +188,7 @@ func (p *PruneState) yinyangLoosen(lo, hi int) {
 }
 
 // yinyangComputeDrift fills Drift and the per-group maxima.
-func (p *PruneState) yinyangComputeDrift(old, next *matrix.Dense) float64 {
+func (p *PruneStateOf[T]) yinyangComputeDrift(old, next *matrix.Mat[T]) float64 {
 	total := 0.0
 	for g := range p.GroupDrift {
 		p.GroupDrift[g] = 0
@@ -198,7 +196,7 @@ func (p *PruneState) yinyangComputeDrift(old, next *matrix.Dense) float64 {
 	for c := 0; c < p.K; c++ {
 		d := matrix.Dist(old.Row(c), next.Row(c))
 		p.Drift[c] = d
-		total += d
+		total += float64(d)
 		if g := p.GroupOf[c]; d > p.GroupDrift[g] {
 			p.GroupDrift[g] = d
 		}

@@ -1,8 +1,14 @@
-// Package matrix provides the dense row-major float64 matrix type used
+// Package matrix provides the dense row-major matrix type used
 // throughout knor-go, including the binary on-disk row-major format the
 // knors semi-external-memory module streams from, and helpers that view
 // a matrix as per-NUMA-node chunks matching the paper's data layout
 // (Figure 1).
+//
+// Mat is generic over the element type (fp.Float); Dense is the
+// float64 instantiation every oracle-tested engine runs on. The generic
+// helpers (SqDist, Dot, NormalizeRows, ...) perform, at float64, exactly
+// the operations the pre-generic package performed — bit-identity with
+// the serial oracle is a package contract.
 package matrix
 
 import (
@@ -13,30 +19,43 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"knor/internal/fp"
 )
 
-// Dense is an n×d row-major matrix of float64.
-type Dense struct {
+// Mat is an n×d row-major matrix of T.
+type Mat[T fp.Float] struct {
 	RowsN int
 	ColsN int
-	Data  []float64 // len == RowsN*ColsN
+	Data  []T // len == RowsN*ColsN
 }
 
-// NewDense allocates a zeroed n×d matrix.
-func NewDense(rows, cols int) *Dense {
+// Dense is the float64 matrix, the element type of every oracle path.
+type Dense = Mat[float64]
+
+// NewDense allocates a zeroed n×d float64 matrix.
+func NewDense(rows, cols int) *Dense { return New[float64](rows, cols) }
+
+// New allocates a zeroed n×d matrix of T.
+func New[T fp.Float](rows, cols int) *Mat[T] {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("matrix: negative dims %dx%d", rows, cols))
 	}
-	return &Dense{RowsN: rows, ColsN: cols, Data: make([]float64, rows*cols)}
+	return &Mat[T]{RowsN: rows, ColsN: cols, Data: make([]T, rows*cols)}
 }
 
-// FromRows builds a Dense from a slice of equal-length rows, copying.
-func FromRows(rows [][]float64) (*Dense, error) {
+// FromRows builds a Dense from a slice of equal-length float64 rows,
+// copying. (Kept non-generic so untyped nil/empty calls need no type
+// argument; FromRowsOf is the generic variant.)
+func FromRows(rows [][]float64) (*Dense, error) { return FromRowsOf(rows) }
+
+// FromRowsOf builds a matrix from a slice of equal-length rows, copying.
+func FromRowsOf[T fp.Float](rows [][]T) (*Mat[T], error) {
 	if len(rows) == 0 {
-		return NewDense(0, 0), nil
+		return New[T](0, 0), nil
 	}
 	d := len(rows[0])
-	m := NewDense(len(rows), d)
+	m := New[T](len(rows), d)
 	for i, r := range rows {
 		if len(r) != d {
 			return nil, fmt.Errorf("matrix: row %d has %d cols, want %d", i, len(r), d)
@@ -46,51 +65,72 @@ func FromRows(rows [][]float64) (*Dense, error) {
 	return m, nil
 }
 
+// Convert copies m into a matrix of element type To. Widening
+// (float32 → float64) is exact; narrowing rounds to nearest.
+func Convert[To, From fp.Float](m *Mat[From]) *Mat[To] {
+	out := New[To](m.RowsN, m.ColsN)
+	for i, v := range m.Data {
+		out.Data[i] = To(v)
+	}
+	return out
+}
+
+// ToFloat64 views m at float64, converting only when m is narrower:
+// a *Dense input is returned as-is (no copy), keeping the float64 hot
+// paths allocation-free.
+func ToFloat64[T fp.Float](m *Mat[T]) *Dense {
+	if d, ok := any(m).(*Dense); ok {
+		return d
+	}
+	return Convert[float64](m)
+}
+
 // Row returns row i as a slice aliasing the matrix storage.
-func (m *Dense) Row(i int) []float64 {
+func (m *Mat[T]) Row(i int) []T {
 	return m.Data[i*m.ColsN : (i+1)*m.ColsN]
 }
 
 // At returns element (i, j).
-func (m *Dense) At(i, j int) float64 { return m.Data[i*m.ColsN+j] }
+func (m *Mat[T]) At(i, j int) T { return m.Data[i*m.ColsN+j] }
 
 // Set assigns element (i, j).
-func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.ColsN+j] = v }
+func (m *Mat[T]) Set(i, j int, v T) { m.Data[i*m.ColsN+j] = v }
 
 // Rows returns the number of rows.
-func (m *Dense) Rows() int { return m.RowsN }
+func (m *Mat[T]) Rows() int { return m.RowsN }
 
 // Cols returns the number of columns.
-func (m *Dense) Cols() int { return m.ColsN }
+func (m *Mat[T]) Cols() int { return m.ColsN }
 
 // Clone returns a deep copy.
-func (m *Dense) Clone() *Dense {
-	c := NewDense(m.RowsN, m.ColsN)
+func (m *Mat[T]) Clone() *Mat[T] {
+	c := New[T](m.RowsN, m.ColsN)
 	copy(c.Data, m.Data)
 	return c
 }
 
 // Equal reports element-wise equality within tol (absolute).
-func (m *Dense) Equal(o *Dense, tol float64) bool {
+func (m *Mat[T]) Equal(o *Mat[T], tol float64) bool {
 	if m.RowsN != o.RowsN || m.ColsN != o.ColsN {
 		return false
 	}
 	for i, v := range m.Data {
-		if math.Abs(v-o.Data[i]) > tol {
+		if math.Abs(float64(v)-float64(o.Data[i])) > tol {
 			return false
 		}
 	}
 	return true
 }
 
-// RowBytes returns the size of one row in the binary format.
-func (m *Dense) RowBytes() int { return m.ColsN * 8 }
+// RowBytes returns the size of one row in memory (and, for float64, in
+// the binary format — the on-disk encoding is always 8-byte float64).
+func (m *Mat[T]) RowBytes() int { return m.ColsN * fp.ElemBytes[T]() }
 
 // SqDist returns the squared Euclidean distance between two equal-length
 // vectors. It is the hot kernel of every k-means variant here; keep it
 // free of bounds checks the compiler can't elide.
-func SqDist(a, b []float64) float64 {
-	var s float64
+func SqDist[T fp.Float](a, b []T) T {
+	var s T
 	_ = b[len(a)-1]
 	for i, av := range a {
 		d := av - b[i]
@@ -99,12 +139,14 @@ func SqDist(a, b []float64) float64 {
 	return s
 }
 
-// Dist returns the Euclidean distance between two vectors.
-func Dist(a, b []float64) float64 { return math.Sqrt(SqDist(a, b)) }
+// Dist returns the Euclidean distance between two vectors. The square
+// root is taken in float64 at every width (widening float32 is exact),
+// so the float64 path is unchanged.
+func Dist[T fp.Float](a, b []T) T { return T(math.Sqrt(float64(SqDist(a, b)))) }
 
 // Dot returns the inner product of two equal-length vectors.
-func Dot(a, b []float64) float64 {
-	var s float64
+func Dot[T fp.Float](a, b []T) T {
+	var s T
 	_ = b[len(a)-1]
 	for i, av := range a {
 		s += av * b[i]
@@ -113,10 +155,10 @@ func Dot(a, b []float64) float64 {
 }
 
 // Norm returns the Euclidean norm of v.
-func Norm(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+func Norm[T fp.Float](v []T) T { return T(math.Sqrt(float64(Dot(v, v)))) }
 
 // AddTo accumulates src into dst element-wise.
-func AddTo(dst, src []float64) {
+func AddTo[T fp.Float](dst, src []T) {
 	_ = src[len(dst)-1]
 	for i := range dst {
 		dst[i] += src[i]
@@ -124,7 +166,7 @@ func AddTo(dst, src []float64) {
 }
 
 // Scale multiplies v by s in place.
-func Scale(v []float64, s float64) {
+func Scale[T fp.Float](v []T, s T) {
 	for i := range v {
 		v[i] *= s
 	}
@@ -135,7 +177,7 @@ func Scale(v []float64, s float64) {
 // every engine share this one implementation: the distributed module's
 // oracle-exactness depends on shard rows and the globally-normalised
 // copy being produced by the bit-identical operation.
-func NormalizeRows(m *Dense) {
+func NormalizeRows[T fp.Float](m *Mat[T]) {
 	for i := 0; i < m.RowsN; i++ {
 		row := m.Row(i)
 		n := Norm(row)
@@ -149,6 +191,9 @@ func NormalizeRows(m *Dense) {
 //
 // The format mirrors knor's raw row-major input: a 32-byte header
 // (magic, version, n, d) followed by n*d little-endian float64 values.
+// The wire element is always float64 regardless of the in-memory T:
+// float32 matrices widen losslessly on write and round on read, and
+// float64 files stay readable by either precision.
 
 const (
 	magic   = 0x4b4e4f52 // "KNOR"
@@ -158,7 +203,7 @@ const (
 var errBadMagic = errors.New("matrix: bad magic (not a knor matrix file)")
 
 // WriteTo writes the matrix in binary format.
-func (m *Dense) WriteTo(w io.Writer) (int64, error) {
+func (m *Mat[T]) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var hdr [32]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], magic)
@@ -171,7 +216,7 @@ func (m *Dense) WriteTo(w io.Writer) (int64, error) {
 	var buf [8]byte
 	written := int64(len(hdr))
 	for _, v := range m.Data {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(float64(v)))
 		if _, err := bw.Write(buf[:]); err != nil {
 			return written, err
 		}
@@ -181,7 +226,7 @@ func (m *Dense) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadFrom reads a matrix in binary format, replacing m's contents.
-func (m *Dense) ReadFrom(r io.Reader) (int64, error) {
+func (m *Mat[T]) ReadFrom(r io.Reader) (int64, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var hdr [32]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -199,21 +244,21 @@ func (m *Dense) ReadFrom(r io.Reader) (int64, error) {
 		return 0, fmt.Errorf("matrix: implausible dims %dx%d", n, d)
 	}
 	m.RowsN, m.ColsN = n, d
-	m.Data = make([]float64, n*d)
+	m.Data = make([]T, n*d)
 	read := int64(len(hdr))
 	var buf [8]byte
 	for i := range m.Data {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return read, err
 		}
-		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		m.Data[i] = T(math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
 		read += 8
 	}
 	return read, nil
 }
 
 // SaveFile writes the matrix to a file path.
-func (m *Dense) SaveFile(path string) error {
+func (m *Mat[T]) SaveFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -225,7 +270,7 @@ func (m *Dense) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadFile reads a matrix from a file path.
+// LoadFile reads a float64 matrix from a file path.
 func LoadFile(path string) (*Dense, error) {
 	f, err := os.Open(path)
 	if err != nil {

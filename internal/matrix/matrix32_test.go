@@ -1,0 +1,120 @@
+package matrix
+
+// Tests for the float32 instantiation of Mat and the cross-precision
+// helpers. The float64 path is covered by matrix_test.go and must stay
+// bit-identical; float32 results carry a relative-error contract.
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestConvertRoundTrip(t *testing.T) {
+	m := NewDense(3, 4)
+	for i := range m.Data {
+		m.Data[i] = float64(i) * 0.1
+	}
+	m32 := Convert[float32](m)
+	if m32.Rows() != 3 || m32.Cols() != 4 {
+		t.Fatalf("dims %dx%d", m32.Rows(), m32.Cols())
+	}
+	back := Convert[float64](m32)
+	for i, v := range back.Data {
+		if math.Abs(v-m.Data[i]) > 1e-7*math.Abs(m.Data[i]) {
+			t.Fatalf("round trip [%d]: %g vs %g", i, v, m.Data[i])
+		}
+	}
+	// Widening float32 -> float64 is exact.
+	again := Convert[float32](back)
+	for i, v := range again.Data {
+		if v != m32.Data[i] {
+			t.Fatalf("widen-narrow not exact at %d: %g vs %g", i, v, m32.Data[i])
+		}
+	}
+}
+
+func TestToFloat64NoCopyForDense(t *testing.T) {
+	m := NewDense(2, 2)
+	if ToFloat64(m) != m {
+		t.Fatal("ToFloat64 copied a *Dense")
+	}
+	m32 := New[float32](2, 2)
+	m32.Set(1, 1, 3.5)
+	w := ToFloat64(m32)
+	if w.At(1, 1) != 3.5 {
+		t.Fatalf("widened At(1,1) = %g", w.At(1, 1))
+	}
+}
+
+func TestMat32RowBytes(t *testing.T) {
+	if got := New[float32](2, 5).RowBytes(); got != 20 {
+		t.Fatalf("float32 RowBytes = %d, want 20", got)
+	}
+	if got := NewDense(2, 5).RowBytes(); got != 40 {
+		t.Fatalf("float64 RowBytes = %d, want 40", got)
+	}
+}
+
+// TestMat32BinaryIO checks the wire format stays 8-byte float64 at
+// every in-memory width: a float32 matrix round-trips exactly (widening
+// is lossless), and a float64 reader sees the widened values.
+func TestMat32BinaryIO(t *testing.T) {
+	m32, err := FromRowsOf([][]float32{{1.5, -2.25}, {0.1, 3e7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := m32.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+
+	var back Mat[float32]
+	if _, err := back.ReadFrom(bytes.NewReader(wire)); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(m32, 0) {
+		t.Fatal("float32 binary round trip not exact")
+	}
+
+	var wide Dense
+	if _, err := wide.ReadFrom(bytes.NewReader(wire)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range wide.Data {
+		if v != float64(m32.Data[i]) {
+			t.Fatalf("widened read [%d]: %g vs %g", i, v, m32.Data[i])
+		}
+	}
+}
+
+func TestGenericHelpers32(t *testing.T) {
+	a32 := []float32{1, 2, 3}
+	b32 := []float32{4, 6, 3}
+	if got := SqDist(a32, b32); got != 25 {
+		t.Fatalf("SqDist32 = %g", got)
+	}
+	if got := Dist(a32, b32); got != 5 {
+		t.Fatalf("Dist32 = %g", got)
+	}
+	if got := Dot(a32, b32); got != 25 {
+		t.Fatalf("Dot32 = %g", got)
+	}
+	m, _ := FromRowsOf([][]float32{{3, 4}, {0, 0}})
+	NormalizeRows(m)
+	if math.Abs(float64(Norm(m.Row(0)))-1) > 1e-6 {
+		t.Fatalf("row 0 norm = %g", Norm(m.Row(0)))
+	}
+	if m.At(1, 0) != 0 || m.At(1, 1) != 0 {
+		t.Fatal("zero row touched")
+	}
+	AddTo(a32, b32)
+	if a32[0] != 5 || a32[2] != 6 {
+		t.Fatalf("AddTo32 = %v", a32)
+	}
+	Scale(b32, 0.5)
+	if b32[1] != 3 {
+		t.Fatalf("Scale32 = %v", b32)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"knor/internal/blas"
+	"knor/internal/kmeans"
 	"knor/internal/matrix"
 	"knor/internal/metrics"
 )
@@ -47,6 +48,7 @@ type BatcherStats struct {
 	Requests uint64  // Assign/AssignBatch calls answered
 	Rows     uint64  // query rows answered
 	Flushes  uint64  // blocked distance computations performed
+	Queued   int     // rows waiting for the next flush right now
 	P50      float64 // request latency quantiles, seconds
 	P99      float64
 	Mean     float64
@@ -54,9 +56,9 @@ type BatcherStats struct {
 
 // pendingReq is one waiter: a set of rows against one model, answered
 // together.
-type pendingReq struct {
+type pendingReq[T blas.Float] struct {
 	model string
-	rows  *matrix.Dense
+	rows  *matrix.Mat[T]
 	out   chan batchAnswer
 	start time.Time
 }
@@ -66,20 +68,26 @@ type batchAnswer struct {
 	err     error
 }
 
-// Batcher coalesces concurrent assignment requests into one blocked
+// BatcherOf coalesces concurrent assignment requests into one blocked
 // ‖v‖²+‖c‖²−2·V·Cᵀ distance computation per flush. Callers block only
 // for their own answer; a background flusher drains the queue whenever
 // MaxBatch rows accumulate or MaxWait elapses after the first arrival.
 // All rows of a flush that target the same model are answered by a
 // single model snapshot, so a concurrent Publish never splits one batch
 // across versions.
-type Batcher struct {
+//
+// The element type selects the assign hot path's precision: float64
+// reproduces the pre-generic Batcher exactly; float32 runs the
+// register-tiled Dgemm microkernel against the registry's precomputed
+// float32 centroid mirror — half the memory traffic per flush, answers
+// within the relative-error bounds documented in EXPERIMENTS.md.
+type BatcherOf[T blas.Float] struct {
 	reg  *Registry
 	opts BatcherOptions
 	lat  *metrics.Latency
 
 	mu      sync.Mutex
-	queue   []pendingReq
+	queue   []pendingReq[T]
 	queued  int // rows currently queued
 	stopped bool
 
@@ -94,10 +102,19 @@ type Batcher struct {
 	flushes  uint64
 }
 
-// NewBatcher starts the assignment path over a registry. Close it to
-// stop the background flusher.
+// Batcher is the float64 assignment path.
+type Batcher = BatcherOf[float64]
+
+// NewBatcher starts the float64 assignment path over a registry. Close
+// it to stop the background flusher.
 func NewBatcher(reg *Registry, opts BatcherOptions) *Batcher {
-	b := &Batcher{
+	return NewBatcherOf[float64](reg, opts)
+}
+
+// NewBatcherOf starts the assignment path at element type T over a
+// registry. Close it to stop the background flusher.
+func NewBatcherOf[T blas.Float](reg *Registry, opts BatcherOptions) *BatcherOf[T] {
+	b := &BatcherOf[T]{
 		reg:  reg,
 		opts: opts.withDefaults(),
 		lat:  metrics.NewLatency(1),
@@ -111,8 +128,8 @@ func NewBatcher(reg *Registry, opts BatcherOptions) *Batcher {
 }
 
 // Assign answers one query row (blocking until its flush completes).
-func (b *Batcher) Assign(model string, row []float64) (Assignment, error) {
-	m := matrix.NewDense(1, len(row))
+func (b *BatcherOf[T]) Assign(model string, row []T) (Assignment, error) {
+	m := matrix.New[T](1, len(row))
 	copy(m.Data, row)
 	as, err := b.AssignBatch(model, m)
 	if err != nil {
@@ -123,11 +140,11 @@ func (b *Batcher) Assign(model string, row []float64) (Assignment, error) {
 
 // AssignBatch answers every row of rows against the named model. The
 // rows matrix must not be mutated until the call returns.
-func (b *Batcher) AssignBatch(model string, rows *matrix.Dense) ([]Assignment, error) {
+func (b *BatcherOf[T]) AssignBatch(model string, rows *matrix.Mat[T]) ([]Assignment, error) {
 	if rows.Rows() == 0 {
 		return nil, nil
 	}
-	req := pendingReq{model: model, rows: rows, out: make(chan batchAnswer, 1), start: time.Now()}
+	req := pendingReq[T]{model: model, rows: rows, out: make(chan batchAnswer, 1), start: time.Now()}
 	b.mu.Lock()
 	if b.stopped {
 		b.mu.Unlock()
@@ -156,6 +173,17 @@ func (b *Batcher) AssignBatch(model string, rows *matrix.Dense) ([]Assignment, e
 	return ans.assigns, nil
 }
 
+// AssignRows answers float64 query rows regardless of the batcher's
+// element type, converting once when T is narrower. This is the
+// precision-independent entry the HTTP server uses (JSON queries decode
+// to float64 either way).
+func (b *BatcherOf[T]) AssignRows(model string, rows *matrix.Dense) ([]Assignment, error) {
+	if m, ok := any(rows).(*matrix.Mat[T]); ok {
+		return b.AssignBatch(model, m)
+	}
+	return b.AssignBatch(model, matrix.Convert[T](rows))
+}
+
 // signal performs a non-blocking send on a 1-buffered channel.
 func signal(c chan struct{}) {
 	select {
@@ -165,10 +193,13 @@ func signal(c chan struct{}) {
 }
 
 // Stats reports counters and latency quantiles.
-func (b *Batcher) Stats() BatcherStats {
+func (b *BatcherOf[T]) Stats() BatcherStats {
 	b.statsMu.Lock()
 	st := BatcherStats{Requests: b.requests, Rows: b.rows, Flushes: b.flushes}
 	b.statsMu.Unlock()
+	b.mu.Lock()
+	st.Queued = b.queued
+	b.mu.Unlock()
 	st.P50 = b.lat.Quantile(0.50)
 	st.P99 = b.lat.Quantile(0.99)
 	st.Mean = b.lat.Mean()
@@ -177,7 +208,7 @@ func (b *Batcher) Stats() BatcherStats {
 
 // Close rejects new requests, answers everything queued, and stops the
 // flusher.
-func (b *Batcher) Close() {
+func (b *BatcherOf[T]) Close() {
 	b.mu.Lock()
 	if b.stopped {
 		b.mu.Unlock()
@@ -194,7 +225,7 @@ func (b *Batcher) Close() {
 // full channel only carries wakeups; the authoritative fullness check
 // is fullNow, so a token left over from a batch that drain already
 // picked up cannot cut the next batch's MaxWait window short.
-func (b *Batcher) flusher() {
+func (b *BatcherOf[T]) flusher() {
 	defer close(b.done)
 	for {
 		select {
@@ -228,14 +259,22 @@ func (b *Batcher) flusher() {
 }
 
 // fullNow reports whether MaxBatch rows are queued right now.
-func (b *Batcher) fullNow() bool {
+func (b *BatcherOf[T]) fullNow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.queued >= b.opts.MaxBatch
 }
 
+// Flush synchronously answers everything queued right now, without
+// closing the batcher: new requests keep being accepted. The server's
+// shutdown path calls it repeatedly so in-flight handlers are answered
+// immediately instead of waiting out MaxWait. Safe concurrently with
+// the background flusher — each queued request is popped by exactly
+// one drain.
+func (b *BatcherOf[T]) Flush() { b.drain() }
+
 // drain flushes until the queue is empty.
-func (b *Batcher) drain() {
+func (b *BatcherOf[T]) drain() {
 	for {
 		b.mu.Lock()
 		batch := b.queue
@@ -251,7 +290,7 @@ func (b *Batcher) drain() {
 
 // flush groups queued requests by model and answers each group with a
 // single GEMM-formulated distance computation against one snapshot.
-func (b *Batcher) flush(batch []pendingReq) {
+func (b *BatcherOf[T]) flush(batch []pendingReq[T]) {
 	groups := map[string][]int{}
 	for i, r := range batch {
 		groups[r.model] = append(groups[r.model], i)
@@ -281,7 +320,7 @@ func (b *Batcher) flush(batch []pendingReq) {
 		if total == 0 {
 			continue
 		}
-		a := make([]float64, total*d)
+		a := make([]T, total*d)
 		off := 0
 		for _, i := range live {
 			copy(a[off:], batch[i].rows.Data)
@@ -301,26 +340,51 @@ func (b *Batcher) flush(batch []pendingReq) {
 }
 
 // assignBlock computes nearest centroids for an m×d row block via the
-// ‖v‖² + ‖c‖² − 2·V·Cᵀ identity, reusing the snapshot's cached ‖c‖².
-func assignBlock(a []float64, m int, snap *Model, threads int) []Assignment {
+// ‖v‖² + ‖c‖² − 2·V·Cᵀ identity, reusing the snapshot's cached ‖c‖² at
+// the block's element type.
+func assignBlock[T blas.Float](a []T, m int, snap *Model, threads int) []Assignment {
 	k, d := snap.K(), snap.Dims()
-	dist := make([]float64, m*k)
-	blas.Dgemm(-2, a, m, d, snap.Centroids.Data, k, 0, dist, threads)
-	an := make([]float64, m)
+	cents, normsSq := centroidsOf[T](snap)
+	dist := make([]T, m*k)
+	blas.Dgemm(-2, a, m, d, cents.Data, k, 0, dist, threads)
+	an := make([]T, m)
 	blas.RowNormsSq(a, m, d, an)
 	out := make([]Assignment, m)
 	for i := 0; i < m; i++ {
 		row := dist[i*k : (i+1)*k]
-		best, bi := row[0]+an[i]+snap.NormsSq[0], 0
+		best, bi := row[0]+an[i]+normsSq[0], 0
 		for j := 1; j < k; j++ {
-			if v := row[j] + an[i] + snap.NormsSq[j]; v < best {
+			if v := row[j] + an[i] + normsSq[j]; v < best {
 				best, bi = v, j
 			}
 		}
 		if best < 0 { // numerical cancellation
 			best = 0
 		}
-		out[i] = Assignment{Cluster: int32(bi), SqDist: best, Version: snap.Version}
+		out[i] = Assignment{Cluster: int32(bi), SqDist: float64(best), Version: snap.Version}
 	}
 	return out
+}
+
+// Assigner is the precision-independent view of a batcher: what the
+// HTTP server programs against so -precision only changes construction.
+type Assigner interface {
+	// AssignRows answers float64 query rows against the named model.
+	AssignRows(model string, rows *matrix.Dense) ([]Assignment, error)
+	// Stats reports counters and latency quantiles.
+	Stats() BatcherStats
+	// Flush answers everything queued right now without closing.
+	Flush()
+	// Close rejects new requests, answers everything queued, and stops
+	// the flusher.
+	Close()
+}
+
+// NewAssigner builds the batched assignment path at the requested
+// precision.
+func NewAssigner(reg *Registry, opts BatcherOptions, p kmeans.Precision) Assigner {
+	if p == kmeans.Precision32 {
+		return NewBatcherOf[float32](reg, opts)
+	}
+	return NewBatcherOf[float64](reg, opts)
 }

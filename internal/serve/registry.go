@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"knor/internal/blas"
 	"knor/internal/matrix"
@@ -15,11 +16,14 @@ import (
 type Model struct {
 	Name    string
 	Version int // 1-based, monotonically increasing per name
-	// Centroids is the k×d centroid matrix.
+	// Centroids is the k×d centroid matrix (float64, the canonical
+	// storage every trainer publishes).
 	Centroids *matrix.Dense
 	// NormsSq caches ‖c‖² per centroid for the GEMM distance identity,
 	// computed once at publish time instead of once per batch.
 	NormsSq []float64
+	// PublishedAt stamps the snapshot for age-based retention.
+	PublishedAt time.Time
 	// Node is the simulated NUMA node the model's shard is pinned to,
 	// assigned round-robin at first publish and stable across
 	// versions. It is surfaced by the serving API and honoured by the
@@ -27,6 +31,15 @@ type Model struct {
 	// router re-pins under its own placement policy for the
 	// placement-sweep experiments).
 	Node int
+
+	// c32/n32 mirror Centroids/NormsSq at float32 for the Precision32
+	// assign path, built lazily on first float32 access (mirrorOnce) so
+	// float64-only deployments never pay the +50% centroid memory, and
+	// float32 flushes pay the conversion once per snapshot, not per
+	// flush.
+	mirrorOnce sync.Once
+	c32        *matrix.Mat[float32]
+	n32        []float32
 }
 
 // K returns the number of centroids.
@@ -35,33 +48,63 @@ func (m *Model) K() int { return m.Centroids.Rows() }
 // Dims returns the centroid dimensionality.
 func (m *Model) Dims() int { return m.Centroids.Cols() }
 
-// Bytes returns the in-memory size of the centroid data.
+// Bytes returns the in-memory size of the canonical centroid data.
 func (m *Model) Bytes() int { return m.K() * m.Dims() * 8 }
 
-// maxVersions bounds the per-model history the registry retains: a
+// centroidsOf returns the model's centroids and cached ‖c‖² at the
+// requested element type, building the float32 mirror on first use.
+func centroidsOf[T blas.Float](m *Model) (*matrix.Mat[T], []T) {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		m.mirrorOnce.Do(func() {
+			m.c32 = matrix.Convert[float32](m.Centroids)
+			m.n32 = make([]float32, m.c32.Rows())
+			blas.RowNormsSq(m.c32.Data, m.c32.Rows(), m.c32.Cols(), m.n32)
+		})
+		return any(m.c32).(*matrix.Mat[T]), any(m.n32).([]T)
+	}
+	return any(m.Centroids).(*matrix.Mat[T]), any(m.NormsSq).([]T)
+}
+
+// Retention bounds the per-model version history the registry keeps: a
 // stream updater auto-publishing forever must not grow memory without
-// bound. Older snapshots already handed out stay valid (immutable);
-// the registry merely forgets them.
+// bound. Snapshots already handed out stay valid (immutable); the
+// registry merely forgets them. The latest version and pinned versions
+// are never evicted.
+type Retention struct {
+	// MaxVersions bounds retained *unpinned* versions per model (<= 0
+	// uses the default of 8). Pinned versions are kept on top of the
+	// bound and do not count against it.
+	MaxVersions int
+	// MaxAge evicts unpinned non-latest versions older than this at
+	// publish time and on EvictExpired sweeps (0 = no age bound).
+	MaxAge time.Duration
+}
+
+// maxVersions is the historical retention bound.
 const maxVersions = 8
 
 // Registry holds named, versioned models. Publish is copy-on-write:
 // the input centroids are cloned into a fresh immutable Model, the
 // previous version stays readable, and Get hands out the snapshot
 // pointer without copying — so a query path never blocks on, or
-// observes, an in-progress training step. The last maxVersions
-// snapshots per model stay addressable through GetVersion.
+// observes, an in-progress training step. Retained history is bounded
+// by Retention (count and age), with Pin exempting versions a consumer
+// wants addressable indefinitely.
 type Registry struct {
 	nodes int // NUMA nodes to pin shards across (>=1)
 
-	mu       sync.RWMutex
-	latest   map[string]*Model
-	versions map[string][]*Model
-	nextNode int
+	mu        sync.RWMutex
+	latest    map[string]*Model
+	versions  map[string][]*Model
+	pins      map[string]map[int]bool
+	retention Retention
+	nextNode  int
 }
 
 // NewRegistry builds a registry that pins model shards round-robin
 // across the given number of simulated NUMA nodes (values < 1 are
-// treated as 1).
+// treated as 1), with the default retention (8 versions, no age bound).
 func NewRegistry(nodes int) *Registry {
 	if nodes < 1 {
 		nodes = 1
@@ -70,13 +113,27 @@ func NewRegistry(nodes int) *Registry {
 		nodes:    nodes,
 		latest:   map[string]*Model{},
 		versions: map[string][]*Model{},
+		pins:     map[string]map[int]bool{},
+	}
+}
+
+// SetRetention replaces the retention policy and immediately applies it
+// to every model.
+func (r *Registry) SetRetention(p Retention) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retention = p
+	now := time.Now()
+	for name := range r.versions {
+		r.evictLocked(name, now)
 	}
 }
 
 // Publish clones centroids into a new immutable version of the named
 // model and returns the snapshot. The first publish of a name pins the
 // model to a NUMA node; later versions inherit the pin so a serving
-// shard never migrates mid-flight.
+// shard never migrates mid-flight. Publishing also applies retention to
+// the model's history.
 func (r *Registry) Publish(name string, centroids *matrix.Dense) (*Model, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: empty model name")
@@ -90,7 +147,7 @@ func (r *Registry) Publish(name string, centroids *matrix.Dense) (*Model, error)
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	m := &Model{Name: name, Centroids: cl, NormsSq: norms}
+	m := &Model{Name: name, Centroids: cl, NormsSq: norms, PublishedAt: time.Now()}
 	if prev, ok := r.latest[name]; ok {
 		if prev.Dims() != m.Dims() {
 			return nil, fmt.Errorf("serve: model %q dims changed %d -> %d", name, prev.Dims(), m.Dims())
@@ -103,12 +160,96 @@ func (r *Registry) Publish(name string, centroids *matrix.Dense) (*Model, error)
 		r.nextNode++
 	}
 	r.latest[name] = m
-	vs := append(r.versions[name], m)
-	if len(vs) > maxVersions {
-		vs = append(vs[:0], vs[len(vs)-maxVersions:]...)
-	}
-	r.versions[name] = vs
+	r.versions[name] = append(r.versions[name], m)
+	r.evictLocked(name, m.PublishedAt)
 	return m, nil
+}
+
+// evictLocked applies the retention policy to one model's history:
+// age-expired unpinned versions go first, then the oldest unpinned
+// versions beyond the count bound. The latest version never goes.
+// Returns the number of versions evicted. Caller holds r.mu.
+func (r *Registry) evictLocked(name string, now time.Time) int {
+	vs := r.versions[name]
+	if len(vs) == 0 {
+		return 0
+	}
+	latest := r.latest[name]
+	pins := r.pins[name]
+	maxV := r.retention.MaxVersions
+	if maxV <= 0 {
+		maxV = maxVersions
+	}
+	evicted := 0
+	kept := make([]*Model, 0, len(vs))
+	unpinned := 0
+	for _, m := range vs {
+		if m != latest && !pins[m.Version] &&
+			r.retention.MaxAge > 0 && now.Sub(m.PublishedAt) > r.retention.MaxAge {
+			evicted++
+			continue
+		}
+		kept = append(kept, m)
+		if !pins[m.Version] {
+			unpinned++
+		}
+	}
+	// The count bound budgets unpinned versions only (pins are kept on
+	// top of it), so pinning history never crowds out recent versions.
+	if over := unpinned - maxV; over > 0 {
+		// Versions are appended in publish order: the front is oldest.
+		trimmed := kept[:0]
+		for _, m := range kept {
+			if over > 0 && m != latest && !pins[m.Version] {
+				over--
+				evicted++
+				continue
+			}
+			trimmed = append(trimmed, m)
+		}
+		kept = trimmed
+	}
+	r.versions[name] = kept
+	return evicted
+}
+
+// EvictExpired applies the age bound across every model as of now,
+// returning how many versions were evicted. Exposed so servers can
+// sweep on a timer (publish-driven eviction alone never ages out a
+// model that stopped publishing).
+func (r *Registry) EvictExpired(now time.Time) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for name := range r.versions {
+		n += r.evictLocked(name, now)
+	}
+	return n
+}
+
+// Pin marks a retained version as exempt from eviction (for consumers
+// holding long-lived references they want re-addressable by version).
+func (r *Registry) Pin(name string, version int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.versions[name] {
+		if m.Version == version {
+			if r.pins[name] == nil {
+				r.pins[name] = map[int]bool{}
+			}
+			r.pins[name][version] = true
+			return nil
+		}
+	}
+	return fmt.Errorf("serve: model %q has no retained version %d", name, version)
+}
+
+// Unpin removes a pin; the version becomes evictable again on the next
+// publish or sweep.
+func (r *Registry) Unpin(name string, version int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.pins[name], version)
 }
 
 // Get returns the latest version of the named model.
@@ -119,8 +260,8 @@ func (r *Registry) Get(name string) (*Model, bool) {
 	return m, ok
 }
 
-// GetVersion returns a specific published version (1-based). Only the
-// last maxVersions snapshots are retained; older ones report not found.
+// GetVersion returns a specific published version (1-based). Only
+// retained snapshots are addressable; evicted ones report not found.
 func (r *Registry) GetVersion(name string, version int) (*Model, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -130,6 +271,18 @@ func (r *Registry) GetVersion(name string, version int) (*Model, bool) {
 		}
 	}
 	return nil, false
+}
+
+// RetainedVersions lists the retained version numbers of a model in
+// publish order.
+func (r *Registry) RetainedVersions(name string) []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]int, len(r.versions[name]))
+	for i, m := range r.versions[name] {
+		out[i] = m.Version
+	}
+	return out
 }
 
 // List returns the latest snapshot of every model, sorted by name.
@@ -144,11 +297,13 @@ func (r *Registry) List() []*Model {
 	return out
 }
 
-// Drop removes all versions of a model. Snapshots already handed out
-// stay valid (they are immutable); only the registry forgets them.
+// Drop removes all versions of a model (and its pins). Snapshots
+// already handed out stay valid (they are immutable); only the registry
+// forgets them.
 func (r *Registry) Drop(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.latest, name)
 	delete(r.versions, name)
+	delete(r.pins, name)
 }

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"knor/internal/matrix"
+)
+
+func publishN(t *testing.T, r *Registry, name string, n int) {
+	t.Helper()
+	c := matrix.NewDense(2, 2)
+	for i := 0; i < n; i++ {
+		c.Set(0, 0, float64(i))
+		if _, err := r.Publish(name, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRetentionCountBound(t *testing.T) {
+	r := NewRegistry(1)
+	r.SetRetention(Retention{MaxVersions: 3})
+	publishN(t, r, "m", 10)
+	vs := r.RetainedVersions("m")
+	if len(vs) != 3 {
+		t.Fatalf("retained %v, want 3 versions", vs)
+	}
+	if vs[len(vs)-1] != 10 {
+		t.Fatalf("latest retained %d, want 10", vs[len(vs)-1])
+	}
+	if _, ok := r.GetVersion("m", 7); ok {
+		t.Fatal("evicted version still addressable")
+	}
+	if m, ok := r.Get("m"); !ok || m.Version != 10 {
+		t.Fatal("latest lost")
+	}
+}
+
+func TestRetentionPinSurvivesCountEviction(t *testing.T) {
+	r := NewRegistry(1)
+	r.SetRetention(Retention{MaxVersions: 2})
+	publishN(t, r, "m", 2)
+	if err := r.Pin("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	publishN(t, r, "m", 6)
+	if _, ok := r.GetVersion("m", 1); !ok {
+		t.Fatal("pinned version evicted")
+	}
+	// Unpinned history beyond the bound is gone.
+	if _, ok := r.GetVersion("m", 5); ok {
+		t.Fatal("unpinned old version retained")
+	}
+	// Unpinning makes it evictable on the next publish.
+	r.Unpin("m", 1)
+	publishN(t, r, "m", 1)
+	if _, ok := r.GetVersion("m", 1); ok {
+		t.Fatal("unpinned version survived eviction")
+	}
+}
+
+func TestRetentionAgeEviction(t *testing.T) {
+	r := NewRegistry(1)
+	r.SetRetention(Retention{MaxVersions: 100, MaxAge: time.Hour})
+	publishN(t, r, "m", 5)
+	// Age out versions 1-3 (test backdates their publish stamps — the
+	// snapshots are ours to mutate only in tests, before sharing).
+	for _, v := range []int{1, 2, 3} {
+		m, ok := r.GetVersion("m", v)
+		if !ok {
+			t.Fatalf("version %d missing", v)
+		}
+		m.PublishedAt = m.PublishedAt.Add(-2 * time.Hour)
+	}
+	if err := r.Pin("m", 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.EvictExpired(time.Now()); n != 2 {
+		t.Fatalf("evicted %d, want 2 (versions 1 and 3)", n)
+	}
+	for v, want := range map[int]bool{1: false, 2: true, 3: false, 4: true, 5: true} {
+		if _, ok := r.GetVersion("m", v); ok != want {
+			t.Fatalf("version %d retained=%v, want %v", v, ok, want)
+		}
+	}
+}
+
+func TestRetentionNeverEvictsLatest(t *testing.T) {
+	r := NewRegistry(1)
+	r.SetRetention(Retention{MaxVersions: 1, MaxAge: time.Nanosecond})
+	publishN(t, r, "m", 3)
+	latest, ok := r.Get("m")
+	if !ok {
+		t.Fatal("latest missing")
+	}
+	latest.PublishedAt = latest.PublishedAt.Add(-time.Hour)
+	r.EvictExpired(time.Now())
+	if m, ok := r.Get("m"); !ok || m.Version != 3 {
+		t.Fatal("latest evicted")
+	}
+	if vs := r.RetainedVersions("m"); len(vs) != 1 || vs[0] != 3 {
+		t.Fatalf("retained %v", vs)
+	}
+}
+
+func TestPinUnknownVersion(t *testing.T) {
+	r := NewRegistry(1)
+	publishN(t, r, "m", 1)
+	if err := r.Pin("m", 9); err == nil {
+		t.Fatal("pinned a version that was never published")
+	}
+	if err := r.Pin("ghost", 1); err == nil {
+		t.Fatal("pinned an unknown model")
+	}
+}
+
+func TestSetRetentionAppliesImmediately(t *testing.T) {
+	r := NewRegistry(1)
+	publishN(t, r, "m", 8) // default bound keeps all 8
+	if got := len(r.RetainedVersions("m")); got != 8 {
+		t.Fatalf("precondition: retained %d", got)
+	}
+	r.SetRetention(Retention{MaxVersions: 2})
+	if got := r.RetainedVersions("m"); len(got) != 2 || got[1] != 8 {
+		t.Fatalf("after SetRetention: %v", got)
+	}
+}
+
+func TestDropClearsPins(t *testing.T) {
+	r := NewRegistry(1)
+	publishN(t, r, "m", 2)
+	if err := r.Pin("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	r.Drop("m")
+	publishN(t, r, "m", 1)
+	if err := r.Pin("m", 2); err == nil {
+		t.Fatal("stale pin state after Drop")
+	}
+}

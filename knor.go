@@ -50,6 +50,12 @@ import (
 type (
 	// Matrix is a dense row-major float64 matrix.
 	Matrix = matrix.Dense
+	// Matrix32 is the float32 instantiation of the same matrix type,
+	// for callers driving the generic engines directly.
+	Matrix32 = matrix.Mat[float32]
+	// Precision selects the numeric core's element type at the API
+	// edges (RunPrecision, NewAssigner, the -precision CLI flags).
+	Precision = kmeans.Precision
 	// Config controls an in-memory (knori) run.
 	Config = kmeans.Config
 	// Result is the outcome of any run.
@@ -68,6 +74,14 @@ type (
 	Topology = numa.Topology
 	// CostModel holds the simulation's calibration constants.
 	CostModel = simclock.CostModel
+)
+
+// Numeric precisions. Precision64 runs the oracle engines; Precision32
+// halves memory traffic on every kernel and answers within the
+// relative-error bounds documented in EXPERIMENTS.md.
+const (
+	Precision64 = kmeans.Precision64
+	Precision32 = kmeans.Precision32
 )
 
 // Pruning modes.
@@ -119,6 +133,23 @@ const (
 func Run(data *Matrix, cfg Config) (*Result, error) {
 	return kmeans.Run(data, cfg)
 }
+
+// RunPrecision executes knori at the requested precision: Precision64
+// is exactly Run; Precision32 converts the data once and runs the
+// float32 engine. Results are always reported in float64.
+func RunPrecision(data *Matrix, cfg Config, p Precision) (*Result, error) {
+	return kmeans.RunPrecision(data, cfg, p)
+}
+
+// Run32 executes knori on float32 data directly (no conversion), for
+// callers that keep their dataset in single precision end to end.
+func Run32(data *Matrix32, cfg Config) (*Result, error) {
+	return kmeans.RunOf(data, cfg)
+}
+
+// ConvertMatrix32 copies a float64 matrix to float32 (rounding each
+// element to nearest).
+func ConvertMatrix32(m *Matrix) *Matrix32 { return matrix.Convert[float32](m) }
 
 // RunSerial executes the single-threaded reference Lloyd's (with
 // optional pruning), the oracle every optimised engine is tested
@@ -236,6 +267,16 @@ func ResumeStreamEngine(cp StreamCheckpoint, reg *Registry) (*StreamEngine, erro
 // NewBatcher starts the batched assignment path over a registry.
 func NewBatcher(reg *Registry, opts BatcherOptions) *Batcher {
 	return serve.NewBatcher(reg, opts)
+}
+
+// Assigner is the precision-independent view of a batcher.
+type Assigner = serve.Assigner
+
+// NewAssigner starts the batched assignment path at the requested
+// precision (Precision32 routes flushes through the float32 kernels
+// against precomputed float32 centroid mirrors).
+func NewAssigner(reg *Registry, opts BatcherOptions, p Precision) Assigner {
+	return serve.NewAssigner(reg, opts, p)
 }
 
 // --- clustering quality metrics ----------------------------------------
