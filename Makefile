@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-precision figs docs serve-loadtest clean
+.PHONY: all build vet test race bench bench-precision figs docs serve-loadtest io-smoke clean
 
 all: vet build test
 
@@ -15,7 +15,8 @@ test:
 
 # Race-detector pass over the concurrent subsystems (mirrors CI).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/kmeans/... ./cmd/knorserve/...
+	$(GO) test -race ./internal/serve/... ./internal/kmeans/... ./cmd/knorserve/... \
+		./internal/store/... ./internal/sem/...
 
 # Headline benchmarks: one representative configuration per paper
 # artifact (Tables 1-3, Figures 4-13, ablations).
@@ -45,6 +46,23 @@ docs:
 # 1M x 16, k=100 model over local HTTP.
 serve-loadtest:
 	$(GO) run ./cmd/knorserve -loadtest
+
+# Real-I/O smoke (mirrors CI): generate a small store-format file,
+# stream it with the file backend, and assert the result is
+# oracle-equal to the simulated backend on the same bytes, with
+# nonzero I/O counters.
+io-smoke:
+	@tmp=$$(mktemp -d) || exit 1; \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/kmeansgen -format knor -kind natural -n 6000 -d 16 -clusters 5 -o $$tmp/smoke.knor && \
+	$(GO) run ./cmd/knors -data $$tmp/smoke.knor -backend file -k 5 -threads 4 -pagecache 65536 -rowcache 65536 > $$tmp/file.out && \
+	$(GO) run ./cmd/knors -data $$tmp/smoke.knor -backend sim  -k 5 -threads 4 -pagecache 65536 -rowcache 65536 > $$tmp/sim.out && \
+	fkey=$$(grep -E '^(SSE|iterations)' $$tmp/file.out); \
+	skey=$$(grep -E '^(SSE|iterations)' $$tmp/sim.out); \
+	echo "file: $$fkey"; echo "sim:  $$skey"; \
+	if [ "$$fkey" != "$$skey" ]; then echo "io-smoke: FILE/SIM MISMATCH"; exit 1; fi; \
+	if grep -q 'requested 0.0 MB' $$tmp/file.out; then echo "io-smoke: no I/O recorded"; exit 1; fi; \
+	echo "io-smoke: ok (file backend oracle-equal to simulated backend)"
 
 clean:
 	$(GO) clean ./...

@@ -1,12 +1,21 @@
-// Command kmeansgen generates synthetic datasets in knor's binary
-// row-major format — the natural-cluster mixtures standing in for the
+// Command kmeansgen generates synthetic datasets in knor's on-disk
+// formats — the natural-cluster mixtures standing in for the
 // Friendster eigenvectors and the uniform RM*/RU* scalability datasets
 // of Table 2.
+//
+// Two formats are written:
+//
+//   - matrix (legacy): 32-byte header + float64 payload, loaded whole
+//     into memory;
+//   - knor (store): page-aligned header with an element width (4 or
+//     8), streamed by `knors -backend file` through the real page
+//     cache without ever materialising the matrix.
 //
 // Usage:
 //
 //	kmeansgen -kind natural -n 1000000 -d 8 -clusters 10 -o friendster8.knor
-//	kmeansgen -kind uniform -n 856000 -d 16 -o rm856k.knor
+//	kmeansgen -format knor -kind uniform -n 856000 -d 16 -o rm856k.knor
+//	kmeansgen -format knor -elem 4 -n 2000000 -d 32 -o big32.knor
 //	kmeansgen -table2 -scale 1000 -dir data/   # the whole catalogue, scaled
 package main
 
@@ -30,16 +39,22 @@ func main() {
 		spread   = flag.Float64("spread", 0.05, "within-cluster spread (natural only)")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		out      = flag.String("o", "data.knor", "output file")
+		format   = flag.String("format", "matrix", "on-disk format: matrix (legacy, whole-load) | knor (store, streamable)")
+		elem     = flag.Int("elem", 8, "element width in bytes for -format knor: 8 (float64) | 4 (float32)")
 		table2   = flag.Bool("table2", false, "generate the paper's Table 2 catalogue instead")
 		scale    = flag.Int("scale", 1000, "row-count divisor for -table2")
 		dir      = flag.String("dir", ".", "output directory for -table2")
 	)
 	flag.Parse()
 
+	save, err := saver(*format, *elem)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *table2 {
-		if err := genCatalogue(*scale, *dir); err != nil {
-			fmt.Fprintln(os.Stderr, "kmeansgen:", err)
-			os.Exit(1)
+		if err := genCatalogue(*scale, *dir, save, elemBytes(*format, *elem)); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -58,23 +73,51 @@ func main() {
 	}
 	spec := knor.Spec{Kind: k, N: *n, D: *d, Clusters: *clusters, Spread: *spread, Seed: *seed}
 	m := knor.Generate(spec)
-	if err := knor.SaveMatrix(m, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "kmeansgen:", err)
-		os.Exit(1)
+	if err := save(m, *out); err != nil {
+		fatal(err)
 	}
-	fmt.Printf("wrote %s: %d x %d (%.1f MB)\n", *out, m.Rows(), m.Cols(),
-		float64(m.Rows()*m.Cols()*8)/1e6)
+	fmt.Printf("wrote %s (%s): %d x %d (%.1f MB)\n", *out, *format, m.Rows(), m.Cols(),
+		float64(m.Rows()*m.Cols()*elemBytes(*format, *elem))/1e6)
 }
 
-func genCatalogue(scale int, dir string) error {
+// saver picks the output encoding for the requested format.
+func saver(format string, elem int) (func(*knor.Matrix, string) error, error) {
+	switch strings.ToLower(format) {
+	case "matrix":
+		return knor.SaveMatrix, nil
+	case "knor":
+		if elem != 4 && elem != 8 {
+			return nil, fmt.Errorf("-elem must be 4 or 8, got %d", elem)
+		}
+		return func(m *knor.Matrix, path string) error {
+			return knor.SaveMatrixStore(m, path, elem)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want matrix or knor)", format)
+	}
+}
+
+func elemBytes(format string, elem int) int {
+	if strings.ToLower(format) == "knor" {
+		return elem
+	}
+	return 8
+}
+
+func genCatalogue(scale int, dir string, save func(*knor.Matrix, string) error, elem int) error {
 	for _, spec := range workload.Catalogue(scale) {
 		m := knor.Generate(spec)
 		path := filepath.Join(dir, strings.ToLower(spec.Name)+".knor")
-		if err := knor.SaveMatrix(m, path); err != nil {
+		if err := save(m, path); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %-24s %10d x %-3d (%.1f MB)\n", path, m.Rows(), m.Cols(),
-			float64(m.Rows()*m.Cols()*8)/1e6)
+			float64(m.Rows()*m.Cols()*elem)/1e6)
 	}
 	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kmeansgen:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"knor"
+)
+
+// ioExp measures the real I/O subsystem (internal/store): knors
+// streaming an actual on-disk store file, swept over page-cache size ×
+// prefetch depth, next to the simulated backend swept over device
+// count. The requested/read counters follow the same semantics on both
+// stacks, so the file table is Figure 6's quantities on real hardware.
+func ioExp(e env) {
+	n := 200_000
+	if e.quick {
+		n = 40_000
+	}
+	data := knor.Generate(knor.Spec{
+		Kind: knor.NaturalClusters, N: n, D: 16, Clusters: 10, Spread: 0.05, Seed: 7,
+	})
+	dir, err := os.MkdirTemp("", "knorbench-io")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "io.knor")
+	if err := knor.SaveMatrixStore(data, path, 8); err != nil {
+		panic(err)
+	}
+
+	baseCfg := func() knor.SEMConfig {
+		return knor.SEMConfig{
+			Kmeans: knor.Config{
+				K: 10, MaxIters: 30, Tol: -1, Init: knor.InitForgy, Seed: 1,
+				Threads: 8, TaskSize: 2048, Prune: knor.PruneMTI,
+			},
+			RowCacheBytes: 1 << 20,
+		}
+	}
+
+	fmt.Printf("  (file backend: n=%d d=16 k=10, store file %s; wall-clock on this machine)\n", n, path)
+	var rows [][]string
+	var refSSE float64
+	for _, cacheBytes := range []int{1 << 18, 1 << 20, 1 << 22} {
+		for _, pf := range []int{0, 2, 8} {
+			cfg := baseCfg()
+			cfg.PageCacheBytes = cacheBytes
+			cfg.PrefetchWorkers = pf
+			res, err := knor.RunSEMFile(path, cfg)
+			if err != nil {
+				panic(err)
+			}
+			if refSSE == 0 {
+				refSSE = res.SSE
+			} else if res.SSE != refSSE {
+				panic(fmt.Sprintf("io: SSE diverged across cache configs: %g vs %g", res.SSE, refSSE))
+			}
+			var req, read, hits uint64
+			for _, st := range res.PerIter {
+				req += st.BytesWanted
+				read += st.BytesRead
+				hits += st.RowCacheHits
+			}
+			rows = append(rows, []string{
+				fmtMB(uint64(cacheBytes)), fmt.Sprintf("%d", pf),
+				fmtMs(res.SimSeconds / float64(res.Iters)),
+				fmtMB(req), fmtMB(read),
+				fmt.Sprintf("%d", hits),
+			})
+		}
+	}
+	printTable([]string{"cacheMB", "prefetch", "ms/iter", "reqMB", "readMB", "rcHits"}, rows)
+
+	fmt.Printf("\n  (simulated backend on the same dataset: device-count sweep, simulated seconds)\n")
+	rows = rows[:0]
+	for _, devices := range []int{1, 4, 8, 24} {
+		cfg := baseCfg()
+		cfg.PageCacheBytes = 1 << 20
+		cfg.Devices = devices
+		res, err := knor.RunSEM(data, cfg)
+		if err != nil {
+			panic(err)
+		}
+		var req, read uint64
+		for _, st := range res.PerIter {
+			req += st.BytesWanted
+			read += st.BytesRead
+		}
+		if res.SSE != refSSE {
+			panic("io: simulated backend SSE diverged from file backend")
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", devices),
+			fmtMs(res.SimSeconds / float64(res.Iters)),
+			fmtMB(req), fmtMB(read),
+		})
+	}
+	printTable([]string{"devices", "sim ms/iter", "reqMB", "readMB"}, rows)
+	fmt.Printf("  (file and simulated backends agree: SSE %.6g on every configuration)\n", refSSE)
+}

@@ -10,6 +10,7 @@
 //
 // Experiments: table1 table2 table3 fig4 fig5 fig6a fig6b fig7 fig8
 // fig8mem fig9 fig9mem fig10 fig11 fig12 fig13 ablation serve precision
+// io
 package main
 
 import (
@@ -54,6 +55,7 @@ var experiments = []experiment{
 	{"ablation", "Ablations: task size, I_cache, page size, clause mix, TI vs MTI", ablation},
 	{"serve", "Serving: simulated /assign throughput vs placement x scheduler", serveExp},
 	{"precision", "Precision: float32 vs float64 kernels, training and serving", precisionExp},
+	{"io", "Real I/O: knors on a store file, page cache x prefetch x devices", ioExp},
 }
 
 func main() {

@@ -1,11 +1,24 @@
 // Command knors runs the semi-external-memory k-means module: O(n)
-// state in memory, row data streamed from the simulated SSD array,
-// with the partitioned lazily-updated row cache and optional
-// checkpointing.
+// state in memory, row data streamed from the storage backend, with
+// the partitioned lazily-updated row cache and optional checkpointing.
+//
+// Two backends are available:
+//
+//   - sim (default): the dataset is loaded into memory and fronted by
+//     the simulated SSD array + SAFS stack, reproducing the paper's
+//     deterministic I/O figures;
+//   - file: the dataset stays on disk in the knor store format
+//     (kmeansgen -format knor) and is streamed through a real page
+//     cache with request merging and prefetch — the matrix is never
+//     materialised, so datasets larger than memory work.
+//
+// Both backends produce bit-identical centroids and the same
+// BytesWanted counters on the same data.
 //
 // Usage:
 //
-//	knors -data friendster32.knor -k 10 -rowcache 512MB-equivalent bytes
+//	kmeansgen -format knor -n 1000000 -d 32 -o friendster32.knor
+//	knors -data friendster32.knor -backend file -k 10 -prefetch 4
 //	knors -gen-n 200000 -gen-d 32 -k 10 -rowcache 4194304 -ckpt state.bin -v
 package main
 
@@ -13,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"knor"
 	"knor/internal/cliutil"
@@ -21,6 +35,7 @@ import (
 func main() {
 	var (
 		dataPath  = flag.String("data", "", "input matrix file (empty: generate)")
+		backend   = flag.String("backend", "sim", "storage backend: sim (simulated SSD array) | file (real store-format I/O)")
 		genN      = flag.Int("gen-n", 200000, "rows to generate when -data is empty")
 		genD      = flag.Int("gen-d", 32, "dims to generate when -data is empty")
 		genSeed   = flag.Int64("gen-seed", 1, "generator seed")
@@ -30,10 +45,11 @@ func main() {
 		taskSize  = flag.Int("tasksize", 8192, "rows per task")
 		prune     = flag.String("prune", "mti", "pruning: none | mti | ti")
 		initM     = flag.String("init", "forgy", "init: forgy | random | kmeans++")
-		devices   = flag.Int("devices", 24, "SSD array width")
+		devices   = flag.Int("devices", 24, "SSD array width (sim backend)")
 		pageCache = flag.Int("pagecache", 1<<26, "page cache bytes")
 		rowCache  = flag.Int("rowcache", 1<<25, "row cache bytes (0 disables: knors-)")
 		icache    = flag.Int("icache", 5, "row cache update interval")
+		prefetch  = flag.Int("prefetch", 4, "prefetch workers (file backend; 0 disables)")
 		ckpt      = flag.String("ckpt", "", "checkpoint file (enables checkpointing)")
 		ckptEvery = flag.Int("ckpt-every", 5, "checkpoint interval in iterations")
 		resume    = flag.Bool("resume", false, "restore from -ckpt before running")
@@ -41,24 +57,15 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-iteration I/O stats")
 	)
 	flag.Parse()
-
-	var data *knor.Matrix
-	var err error
-	if *dataPath != "" {
-		data, err = knor.LoadMatrix(*dataPath)
-	} else {
-		data = knor.Generate(knor.Spec{
-			Kind: knor.NaturalClusters, N: *genN, D: *genD, Clusters: 10, Spread: 0.05, Seed: *genSeed,
-		})
-	}
-	if err != nil {
-		fatal(err)
+	if *backend != "sim" && *backend != "file" {
+		fatal(fmt.Errorf("unknown backend %q (want sim or file)", *backend))
 	}
 
 	kcfg := knor.Config{
 		K: *k, MaxIters: *iters, Seed: *seed,
 		Threads: *threads, TaskSize: *taskSize,
 	}
+	var err error
 	if kcfg.Prune, err = cliutil.ParsePrune(*prune); err != nil {
 		fatal(err)
 	}
@@ -71,31 +78,44 @@ func main() {
 		PageCacheBytes:  *pageCache,
 		RowCacheBytes:   *rowCache,
 		ICache:          *icache,
+		PrefetchWorkers: *prefetch,
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: *ckptEvery,
 	}
 
-	eng, err := knor.NewSEMEngine(data, cfg)
+	eng, cleanup, err := buildEngine(*backend, *dataPath, *genN, *genD, *genSeed, cfg)
 	if err != nil {
+		fatal(err)
+	}
+	defer cleanup()
+	// fatal calls os.Exit, which skips deferred cleanup — release the
+	// engine (and any generated temp dataset) explicitly on the way out.
+	die := func(err error) {
+		cleanup()
 		fatal(err)
 	}
 	if *resume {
 		if *ckpt == "" {
-			fatal(fmt.Errorf("-resume requires -ckpt"))
+			die(fmt.Errorf("-resume requires -ckpt"))
 		}
 		if err := eng.RestoreEngine(*ckpt); err != nil {
-			fatal(err)
+			die(err)
 		}
 		fmt.Printf("resumed from %s at iteration %d\n", *ckpt, eng.Iter())
 	}
 	res, err := eng.Finish()
 	if err != nil {
-		fatal(err)
+		die(err)
 	}
 
+	fmt.Printf("backend:        %s\n", *backend)
 	fmt.Printf("iterations:     %d (converged=%v)\n", res.Iters, res.Converged)
 	fmt.Printf("SSE:            %.6g\n", res.SSE)
-	fmt.Printf("simulated time: %.4fs (%.4fs/iter)\n", res.SimSeconds, res.SimSeconds/float64(res.Iters))
+	timeLabel := "simulated time"
+	if *backend == "file" {
+		timeLabel = "wall time     "
+	}
+	fmt.Printf("%s: %.4fs (%.4fs/iter)\n", timeLabel, res.SimSeconds, res.SimSeconds/float64(res.Iters))
 	fmt.Printf("memory:         %.1f MB (SEM: excludes row data)\n", float64(res.MemoryBytes)/1e6)
 	var req, read, hits uint64
 	for _, st := range res.PerIter {
@@ -113,6 +133,58 @@ func main() {
 				float64(st.BytesWanted)/1e6, float64(st.BytesRead)/1e6, st.RowCacheHits)
 		}
 	}
+}
+
+// buildEngine wires the chosen backend. The file backend streams an
+// existing store file, or (when generating) writes the dataset to a
+// temporary store file first so the run still never holds the matrix
+// in memory alongside the engine.
+func buildEngine(backend, dataPath string, genN, genD int, genSeed int64, cfg knor.SEMConfig) (*knor.SEMEngine, func(), error) {
+	cleanup := func() {}
+	if backend == "file" {
+		path := dataPath
+		if path == "" {
+			dir, err := os.MkdirTemp("", "knors")
+			if err != nil {
+				return nil, cleanup, err
+			}
+			path = filepath.Join(dir, "gen.knor")
+			m := generate(genN, genD, genSeed)
+			if err := knor.SaveMatrixStore(m, path, 8); err != nil {
+				os.RemoveAll(dir)
+				return nil, cleanup, err
+			}
+			fmt.Printf("generated %d x %d into %s\n", m.Rows(), m.Cols(), path)
+			cleanup = func() { os.RemoveAll(dir) }
+		}
+		eng, err := knor.NewSEMEngineFromFile(path, cfg)
+		if err != nil {
+			cleanup()
+			return nil, func() {}, err
+		}
+		prev := cleanup
+		return eng, func() { eng.Close(); prev() }, nil
+	}
+
+	var data *knor.Matrix
+	var err error
+	if dataPath != "" {
+		// Either on-disk format loads fully for the simulated array.
+		data, err = knor.LoadMatrixAny(dataPath)
+		if err != nil {
+			return nil, cleanup, err
+		}
+	} else {
+		data = generate(genN, genD, genSeed)
+	}
+	eng, err := knor.NewSEMEngine(data, cfg)
+	return eng, cleanup, err
+}
+
+func generate(n, d int, seed int64) *knor.Matrix {
+	return knor.Generate(knor.Spec{
+		Kind: knor.NaturalClusters, N: n, D: d, Clusters: 10, Spread: 0.05, Seed: seed,
+	})
 }
 
 func fatal(err error) {

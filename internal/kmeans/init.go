@@ -7,17 +7,41 @@ import (
 	"knor/internal/matrix"
 )
 
+// RowData is the read-only row access centroid initialisation needs.
+// *matrix.Mat[T] satisfies it directly; the SEM storage backends adapt
+// their streaming cursors to it, so a file-backed engine draws exactly
+// the same seeds as an in-memory one (the RNG consumption below never
+// depends on how rows are fetched). A returned row need only stay
+// valid until the next Row call.
+type RowData[T blas.Float] interface {
+	Rows() int
+	Cols() int
+	Row(i int) []T
+}
+
 // InitCentroidsFor exposes centroid initialisation for the SEM and
 // distributed engines, which drive their own iteration loops.
 func InitCentroidsFor(data *matrix.Dense, cfg Config) *matrix.Dense {
 	return initCentroids(data, cfg)
 }
 
-// initCentroids produces the iteration-0 centroids per the config. The
-// RNG consumption is data-independent for Forgy and random-partition,
-// so those draws match across element types; k-means++ samples by D²
-// mass, so float32 runs may pick different seeds near ties.
+// InitCentroidsFromRows is InitCentroidsFor over any row source — the
+// streaming path for engines whose data never fully resides in memory.
+// Fed the same row values it is bit-identical to InitCentroidsFor.
+func InitCentroidsFromRows(data RowData[float64], cfg Config) *matrix.Dense {
+	return initCentroidsRows[float64](data, cfg)
+}
+
+// initCentroids produces the iteration-0 centroids per the config.
 func initCentroids[T blas.Float](data *matrix.Mat[T], cfg Config) *matrix.Mat[T] {
+	return initCentroidsRows[T](data, cfg)
+}
+
+// initCentroidsRows is the shared implementation. The RNG consumption
+// is data-independent for Forgy and random-partition, so those draws
+// match across element types; k-means++ samples by D² mass, so float32
+// runs may pick different seeds near ties.
+func initCentroidsRows[T blas.Float](data RowData[T], cfg Config) *matrix.Mat[T] {
 	switch cfg.Init {
 	case InitForgy:
 		return initForgy(data, cfg.K, cfg.Seed)
@@ -42,7 +66,7 @@ func centroidsAs[T blas.Float](c *matrix.Dense) *matrix.Mat[T] {
 }
 
 // initForgy picks k distinct rows uniformly at random.
-func initForgy[T blas.Float](data *matrix.Mat[T], k int, seed int64) *matrix.Mat[T] {
+func initForgy[T blas.Float](data RowData[T], k int, seed int64) *matrix.Mat[T] {
 	rng := rand.New(rand.NewSource(seed))
 	n := data.Rows()
 	picked := make(map[int]bool, k)
@@ -61,7 +85,7 @@ func initForgy[T blas.Float](data *matrix.Mat[T], k int, seed int64) *matrix.Mat
 // initRandomPartition assigns every row a random cluster and uses the
 // cluster means as initial centroids. Empty clusters fall back to a
 // random row.
-func initRandomPartition[T blas.Float](data *matrix.Mat[T], k int, seed int64) *matrix.Mat[T] {
+func initRandomPartition[T blas.Float](data RowData[T], k int, seed int64) *matrix.Mat[T] {
 	rng := rand.New(rand.NewSource(seed))
 	d := data.Cols()
 	c := matrix.New[T](k, d)
@@ -83,7 +107,7 @@ func initRandomPartition[T blas.Float](data *matrix.Mat[T], k int, seed int64) *
 
 // initKMeansPP implements k-means++ D² seeding (Arthur & Vassilvitskii),
 // listed in the paper's future work (§9) via semi-supervised k-means++.
-func initKMeansPP[T blas.Float](data *matrix.Mat[T], k int, seed int64) *matrix.Mat[T] {
+func initKMeansPP[T blas.Float](data RowData[T], k int, seed int64) *matrix.Mat[T] {
 	rng := rand.New(rand.NewSource(seed))
 	n := data.Rows()
 	c := matrix.New[T](k, data.Cols())

@@ -65,7 +65,10 @@ func (e *Engine) Checkpoint(path string) error {
 
 // RestoreEngine loads a checkpoint into a freshly constructed engine.
 // The engine must have been built with the same data and config shape
-// (n, d, k are verified).
+// (n, d, k are verified). The whole file is parsed into staging
+// buffers before any engine state is touched: a truncated or corrupt
+// checkpoint returns a descriptive error naming the damaged section
+// and leaves the engine exactly as it was, never in a partial state.
 func (e *Engine) RestoreEngine(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -73,61 +76,68 @@ func (e *Engine) RestoreEngine(path string) error {
 	}
 	defer f.Close()
 	r := bufio.NewReader(f)
-	rd := func() (uint64, error) {
+	readWords := func(section string, dst []uint64) error {
 		var buf [8]byte
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return 0, err
+		for i := range dst {
+			if _, err := io.ReadFull(r, buf[:]); err != nil {
+				return fmt.Errorf("sem: checkpoint %s: truncated in %s section (word %d of %d): %w",
+					path, section, i, len(dst), err)
+			}
+			dst[i] = binary.LittleEndian.Uint64(buf[:])
 		}
-		return binary.LittleEndian.Uint64(buf[:]), nil
+		return nil
 	}
-	magic, err := rd()
-	if err != nil || magic != ckptMagic {
-		return errBadCheckpoint
+
+	hdr := make([]uint64, 5)
+	if err := readWords("header", hdr); err != nil {
+		return err
 	}
-	iterV, _ := rd()
-	nV, _ := rd()
-	dV, _ := rd()
-	kV, err := rd()
-	if err != nil {
-		return errBadCheckpoint
+	if hdr[0] != ckptMagic {
+		return fmt.Errorf("%w: %s has magic %#x", errBadCheckpoint, path, hdr[0])
 	}
+	iterV, nV, dV, kV := hdr[1], hdr[2], hdr[3], hdr[4]
 	if int(nV) != e.n || int(dV) != e.d || int(kV) != e.k {
 		return fmt.Errorf("sem: checkpoint shape %dx%d k=%d does not match engine %dx%d k=%d",
 			nV, dV, kV, e.n, e.d, e.k)
 	}
-	for i := range e.cents.Data {
-		v, err := rd()
-		if err != nil {
-			return errBadCheckpoint
+
+	cents := make([]uint64, len(e.cents.Data))
+	assign := make([]uint64, len(e.ps.Assign))
+	ub := make([]uint64, len(e.ps.UB))
+	sum := make([]uint64, len(e.gsum.Sum))
+	count := make([]uint64, len(e.gsum.Count))
+	for _, sec := range []struct {
+		name string
+		dst  []uint64
+	}{
+		{"centroids", cents},
+		{"assignment", assign},
+		{"upper-bounds", ub},
+		{"global-sums", sum},
+		{"cluster-counts", count},
+	} {
+		if err := readWords(sec.name, sec.dst); err != nil {
+			return err
 		}
+	}
+	if _, err := r.ReadByte(); err != io.EOF {
+		return fmt.Errorf("sem: checkpoint %s: trailing data after cluster-counts section", path)
+	}
+
+	// All sections parsed — commit atomically.
+	for i, v := range cents {
 		e.cents.Data[i] = math.Float64frombits(v)
 	}
-	for i := range e.ps.Assign {
-		v, err := rd()
-		if err != nil {
-			return errBadCheckpoint
-		}
+	for i, v := range assign {
 		e.ps.Assign[i] = int32(uint32(v))
 	}
-	for i := range e.ps.UB {
-		v, err := rd()
-		if err != nil {
-			return errBadCheckpoint
-		}
+	for i, v := range ub {
 		e.ps.UB[i] = math.Float64frombits(v)
 	}
-	for i := range e.gsum.Sum {
-		v, err := rd()
-		if err != nil {
-			return errBadCheckpoint
-		}
+	for i, v := range sum {
 		e.gsum.Sum[i] = math.Float64frombits(v)
 	}
-	for i := range e.gsum.Count {
-		v, err := rd()
-		if err != nil {
-			return errBadCheckpoint
-		}
+	for i, v := range count {
 		e.gsum.Count[i] = int64(v)
 	}
 	e.iter = int(iterV)

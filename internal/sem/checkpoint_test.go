@@ -1,0 +1,137 @@
+package sem
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ckptLayout returns the byte offset where each section of a
+// checkpoint for an n×d, k-cluster engine begins (and the total size).
+func ckptLayout(n, d, k int) (sections []struct {
+	name string
+	off  int
+}, total int) {
+	add := func(name string, bytes int) {
+		sections = append(sections, struct {
+			name string
+			off  int
+		}{name, total})
+		total += bytes
+	}
+	add("header", 5*8)
+	add("centroids", k*d*8)
+	add("assignment", n*8)
+	add("upper-bounds", n*8)
+	add("global-sums", k*d*8)
+	add("cluster-counts", k*8)
+	return sections, total
+}
+
+func TestRestoreTruncationAtEverySectionBoundary(t *testing.T) {
+	const n, d, k = 300, 8, 4
+	data := semData(n, d, k, 91)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+
+	e1, err := New(data, semCfg(k, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := e1.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections, total := ckptLayout(n, d, k)
+	if len(raw) != total {
+		t.Fatalf("checkpoint is %d bytes, layout says %d", len(raw), total)
+	}
+
+	for _, sec := range sections {
+		// Truncate 4 bytes into the section: mid-word, so the reader
+		// fails inside this section (not cleanly at its start).
+		cut := sec.off + 4
+		if cut > len(raw) {
+			continue
+		}
+		trunc := filepath.Join(dir, "trunc-"+sec.name+".bin")
+		if err := os.WriteFile(trunc, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e2, err := New(data, semCfg(k, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		centsBefore := e2.cents.Clone()
+		iterBefore := e2.Iter()
+
+		rerr := e2.RestoreEngine(trunc)
+		if rerr == nil {
+			t.Fatalf("truncation in %s section accepted", sec.name)
+		}
+		if !strings.Contains(rerr.Error(), sec.name) {
+			t.Fatalf("truncation in %s section reported as: %v", sec.name, rerr)
+		}
+		// The failed restore must not leave partial state behind.
+		if e2.Iter() != iterBefore {
+			t.Fatalf("%s: failed restore advanced iter to %d", sec.name, e2.Iter())
+		}
+		if !e2.cents.Equal(centsBefore, 0) {
+			t.Fatalf("%s: failed restore mutated centroids", sec.name)
+		}
+		// And the engine must still run to convergence afterwards.
+		if _, err := e2.Finish(); err != nil {
+			t.Fatalf("%s: engine unusable after failed restore: %v", sec.name, err)
+		}
+	}
+}
+
+func TestRestoreRejectsBadMagicAndTrailingData(t *testing.T) {
+	const n, d, k = 200, 8, 3
+	data := semData(n, d, k, 92)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	e1, err := New(data, semCfg(k, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.Step()
+	if err := e1.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+
+	bad := filepath.Join(dir, "badmagic.bin")
+	corrupt := append([]byte(nil), raw...)
+	corrupt[0] ^= 0xff
+	os.WriteFile(bad, corrupt, 0o644)
+	e2, _ := New(data, semCfg(k, 2))
+	if err := e2.RestoreEngine(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	long := filepath.Join(dir, "trailing.bin")
+	os.WriteFile(long, append(append([]byte(nil), raw...), 0xde, 0xad), 0o644)
+	e3, _ := New(data, semCfg(k, 2))
+	if err := e3.RestoreEngine(long); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing data: %v", err)
+	}
+
+	// The pristine file still restores after all the rejected attempts.
+	e4, _ := New(data, semCfg(k, 2))
+	if err := e4.RestoreEngine(path); err != nil {
+		t.Fatal(err)
+	}
+	if e4.Iter() != 1 {
+		t.Fatalf("restored iter = %d", e4.Iter())
+	}
+}

@@ -1,0 +1,251 @@
+package sem
+
+import (
+	"path/filepath"
+	"testing"
+
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+	"knor/internal/store"
+)
+
+func writeStore(t *testing.T, data *matrix.Dense, elem int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.knor")
+	if err := store.WriteDense(data, path, elem); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestFileBackendParity is the backend-parity acceptance test: the
+// simulated-array engine and the real file engine must produce
+// bit-identical centroids and assignments, the same iteration count,
+// and matching per-iteration BytesWanted and row-cache hits on the
+// same dataset, across init methods, pruning modes, row-cache on/off,
+// and the spherical variant.
+func TestFileBackendParity(t *testing.T) {
+	data := semData(2500, 16, 6, 81)
+	variants := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"forgy-mti-rc", func(c *Config) {}},
+		{"forgy-mti-norc", func(c *Config) { c.RowCacheBytes = 0 }},
+		{"kmeanspp-noprune", func(c *Config) {
+			c.Kmeans.Init = kmeans.InitKMeansPP
+			c.Kmeans.Prune = kmeans.PruneNone
+		}},
+		{"yinyang", func(c *Config) { c.Kmeans.Prune = kmeans.PruneYinyang }},
+		{"spherical", func(c *Config) { c.Kmeans.Spherical = true }},
+		{"prefetch", func(c *Config) { c.PrefetchWorkers = 4 }},
+	}
+	path := writeStore(t, data, 8)
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := semCfg(6, 4)
+			cfg.PageCacheBytes = 1 << 16
+			v.mut(&cfg)
+			sim, err := Run(data, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			file, err := RunFile(path, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sim.Iters != file.Iters {
+				t.Fatalf("iters: sim %d vs file %d", sim.Iters, file.Iters)
+			}
+			if !sim.Centroids.Equal(file.Centroids, 0) {
+				t.Fatal("centroids not bit-identical across backends")
+			}
+			for i := range sim.Assign {
+				if sim.Assign[i] != file.Assign[i] {
+					t.Fatalf("row %d assigned differently", i)
+				}
+			}
+			if sim.SSE != file.SSE {
+				t.Fatalf("SSE: sim %v vs file %v", sim.SSE, file.SSE)
+			}
+			var fileRead uint64
+			for it := range sim.PerIter {
+				s, f := sim.PerIter[it], file.PerIter[it]
+				if s.BytesWanted != f.BytesWanted {
+					t.Fatalf("iter %d: BytesWanted sim %d vs file %d", it, s.BytesWanted, f.BytesWanted)
+				}
+				if s.RowCacheHits != f.RowCacheHits {
+					t.Fatalf("iter %d: RowCacheHits sim %d vs file %d", it, s.RowCacheHits, f.RowCacheHits)
+				}
+				fileRead += f.BytesRead
+			}
+			if fileRead == 0 {
+				t.Fatal("file backend recorded no device reads")
+			}
+		})
+	}
+}
+
+// TestFileBackendReadAtLeastRequested mirrors the simulated-stack
+// fragmentation invariant on real I/O: with a page cache too small to
+// absorb re-reads, whole-page device reads must meet or exceed the
+// bytes the algorithm asked for, and both counters must be nonzero.
+func TestFileBackendReadAtLeastRequested(t *testing.T) {
+	data := semData(2000, 8, 5, 82)
+	path := writeStore(t, data, 8)
+	cfg := semCfg(5, 2)
+	cfg.RowCacheBytes = 0
+	cfg.PageCacheBytes = 4096 // one page
+	res, err := RunFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req, read uint64
+	for _, st := range res.PerIter {
+		req += st.BytesWanted
+		read += st.BytesRead
+	}
+	if req == 0 || read == 0 {
+		t.Fatalf("no traffic recorded: requested %d read %d", req, read)
+	}
+	if read < req {
+		t.Fatalf("read %d < requested %d with a one-page cache", read, req)
+	}
+}
+
+// TestFileBackendNeverMaterializes is the memory-bound acceptance
+// test: on a dataset much larger than the caches, resident row data
+// (page-cache high-water mark + pinned row-cache rows) stays bounded
+// by the configured budgets, and the engine holds no n×d matrix.
+func TestFileBackendNeverMaterializes(t *testing.T) {
+	data := semData(20000, 16, 6, 83) // payload 2.56 MB
+	path := writeStore(t, data, 8)
+	f, err := store.Open(path, store.Options{CacheBytes: 1 << 16, PrefetchWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	cfg := semCfg(6, 4)
+	cfg.PageCacheBytes = 1 << 16 // engine-side accounting only; store already sized
+	cfg.RowCacheBytes = 1 << 16
+	eng, err := NewFromStore(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.data != nil {
+		t.Fatal("file engine materialised the matrix")
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters == 0 {
+		t.Fatal("no iterations ran")
+	}
+	if peak, capPages := f.CachePeakPages(), f.CacheCapPages(); peak > capPages {
+		t.Fatalf("page cache peak %d pages exceeds capacity %d", peak, capPages)
+	}
+	if capBytes := f.CacheCapPages() * f.PageSize(); capBytes >= 1<<18 {
+		t.Fatalf("cache capacity %d not meaningfully below the %d-byte payload", capBytes, 20000*16*8)
+	}
+	rc := eng.RC()
+	if rc == nil {
+		t.Fatal("row cache disabled")
+	}
+	if rc.Len() > rc.CapacityRows() {
+		t.Fatalf("row cache %d rows over capacity %d", rc.Len(), rc.CapacityRows())
+	}
+	if got, want := rc.MemoryBytes(16*8), uint64(cfg.RowCacheBytes); got > want {
+		t.Fatalf("row cache pins %d bytes, budget %d", got, want)
+	}
+}
+
+// TestFileCrashRecovery checkpoints a file-backed run mid-flight,
+// "crashes", restores into a fresh engine over the same file, and must
+// land bit-identically with an uninterrupted file run (and therefore,
+// by parity, with the simulated one).
+func TestFileCrashRecovery(t *testing.T) {
+	data := semData(1200, 8, 5, 84)
+	path := writeStore(t, data, 8)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.bin")
+	cfg := semCfg(5, 2)
+
+	ref, err := RunFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e1, err := NewFromFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := e1.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Checkpoint(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	e1.Close() // crash: the process and its page cache are gone
+
+	e2, err := NewFromFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if err := e2.RestoreEngine(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Iter() != 4 {
+		t.Fatalf("restored iter = %d", e2.Iter())
+	}
+	res, err := e2.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Centroids.Equal(res.Centroids, 0) {
+		t.Fatal("recovered file run diverged from uninterrupted run")
+	}
+	for i := range ref.Assign {
+		if ref.Assign[i] != res.Assign[i] {
+			t.Fatalf("row %d differs after recovery", i)
+		}
+	}
+}
+
+// TestFileBackendFloat32Storage: an elem=4 store file rounds each
+// value to float32; the engine must then behave exactly like the
+// simulated engine running on the rounded matrix.
+func TestFileBackendFloat32Storage(t *testing.T) {
+	data := semData(1500, 8, 5, 85)
+	path := writeStore(t, data, 4)
+	rounded := matrix.Convert[float64](matrix.Convert[float32](data))
+	cfg := semCfg(5, 2)
+	sim, err := Run(rounded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := RunFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Iters != file.Iters || !sim.Centroids.Equal(file.Centroids, 0) {
+		t.Fatal("float32-storage run does not match simulated run on rounded data")
+	}
+}
+
+// TestNewFromFileRejectsLegacyFormat: pointing the file backend at a
+// legacy whole-matrix file must fail with the store's descriptive
+// error, not garbage reads.
+func TestNewFromFileRejectsLegacyFormat(t *testing.T) {
+	data := semData(100, 4, 3, 86)
+	path := filepath.Join(t.TempDir(), "legacy.knor")
+	if err := data.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFromFile(path, semCfg(3, 1)); err == nil {
+		t.Fatal("legacy matrix file accepted by file backend")
+	}
+}

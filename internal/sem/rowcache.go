@@ -7,6 +7,7 @@ package sem
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultICache is the paper's row-cache update interval (I_cache = 5
@@ -23,6 +24,11 @@ const DefaultICache = 5
 // Partitions mirror the matrix partitions (generally one per thread);
 // each is updated independently during a refresh iteration, so cache
 // population needs no global lock.
+//
+// On the simulated backend entries carry no payload (the matrix is
+// resident; pinning only elides simulated I/O). On the real file
+// backend entries pin the row *data* via OfferData/Get, so the
+// capacity bound is a genuine memory budget.
 type RowCache struct {
 	partitions   []rcPartition
 	rowsPerPart  int
@@ -32,14 +38,17 @@ type RowCache struct {
 	nextRefresh int
 	interval    int
 
+	// hits is atomic: the compute pass counts cache hits from every
+	// worker concurrently on the real backend's hot path.
+	hits atomic.Uint64
+
 	mu        sync.Mutex
-	hits      uint64
 	refreshes int
 }
 
 type rcPartition struct {
 	mu   sync.Mutex
-	rows map[int32]struct{}
+	rows map[int32][]float64 // nil value: pinned without payload (simulated backend)
 	cap  int
 }
 
@@ -70,7 +79,7 @@ func NewRowCache(n, rowBytes, nParts, capacityBytes, icache int) *RowCache {
 		interval:     icache,
 	}
 	for i := range c.partitions {
-		c.partitions[i] = rcPartition{rows: make(map[int32]struct{}), cap: perPart}
+		c.partitions[i] = rcPartition{rows: make(map[int32][]float64), cap: perPart}
 	}
 	return c
 }
@@ -79,11 +88,7 @@ func NewRowCache(n, rowBytes, nParts, capacityBytes, icache int) *RowCache {
 func (c *RowCache) CapacityRows() int { return c.capacityRows }
 
 // Hits returns cumulative cache hits.
-func (c *RowCache) Hits() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits
-}
+func (c *RowCache) Hits() uint64 { return c.hits.Load() }
 
 // Refreshes returns how many refresh cycles have run.
 func (c *RowCache) Refreshes() int {
@@ -113,16 +118,45 @@ func (c *RowCache) part(row int32) *rcPartition {
 
 // Contains reports whether a row is pinned, counting a hit if so.
 func (c *RowCache) Contains(row int32) bool {
+	_, ok := c.Get(row)
+	return ok
+}
+
+// Get returns a pinned row's payload (nil for payload-free entries on
+// the simulated backend), counting a hit when present. The returned
+// slice is owned by the cache and must not be mutated; it stays valid
+// until the next BeginRefresh.
+func (c *RowCache) Get(row int32) ([]float64, bool) {
+	p := c.part(row)
+	p.mu.Lock()
+	vals, ok := p.rows[row]
+	p.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return vals, ok
+}
+
+// Peek reports residency without touching the hit statistics (the
+// prefetch planner's probe).
+func (c *RowCache) Peek(row int32) bool {
 	p := c.part(row)
 	p.mu.Lock()
 	_, ok := p.rows[row]
 	p.mu.Unlock()
-	if ok {
-		c.mu.Lock()
-		c.hits++
-		c.mu.Unlock()
-	}
 	return ok
+}
+
+// Wants reports whether an Offer for this row would pin it: not
+// already present and its partition has room. Lets the file backend
+// skip fetching payloads the cache would reject.
+func (c *RowCache) Wants(row int32) bool {
+	p := c.part(row)
+	p.mu.Lock()
+	_, present := p.rows[row]
+	room := len(p.rows) < p.cap
+	p.mu.Unlock()
+	return !present && room
 }
 
 // IsRefreshIteration reports whether the cache repopulates during the
@@ -137,7 +171,7 @@ func (c *RowCache) BeginRefresh() {
 	for i := range c.partitions {
 		p := &c.partitions[i]
 		p.mu.Lock()
-		p.rows = make(map[int32]struct{})
+		p.rows = make(map[int32][]float64)
 		p.mu.Unlock()
 	}
 	c.mu.Lock()
@@ -148,13 +182,21 @@ func (c *RowCache) BeginRefresh() {
 }
 
 // Offer pins a row during a refresh iteration if its partition has
-// room. Outside refresh iterations the engine does not call Offer —
-// the cache stays static.
-func (c *RowCache) Offer(row int32) {
+// room, without payload (simulated backend). Outside refresh
+// iterations the engine does not call Offer — the cache stays static.
+func (c *RowCache) Offer(row int32) { c.OfferData(row, nil) }
+
+// OfferData pins a row with its payload (copied) if its partition has
+// room — the file backend's refill, where a later Get must serve the
+// actual bytes.
+func (c *RowCache) OfferData(row int32, vals []float64) {
 	p := c.part(row)
 	p.mu.Lock()
-	if len(p.rows) < p.cap {
-		p.rows[row] = struct{}{}
+	if _, present := p.rows[row]; !present && len(p.rows) < p.cap {
+		if vals != nil {
+			vals = append([]float64(nil), vals...)
+		}
+		p.rows[row] = vals
 	}
 	p.mu.Unlock()
 }

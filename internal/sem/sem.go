@@ -2,13 +2,16 @@ package sem
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"knor/internal/kmeans"
 	"knor/internal/matrix"
 	"knor/internal/simclock"
 	"knor/internal/ssd"
+	"knor/internal/store"
 )
 
 // Config controls a knors run: the embedded k-means algorithm config
@@ -17,16 +20,23 @@ type Config struct {
 	Kmeans kmeans.Config
 
 	// Devices is the SSD array width (the paper's machine has 24).
+	// Simulated backend only.
 	Devices int
 	// PageSize is the minimum read unit; 0 means ssd.DefaultPageSize.
 	PageSize int
-	// PageCacheBytes sizes the SAFS page cache.
+	// PageCacheBytes sizes the page cache (the SAFS cache on the
+	// simulated backend, the store.File cache on the real one).
 	PageCacheBytes int
 	// RowCacheBytes sizes the partitioned row cache; 0 disables it
 	// (knors- when pruning is on, knors-- when pruning is off too).
+	// On the real file backend the row cache pins row *data*, so this
+	// is a genuine memory budget there.
 	RowCacheBytes int
 	// ICache is the row-cache refresh interval; 0 means DefaultICache.
 	ICache int
+	// PrefetchWorkers sizes the file backend's asynchronous fetch pool
+	// (0 disables prefetching). Ignored by the simulated backend.
+	PrefetchWorkers int
 
 	// CheckpointPath, when non-empty, enables lightweight checkpointing
 	// every CheckpointEvery iterations (FlashGraph-style in-memory
@@ -56,10 +66,15 @@ func (c Config) withDefaults(n int) (Config, error) {
 	return c, nil
 }
 
-// Engine is the knors driver. Data passed to New is treated as
-// resident on the simulated SSD array; only O(n) algorithm state plus
-// the caches count as memory.
+// Engine is the knors driver. Row data lives on the storage backend —
+// the simulated SSD array (data passed to New is treated as resident
+// there) or a real store file — and only O(n) algorithm state plus the
+// caches count as memory.
 type Engine struct {
+	src RowSource
+	// data is non-nil only on the simulated backend, where the matrix
+	// is resident anyway; the oracle-identical init/SSE paths use it
+	// directly. The file backend streams both.
 	data *matrix.Dense
 	cfg  Config
 
@@ -69,25 +84,29 @@ type Engine struct {
 	gsum    *kmeans.Accum
 	deltas  []*kmeans.Accum
 	group   *simclock.Group
-	safs    *ssd.SAFS
+	safs    *ssd.SAFS // simulated backend only
 	rc      *RowCache // nil when disabled
 
 	tasks     []semTask
 	iter      int
 	converged bool
 	perIter   []kmeans.IterStats
+	wall      float64   // accumulated wall-clock seconds (real backend)
+	owned     io.Closer // backend to close with the engine (NewFromFile)
 }
 
 type semTask struct {
 	lo, hi int
 	worker int
 	// per-iteration scratch, filled by the compute pass:
-	active  []int32
+	active  []int32 // rows that needed computation
+	miss    []int32 // active rows not served by the row cache
 	dists   uint64
 	changed int
 }
 
-// New builds a knors engine over data.
+// New builds a knors engine over an in-memory matrix fronted by the
+// simulated SSD array.
 func New(data *matrix.Dense, cfg Config) (*Engine, error) {
 	cfg, err := cfg.withDefaults(data.Rows())
 	if err != nil {
@@ -97,9 +116,61 @@ func New(data *matrix.Dense, cfg Config) (*Engine, error) {
 		data = data.Clone()
 		matrix.NormalizeRows(data)
 	}
-	n, d := data.Rows(), data.Cols()
-	e := &Engine{data: data, cfg: cfg, n: n, d: d, k: cfg.Kmeans.K}
-	e.cents = kmeans.InitCentroidsFor(data, cfg.Kmeans)
+	array := ssd.NewArray(cfg.Devices, cfg.PageSize, cfg.Kmeans.Model)
+	safs := ssd.NewSAFS(array, cfg.PageCacheBytes, data.Cols()*8)
+	e, err := newEngine(&simSource{data: data, safs: safs}, data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.safs = safs
+	return e, nil
+}
+
+// NewFromStore builds a knors engine streaming rows from an opened
+// store file. The caller keeps ownership of f.
+func NewFromStore(f *store.File, cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults(f.Rows())
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(fileSource{f}, nil, cfg)
+}
+
+// NewFromFile opens path as a store file (sizing its page cache and
+// prefetch pool from the config) and builds an engine that owns it;
+// Close releases the file. The full matrix is never materialised —
+// resident row data is bounded by PageCacheBytes + RowCacheBytes.
+func NewFromFile(path string, cfg Config) (*Engine, error) {
+	f, err := store.Open(path, store.Options{
+		CacheBytes:      cfg.PageCacheBytes,
+		PrefetchWorkers: cfg.PrefetchWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e, err := NewFromStore(f, cfg)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	e.owned = f
+	return e, nil
+}
+
+// newEngine finishes construction over a prepared source. cfg already
+// has defaults applied; data is non-nil only for the simulated path.
+func newEngine(src RowSource, data *matrix.Dense, cfg Config) (*Engine, error) {
+	n, d := src.Rows(), src.Cols()
+	e := &Engine{src: src, data: data, cfg: cfg, n: n, d: d, k: cfg.Kmeans.K}
+	if data != nil {
+		e.cents = kmeans.InitCentroidsFor(data, cfg.Kmeans)
+	} else {
+		rows := &cursorRows{cur: e.untrackedCursor(), n: n, d: d}
+		e.cents = kmeans.InitCentroidsFromRows(rows, cfg.Kmeans)
+		if rows.err != nil {
+			return nil, fmt.Errorf("sem: init: %w", rows.err)
+		}
+	}
 	if cfg.Kmeans.Spherical {
 		matrix.NormalizeRows(e.cents)
 	}
@@ -110,8 +181,6 @@ func New(data *matrix.Dense, cfg Config) (*Engine, error) {
 		e.deltas[i] = kmeans.NewAccum(e.k, d)
 	}
 	e.group = simclock.NewGroup(cfg.Kmeans.Threads, cfg.Kmeans.Model)
-	array := ssd.NewArray(cfg.Devices, cfg.PageSize, cfg.Kmeans.Model)
-	e.safs = ssd.NewSAFS(array, cfg.PageCacheBytes, d*8)
 	if cfg.RowCacheBytes > 0 {
 		e.rc = NewRowCache(n, d*8, cfg.Kmeans.Threads, cfg.RowCacheBytes, cfg.ICache)
 	}
@@ -133,6 +202,25 @@ func New(data *matrix.Dense, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
+// cursor returns a tracked per-worker row reader, normalising on the
+// fly when the spherical variant runs on a streaming backend (the
+// simulated path normalised its resident clone up front).
+func (e *Engine) cursor() RowCursor {
+	c := e.src.Cursor()
+	if e.cfg.Kmeans.Spherical && e.src.Real() {
+		return &normCursor{inner: c, buf: make([]float64, e.d)}
+	}
+	return c
+}
+
+func (e *Engine) untrackedCursor() RowCursor {
+	c := e.src.UntrackedCursor()
+	if e.cfg.Kmeans.Spherical && e.src.Real() {
+		return &normCursor{inner: c, buf: make([]float64, e.d)}
+	}
+	return c
+}
+
 // Run executes a fresh knors run to convergence.
 func Run(data *matrix.Dense, cfg Config) (*kmeans.Result, error) {
 	e, err := New(data, cfg)
@@ -140,6 +228,27 @@ func Run(data *matrix.Dense, cfg Config) (*kmeans.Result, error) {
 		return nil, err
 	}
 	return e.Finish()
+}
+
+// RunFile executes a knors run streaming from a store file.
+func RunFile(path string, cfg Config) (*kmeans.Result, error) {
+	e, err := NewFromFile(path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	return e.Finish()
+}
+
+// Close releases a backend owned by the engine (NewFromFile). Engines
+// over caller-owned sources close nothing and return nil.
+func (e *Engine) Close() error {
+	if e.owned != nil {
+		err := e.owned.Close()
+		e.owned = nil
+		return err
+	}
+	return nil
 }
 
 // Finish drives the engine from its current iteration to convergence
@@ -150,18 +259,39 @@ func (e *Engine) Finish() (*kmeans.Result, error) {
 			return nil, err
 		}
 	}
-	return e.result(), nil
+	return e.result()
 }
 
 // Step runs exactly one iteration (exposed for checkpoint/recovery
 // tests and incremental drivers).
 func (e *Engine) Step() error {
 	iter := e.iter
+	real := e.src.Real()
 	model := e.cfg.Kmeans.Model
+	var t0 time.Time
+	if real {
+		t0 = time.Now()
+	}
 	startT := e.group.Clock(0).Now()
+	reqBefore, readBefore := e.src.Traffic()
+	var hitsBefore uint64
+	refresh := false
+	if e.rc != nil {
+		hitsBefore = e.rc.Hits()
+		if e.rc.IsRefreshIteration(iter) {
+			// Flush before compute: on a refresh iteration every active
+			// row goes to the device (and gets re-pinned afterwards) on
+			// both backends.
+			e.rc.BeginRefresh()
+			refresh = true
+		}
+	}
 	e.ps.UpdateCentroidDists(e.cents)
 
-	st := e.computePass(iter)
+	st, err := e.computePass(iter, refresh)
+	if err != nil {
+		return err
+	}
 	st.Iter = iter
 
 	merged := kmeans.MergeTree(e.deltas)
@@ -177,15 +307,32 @@ func (e *Engine) Step() error {
 	e.cents = next
 	st.Drift = drift
 
-	e.replay(iter, &st)
-
-	ccCost := float64(e.k*(e.k-1)/2) * model.DistanceCost(e.d)
-	end := e.group.Barrier()
-	for w := 0; w < e.cfg.Kmeans.Threads; w++ {
-		e.group.Clock(w).Advance(ccCost)
+	if !real {
+		e.replay()
+		ccCost := float64(e.k*(e.k-1)/2) * model.DistanceCost(e.d)
+		end := e.group.Barrier()
+		for w := 0; w < e.cfg.Kmeans.Threads; w++ {
+			e.group.Clock(w).Advance(ccCost)
+		}
+		end += ccCost
+		st.SimSeconds = end - startT
 	}
-	end += ccCost
-	st.SimSeconds = end - startT
+	if refresh {
+		if err := e.fillRowCache(); err != nil {
+			return err
+		}
+	}
+
+	req, read := e.src.Traffic()
+	st.BytesWanted = req - reqBefore
+	st.BytesRead = read - readBefore
+	if e.rc != nil {
+		st.RowCacheHits = e.rc.Hits() - hitsBefore
+	}
+	if real {
+		st.SimSeconds = time.Since(t0).Seconds()
+		e.wall += st.SimSeconds
+	}
 
 	e.perIter = append(e.perIter, st)
 	e.iter++
@@ -200,31 +347,63 @@ func (e *Engine) Step() error {
 	return nil
 }
 
-// computePass runs the real parallel assignment pass and records each
-// task's active rows for the deterministic I/O replay.
-func (e *Engine) computePass(iter int) kmeans.IterStats {
-	var cursor int64
+// computePass runs the real parallel assignment pass. Tasks are
+// processed by their statically owning partition worker, in task
+// order — FlashGraph's ownership model, and the property that makes
+// every run bit-deterministic: each row's delta always accumulates in
+// the same per-worker Accum, so the MergeTree float grouping never
+// depends on goroutine scheduling and the simulated and file backends
+// land on identical bits. Each worker fetches rows through its own
+// cursor: free on the simulated backend (the matrix is resident),
+// real page-cache reads on the file backend, where rows pinned by the
+// row cache are served from memory and the remaining misses are
+// prefetched ahead of the row loop so page fetches overlap compute.
+// Each task records its active rows and row-cache misses for the
+// deterministic accounting pass.
+func (e *Engine) computePass(iter int, refresh bool) (kmeans.IterStats, error) {
 	T := e.cfg.Kmeans.Threads
+	real := e.src.Real()
 	type out struct {
 		ctr     kmeans.PruneCounters
 		changed int
 	}
 	outs := make([]out, T)
+	var firstErr atomic.Value
 	var wg sync.WaitGroup
 	for w := 0; w < T; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			cur := e.cursor()
 			o := &outs[w]
 			delta := e.deltas[w]
 			delta.Reset()
-			for {
-				ti := int(atomic.AddInt64(&cursor, 1)) - 1
-				if ti >= len(e.tasks) {
+			for ti := range e.tasks {
+				if e.tasks[ti].worker != w {
+					continue
+				}
+				if firstErr.Load() != nil {
 					return
 				}
 				task := &e.tasks[ti]
 				task.active = task.active[:0]
+				task.miss = task.miss[:0]
+				if real {
+					// Hint the task's row-cache misses to the prefetch
+					// pool before computing, so their pages stream in
+					// while earlier rows are processed.
+					for i := task.lo; i < task.hi; i++ {
+						if iter > 0 && !e.ps.NeedsRow(i) {
+							continue
+						}
+						if e.rc != nil && !refresh && e.rc.Peek(int32(i)) {
+							continue
+						}
+						task.miss = append(task.miss, int32(i))
+					}
+					e.src.Prefetch(task.miss)
+					task.miss = task.miss[:0]
+				}
 				before := o.ctr
 				changedBefore := o.changed
 				for i := task.lo; i < task.hi; i++ {
@@ -233,7 +412,25 @@ func (e *Engine) computePass(iter int) kmeans.IterStats {
 						continue
 					}
 					task.active = append(task.active, int32(i))
-					row := e.data.Row(i)
+					var row []float64
+					cached := false
+					if e.rc != nil && !refresh {
+						if vals, ok := e.rc.Get(int32(i)); ok {
+							cached = true
+							row = vals // nil on the simulated backend (data is resident)
+						}
+					}
+					if !cached {
+						task.miss = append(task.miss, int32(i))
+					}
+					if row == nil {
+						var err error
+						row, err = cur.Row(i)
+						if err != nil {
+							firstErr.CompareAndSwap(nil, fmt.Errorf("sem: read row %d: %w", i, err))
+							return
+						}
+					}
 					old := e.ps.Assign[i]
 					if e.ps.AssignRow(i, row, e.cents, &o.ctr) {
 						o.changed++
@@ -249,6 +446,9 @@ func (e *Engine) computePass(iter int) kmeans.IterStats {
 		}(w)
 	}
 	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return kmeans.IterStats{}, err
+	}
 
 	var st kmeans.IterStats
 	changed := 0
@@ -261,25 +461,16 @@ func (e *Engine) computePass(iter int) kmeans.IterStats {
 	}
 	st.RowsChanged = changed
 	st.ActiveRows = e.n - int(st.PrunedC1)
-	return st
+	return st, nil
 }
 
-// replay charges simulated time and I/O deterministically: tasks run on
-// their owning partition's worker; active rows consult the row cache,
-// misses go through SAFS (page cache → device array); compute overlaps
-// the asynchronous I/O, so a task finishes at max(computeEnd, ioEnd).
-func (e *Engine) replay(iter int, st *kmeans.IterStats) {
+// replay charges simulated time and I/O deterministically (simulated
+// backend only): tasks run on their owning partition's worker; each
+// task's row-cache misses go through SAFS (page cache → device array);
+// compute overlaps the asynchronous I/O, so a task finishes at
+// max(computeEnd, ioEnd).
+func (e *Engine) replay() {
 	model := e.cfg.Kmeans.Model
-	reqBefore, readBefore := e.safs.Traffic()
-	var hitsBefore uint64
-	refresh := false
-	if e.rc != nil {
-		hitsBefore = e.rc.Hits()
-		if e.rc.IsRefreshIteration(iter) {
-			e.rc.BeginRefresh()
-			refresh = true
-		}
-	}
 	// Process tasks in earliest-worker order so simulated I/O issue
 	// times are monotone — a call-order FIFO on the device resources
 	// would otherwise let an eager worker's late-clock request inflate
@@ -296,7 +487,6 @@ func (e *Engine) replay(iter int, st *kmeans.IterStats) {
 			remaining++
 		}
 	}
-	var miss []int
 	for remaining > 0 {
 		w := -1
 		for i := 0; i < T; i++ {
@@ -313,43 +503,67 @@ func (e *Engine) replay(iter int, st *kmeans.IterStats) {
 			remaining--
 		}
 		clock := e.group.Clock(w)
-		ioStart := clock.Now()
-		miss = miss[:0]
-		for _, r := range task.active {
-			if e.rc != nil {
-				if refresh {
-					// Refresh iteration: active rows do I/O and get
-					// pinned for the coming static period.
-					e.rc.Offer(r)
-				} else if e.rc.Contains(r) {
-					continue // row served from cache: no I/O
-				}
-			}
-			miss = append(miss, int(r))
-		}
-		ioEnd, _ := e.safs.ReadRows(ioStart, miss)
+		ioEnd := e.src.ReadRows(clock.Now(), task.miss)
 		clock.Advance(float64(task.dists)*model.DistanceCost(e.d) +
 			float64(task.hi-task.lo)*model.RowOverhead +
 			float64(task.changed)*float64(2*e.d)*model.FlopTime)
 		clock.AdvanceTo(ioEnd) // overlap: end at the later of compute/IO
 	}
-	req, read := e.safs.Traffic()
-	st.BytesWanted = req - reqBefore
-	st.BytesRead = read - readBefore
-	if e.rc != nil {
-		st.RowCacheHits = e.rc.Hits() - hitsBefore
-	}
 }
 
-func (e *Engine) result() *kmeans.Result {
+// fillRowCache re-pins this refresh iteration's active rows, visiting
+// tasks in index order so the pinned set is deterministic and
+// identical across backends (partition caps cut the same prefix
+// either way). On the file backend the cache stores the row data —
+// refills read through the page cache untracked, since the simulated
+// algorithm issues no extra requests for pinning.
+func (e *Engine) fillRowCache() error {
+	if e.rc == nil {
+		return nil
+	}
+	var cur RowCursor
+	if e.src.Real() {
+		cur = e.untrackedCursor()
+	}
+	for ti := range e.tasks {
+		for _, r := range e.tasks[ti].active {
+			if !e.rc.Wants(r) {
+				continue
+			}
+			if cur == nil {
+				e.rc.Offer(r)
+				continue
+			}
+			row, err := cur.Row(int(r))
+			if err != nil {
+				return fmt.Errorf("sem: row cache refill row %d: %w", r, err)
+			}
+			e.rc.OfferData(r, row)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) result() (*kmeans.Result, error) {
 	res := &kmeans.Result{
 		Centroids:  e.cents,
 		Assign:     e.ps.Assign,
 		Iters:      e.iter,
 		Converged:  e.converged,
-		SSE:        kmeans.SSEOf(e.data, e.cents, e.ps.Assign),
 		SimSeconds: e.group.Max(),
 		PerIter:    e.perIter,
+	}
+	if e.data != nil {
+		res.SSE = kmeans.SSEOf(e.data, e.cents, e.ps.Assign)
+	} else {
+		sse, err := e.sseStream()
+		if err != nil {
+			return nil, err
+		}
+		res.SSE = sse
+	}
+	if e.src.Real() {
+		res.SimSeconds = e.wall
 	}
 	res.Sizes = make([]int, e.k)
 	for _, a := range e.ps.Assign {
@@ -364,14 +578,33 @@ func (e *Engine) result() *kmeans.Result {
 	if e.rc != nil {
 		res.MemoryBytes += uint64(e.cfg.RowCacheBytes)
 	}
-	return res
+	return res, nil
+}
+
+// sseStream computes the objective with one untracked pass over the
+// backend, accumulating in the same order as kmeans.SSEOf.
+func (e *Engine) sseStream() (float64, error) {
+	cur := e.untrackedCursor()
+	var sse float64
+	for i := 0; i < e.n; i++ {
+		row, err := cur.Row(i)
+		if err != nil {
+			return 0, fmt.Errorf("sem: sse scan row %d: %w", i, err)
+		}
+		sse += matrix.SqDist(row, e.cents.Row(int(e.ps.Assign[i])))
+	}
+	return sse, nil
 }
 
 // Iter returns the next iteration index (how many have completed).
 func (e *Engine) Iter() int { return e.iter }
 
-// SAFS exposes the I/O stack for inspection in tests and benches.
+// SAFS exposes the simulated I/O stack for inspection in tests and
+// benches (nil on the file backend).
 func (e *Engine) SAFS() *ssd.SAFS { return e.safs }
+
+// Source exposes the storage backend.
+func (e *Engine) Source() RowSource { return e.src }
 
 // RC exposes the row cache (nil when disabled).
 func (e *Engine) RC() *RowCache { return e.rc }

@@ -1,0 +1,175 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// pageCache is a sharded LRU cache of payload pages with per-page
+// singleflight: concurrent readers (compute workers, the prefetch
+// pool) of a missing page elect one owner to fetch it; everyone else
+// waits on the owner's flight instead of issuing a duplicate ReadAt.
+// Sharding keeps lock hold times short under many workers; the
+// flight/insert protocol never holds a shard lock across device I/O.
+type pageCache struct {
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	cap     int // pages
+	ll      *list.List
+	items   map[int64]*list.Element
+	flights map[int64]*flight
+	hits    uint64
+	misses  uint64
+	peak    int // high-water resident pages
+}
+
+type cacheEntry struct {
+	page int64
+	data []byte
+}
+
+// flight is one in-progress page fetch. done is closed after data/err
+// are set; data is immutable afterwards.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+func newPageCache(capacityBytes, pageSize, shards int) *pageCache {
+	if shards < 1 {
+		shards = 1
+	}
+	capPages := capacityBytes / pageSize
+	if capPages < shards {
+		capPages = shards // at least one page per shard
+	}
+	c := &pageCache{shards: make([]cacheShard, shards)}
+	per := capPages / shards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			cap:     per,
+			ll:      list.New(),
+			items:   make(map[int64]*list.Element),
+			flights: make(map[int64]*flight),
+		}
+	}
+	return c
+}
+
+func (c *pageCache) shard(p int64) *cacheShard {
+	return &c.shards[int(uint64(p)%uint64(len(c.shards)))]
+}
+
+// acquire resolves one page: on a cache hit it returns the data; on a
+// miss it returns the flight to wait on, with owned reporting whether
+// the caller must perform the fetch and complete the flight (publish
+// or fail). record=false skips hit/miss accounting (prefetch probes).
+func (c *pageCache) acquire(p int64, record bool) (data []byte, fl *flight, owned bool) {
+	s := c.shard(p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[p]; ok {
+		s.ll.MoveToFront(el)
+		if record {
+			s.hits++
+		}
+		return el.Value.(cacheEntry).data, nil, false
+	}
+	if fl, ok := s.flights[p]; ok {
+		// Another reader is already fetching: joining costs no device
+		// I/O, so it counts as a hit (the overlap the prefetch pipeline
+		// exists to create).
+		if record {
+			s.hits++
+		}
+		return nil, fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	s.flights[p] = fl
+	if record {
+		s.misses++
+	}
+	return nil, fl, true
+}
+
+// publish completes an owned flight with data and inserts the page.
+func (c *pageCache) publish(p int64, fl *flight, data []byte) {
+	s := c.shard(p)
+	s.mu.Lock()
+	delete(s.flights, p)
+	if _, ok := s.items[p]; !ok {
+		s.items[p] = s.ll.PushFront(cacheEntry{page: p, data: data})
+		for s.ll.Len() > s.cap {
+			back := s.ll.Back()
+			s.ll.Remove(back)
+			delete(s.items, back.Value.(cacheEntry).page)
+		}
+		if s.ll.Len() > s.peak {
+			s.peak = s.ll.Len()
+		}
+	}
+	s.mu.Unlock()
+	fl.data = data
+	close(fl.done)
+}
+
+// fail completes an owned flight with an error; the page is not cached.
+func (c *pageCache) fail(p int64, fl *flight, err error) {
+	s := c.shard(p)
+	s.mu.Lock()
+	delete(s.flights, p)
+	s.mu.Unlock()
+	fl.err = err
+	close(fl.done)
+}
+
+func (c *pageCache) stats() (hits, misses uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
+}
+
+// capPages returns the total page capacity across shards.
+func (c *pageCache) capPages() int {
+	total := 0
+	for i := range c.shards {
+		total += c.shards[i].cap
+	}
+	return total
+}
+
+// peakPages returns the summed high-water resident page count — the
+// bound the never-materialise guarantee is asserted against.
+func (c *pageCache) peakPages() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.peak
+		s.mu.Unlock()
+	}
+	return total
+}
+
+func (c *pageCache) lenPages() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return total
+}

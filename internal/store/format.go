@@ -1,0 +1,242 @@
+// Package store is the real I/O subsystem under knors: a versioned
+// on-disk row-major matrix format read through an asynchronous page-I/O
+// stack — a sharded LRU page cache with request merging (adjacent 4KB
+// pages coalesce into one ReadAt) and a prefetch pipeline that overlaps
+// page fetches with compute. It is the SAFS layer (Zheng et al., the
+// FlashGraph substrate the paper builds on) realised against actual
+// files instead of the simulated device array in package ssd: the
+// BytesWanted/BytesRead counter semantics match the simulator exactly,
+// so the paper's Figure 6 quantities are measurable on real hardware.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"knor/internal/matrix"
+)
+
+// Format: one header page followed by the row-major payload.
+//
+//	[0:4]   magic "KNRS" (little-endian uint32)
+//	[4:8]   version (1)
+//	[8:16]  n, rows (uint64)
+//	[16:24] d, columns (uint64)
+//	[24:28] element width in bytes: 4 (float32) or 8 (float64)
+//	[28:32] page size (uint32, currently always 4096)
+//	[32:4096] reserved, zero
+//
+// The payload starts at byte 4096 so that data page p covers payload
+// bytes [p*pageSize, (p+1)*pageSize) with no offset arithmetic leaking
+// into the cache layer. Elements are little-endian IEEE 754; the page
+// size is a multiple of both element widths, so an element never spans
+// a page boundary.
+const (
+	magic         = 0x53524e4b // bytes "KNRS" on disk (little-endian uint32)
+	formatVersion = 1
+	headerBytes   = 4096
+
+	// PageSize is the minimum read unit, matching the paper's 4KB.
+	PageSize = 4096
+)
+
+// ErrBadMagic reports a file that is not in the knor store format
+// (e.g. the legacy whole-matrix format written by matrix.SaveFile).
+var ErrBadMagic = errors.New("store: bad magic (not a knor store file; regenerate with kmeansgen -format knor)")
+
+type header struct {
+	n, d     int
+	elem     int
+	pageSize int
+}
+
+func (h header) rowBytes() int     { return h.d * h.elem }
+func (h header) payloadLen() int64 { return int64(h.n) * int64(h.rowBytes()) }
+
+func (h header) validate() error {
+	if h.n < 0 || h.d <= 0 {
+		return fmt.Errorf("store: implausible dims %dx%d", h.n, h.d)
+	}
+	if h.elem != 4 && h.elem != 8 {
+		return fmt.Errorf("store: unsupported element width %d (want 4 or 8)", h.elem)
+	}
+	if h.pageSize <= 0 || h.pageSize%8 != 0 {
+		return fmt.Errorf("store: unsupported page size %d", h.pageSize)
+	}
+	if h.d != 0 && int64(h.n) > (int64(1)<<42)/int64(h.rowBytes()) {
+		return fmt.Errorf("store: implausible dims %dx%d", h.n, h.d)
+	}
+	return nil
+}
+
+func encodeHeader(h header) []byte {
+	buf := make([]byte, headerBytes)
+	binary.LittleEndian.PutUint32(buf[0:4], magic)
+	binary.LittleEndian.PutUint32(buf[4:8], formatVersion)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(h.n))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(h.d))
+	binary.LittleEndian.PutUint32(buf[24:28], uint32(h.elem))
+	binary.LittleEndian.PutUint32(buf[28:32], uint32(h.pageSize))
+	return buf
+}
+
+func decodeHeader(buf []byte) (header, error) {
+	var h header
+	if len(buf) < 32 {
+		return h, fmt.Errorf("store: truncated header (%d bytes)", len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != magic {
+		return h, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:8]); v != formatVersion {
+		return h, fmt.Errorf("store: unsupported format version %d", v)
+	}
+	h.n = int(binary.LittleEndian.Uint64(buf[8:16]))
+	h.d = int(binary.LittleEndian.Uint64(buf[16:24]))
+	h.elem = int(binary.LittleEndian.Uint32(buf[24:28]))
+	h.pageSize = int(binary.LittleEndian.Uint32(buf[28:32]))
+	return h, h.validate()
+}
+
+// Writer streams rows into a new store file. Rows must be written in
+// order; Close fails unless exactly n rows arrived.
+type Writer struct {
+	f    *os.File
+	bw   *bufio.Writer
+	hdr  header
+	rows int
+	buf  []byte
+}
+
+// Create starts a store file of n rows by d columns with the given
+// element width (4 or 8 bytes).
+func Create(path string, n, d, elemBytes int) (*Writer, error) {
+	h := header{n: n, d: d, elem: elemBytes, pageSize: PageSize}
+	if err := h.validate(); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if _, err := bw.Write(encodeHeader(h)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, bw: bw, hdr: h, buf: make([]byte, h.rowBytes())}, nil
+}
+
+// WriteRow appends one row (len d). Float32 files round each element
+// to nearest; float64 files store the bits exactly.
+func (w *Writer) WriteRow(row []float64) error {
+	if len(row) != w.hdr.d {
+		return fmt.Errorf("store: row has %d cols, want %d", len(row), w.hdr.d)
+	}
+	if w.rows >= w.hdr.n {
+		return fmt.Errorf("store: too many rows (declared %d)", w.hdr.n)
+	}
+	switch w.hdr.elem {
+	case 8:
+		for j, v := range row {
+			binary.LittleEndian.PutUint64(w.buf[j*8:], math.Float64bits(v))
+		}
+	case 4:
+		for j, v := range row {
+			binary.LittleEndian.PutUint32(w.buf[j*4:], math.Float32bits(float32(v)))
+		}
+	}
+	w.rows++
+	_, err := w.bw.Write(w.buf)
+	return err
+}
+
+// Close flushes and closes the file, verifying the declared row count.
+func (w *Writer) Close() error {
+	if w.rows != w.hdr.n {
+		w.f.Close()
+		return fmt.Errorf("store: wrote %d rows, declared %d", w.rows, w.hdr.n)
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// WriteDense writes a whole in-memory matrix as a store file.
+func WriteDense(m *matrix.Dense, path string, elemBytes int) error {
+	w, err := Create(path, m.Rows(), m.Cols(), elemBytes)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < m.Rows(); i++ {
+		if err := w.WriteRow(m.Row(i)); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// ReadDense loads an entire store file into memory (for the simulated
+// backend and oracle comparisons; the streaming path is File).
+func ReadDense(path string) (*matrix.Dense, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hbuf := make([]byte, headerBytes)
+	if _, err := io.ReadFull(f, hbuf); err != nil {
+		return nil, fmt.Errorf("store: %s: truncated header: %w", path, err)
+	}
+	h, err := decodeHeader(hbuf)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	m := matrix.NewDense(h.n, h.d)
+	buf := make([]byte, h.rowBytes())
+	for i := 0; i < h.n; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("store: %s: truncated payload at row %d: %w", path, i, err)
+		}
+		decodeRow(buf, h.elem, m.Row(i))
+	}
+	return m, nil
+}
+
+// decodeRow decodes one on-disk row into dst (len d).
+func decodeRow(raw []byte, elem int, dst []float64) {
+	switch elem {
+	case 8:
+		for j := range dst {
+			dst[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[j*8:]))
+		}
+	case 4:
+		for j := range dst {
+			dst[j] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[j*4:])))
+		}
+	}
+}
+
+// SniffStore reports whether the file at path carries the store magic
+// (as opposed to the legacy whole-matrix format).
+func SniffStore(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var b [4]byte
+	if _, err := io.ReadFull(f, b[:]); err != nil {
+		return false, nil // too short to be either format; let the loader complain
+	}
+	return binary.LittleEndian.Uint32(b[:]) == magic, nil
+}

@@ -1,0 +1,390 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tune the I/O stack of an opened store file.
+type Options struct {
+	// CacheBytes sizes the page cache; 0 means 64MB.
+	CacheBytes int
+	// Shards is the page-cache shard count; 0 means 8.
+	Shards int
+	// PrefetchWorkers is the size of the asynchronous fetch pool that
+	// overlaps page reads with compute; 0 disables prefetching
+	// (Prefetch becomes a no-op and every read is demand-paged).
+	PrefetchWorkers int
+	// PrefetchQueue bounds the pending prefetch range queue; 0 means 256.
+	// When the queue is full further hints are dropped, never blocked on.
+	PrefetchQueue int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.PrefetchQueue <= 0 {
+		o.PrefetchQueue = 256
+	}
+	return o
+}
+
+// File is an open store-format matrix: rows are decoded on demand
+// through the page cache, so the resident footprint is bounded by the
+// cache capacity, never by n*d.
+type File struct {
+	r      io.ReaderAt
+	closer io.Closer
+	hdr    header
+	cache  *pageCache
+	pf     *prefetcher
+
+	requested atomic.Uint64 // bytes the algorithm asked for (rows × rowBytes)
+	devRead   atomic.Uint64 // bytes actually read from the backing file
+}
+
+// Open opens a store file for streaming reads.
+func Open(path string, opts Options) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	sf, err := OpenReaderAt(f, st.Size(), opts)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	sf.closer = f
+	return sf, nil
+}
+
+// OpenReaderAt builds a File over any io.ReaderAt of the given total
+// size (testing seam; Open is the file-path entry point).
+func OpenReaderAt(r io.ReaderAt, size int64, opts Options) (*File, error) {
+	hbuf := make([]byte, headerBytes)
+	n, rerr := r.ReadAt(hbuf, 0)
+	if n < 32 {
+		return nil, fmt.Errorf("store: truncated header: %w", rerr)
+	}
+	// Decode from the fixed 32-byte prefix so a wrong-format file is
+	// reported as ErrBadMagic even when shorter than the header page.
+	h, err := decodeHeader(hbuf[:n])
+	if err != nil {
+		return nil, err
+	}
+	if n < headerBytes {
+		return nil, fmt.Errorf("store: truncated header page (%d bytes)", n)
+	}
+	if want := int64(headerBytes) + h.payloadLen(); size < want {
+		return nil, fmt.Errorf("store: truncated payload: have %d bytes, header declares %d", size, want)
+	}
+	opts = opts.withDefaults()
+	f := &File{
+		r:     r,
+		hdr:   h,
+		cache: newPageCache(opts.CacheBytes, h.pageSize, opts.Shards),
+	}
+	if opts.PrefetchWorkers > 0 {
+		f.pf = newPrefetcher(f, opts.PrefetchWorkers, opts.PrefetchQueue)
+	}
+	return f, nil
+}
+
+// Rows returns the row count.
+func (f *File) Rows() int { return f.hdr.n }
+
+// Cols returns the column count.
+func (f *File) Cols() int { return f.hdr.d }
+
+// ElemBytes returns the on-disk element width (4 or 8).
+func (f *File) ElemBytes() int { return f.hdr.elem }
+
+// RowBytes returns the on-disk size of one row.
+func (f *File) RowBytes() int { return f.hdr.rowBytes() }
+
+// Traffic returns the cumulative requested (algorithm rows × rowBytes)
+// and device-read (page-granularity ReadAt) byte counters — the same
+// two quantities the simulated SAFS stack reports for Figures 6a/6b.
+func (f *File) Traffic() (requested, read uint64) {
+	return f.requested.Load(), f.devRead.Load()
+}
+
+// CacheStats returns page-cache hits (including joins of in-flight
+// fetches) and misses (owned device fetches).
+func (f *File) CacheStats() (hits, misses uint64) { return f.cache.stats() }
+
+// CacheCapPages returns the page-cache capacity in pages.
+func (f *File) CacheCapPages() int { return f.cache.capPages() }
+
+// CachePeakPages returns the high-water resident page count — the
+// never-materialise bound tests assert against.
+func (f *File) CachePeakPages() int { return f.cache.peakPages() }
+
+// CacheLenPages returns the currently resident page count.
+func (f *File) CacheLenPages() int { return f.cache.lenPages() }
+
+// PageSize returns the page size (the minimum read unit).
+func (f *File) PageSize() int { return f.hdr.pageSize }
+
+// Close stops the prefetch pool and closes the backing file.
+func (f *File) Close() error {
+	if f.pf != nil {
+		f.pf.stop()
+	}
+	if f.closer != nil {
+		return f.closer.Close()
+	}
+	return nil
+}
+
+// ensure makes pages [p0, p1] resident, reading missing runs from the
+// backing file with adjacent pages merged into single ReadAt calls.
+// When out is non-nil it receives the page data (out[j] = page p0+j)
+// and the call waits for pages fetched concurrently by other readers;
+// when out is nil (prefetch) joined flights are not waited on.
+// record=false keeps prefetch probes out of the hit/miss statistics.
+func (f *File) ensure(p0, p1 int64, out [][]byte, record bool) error {
+	type join struct {
+		idx int
+		fl  *flight
+	}
+	var joins []join
+	var owned []int64
+	flights := make(map[int64]*flight, int(p1-p0+1))
+	for p := p0; p <= p1; p++ {
+		data, fl, own := f.cache.acquire(p, record)
+		switch {
+		case data != nil:
+			if out != nil {
+				out[p-p0] = data
+			}
+		case own:
+			owned = append(owned, p)
+			flights[p] = fl
+		default:
+			if out != nil {
+				joins = append(joins, join{idx: int(p - p0), fl: fl})
+			}
+		}
+	}
+
+	// Merge owned pages into consecutive runs; one ReadAt per run.
+	var firstErr error
+	for i := 0; i < len(owned); {
+		j := i + 1
+		for j < len(owned) && owned[j] == owned[j-1]+1 {
+			j++
+		}
+		runStart, runPages := owned[i], j-i
+		data, err := f.readRun(runStart, runPages)
+		for k := 0; k < runPages; k++ {
+			p := runStart + int64(k)
+			fl := flights[p]
+			if err != nil {
+				f.cache.fail(p, fl, err)
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			lo := k * f.hdr.pageSize
+			hi := lo + f.hdr.pageSize
+			if hi > len(data) {
+				hi = len(data)
+			}
+			// Copy each page out of the run buffer so evicting one page
+			// of a merged run frees its bytes (the cache's byte bound
+			// holds per page, not per run).
+			pg := make([]byte, hi-lo)
+			copy(pg, data[lo:hi])
+			f.cache.publish(p, fl, pg)
+			if out != nil {
+				out[p-p0] = pg
+			}
+		}
+		i = j
+	}
+
+	for _, jn := range joins {
+		<-jn.fl.done
+		if jn.fl.err != nil {
+			if firstErr == nil {
+				firstErr = jn.fl.err
+			}
+			continue
+		}
+		out[jn.idx] = jn.fl.data
+	}
+	return firstErr
+}
+
+// readRun reads runPages pages starting at page p in one request,
+// clamped to the payload tail.
+func (f *File) readRun(p int64, runPages int) ([]byte, error) {
+	start := p * int64(f.hdr.pageSize)
+	want := int64(runPages) * int64(f.hdr.pageSize)
+	if rest := f.hdr.payloadLen() - start; want > rest {
+		want = rest
+	}
+	if want <= 0 {
+		return nil, fmt.Errorf("store: page %d beyond payload", p)
+	}
+	buf := make([]byte, want)
+	n, err := f.r.ReadAt(buf, headerBytes+start)
+	if int64(n) != want {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("store: short read at page %d: %w", p, err)
+	}
+	f.devRead.Add(uint64(want))
+	return buf, nil
+}
+
+// Reader is a per-worker row cursor. The slice returned by Row is
+// valid until the next Row call on the same Reader; Readers are not
+// safe for concurrent use, but any number may read one File at once.
+type Reader struct {
+	f *File
+	// Untracked excludes this reader's fetches from the requested-bytes
+	// counter (cache refills, SSE scans — reads the algorithm would not
+	// issue on the simulated backend). Device reads still count.
+	Untracked bool
+	buf       []float64
+	pages     [][]byte
+}
+
+// Reader returns a new row cursor.
+func (f *File) Reader() *Reader {
+	return &Reader{f: f, buf: make([]float64, f.hdr.d)}
+}
+
+// Row decodes row i through the page cache.
+func (r *Reader) Row(i int) ([]float64, error) {
+	f := r.f
+	if i < 0 || i >= f.hdr.n {
+		return nil, fmt.Errorf("store: row %d out of range [0,%d)", i, f.hdr.n)
+	}
+	ps := int64(f.hdr.pageSize)
+	rowBytes := int64(f.hdr.rowBytes())
+	off := int64(i) * rowBytes
+	p0 := off / ps
+	p1 := (off + rowBytes - 1) / ps
+	np := int(p1 - p0 + 1)
+	if cap(r.pages) < np {
+		r.pages = make([][]byte, np)
+	}
+	pages := r.pages[:np]
+	for j := range pages {
+		pages[j] = nil
+	}
+	if err := f.ensure(p0, p1, pages, true); err != nil {
+		return nil, err
+	}
+	if np == 1 {
+		rel := off - p0*ps
+		decodeRow(pages[0][rel:rel+rowBytes], f.hdr.elem, r.buf)
+	} else {
+		// Row spans pages; elements never do (pageSize % elem == 0).
+		elem := int64(f.hdr.elem)
+		for j := 0; j < f.hdr.d; j++ {
+			rel := off + int64(j)*elem - p0*ps
+			pg := pages[rel/ps]
+			decodeRow(pg[rel%ps:rel%ps+elem], f.hdr.elem, r.buf[j:j+1])
+		}
+	}
+	if !r.Untracked {
+		f.requested.Add(uint64(rowBytes))
+	}
+	return r.buf, nil
+}
+
+// --- prefetch pipeline -------------------------------------------------
+
+type pageRange struct{ p0, p1 int64 }
+
+// prefetcher is the async fetch pool: worker goroutines pull merged
+// page ranges off a bounded queue and make them resident, overlapping
+// device reads with the caller's compute. The singleflight layer in
+// the cache guarantees a demand read arriving mid-prefetch joins the
+// in-flight fetch instead of duplicating it.
+type prefetcher struct {
+	ch   chan pageRange
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newPrefetcher(f *File, workers, queue int) *prefetcher {
+	p := &prefetcher{ch: make(chan pageRange, queue), quit: make(chan struct{})}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				select {
+				case <-p.quit:
+					return
+				case r := <-p.ch:
+					// Errors surface on the demand path; a failed
+					// prefetch is only a lost overlap.
+					_ = f.ensure(r.p0, r.p1, nil, false)
+				}
+			}
+		}()
+	}
+	return p
+}
+
+func (p *prefetcher) submit(r pageRange) {
+	select {
+	case p.ch <- r:
+	default: // queue full: drop the hint rather than stall compute
+	}
+}
+
+func (p *prefetcher) stop() {
+	close(p.quit)
+	p.wg.Wait()
+}
+
+// Prefetch hints that the given rows are about to be read. Row page
+// spans are merged into contiguous ranges and handed to the fetch
+// pool; without a pool this is a no-op. Safe for concurrent use.
+func (f *File) Prefetch(rows []int32) {
+	if f.pf == nil || len(rows) == 0 {
+		return
+	}
+	ps := int64(f.hdr.pageSize)
+	rowBytes := int64(f.hdr.rowBytes())
+	cur := pageRange{p0: -1}
+	for _, row := range rows {
+		off := int64(row) * rowBytes
+		p0 := off / ps
+		p1 := (off + rowBytes - 1) / ps
+		if cur.p0 >= 0 && p0 <= cur.p1+1 {
+			if p1 > cur.p1 {
+				cur.p1 = p1
+			}
+			continue
+		}
+		if cur.p0 >= 0 {
+			f.pf.submit(cur)
+		}
+		cur = pageRange{p0: p0, p1: p1}
+	}
+	if cur.p0 >= 0 {
+		f.pf.submit(cur)
+	}
+}

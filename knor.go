@@ -43,6 +43,7 @@ import (
 	"knor/internal/sem"
 	"knor/internal/serve"
 	"knor/internal/simclock"
+	"knor/internal/store"
 	"knor/internal/workload"
 )
 
@@ -167,6 +168,62 @@ func RunSEM(data *Matrix, cfg SEMConfig) (*Result, error) {
 // NewSEMEngine builds a stepwise knors engine (checkpoint/recovery).
 func NewSEMEngine(data *Matrix, cfg SEMConfig) (*SEMEngine, error) {
 	return sem.New(data, cfg)
+}
+
+// --- real I/O backend (internal/store) ---------------------------------
+
+type (
+	// StoreFile is an opened on-disk matrix in the knor store format,
+	// read through a page cache with request merging and prefetch.
+	StoreFile = store.File
+	// StoreOptions tune an opened store file's I/O stack.
+	StoreOptions = store.Options
+	// StoreWriter streams rows into a new store file.
+	StoreWriter = store.Writer
+)
+
+// RunSEMFile executes knors streaming row data from a store file on
+// real hardware: the matrix is never materialised in memory — resident
+// row data is bounded by the page- and row-cache budgets — and the
+// BytesWanted/BytesRead counters follow the simulator's semantics.
+func RunSEMFile(path string, cfg SEMConfig) (*Result, error) {
+	return sem.RunFile(path, cfg)
+}
+
+// NewSEMEngineFromFile builds a stepwise knors engine over a store
+// file; the engine owns the file and Close releases it.
+func NewSEMEngineFromFile(path string, cfg SEMConfig) (*SEMEngine, error) {
+	return sem.NewFromFile(path, cfg)
+}
+
+// OpenStore opens a store-format matrix for streaming reads.
+func OpenStore(path string, opts StoreOptions) (*StoreFile, error) {
+	return store.Open(path, opts)
+}
+
+// CreateStore starts writing a store file of n rows by d columns with
+// the given element width (4 or 8 bytes).
+func CreateStore(path string, n, d, elemBytes int) (*StoreWriter, error) {
+	return store.Create(path, n, d, elemBytes)
+}
+
+// SaveMatrixStore writes a whole matrix as a store file.
+func SaveMatrixStore(m *Matrix, path string, elemBytes int) error {
+	return store.WriteDense(m, path, elemBytes)
+}
+
+// LoadMatrixAny reads a matrix from either on-disk format, sniffing
+// the magic: store files (kmeansgen -format knor) and legacy
+// whole-matrix files both load fully into memory.
+func LoadMatrixAny(path string) (*Matrix, error) {
+	isStore, err := store.SniffStore(path)
+	if err != nil {
+		return nil, err
+	}
+	if isStore {
+		return store.ReadDense(path)
+	}
+	return matrix.LoadFile(path)
 }
 
 // RunDistributed executes knord (or the MPI/MLlib comparison modes)
