@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-precision figs docs serve-loadtest io-smoke clean
+.PHONY: all build vet test race bench bench-precision figs docs serve-loadtest io-smoke shardserve-smoke clean
 
 all: vet build test
 
@@ -16,7 +16,8 @@ test:
 # Race-detector pass over the concurrent subsystems (mirrors CI).
 race:
 	$(GO) test -race ./internal/serve/... ./internal/kmeans/... ./cmd/knorserve/... \
-		./internal/store/... ./internal/sem/...
+		./internal/store/... ./internal/sem/... \
+		./internal/shardserve/... ./internal/cluster/...
 
 # Headline benchmarks: one representative configuration per paper
 # artifact (Tables 1-3, Figures 4-13, ablations).
@@ -63,6 +64,14 @@ io-smoke:
 	if [ "$$fkey" != "$$skey" ]; then echo "io-smoke: FILE/SIM MISMATCH"; exit 1; fi; \
 	if grep -q 'requested 0.0 MB' $$tmp/file.out; then echo "io-smoke: no I/O recorded"; exit 1; fi; \
 	echo "io-smoke: ok (file backend oracle-equal to simulated backend)"
+
+# Distributed-serving smoke (mirrors CI): the sharded-vs-single-node
+# bit-identity property test (machines x precision x argmin ties) and
+# the simulated scaling acceptance (>= 2x assign throughput at 4
+# machines), then the quick -exp shardserve sweep.
+shardserve-smoke:
+	$(GO) test -run 'TestShardParity|TestSimulateShardServeScaling' ./internal/shardserve
+	$(GO) run ./cmd/knorbench -quick -exp shardserve
 
 clean:
 	$(GO) clean ./...

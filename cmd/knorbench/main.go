@@ -10,7 +10,7 @@
 //
 // Experiments: table1 table2 table3 fig4 fig5 fig6a fig6b fig7 fig8
 // fig8mem fig9 fig9mem fig10 fig11 fig12 fig13 ablation serve precision
-// io
+// io shardserve
 package main
 
 import (
@@ -56,6 +56,7 @@ var experiments = []experiment{
 	{"serve", "Serving: simulated /assign throughput vs placement x scheduler", serveExp},
 	{"precision", "Precision: float32 vs float64 kernels, training and serving", precisionExp},
 	{"io", "Real I/O: knors on a store file, page cache x prefetch x devices", ioExp},
+	{"shardserve", "Distributed serving: centroid-sharded /assign, machines x batch x wire", shardServeExp},
 }
 
 func main() {

@@ -17,6 +17,7 @@
 //
 //	knorserve -addr :8080
 //	knorserve -addr :8080 -precision 32
+//	knorserve -addr :8080 -machines 4 -quota 256 -state /var/lib/knor
 //	knorserve -loadtest -lt-n 1000000 -lt-d 16 -lt-k 100
 //
 // -precision 32 runs the batched assignment path in float32 against the
@@ -24,6 +25,21 @@
 // traffic per flush, answers within the relative-error bounds
 // documented in EXPERIMENTS.md. Training and the registry's canonical
 // centroids stay float64.
+//
+// -machines M shards every model's centroids across M simulated
+// machines (internal/shardserve): /assign batches fan out, each
+// machine computes distances against only its shard, and the per-shard
+// argmins merge with lowest-global-index tie-breaking — bit-identical
+// answers to -machines 1 at either precision.
+//
+// -quota N bounds in-flight /assign requests per model; excess
+// requests are answered 429 with a Retry-After hint instead of growing
+// the batch queue without bound.
+//
+// -state DIR persists every model's latest snapshot (name, version,
+// centroids) on publish and shutdown, and reloads the registry on the
+// next boot, so a restarted server serves its models immediately and
+// version numbers never move backwards.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: the listener
 // stops accepting, every in-flight request (including /assign rows
@@ -56,6 +72,9 @@ func main() {
 		maxWait      = flag.Duration("wait", 200*time.Microsecond, "max time a request waits for its batch to fill")
 		threads      = flag.Int("threads", 0, "GEMM threads (0 = GOMAXPROCS)")
 		nodes        = flag.Int("nodes", 4, "simulated NUMA nodes to pin model shards across")
+		machines     = flag.Int("machines", 1, "shard each model's centroids across this many simulated machines (1 = single-node assigner)")
+		quota        = flag.Int("quota", 0, "max in-flight /assign requests per model; excess answered 429 (0 = unlimited)")
+		stateDir     = flag.String("state", "", "directory for model snapshot persistence; reloaded on restart (empty = none)")
 		publishEvery = flag.Int("publish-every", 4096, "auto-publish a stream model every N observed rows (0 = manual)")
 		precision    = flag.String("precision", "64", "assign-path element type: 32 | 64")
 		retainVers   = flag.Int("retain-versions", 0, "retained model versions per name (0 = default 8)")
@@ -80,11 +99,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "knorserve:", err)
 		os.Exit(2)
 	}
-	srv := newServer(serverOptions{
+	srv, err := newServer(serverOptions{
 		maxBatch: *maxBatch, maxWait: *maxWait, threads: *threads,
-		nodes: *nodes, publishEvery: *publishEvery, precision: prec,
+		nodes: *nodes, machines: *machines, quota: *quota, stateDir: *stateDir,
+		publishEvery: *publishEvery, precision: prec,
 		retainVersions: *retainVers, retainAge: *retainAge,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knorserve:", err)
+		os.Exit(1)
+	}
 
 	if *loadtest {
 		defer srv.close()
@@ -106,8 +130,8 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("knorserve listening on %s (batch=%d wait=%s threads=%d precision=%s)\n",
-		ln.Addr(), *maxBatch, *maxWait, *threads, prec)
+	fmt.Printf("knorserve listening on %s (batch=%d wait=%s threads=%d precision=%s machines=%d)\n",
+		ln.Addr(), *maxBatch, *maxWait, *threads, prec, *machines)
 	if err := serveUntil(ctx, ln, srv, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "knorserve:", err)
 		os.Exit(1)

@@ -2,15 +2,19 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"knor/internal/kmeans"
 	"knor/internal/matrix"
 	"knor/internal/serve"
+	"knor/internal/shardserve"
 	"knor/internal/workload"
 )
 
@@ -20,6 +24,15 @@ type serverOptions struct {
 	threads      int
 	nodes        int
 	publishEvery int
+	// machines shards every model's centroids across this many
+	// simulated machines (the -machines flag); 1 serves single-node.
+	machines int
+	// quota bounds in-flight /assign requests per model (-quota);
+	// excess requests are answered 429 with a Retry-After hint.
+	quota int
+	// stateDir persists model snapshots on publish and shutdown and
+	// reloads them on boot (the -state flag); empty disables.
+	stateDir string
 	// precision selects the assign hot path's element type (the
 	// -precision flag): float32 halves per-flush memory traffic.
 	precision kmeans.Precision
@@ -28,8 +41,9 @@ type serverOptions struct {
 	retainAge      time.Duration
 }
 
-// server wires the registry, the batched assignment path, and one
-// stream updater per model behind JSON handlers.
+// server wires the registry, the batched assignment path (single-node
+// or centroid-sharded), and one stream updater per model behind JSON
+// handlers.
 type server struct {
 	opts    serverOptions
 	reg     *serve.Registry
@@ -37,6 +51,12 @@ type server struct {
 
 	closeOnce sync.Once
 	sweepStop chan struct{}
+	// saveCh nudges the saver goroutine after a publish; saveDone
+	// closes when it exits. Both nil without -state.
+	saveCh    chan struct{}
+	saveStop  chan struct{}
+	saveDone  chan struct{}
+	statePath string
 
 	mu      sync.Mutex
 	streams map[string]*serve.StreamEngine
@@ -44,27 +64,103 @@ type server struct {
 	unfolded map[string]int
 }
 
-func newServer(opts serverOptions) *server {
-	reg := serve.NewRegistry(opts.nodes)
+func newServer(opts serverOptions) (*server, error) {
+	var reg *serve.Registry
+	statePath := ""
+	if opts.stateDir != "" {
+		if err := os.MkdirAll(opts.stateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("state dir: %w", err)
+		}
+		statePath = filepath.Join(opts.stateDir, "registry.json")
+		loaded, err := serve.LoadRegistry(statePath, opts.nodes)
+		if err != nil {
+			return nil, err
+		}
+		reg = loaded // nil on first boot
+	}
+	if reg == nil {
+		reg = serve.NewRegistry(opts.nodes)
+	}
 	if opts.retainVersions > 0 || opts.retainAge > 0 {
 		reg.SetRetention(serve.Retention{MaxVersions: opts.retainVersions, MaxAge: opts.retainAge})
 	}
+	bopts := serve.BatcherOptions{
+		MaxBatch: opts.maxBatch, MaxWait: opts.maxWait, Threads: opts.threads,
+		ModelQuota: opts.quota,
+	}
+	var batcher serve.Assigner
+	if opts.machines > 1 {
+		sr := shardserve.NewShardRegistry(opts.machines)
+		if err := sr.Attach(reg); err != nil {
+			return nil, err
+		}
+		batcher = shardserve.NewAssigner(sr, bopts, opts.precision)
+	} else {
+		batcher = serve.NewAssigner(reg, bopts, opts.precision)
+	}
 	s := &server{
-		opts: opts,
-		reg:  reg,
-		batcher: serve.NewAssigner(reg, serve.BatcherOptions{
-			MaxBatch: opts.maxBatch, MaxWait: opts.maxWait, Threads: opts.threads,
-		}, opts.precision),
+		opts:      opts,
+		reg:       reg,
+		batcher:   batcher,
 		sweepStop: make(chan struct{}),
+		statePath: statePath,
 		streams:   map[string]*serve.StreamEngine{},
 		unfolded:  map[string]int{},
+	}
+	// Reloaded models get a fresh stream updater seeded from the
+	// persisted centroids: the registry state (names, versions,
+	// centroid bits) survives the restart; the mini-batch learning
+	// rates restart, which only slows early post-restart folding.
+	for _, m := range reg.List() {
+		eng, err := serve.ResumeStreamEngine(serve.StreamCheckpoint{
+			Model:     m.Name,
+			Centroids: m.Centroids,
+			Counts:    make([]int64, m.K()),
+			Published: m.Version,
+		}, reg)
+		if err != nil {
+			return nil, fmt.Errorf("restore stream for %q: %w", m.Name, err)
+		}
+		s.streams[m.Name] = eng
+	}
+	if statePath != "" {
+		s.saveCh = make(chan struct{}, 1)
+		s.saveStop = make(chan struct{})
+		s.saveDone = make(chan struct{})
+		// The hook runs under the registry lock: only nudge the saver.
+		reg.OnPublish(func(*serve.Model) {
+			select {
+			case s.saveCh <- struct{}{}:
+			default:
+			}
+		})
+		go s.saver()
 	}
 	if opts.retainAge > 0 {
 		// Publish-driven eviction never ages out a model that stopped
 		// publishing, so sweep on a timer (a few times per MaxAge).
 		go s.sweep(clampDuration(opts.retainAge/4, time.Second, time.Minute))
 	}
-	return s
+	return s, nil
+}
+
+// saver persists the registry after publishes (coalescing bursts) and
+// once more on shutdown.
+func (s *server) saver() {
+	defer close(s.saveDone)
+	for {
+		select {
+		case <-s.saveCh:
+			if err := serve.SaveRegistry(s.reg, s.statePath); err != nil {
+				fmt.Fprintln(os.Stderr, "knorserve: state save:", err)
+			}
+		case <-s.saveStop:
+			if err := serve.SaveRegistry(s.reg, s.statePath); err != nil {
+				fmt.Fprintln(os.Stderr, "knorserve: state save:", err)
+			}
+			return
+		}
+	}
 }
 
 // sweep applies the age bound periodically until close.
@@ -95,6 +191,12 @@ func (s *server) close() {
 	s.closeOnce.Do(func() {
 		close(s.sweepStop)
 		s.batcher.Close()
+		if s.saveStop != nil {
+			// The saver writes one final snapshot before exiting, so a
+			// clean shutdown never loses a published version.
+			close(s.saveStop)
+			<-s.saveDone
+		}
 	})
 }
 
@@ -275,6 +377,14 @@ func (s *server) handleAssign(w http.ResponseWriter, r *http.Request) {
 	}
 	as, err := s.batcher.AssignRows(req.Model, rows)
 	if err != nil {
+		if errors.Is(err, serve.ErrOverloaded) {
+			// Backpressure: the model's in-flight quota is exhausted. A
+			// batch flush drains within MaxWait, so a 1-second backoff
+			// is always enough headroom.
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -365,16 +475,22 @@ func (s *server) handlePublish(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.batcher.Stats()
+	machines := s.opts.machines
+	if machines < 1 {
+		machines = 1
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"requests":  st.Requests,
 		"rows":      st.Rows,
 		"flushes":   st.Flushes,
+		"rejected":  st.Rejected,
 		"p50_ms":    nanToZero(st.P50 * 1e3),
 		"p99_ms":    nanToZero(st.P99 * 1e3),
 		"mean_ms":   st.Mean * 1e3,
 		"models":    len(s.reg.List()),
 		"avg_batch": avgBatch(st),
 		"precision": s.opts.precision.String(),
+		"machines":  machines,
 	})
 }
 

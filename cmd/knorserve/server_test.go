@@ -31,7 +31,10 @@ func newTestServer(t *testing.T, opts serverOptions) (*server, *httptest.Server)
 	if opts.nodes == 0 {
 		opts.nodes = 2
 	}
-	s := newServer(opts)
+	s, err := newServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.mux())
 	t.Cleanup(func() {
 		ts.Close()

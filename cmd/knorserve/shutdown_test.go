@@ -24,10 +24,13 @@ func TestShutdownDropsNoAcceptedAssign(t *testing.T) {
 	// every request is still queued (in flight, unanswered) when
 	// shutdown begins — even on a slow runner, no MaxWait flush can
 	// fire first — so the only way they complete is the drain path.
-	s := newServer(serverOptions{
+	s, err := newServer(serverOptions{
 		maxBatch: 1 << 20, maxWait: time.Minute,
 		threads: 1, nodes: 1, publishEvery: 0,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	cents, err := matrix.FromRows([][]float64{{0, 0}, {10, 10}})
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +97,10 @@ func TestShutdownDropsNoAcceptedAssign(t *testing.T) {
 
 // TestShutdownIdle checks a quiet server exits promptly and cleanly.
 func TestShutdownIdle(t *testing.T) {
-	s := newServer(serverOptions{maxBatch: 16, maxWait: time.Millisecond, threads: 1, nodes: 1})
+	s, err := newServer(serverOptions{maxBatch: 16, maxWait: time.Millisecond, threads: 1, nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

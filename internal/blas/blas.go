@@ -162,6 +162,15 @@ func dgemmBlock[T Float](alpha T, a []T, m, k int, b []T, n int, c []T, rlo, rhi
 // precision). Summation order differs from the reference kernel, which
 // is fine at float32: consumers get a relative-error contract, not
 // bit-identity (see internal/kmeans precision tests).
+//
+// One order contract the kernel DOES keep: every output element's value
+// depends only on its own A-row, B-row and the p-blocking — never on
+// which column path (4-wide body or scalar remainder) computed it. The
+// remainder columns therefore use the same 2-way-unrolled even/odd
+// accumulator split as the tiled body. The sharded serving layer relies
+// on this: a centroid block sliced out of a larger matrix must produce
+// bit-identical distances to the same rows inside the full GEMM
+// (TestGemm32ColumnSliceInvariant, internal/shardserve parity tests).
 func dgemmBlock32(alpha float32, a []float32, m, k int, b []float32, n int, c []float32, rlo, rhi int) {
 	for i0 := rlo; i0 < rhi; i0 += blockDim {
 		iMax := min(i0+blockDim, rhi)
@@ -207,11 +216,16 @@ func dgemmBlock32(alpha float32, a []float32, m, k int, b []float32, n int, c []
 					}
 					for ; j < jMax; j++ {
 						brow := b[j*k+p0 : j*k+pMax]
-						var s float32
-						for p := 0; p < kl; p++ {
-							s += arow[p] * brow[p]
+						var sa, sb float32
+						p := 0
+						for ; p+2 <= kl; p += 2 {
+							sa += arow[p] * brow[p]
+							sb += arow[p+1] * brow[p+1]
 						}
-						crow[j] += alpha * s
+						for ; p < kl; p++ {
+							sa += arow[p] * brow[p]
+						}
+						crow[j] += alpha * (sa + sb)
 					}
 				}
 			}

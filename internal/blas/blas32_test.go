@@ -110,6 +110,48 @@ func TestDgemm32MatchesFloat64(t *testing.T) {
 	}
 }
 
+// TestGemm32ColumnSliceInvariant pins the column-path-independence
+// contract the sharded serving layer relies on: computing distances
+// against a contiguous slice of B's rows must produce bit-identical
+// outputs to the corresponding columns of the full GEMM, for any slice
+// boundary — including widths that land columns in the scalar remainder
+// path of the 4-wide register tile, and odd k hitting the unroll tail.
+func TestGemm32ColumnSliceInvariant(t *testing.T) {
+	for _, sh := range []struct{ m, n, k int }{
+		{9, 10, 16}, {5, 25, 13}, {7, 100, 16}, {3, 130, 67},
+	} {
+		a, _ := randPair32(sh.m*sh.k, int64(sh.m)+31)
+		b, _ := randPair32(sh.n*sh.k, int64(sh.n)+32)
+		full := make([]float32, sh.m*sh.n)
+		blas.Dgemm(float32(-2), a, sh.m, sh.k, b, sh.n, 0, full, 1)
+		// Every contiguous split into up to 5 shards must agree bitwise.
+		for shards := 1; shards <= 5; shards++ {
+			lo := 0
+			for s := 0; s < shards; s++ {
+				hi := lo + sh.n/shards
+				if s < sh.n%shards {
+					hi++
+				}
+				w := hi - lo
+				if w == 0 {
+					continue
+				}
+				part := make([]float32, sh.m*w)
+				blas.Dgemm(float32(-2), a, sh.m, sh.k, b[lo*sh.k:hi*sh.k], w, 0, part, 1)
+				for i := 0; i < sh.m; i++ {
+					for j := 0; j < w; j++ {
+						if got, want := part[i*w+j], full[i*sh.n+lo+j]; got != want {
+							t.Fatalf("m=%d n=%d k=%d shards=%d slice [%d,%d): C[%d,%d]=%g, full says %g",
+								sh.m, sh.n, sh.k, shards, lo, hi, i, lo+j, got, want)
+						}
+					}
+				}
+				lo = hi
+			}
+		}
+	}
+}
+
 func TestDgemm32Threaded(t *testing.T) {
 	m, n, k := 150, 70, 40
 	a32, _ := randPair32(m*k, 3)

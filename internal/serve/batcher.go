@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -10,6 +11,12 @@ import (
 	"knor/internal/matrix"
 	"knor/internal/metrics"
 )
+
+// ErrOverloaded is wrapped by assignment errors rejected for quota:
+// the named model already has ModelQuota in-flight requests. Callers
+// should back off and retry (the HTTP layer maps it to 429 with a
+// Retry-After hint).
+var ErrOverloaded = errors.New("serve: model overloaded")
 
 // Assignment is the answer for one query row.
 type Assignment struct {
@@ -28,6 +35,17 @@ type BatcherOptions struct {
 	MaxWait time.Duration
 	// Threads parallelises the blocked GEMM (default 1).
 	Threads int
+	// ModelQuota bounds in-flight requests per model (queued or being
+	// answered); further AssignBatch calls fail fast with an error
+	// wrapping ErrOverloaded instead of growing the queue without
+	// bound. 0 means unlimited.
+	ModelQuota int
+	// RawSqDist reports raw squared distances from the GEMM identity,
+	// skipping the clamp of small negative cancellation noise to zero.
+	// The sharded fan-out path needs raw values so cross-shard min and
+	// tie-break ordering match the single-node scan exactly; the
+	// combiner applies the clamp once, after the global min.
+	RawSqDist bool
 }
 
 func (o BatcherOptions) withDefaults() BatcherOptions {
@@ -48,6 +66,7 @@ type BatcherStats struct {
 	Requests uint64  // Assign/AssignBatch calls answered
 	Rows     uint64  // query rows answered
 	Flushes  uint64  // blocked distance computations performed
+	Rejected uint64  // requests refused by the per-model quota
 	Queued   int     // rows waiting for the next flush right now
 	P50      float64 // request latency quantiles, seconds
 	P99      float64
@@ -86,20 +105,21 @@ type BatcherOf[T blas.Float] struct {
 	opts BatcherOptions
 	lat  *metrics.Latency
 
-	mu      sync.Mutex
-	queue   []pendingReq[T]
-	queued  int // rows currently queued
-	stopped bool
+	mu       sync.Mutex
+	queue    []pendingReq[T]
+	queued   int // rows currently queued
+	inflight map[string]int
+	stopped  bool
 
 	work chan struct{} // queue went empty -> non-empty
 	full chan struct{} // queued reached MaxBatch
 	stop chan struct{}
 	done chan struct{}
 
-	statsMu  sync.Mutex
-	requests uint64
-	rows     uint64
-	flushes  uint64
+	requests metrics.Counter
+	rows     metrics.Counter
+	flushes  metrics.Counter
+	rejected metrics.Counter
 }
 
 // Batcher is the float64 assignment path.
@@ -115,13 +135,14 @@ func NewBatcher(reg *Registry, opts BatcherOptions) *Batcher {
 // registry. Close it to stop the background flusher.
 func NewBatcherOf[T blas.Float](reg *Registry, opts BatcherOptions) *BatcherOf[T] {
 	b := &BatcherOf[T]{
-		reg:  reg,
-		opts: opts.withDefaults(),
-		lat:  metrics.NewLatency(1),
-		work: make(chan struct{}, 1),
-		full: make(chan struct{}, 1),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		reg:      reg,
+		opts:     opts.withDefaults(),
+		lat:      metrics.NewLatency(1),
+		inflight: map[string]int{},
+		work:     make(chan struct{}, 1),
+		full:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	go b.flusher()
 	return b
@@ -139,7 +160,10 @@ func (b *BatcherOf[T]) Assign(model string, row []T) (Assignment, error) {
 }
 
 // AssignBatch answers every row of rows against the named model. The
-// rows matrix must not be mutated until the call returns.
+// rows matrix must not be mutated until the call returns. When the
+// model already has ModelQuota requests in flight the call fails fast
+// with an error wrapping ErrOverloaded — backpressure instead of an
+// unbounded queue.
 func (b *BatcherOf[T]) AssignBatch(model string, rows *matrix.Mat[T]) ([]Assignment, error) {
 	if rows.Rows() == 0 {
 		return nil, nil
@@ -150,6 +174,12 @@ func (b *BatcherOf[T]) AssignBatch(model string, rows *matrix.Mat[T]) ([]Assignm
 		b.mu.Unlock()
 		return nil, fmt.Errorf("serve: batcher closed")
 	}
+	if q := b.opts.ModelQuota; q > 0 && b.inflight[model] >= q {
+		b.mu.Unlock()
+		b.rejected.Inc()
+		return nil, fmt.Errorf("%w: model %q has %d requests in flight", ErrOverloaded, model, q)
+	}
+	b.inflight[model]++
 	wasEmpty := len(b.queue) == 0
 	b.queue = append(b.queue, req)
 	b.queued += rows.Rows()
@@ -162,14 +192,17 @@ func (b *BatcherOf[T]) AssignBatch(model string, rows *matrix.Mat[T]) ([]Assignm
 		signal(b.full)
 	}
 	ans := <-req.out
+	b.mu.Lock()
+	if b.inflight[model]--; b.inflight[model] == 0 {
+		delete(b.inflight, model)
+	}
+	b.mu.Unlock()
 	if ans.err != nil {
 		return nil, ans.err
 	}
 	b.lat.Observe(time.Since(req.start).Seconds())
-	b.statsMu.Lock()
-	b.requests++
-	b.rows += uint64(rows.Rows())
-	b.statsMu.Unlock()
+	b.requests.Inc()
+	b.rows.Add(uint64(rows.Rows()))
 	return ans.assigns, nil
 }
 
@@ -194,9 +227,10 @@ func signal(c chan struct{}) {
 
 // Stats reports counters and latency quantiles.
 func (b *BatcherOf[T]) Stats() BatcherStats {
-	b.statsMu.Lock()
-	st := BatcherStats{Requests: b.requests, Rows: b.rows, Flushes: b.flushes}
-	b.statsMu.Unlock()
+	st := BatcherStats{
+		Requests: b.requests.Load(), Rows: b.rows.Load(),
+		Flushes: b.flushes.Load(), Rejected: b.rejected.Load(),
+	}
 	b.mu.Lock()
 	st.Queued = b.queued
 	b.mu.Unlock()
@@ -326,7 +360,7 @@ func (b *BatcherOf[T]) flush(batch []pendingReq[T]) {
 			copy(a[off:], batch[i].rows.Data)
 			off += len(batch[i].rows.Data)
 		}
-		assigns := assignBlock(a, total, snap, b.opts.Threads)
+		assigns := assignBlock(a, total, snap, b.opts.Threads, b.opts.RawSqDist)
 		row := 0
 		for _, i := range live {
 			n := batch[i].rows.Rows()
@@ -334,15 +368,14 @@ func (b *BatcherOf[T]) flush(batch []pendingReq[T]) {
 			row += n
 		}
 	}
-	b.statsMu.Lock()
-	b.flushes++
-	b.statsMu.Unlock()
+	b.flushes.Inc()
 }
 
 // assignBlock computes nearest centroids for an m×d row block via the
 // ‖v‖² + ‖c‖² − 2·V·Cᵀ identity, reusing the snapshot's cached ‖c‖² at
-// the block's element type.
-func assignBlock[T blas.Float](a []T, m int, snap *Model, threads int) []Assignment {
+// the block's element type. raw skips the cancellation clamp (the
+// sharded combiner clamps once, after the cross-shard min).
+func assignBlock[T blas.Float](a []T, m int, snap *Model, threads int, raw bool) []Assignment {
 	k, d := snap.K(), snap.Dims()
 	cents, normsSq := centroidsOf[T](snap)
 	dist := make([]T, m*k)
@@ -358,7 +391,7 @@ func assignBlock[T blas.Float](a []T, m int, snap *Model, threads int) []Assignm
 				best, bi = v, j
 			}
 		}
-		if best < 0 { // numerical cancellation
+		if best < 0 && !raw { // numerical cancellation
 			best = 0
 		}
 		out[i] = Assignment{Cluster: int32(bi), SqDist: float64(best), Version: snap.Version}

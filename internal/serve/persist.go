@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"knor/internal/matrix"
+)
+
+// Snapshot persistence: the registry's latest snapshot per model,
+// serialised to one JSON file so a restarted server reloads its models
+// with their version numbers intact (knorserve -state). Only the
+// latest version of each model is saved — history and pins are
+// serving-time conveniences, not durable state — and writes go through
+// a temp file + rename so a crash mid-save never corrupts the previous
+// state file.
+
+// persistedModel is one model's latest snapshot on disk.
+type persistedModel struct {
+	Name    string    `json:"name"`
+	Version int       `json:"version"`
+	Node    int       `json:"node"`
+	Rows    int       `json:"rows"`
+	Cols    int       `json:"cols"`
+	Data    []float64 `json:"data"` // row-major centroids, rows×cols
+}
+
+// persistedRegistry is the state file's schema.
+type persistedRegistry struct {
+	Models []persistedModel `json:"models"`
+}
+
+// SaveRegistry writes the latest snapshot of every model to path,
+// atomically (temp file + rename).
+func SaveRegistry(r *Registry, path string) error {
+	var pf persistedRegistry
+	for _, m := range r.List() {
+		pf.Models = append(pf.Models, persistedModel{
+			Name: m.Name, Version: m.Version, Node: m.Node,
+			Rows: m.K(), Cols: m.Dims(), Data: m.Centroids.Data,
+		})
+	}
+	buf, err := json.Marshal(&pf)
+	if err != nil {
+		return fmt.Errorf("serve: marshal registry state: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".registry-*.json")
+	if err != nil {
+		return fmt.Errorf("serve: save registry state: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: save registry state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: save registry state: %w", err)
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadRegistry rebuilds a registry from a state file written by
+// SaveRegistry: every model comes back at its saved version and node
+// pin, so clients observing versions across a restart never see them
+// go backwards. Returns (nil, nil) when the file does not exist — a
+// first boot, not an error.
+func LoadRegistry(path string, nodes int) (*Registry, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: load registry state: %w", err)
+	}
+	var pf persistedRegistry
+	if err := json.Unmarshal(buf, &pf); err != nil {
+		return nil, fmt.Errorf("serve: parse registry state %s: %w", path, err)
+	}
+	r := NewRegistry(nodes)
+	for _, pm := range pf.Models {
+		if pm.Rows <= 0 || pm.Cols <= 0 || pm.Rows*pm.Cols != len(pm.Data) {
+			return nil, fmt.Errorf("serve: registry state %s: model %q claims %dx%d but has %d values",
+				path, pm.Name, pm.Rows, pm.Cols, len(pm.Data))
+		}
+		c := &matrix.Dense{RowsN: pm.Rows, ColsN: pm.Cols, Data: pm.Data}
+		if _, err := r.Restore(pm.Name, pm.Version, pm.Node, c); err != nil {
+			return nil, fmt.Errorf("serve: registry state %s: %w", path, err)
+		}
+	}
+	return r, nil
+}

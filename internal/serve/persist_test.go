@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"knor/internal/matrix"
+)
+
+func testCentroids(k, d int, base float64) *matrix.Dense {
+	c := matrix.NewDense(k, d)
+	for i := range c.Data {
+		c.Data[i] = base + float64(i)*0.25
+	}
+	return c
+}
+
+// TestRegistryPersistRoundTrip: save a registry with multi-version
+// models, load it back, and check the latest snapshots come back with
+// version numbers, node pins and centroid bits intact.
+func TestRegistryPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+
+	r := NewRegistry(4)
+	if _, err := r.Publish("a", testCentroids(3, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish("a", testCentroids(3, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish("b", testCentroids(5, 7, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRegistry(r, path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadRegistry(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("LoadRegistry returned nil for an existing file")
+	}
+	for _, name := range []string{"a", "b"} {
+		want, _ := r.Get(name)
+		m, ok := got.Get(name)
+		if !ok {
+			t.Fatalf("model %q lost in round trip", name)
+		}
+		if m.Version != want.Version || m.Node != want.Node {
+			t.Errorf("model %q: version/node %d/%d, want %d/%d",
+				name, m.Version, m.Node, want.Version, want.Node)
+		}
+		if !m.Centroids.Equal(want.Centroids, 0) {
+			t.Errorf("model %q centroids differ after round trip", name)
+		}
+		if len(m.NormsSq) != m.K() {
+			t.Errorf("model %q norms not rebuilt", name)
+		}
+	}
+
+	// Versions keep moving forward after a reload — a restarted server
+	// must never hand out a version the old one already used.
+	m, err := got.Publish("a", testCentroids(3, 2, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 3 {
+		t.Errorf("post-reload publish version %d, want 3", m.Version)
+	}
+}
+
+func TestLoadRegistryMissingFile(t *testing.T) {
+	r, err := LoadRegistry(filepath.Join(t.TempDir(), "absent.json"), 2)
+	if err != nil {
+		t.Fatalf("missing state file should be a clean first boot, got %v", err)
+	}
+	if r != nil {
+		t.Fatal("missing state file returned a registry")
+	}
+}
+
+func TestLoadRegistryCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRegistry(path, 2); err == nil {
+		t.Error("corrupt state file loaded without error")
+	}
+	if err := os.WriteFile(path, []byte(`{"models":[{"name":"x","version":1,"rows":2,"cols":2,"data":[1]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRegistry(path, 2); err == nil {
+		t.Error("shape-mismatched state file loaded without error")
+	}
+}
+
+// TestRegistryRestore covers the loader's entry point directly:
+// explicit versions, monotonicity, dims checks.
+func TestRegistryRestore(t *testing.T) {
+	r := NewRegistry(2)
+	if _, err := r.Restore("m", 5, 1, testCentroids(2, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := r.Get("m")
+	if m.Version != 5 || m.Node != 1 {
+		t.Fatalf("restored version/node %d/%d", m.Version, m.Node)
+	}
+	if _, err := r.Restore("m", 5, 1, testCentroids(2, 3, 1)); err == nil {
+		t.Error("stale restore accepted")
+	}
+	if _, err := r.Restore("m", 6, 1, testCentroids(2, 4, 1)); err == nil {
+		t.Error("dims change accepted")
+	}
+	if _, err := r.Restore("m", 0, 1, testCentroids(2, 3, 1)); err == nil {
+		t.Error("version 0 accepted")
+	}
+	if _, err := r.Restore("", 1, 0, testCentroids(2, 3, 1)); err == nil {
+		t.Error("empty name accepted")
+	}
+	// Publish continues from the restored version.
+	p, err := r.Publish("m", testCentroids(2, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version != 6 {
+		t.Errorf("publish after restore: version %d, want 6", p.Version)
+	}
+}

@@ -100,6 +100,7 @@ type Registry struct {
 	pins      map[string]map[int]bool
 	retention Retention
 	nextNode  int
+	onPublish []func(*Model)
 }
 
 // NewRegistry builds a registry that pins model shards round-robin
@@ -162,6 +163,63 @@ func (r *Registry) Publish(name string, centroids *matrix.Dense) (*Model, error)
 	r.latest[name] = m
 	r.versions[name] = append(r.versions[name], m)
 	r.evictLocked(name, m.PublishedAt)
+	for _, fn := range r.onPublish {
+		fn(m)
+	}
+	return m, nil
+}
+
+// OnPublish registers fn to run after every successful Publish or
+// Restore, while the registry lock is held — hooks therefore observe
+// publishes in version order, which the sharded serving layer and the
+// persistence layer both rely on. fn must not call back into the
+// registry (deadlock) and should be quick; heavy work belongs on the
+// hook's own goroutine.
+func (r *Registry) OnPublish(fn func(*Model)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onPublish = append(r.onPublish, fn)
+}
+
+// Restore republishes a snapshot with an explicit version and node —
+// the persistence loader's and shard mirror's entry point, where
+// version numbers must survive a restart (Publish would restart them
+// at 1). The version must be greater than the model's current latest;
+// stale restores are rejected so a mirror replaying a mix of history
+// and live publishes converges on the newest snapshot.
+func (r *Registry) Restore(name string, version, node int, centroids *matrix.Dense) (*Model, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: empty model name")
+	}
+	if version < 1 {
+		return nil, fmt.Errorf("serve: model %q restored with version %d", name, version)
+	}
+	if centroids == nil || centroids.Rows() == 0 || centroids.Cols() == 0 {
+		return nil, fmt.Errorf("serve: model %q restored with no centroids", name)
+	}
+	cl := centroids.Clone()
+	norms := make([]float64, cl.Rows())
+	blas.RowNormsSq(cl.Data, cl.Rows(), cl.Cols(), norms)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := &Model{Name: name, Version: version, Node: node,
+		Centroids: cl, NormsSq: norms, PublishedAt: time.Now()}
+	if prev, ok := r.latest[name]; ok {
+		if prev.Dims() != m.Dims() {
+			return nil, fmt.Errorf("serve: model %q dims changed %d -> %d", name, prev.Dims(), m.Dims())
+		}
+		if version <= prev.Version {
+			return nil, fmt.Errorf("serve: model %q restore version %d not after latest %d",
+				name, version, prev.Version)
+		}
+	}
+	r.latest[name] = m
+	r.versions[name] = append(r.versions[name], m)
+	r.evictLocked(name, m.PublishedAt)
+	for _, fn := range r.onPublish {
+		fn(m)
+	}
 	return m, nil
 }
 

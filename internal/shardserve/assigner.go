@@ -1,0 +1,277 @@
+package shardserve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"knor/internal/blas"
+	"knor/internal/cluster"
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+	"knor/internal/metrics"
+	"knor/internal/serve"
+)
+
+// skewRetries bounds how often a fan-out is retried when a publish
+// lands mid-flight and shard answers straddle two versions; retry i
+// backs off i·skewBackoff first, so a burst of publishes can drain.
+// Publishes are rare relative to queries, so this is ample headroom —
+// but a publisher sustaining less than a fan-out round trip between
+// publishes indefinitely can still starve reads; consistent reads
+// under that regime need publish-side pacing, not more retries.
+const (
+	skewRetries = 16
+	skewBackoff = 100 * time.Microsecond
+)
+
+// AssignerOf is the fan-out assignment router: one serve.BatcherOf per
+// machine over that machine's shard registry, queries fanned out to
+// every shard holding the model and folded into the global argmin as
+// the shards answer (cluster.CombineMin — associative and commutative,
+// so arrival order never changes the result). Bit-identical to the
+// single-node serve.BatcherOf for any machine count: shards report raw
+// distances, the cancellation clamp is applied once after the global
+// min, and ties break on the lowest global centroid index exactly as
+// the single-node ascending scan does.
+type AssignerOf[T blas.Float] struct {
+	sr   *ShardRegistry
+	bats []*serve.BatcherOf[T]
+	opts serve.BatcherOptions
+	lat  *metrics.Latency
+
+	mu       sync.Mutex
+	inflight map[string]int
+
+	requests metrics.Counter
+	rows     metrics.Counter
+	rejected metrics.Counter
+}
+
+// NewAssignerOf starts the sharded assignment path at element type T.
+// opts applies per shard batcher (MaxBatch, MaxWait, Threads);
+// ModelQuota is enforced here at the fan-out edge — a rejected request
+// must burn zero GEMM time on ANY shard — so the per-shard batchers
+// run unlimited, and RawSqDist is forced on for the shards (the
+// combiner clamps). Close stops every shard batcher.
+func NewAssignerOf[T blas.Float](sr *ShardRegistry, opts serve.BatcherOptions) *AssignerOf[T] {
+	shardOpts := opts
+	shardOpts.RawSqDist = true
+	shardOpts.ModelQuota = 0
+	a := &AssignerOf[T]{
+		sr:       sr,
+		opts:     opts,
+		lat:      metrics.NewLatency(1),
+		inflight: map[string]int{},
+	}
+	a.bats = make([]*serve.BatcherOf[T], sr.Machines())
+	for i := range a.bats {
+		a.bats[i] = serve.NewBatcherOf[T](sr.Registry(i), shardOpts)
+	}
+	return a
+}
+
+// NewAssigner builds the sharded assignment path at the requested
+// precision, behind the precision-independent serve.Assigner interface
+// knorserve programs against.
+func NewAssigner(sr *ShardRegistry, opts serve.BatcherOptions, p kmeans.Precision) serve.Assigner {
+	if p == kmeans.Precision32 {
+		return NewAssignerOf[float32](sr, opts)
+	}
+	return NewAssignerOf[float64](sr, opts)
+}
+
+// shardAnswer is one shard's contribution to a fan-out.
+type shardAnswer struct {
+	shard   int
+	assigns []serve.Assignment
+	err     error
+}
+
+// Assign answers one query row (blocking until its fan-out completes).
+func (a *AssignerOf[T]) Assign(model string, row []T) (serve.Assignment, error) {
+	m := matrix.New[T](1, len(row))
+	copy(m.Data, row)
+	as, err := a.AssignBatch(model, m)
+	if err != nil {
+		return serve.Assignment{}, err
+	}
+	return as[0], nil
+}
+
+// AssignBatch answers every row of rows against the named model by
+// fanning the batch out to the model's shards. The rows matrix must
+// not be mutated until the call returns.
+func (a *AssignerOf[T]) AssignBatch(model string, rows *matrix.Mat[T]) ([]serve.Assignment, error) {
+	if rows.Rows() == 0 {
+		return nil, nil
+	}
+	if q := a.opts.ModelQuota; q > 0 {
+		a.mu.Lock()
+		if a.inflight[model] >= q {
+			a.mu.Unlock()
+			a.rejected.Inc()
+			return nil, fmt.Errorf("%w: model %q has %d requests in flight", serve.ErrOverloaded, model, q)
+		}
+		a.inflight[model]++
+		a.mu.Unlock()
+		defer func() {
+			a.mu.Lock()
+			if a.inflight[model]--; a.inflight[model] == 0 {
+				delete(a.inflight, model)
+			}
+			a.mu.Unlock()
+		}()
+	}
+	start := time.Now()
+	var lastErr error
+	for try := 0; try < skewRetries; try++ {
+		if try > 0 {
+			time.Sleep(time.Duration(try) * skewBackoff)
+		}
+		out, retry, err := a.fanout(model, rows)
+		if err != nil {
+			return nil, err
+		}
+		if !retry {
+			a.lat.Observe(time.Since(start).Seconds())
+			a.requests.Inc()
+			a.rows.Add(uint64(rows.Rows()))
+			return out, nil
+		}
+		lastErr = fmt.Errorf("shardserve: model %q: shard versions skewed by concurrent publish", model)
+	}
+	return nil, lastErr
+}
+
+// fanout runs one fan-out attempt: every shard answers against its
+// latest snapshot, answers are folded into the running global min as
+// they arrive (reduction overlapping the slower shards' GEMMs), and a
+// version check detects a publish landing mid-flight — the caller
+// retries, since the split table and the shard snapshots must describe
+// the same version for the local→global index mapping to make sense.
+func (a *AssignerOf[T]) fanout(model string, rows *matrix.Mat[T]) (out []serve.Assignment, retry bool, err error) {
+	version, offsets, ok := a.sr.Split(model)
+	if !ok {
+		return nil, false, fmt.Errorf("shardserve: unknown model %q", model)
+	}
+	shards := len(offsets) - 1
+	n := rows.Rows()
+
+	answers := make(chan shardAnswer, shards)
+	for s := 0; s < shards; s++ {
+		go func(s int) {
+			as, err := a.bats[s].AssignBatch(model, rows)
+			answers <- shardAnswer{shard: s, assigns: as, err: err}
+		}(s)
+	}
+
+	pairs := make([]cluster.MinPair, n)
+	for i := range pairs {
+		pairs[i].Index = -1
+	}
+	src := make([]cluster.MinPair, n)
+	for done := 0; done < shards; done++ {
+		ans := <-answers
+		if err != nil || retry {
+			continue // drain remaining shards before returning
+		}
+		if ans.err != nil {
+			err = ans.err
+			continue
+		}
+		lo := offsets[ans.shard]
+		for i, as := range ans.assigns {
+			if as.Version != version {
+				retry = true
+				break
+			}
+			src[i] = cluster.MinPair{Index: int32(lo) + as.Cluster, Dist: as.SqDist}
+		}
+		if retry {
+			continue
+		}
+		cluster.CombineMin(pairs, src)
+	}
+	if err != nil {
+		// A shard error can itself be publish skew: a republish that
+		// shrank k drops the name from the tail machines, so a fan-out
+		// holding the old split gets "unknown model" from them. If the
+		// split moved while we were in flight, retry with the new one
+		// instead of surfacing the transient error.
+		if v, _, ok := a.sr.Split(model); ok && v != version {
+			return nil, true, nil
+		}
+		return nil, false, err
+	}
+	if retry {
+		return nil, true, nil
+	}
+	out = make([]serve.Assignment, n)
+	for i, p := range pairs {
+		d := p.Dist
+		if d < 0 { // numerical cancellation, clamped once globally
+			d = 0
+		}
+		out[i] = serve.Assignment{Cluster: p.Index, SqDist: d, Version: version}
+	}
+	return out, false, nil
+}
+
+// AssignRows answers float64 query rows regardless of the assigner's
+// element type, converting once when T is narrower — the
+// precision-independent entry the HTTP server uses.
+func (a *AssignerOf[T]) AssignRows(model string, rows *matrix.Dense) ([]serve.Assignment, error) {
+	if m, ok := any(rows).(*matrix.Mat[T]); ok {
+		return a.AssignBatch(model, m)
+	}
+	return a.AssignBatch(model, matrix.Convert[T](rows))
+}
+
+// Stats aggregates the fan-out edge's counters and latency quantiles
+// with the shard batchers' flush counts. Every request is replicated
+// to all shards, so Flushes and Queued report the busiest shard (the
+// logical flush/queue count), not the M-inflated sum — avg_batch and
+// queue-depth readings stay comparable with the single-node batcher.
+func (a *AssignerOf[T]) Stats() serve.BatcherStats {
+	st := serve.BatcherStats{
+		Requests: a.requests.Load(),
+		Rows:     a.rows.Load(),
+		Rejected: a.rejected.Load(),
+	}
+	for _, b := range a.bats {
+		bst := b.Stats()
+		if bst.Flushes > st.Flushes {
+			st.Flushes = bst.Flushes
+		}
+		if bst.Queued > st.Queued {
+			st.Queued = bst.Queued
+		}
+	}
+	st.P50 = a.lat.Quantile(0.50)
+	st.P99 = a.lat.Quantile(0.99)
+	st.Mean = a.lat.Mean()
+	return st
+}
+
+// Flush synchronously answers everything queued on every shard.
+func (a *AssignerOf[T]) Flush() {
+	for _, b := range a.bats {
+		b.Flush()
+	}
+}
+
+// Close rejects new requests and stops every shard batcher.
+func (a *AssignerOf[T]) Close() {
+	var wg sync.WaitGroup
+	for _, b := range a.bats {
+		wg.Add(1)
+		go func(b *serve.BatcherOf[T]) {
+			defer wg.Done()
+			b.Close()
+		}(b)
+	}
+	wg.Wait()
+}
+
+var _ serve.Assigner = (*AssignerOf[float64])(nil)

@@ -1,0 +1,39 @@
+// Package shardserve is the distributed serving layer: one model's k
+// centroids sharded across M simulated machines, /assign batches
+// fanned out to every shard and merged by a min-allreduce — the
+// paper's scale-out story (knord's row-sharded cluster) applied to the
+// online path (the serve layer's batched GEMM assigner), so query
+// throughput is no longer bound by one machine's GEMM rate or one
+// machine's memory for k×d centroids.
+//
+// Three pieces compose it:
+//
+//   - ShardRegistry — M per-machine serve.Registry instances kept in
+//     lockstep: publishing a model splits its centroid rows into
+//     contiguous shards (dist.Partition, the same row-sharding knord
+//     uses) and restores shard i into machine i's registry at the
+//     SAME version number, copy-on-write like the single-node
+//     registry. Attach mirrors an existing registry, so a knorserve
+//     with -machines M shards every publish automatically; a publish
+//     with a different k rebalances the split.
+//   - AssignerOf — the fan-out router. Every machine runs a plain
+//     serve.BatcherOf over its shard registry; a query batch goes to
+//     all shards concurrently, each answers local (argmin, dist)
+//     pairs against only its centroid rows, and answers are folded
+//     into the global result as they arrive (cluster.CombineMin), so
+//     reduction overlaps the slower shards' GEMMs. The result is
+//     bit-identical to the single-node serve.Assigner for any machine
+//     count and either precision: shards return raw distances (the
+//     cancellation clamp is applied once, after the global min), ties
+//     break on the lowest global centroid index exactly as the
+//     single-node ascending argmin scan does, and the blas kernels
+//     guarantee a centroid block sliced out of a larger matrix
+//     produces bit-identical distances at both widths.
+//   - SimulateShardServe — the cost model. A closed-loop pipeline
+//     over simclock resources (router NIC, per-machine CPUs and NICs)
+//     charging query serialisation (SerializeByteCost), a binomial
+//     fan-out bcast, the per-shard GEMM, and the recursive-doubling
+//     min-allreduce (NetSetup + ⌈log₂M⌉·(α+B/β)); batches pipeline,
+//     so machine b+1's GEMM overlaps batch b's reduction. DESIGN.md
+//     records the formulas, knorbench -exp shardserve the sweep.
+package shardserve

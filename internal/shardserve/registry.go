@@ -1,0 +1,162 @@
+package shardserve
+
+import (
+	"fmt"
+	"sync"
+
+	"knor/internal/dist"
+	"knor/internal/matrix"
+	"knor/internal/serve"
+)
+
+// ShardRegistry keeps M per-machine serve.Registry instances in
+// lockstep: every published model is split into contiguous centroid-row
+// shards (dist.Partition over the k rows) and shard i is restored into
+// machine i's registry under the same name and the SAME version number.
+// Each shard registry is an ordinary copy-on-write serve.Registry, so
+// per-machine batchers get the single-node snapshot guarantees for
+// free; the split table maps shard-local argmins back to global
+// centroid indices.
+//
+// A model with fewer centroids than machines occupies only the first k
+// machines; a publish that changes k rebalances the split and drops the
+// name from machines that no longer hold a shard.
+type ShardRegistry struct {
+	machines int
+	regs     []*serve.Registry
+
+	mu     sync.RWMutex
+	splits map[string]split
+}
+
+// split records how one model's current version is laid out: shard i
+// holds global centroid rows [Offsets[i], Offsets[i+1]).
+type split struct {
+	version int
+	offsets []int
+}
+
+// NewShardRegistry builds an empty sharded registry over the given
+// machine count.
+func NewShardRegistry(machines int) *ShardRegistry {
+	if machines < 1 {
+		panic("shardserve: need at least one machine")
+	}
+	sr := &ShardRegistry{machines: machines, splits: map[string]split{}}
+	sr.regs = make([]*serve.Registry, machines)
+	for i := range sr.regs {
+		sr.regs[i] = serve.NewRegistry(1)
+	}
+	return sr
+}
+
+// Machines returns the machine count.
+func (sr *ShardRegistry) Machines() int { return sr.machines }
+
+// Registry returns machine i's shard registry (for wiring per-machine
+// batchers).
+func (sr *ShardRegistry) Registry(i int) *serve.Registry { return sr.regs[i] }
+
+// Split returns the named model's current version and shard offsets
+// (len = shards+1; shard i serves global centroid rows
+// [offsets[i], offsets[i+1])).
+func (sr *ShardRegistry) Split(name string) (version int, offsets []int, ok bool) {
+	sr.mu.RLock()
+	defer sr.mu.RUnlock()
+	sp, ok := sr.splits[name]
+	return sp.version, sp.offsets, ok
+}
+
+// Publish splits centroids across the machines as the next version of
+// the named model. The shard registries clone their slices
+// (copy-on-write), so the caller keeps ownership of centroids.
+func (sr *ShardRegistry) Publish(name string, centroids *matrix.Dense) (version int, err error) {
+	if centroids == nil || centroids.Rows() == 0 {
+		return 0, fmt.Errorf("shardserve: model %q published with no centroids", name)
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	v := sr.splits[name].version + 1
+	if err := sr.restoreLocked(name, v, 0, centroids); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// Attach mirrors primary into the shard registries — current models
+// first, then every future publish via the registry's publish hook —
+// preserving primary's version numbers so shard snapshots answer with
+// the same Version the primary reports. The hook runs under primary's
+// lock (publish order); stale restores racing the initial mirror are
+// skipped.
+//
+// The mirror runs synchronously inside the hook, a deliberate
+// trade-off: re-sharding under the primary's lock costs one extra
+// centroid copy + norms pass (the same order of work Publish itself
+// does before locking), and in exchange the shard registries can
+// never lag the primary by more than a fan-out's version-skew retry.
+// An async mirror would open arbitrarily long windows where every
+// assign answers a version the primary no longer reports.
+func (sr *ShardRegistry) Attach(primary *serve.Registry) error {
+	primary.OnPublish(func(m *serve.Model) {
+		// Hook context: primary's lock is held, so no call back into
+		// primary here; shard registries have their own locks.
+		sr.mirror(m)
+	})
+	for _, m := range primary.List() {
+		sr.mirror(m)
+	}
+	return nil
+}
+
+// mirror restores one primary snapshot into the shards, skipping
+// versions the shards already caught up past (the Attach race).
+func (sr *ShardRegistry) mirror(m *serve.Model) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.splits[m.Name].version >= m.Version {
+		return
+	}
+	if err := sr.restoreLocked(m.Name, m.Version, m.Node, m.Centroids); err != nil {
+		// Dims changed without a version going backwards can only be a
+		// primary-registry invariant violation; surface loudly.
+		panic(fmt.Sprintf("shardserve: mirror %q v%d: %v", m.Name, m.Version, err))
+	}
+}
+
+// restoreLocked splits centroids and restores shard i into machine i's
+// registry at the given version, then updates the split table. Caller
+// holds sr.mu.
+func (sr *ShardRegistry) restoreLocked(name string, version, node int, centroids *matrix.Dense) error {
+	k := centroids.Rows()
+	shards := sr.machines
+	if k < shards {
+		shards = k
+	}
+	parts := dist.Partition(k, shards)
+	offsets := make([]int, shards+1)
+	for i, p := range parts {
+		offsets[i+1] = p.Hi
+		if _, err := sr.regs[i].Restore(name, version, node, p.View(centroids)); err != nil {
+			return err
+		}
+	}
+	// A shrinking k strands shards on the tail machines; drop them so
+	// their batchers can never answer from a stale snapshot.
+	for i := shards; i < sr.machines; i++ {
+		sr.regs[i].Drop(name)
+	}
+	sr.splits[name] = split{version: version, offsets: offsets}
+	return nil
+}
+
+// Drop removes the model from every shard registry and the split
+// table.
+func (sr *ShardRegistry) Drop(name string) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	for _, r := range sr.regs {
+		r.Drop(name)
+	}
+	delete(sr.splits, name)
+}

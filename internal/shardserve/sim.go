@@ -1,0 +1,216 @@
+package shardserve
+
+import (
+	"fmt"
+	"math"
+
+	"knor/internal/cluster"
+	"knor/internal/dist"
+	"knor/internal/metrics"
+	"knor/internal/simclock"
+)
+
+// SimConfig drives a simulated sharded-serving epoch: a front-end
+// router fans query batches out to M machines, each holding a
+// contiguous shard of the model's k centroids, and merges the per-shard
+// argmins with the recursive-doubling min-allreduce. Costs follow the
+// cluster alpha-beta model plus the framework serialisation constant
+// (the router speaks JSON/HTTP; machines exchange raw buffers).
+type SimConfig struct {
+	// Machines is the shard count (>= 1; 1 is the single-node baseline).
+	Machines int
+	// K and D describe the served model (k centroids of d dims).
+	K, D int
+	// ElemBytes is the query/distance wire width: 4 (float32 serving)
+	// or 8 (float64, the default).
+	ElemBytes int
+	// Batches lists query-batch row counts in arrival order.
+	Batches []int
+	// Window is the closed-loop in-flight bound: batch b enters the
+	// router when batch b-Window completes (default 4). Latency
+	// quantiles are measured under that admission, so they include
+	// bounded queueing, not an unbounded backlog.
+	Window int
+	// Model supplies the cost constants (zero value = defaults).
+	Model simclock.CostModel
+}
+
+func (c SimConfig) withDefaults() (SimConfig, error) {
+	if c.Machines < 1 {
+		return c, fmt.Errorf("shardserve: Machines must be >= 1, got %d", c.Machines)
+	}
+	if c.K < 1 || c.D < 1 {
+		return c, fmt.Errorf("shardserve: need K >= 1 and D >= 1, got k=%d d=%d", c.K, c.D)
+	}
+	if len(c.Batches) == 0 {
+		return c, fmt.Errorf("shardserve: no batches")
+	}
+	for i, b := range c.Batches {
+		if b < 1 {
+			return c, fmt.Errorf("shardserve: batch %d has %d rows", i, b)
+		}
+	}
+	switch c.ElemBytes {
+	case 0:
+		c.ElemBytes = 8
+	case 4, 8:
+	default:
+		return c, fmt.Errorf("shardserve: ElemBytes must be 4 or 8, got %d", c.ElemBytes)
+	}
+	if c.Window <= 0 {
+		c.Window = 4
+	}
+	if c.Model == (simclock.CostModel{}) {
+		c.Model = simclock.DefaultCostModel()
+	}
+	return c, nil
+}
+
+// SimStats summarises a simulated sharded-serving epoch.
+type SimStats struct {
+	Machines int
+	Batches  int
+	Rows     int
+	// SimSeconds is the completion time of the last batch; RowsPerSec
+	// the steady-state assign throughput rows/SimSeconds.
+	SimSeconds float64
+	RowsPerSec float64
+	// P50/P99 are per-batch latency quantiles (admission→completion).
+	P50, P99 float64
+	// Resource busy seconds, for utilisation reporting: the router NIC,
+	// all machine NICs summed, all machine CPUs summed.
+	RouterBusy float64
+	NICBusy    float64
+	CPUBusy    float64
+}
+
+// rounds returns ceil(log2(m)), the stage count of tree collectives.
+func rounds(m int) int {
+	if m <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(m))))
+}
+
+// SimulateShardServe runs the fan-out pipeline in simulated time.
+// Per batch of m rows against k centroids sharded over M machines:
+//
+//	serialise   m·d·e · SerializeByteCost          (router, ingress)
+//	hand-off    α + m·d·e/β                        (router → machine 0)
+//	fan bcast   ⌈log₂M⌉ · (α + m·d·e/β)            (machine binomial tree)
+//	shard GEMM  2·d·FlopTime · m · ⌈k/M⌉ + m·RowOverhead
+//	min-reduce  NetSetup + ⌈log₂M⌉ · (α + m·(4+e)/β)
+//	reply       α + m·(4+e)/β + m·(4+e)·SerializeByteCost
+//
+// Every NIC is full-duplex with DMA, as 10 GbE hardware is: its
+// receive side (the fan bcast relay) and its transmit side (the
+// min-reduce exchange) are separate simclock Resources, and the CPU is
+// a third — so in steady state machine i receives batch b+1 while its
+// CPU grinds batch b's GEMM and its transmit side reduces batch b-1.
+// That three-deep overlap is the point of the design: throughput is
+// set by the slowest stage's occupancy, not the stage sum, and the
+// per-batch latency quantiles expose the full path. Transfer occupancy
+// is booked symmetrically on every machine (the bcast tree root's
+// transmission count — conservative), and the recurrence admits
+// Window batches in flight. Deterministic for a fixed config.
+func SimulateShardServe(cfg SimConfig) (SimStats, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return SimStats{}, err
+	}
+	mod := cfg.Model
+	M := cfg.Machines
+	shards := M
+	if cfg.K < shards {
+		shards = cfg.K
+	}
+	parts := dist.Partition(cfg.K, shards)
+
+	routerIn := simclock.NewResource("router-in")
+	routerOut := simclock.NewResource("router-out")
+	rx := make([]*simclock.Resource, shards)
+	tx := make([]*simclock.Resource, shards)
+	cpus := make([]*simclock.Resource, shards)
+	for i := range rx {
+		rx[i] = simclock.NewResource(fmt.Sprintf("nic-rx-%d", i))
+		tx[i] = simclock.NewResource(fmt.Sprintf("nic-tx-%d", i))
+		cpus[i] = simclock.NewResource(fmt.Sprintf("cpu-%d", i))
+	}
+	lat := metrics.NewLatency(1)
+	done := make([]float64, len(cfg.Batches))
+	fanRounds := rounds(shards)
+	st := SimStats{Machines: M, Batches: len(cfg.Batches)}
+
+	end := 0.0
+	for b, m := range cfg.Batches {
+		st.Rows += m
+		qBytes := float64(m * cfg.D * cfg.ElemBytes)
+		rBytes := float64(cluster.MinPairBytes(m, cfg.ElemBytes))
+		qXfer := qBytes / mod.NetBandwidth
+		rXfer := rBytes / mod.NetBandwidth
+
+		arrival := 0.0
+		if b >= cfg.Window {
+			arrival = done[b-cfg.Window]
+		}
+		// Router ingress: JSON decode + one wire copy into the cluster.
+		handoff := routerIn.Acquire(arrival, qBytes*mod.SerializeByteCost+qXfer) + mod.NetLatency
+		// Machine-side binomial bcast on the receive paths: the tree
+		// root transmits in every round; completion trails occupancy by
+		// the per-round propagation latency.
+		fanDone := handoff
+		if fanRounds > 0 {
+			relayEnd := 0.0
+			for i := range rx {
+				if t := rx[i].Acquire(handoff, float64(fanRounds)*qXfer); t > relayEnd {
+					relayEnd = t
+				}
+			}
+			fanDone = relayEnd + float64(fanRounds)*mod.NetLatency
+		}
+		// Per-shard GEMM against only that machine's centroid rows.
+		reduceReady := 0.0
+		for i, p := range parts {
+			cost := mod.DistanceCost(cfg.D)*float64(m)*float64(p.Rows()) +
+				float64(m)*mod.RowOverhead
+			if t := cpus[i].Acquire(fanDone, cost); t > reduceReady {
+				reduceReady = t
+			}
+		}
+		// Recursive-doubling min-allreduce on the transmit paths:
+		// synchronising, every NIC busy in every round. Uncontended,
+		// redDone - reduceReady equals cluster.MinAllreduceCost (the
+		// collective's shared closed form); queueing behind an earlier
+		// batch's exchange pushes it later.
+		redDone := reduceReady
+		if shards > 1 {
+			redStart := reduceReady + mod.NetSetup
+			redEnd := 0.0
+			redRounds := rounds(shards)
+			for i := range tx {
+				if t := tx[i].Acquire(redStart, float64(redRounds)*rXfer); t > redEnd {
+					redEnd = t
+				}
+			}
+			redDone = redEnd + float64(redRounds)*mod.NetLatency
+		}
+		// Router egress: the reply hop, re-encoded for the client.
+		done[b] = routerOut.Acquire(redDone+mod.NetLatency, rXfer+rBytes*mod.SerializeByteCost)
+		lat.Observe(done[b] - arrival)
+		if done[b] > end {
+			end = done[b]
+		}
+	}
+	st.SimSeconds = end
+	if end > 0 {
+		st.RowsPerSec = float64(st.Rows) / end
+	}
+	st.P50 = lat.Quantile(0.50)
+	st.P99 = lat.Quantile(0.99)
+	st.RouterBusy = routerIn.BusyTime() + routerOut.BusyTime()
+	for i := range rx {
+		st.NICBusy += rx[i].BusyTime() + tx[i].BusyTime()
+		st.CPUBusy += cpus[i].BusyTime()
+	}
+	return st, nil
+}

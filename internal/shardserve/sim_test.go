@@ -1,0 +1,111 @@
+package shardserve
+
+import (
+	"testing"
+)
+
+func simBatches(n, rows int) []int {
+	b := make([]int, n)
+	for i := range b {
+		b[i] = rows
+	}
+	return b
+}
+
+func TestSimulateShardServeValidation(t *testing.T) {
+	bad := []SimConfig{
+		{Machines: 0, K: 10, D: 4, Batches: []int{8}},
+		{Machines: 2, K: 0, D: 4, Batches: []int{8}},
+		{Machines: 2, K: 10, D: 4},
+		{Machines: 2, K: 10, D: 4, Batches: []int{0}},
+		{Machines: 2, K: 10, D: 4, Batches: []int{8}, ElemBytes: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := SimulateShardServe(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSimulateShardServeDeterministic(t *testing.T) {
+	cfg := SimConfig{Machines: 3, K: 100, D: 16, Batches: []int{64, 256, 1024, 8, 512}}
+	a, err := SimulateShardServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateShardServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic sim:\n%+v\n%+v", a, b)
+	}
+	if a.SimSeconds <= 0 || a.RowsPerSec <= 0 || a.P99 < a.P50 {
+		t.Fatalf("implausible stats %+v", a)
+	}
+	if a.Rows != 64+256+1024+8+512 {
+		t.Fatalf("rows %d", a.Rows)
+	}
+}
+
+// TestSimulateShardServeScaling is the acceptance bar: on the paper's
+// serving shape (k=100, d=16 — the 1M×16 loadtest model) the sharded
+// path must deliver at least 2x the single-machine simulated assign
+// throughput at 4 machines. It also pins the honest part of the story:
+// per-shard GEMM shrinks with M while the fan-out bcast does not, so
+// the pipeline must expose the compute→network bottleneck shift rather
+// than fake linear scaling.
+func TestSimulateShardServeScaling(t *testing.T) {
+	base := SimConfig{K: 100, D: 16, Batches: simBatches(64, 1024)}
+
+	through := map[int]float64{}
+	for _, m := range []int{1, 2, 4} {
+		cfg := base
+		cfg.Machines = m
+		st, err := SimulateShardServe(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		through[m] = st.RowsPerSec
+	}
+	if sp := through[4] / through[1]; sp < 2 {
+		t.Errorf("4-machine speedup %.2fx, acceptance bar is 2x (rows/s: %v)", sp, through)
+	}
+	if sp := through[2] / through[1]; sp < 1.5 {
+		t.Errorf("2-machine speedup %.2fx, want >= 1.5x", sp)
+	}
+}
+
+// TestSimulateShardServeSingleMachine: M=1 pays no collective — only
+// router serialisation and the two hops — so its throughput is GEMM
+// bound, and NICBusy stays zero (no machine-side relay or reduce).
+func TestSimulateShardServeSingleMachine(t *testing.T) {
+	st, err := SimulateShardServe(SimConfig{Machines: 1, K: 100, D: 16, Batches: simBatches(8, 512)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NICBusy != 0 {
+		t.Errorf("single machine booked %g s of collective NIC time", st.NICBusy)
+	}
+	if st.CPUBusy <= 0 || st.RouterBusy <= 0 {
+		t.Errorf("missing busy accounting: %+v", st)
+	}
+}
+
+// TestSimulateShardServeFloat32Wire: halving the wire element width
+// must not slow anything down (less traffic, same flops).
+func TestSimulateShardServeFloat32Wire(t *testing.T) {
+	cfg := SimConfig{Machines: 4, K: 100, D: 16, Batches: simBatches(32, 1024)}
+	st64, err := SimulateShardServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ElemBytes = 4
+	st32, err := SimulateShardServe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st32.RowsPerSec < st64.RowsPerSec {
+		t.Errorf("float32 wire slower: %.0f vs %.0f rows/s", st32.RowsPerSec, st64.RowsPerSec)
+	}
+}

@@ -16,7 +16,11 @@
 // Registry, Batcher and StreamEngine, and the knorserve command):
 // models published copy-on-write, queries answered through batched GEMM
 // distance computations, and stream updaters that keep folding new
-// observations into a model while it serves.
+// observations into a model while it serves. NewShardedAssigner scales
+// that layer out: a model's centroids sharded across simulated
+// machines (knord's row-sharding applied to the online path), queries
+// fanned out and merged by a min-allreduce, bit-identical to the
+// single-node assigner.
 //
 // Hardware-gated effects (thread pinning, NUMA banks, SSD arrays,
 // cluster NICs) run through a deterministic simulated-cost layer — Go
@@ -42,6 +46,7 @@ import (
 	"knor/internal/sched"
 	"knor/internal/sem"
 	"knor/internal/serve"
+	"knor/internal/shardserve"
 	"knor/internal/simclock"
 	"knor/internal/store"
 	"knor/internal/workload"
@@ -334,6 +339,47 @@ type Assigner = serve.Assigner
 // against precomputed float32 centroid mirrors).
 func NewAssigner(reg *Registry, opts BatcherOptions, p Precision) Assigner {
 	return serve.NewAssigner(reg, opts, p)
+}
+
+// --- distributed serving (internal/shardserve) --------------------------
+
+type (
+	// ShardRegistry keeps one serve.Registry per simulated machine in
+	// lockstep: publishing splits a model's centroid rows into
+	// contiguous shards, one per machine, at the same version number.
+	ShardRegistry = shardserve.ShardRegistry
+	// ShardSimConfig drives a simulated sharded-serving epoch.
+	ShardSimConfig = shardserve.SimConfig
+	// ShardSimStats summarises a simulated sharded-serving epoch.
+	ShardSimStats = shardserve.SimStats
+)
+
+// NewShardRegistry builds an empty centroid-sharded registry over the
+// given machine count.
+func NewShardRegistry(machines int) *ShardRegistry {
+	return shardserve.NewShardRegistry(machines)
+}
+
+// NewShardedAssigner shards every model of reg (current and future
+// publishes) across `machines` simulated machines and returns the
+// fan-out assignment path at the requested precision: each machine
+// answers queries against only its centroid shard, and per-shard
+// argmins merge with lowest-global-index tie-breaking — bit-identical
+// to the single-node NewAssigner for any machine count.
+func NewShardedAssigner(reg *Registry, machines int, opts BatcherOptions, p Precision) (Assigner, error) {
+	sr := shardserve.NewShardRegistry(machines)
+	if err := sr.Attach(reg); err != nil {
+		return nil, err
+	}
+	return shardserve.NewAssigner(sr, opts, p), nil
+}
+
+// SimulateShardServe runs the sharded /assign fan-out pipeline in
+// simulated time (router serialisation, binomial bcast, per-shard
+// GEMM, recursive-doubling min-allreduce) and reports throughput and
+// per-batch latency quantiles.
+func SimulateShardServe(cfg ShardSimConfig) (ShardSimStats, error) {
+	return shardserve.SimulateShardServe(cfg)
 }
 
 // --- clustering quality metrics ----------------------------------------
