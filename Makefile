@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-precision figs docs serve-loadtest io-smoke shardserve-smoke clean
+.PHONY: all build vet test race bench bench-precision figs docs serve-loadtest io-smoke shardserve-smoke metrics-smoke clean
 
 all: vet build test
 
@@ -16,7 +16,7 @@ test:
 # Race-detector pass over the concurrent subsystems (mirrors CI).
 race:
 	$(GO) test -race ./internal/serve/... ./internal/kmeans/... ./cmd/knorserve/... \
-		./internal/store/... ./internal/sem/... \
+		./internal/store/... ./internal/sem/... ./internal/telemetry/... \
 		./internal/shardserve/... ./internal/cluster/...
 
 # Headline benchmarks: one representative configuration per paper
@@ -72,6 +72,38 @@ io-smoke:
 shardserve-smoke:
 	$(GO) test -run 'TestShardParity|TestSimulateShardServeScaling' ./internal/shardserve
 	$(GO) run ./cmd/knorbench -quick -exp shardserve
+
+# Observability smoke (mirrors CI): boot knorserve, publish a model,
+# and assert /readyz flips ready, /metrics serves the expected series
+# from every instrumented layer, and /debug/traces holds a sampled
+# /assign lifecycle.
+metrics-smoke:
+	@tmp=$$(mktemp -d) || exit 1; \
+	trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/knorserve ./cmd/knorserve && \
+	$$tmp/knorserve -addr 127.0.0.1:18080 -trace-sample 1 & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
+	curl -sS -o /dev/null -w '%{http_code}' http://127.0.0.1:18080/readyz | grep -q 503 || \
+		{ echo "metrics-smoke: readyz should be 503 with no models"; exit 1; }; \
+	curl -fsS -X POST http://127.0.0.1:18080/v1/models -d \
+		'{"name":"smoke","k":4,"iters":10,"spec":{"n":400,"d":4,"clusters":4,"spread":0.05,"seed":1}}' >/dev/null && \
+	curl -fsS http://127.0.0.1:18080/readyz >/dev/null || \
+		{ echo "metrics-smoke: readyz not ready after publish"; exit 1; }; \
+	curl -fsS -X POST http://127.0.0.1:18080/v1/assign -d \
+		'{"model":"smoke","rows":[[0.1,0.2,0.3,0.4]]}' >/dev/null && \
+	curl -fsS http://127.0.0.1:18080/metrics > $$tmp/metrics.txt && \
+	for series in knor_serve_requests_total knor_serve_gemm_seconds \
+		knor_shardserve_requests_total knor_store_page_hits_total \
+		knor_sem_iterations_total knor_registry_publishes_total \
+		knor_http_requests_total; do \
+		grep -q "^# TYPE $$series" $$tmp/metrics.txt || \
+			{ echo "metrics-smoke: $$series missing from /metrics"; exit 1; }; done; \
+	families=$$(grep -c '^# TYPE ' $$tmp/metrics.txt); \
+	[ "$$families" -ge 25 ] || { echo "metrics-smoke: only $$families series families"; exit 1; }; \
+	curl -fsS http://127.0.0.1:18080/debug/traces | grep -q '"gemm"' || \
+		{ echo "metrics-smoke: no gemm stage in sampled traces"; exit 1; }; \
+	echo "metrics-smoke: ok ($$families series families, readyz + traces verified)"
 
 clean:
 	$(GO) clean ./...

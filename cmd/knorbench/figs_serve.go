@@ -91,6 +91,7 @@ func serveExp(e env) {
 		fmtSec(st.SimSeconds),
 		fmt.Sprintf("%.0f", st.Throughput),
 		fmt.Sprintf("%.0f", st.RowsPerSec),
+		fmtMs(st.P50), fmtMs(st.P95), fmtMs(st.P99),
 		fmtGB(st.RemoteBytes),
 	})
 	for _, c := range combos {
@@ -105,12 +106,13 @@ func serveExp(e env) {
 			fmtSec(st.SimSeconds),
 			fmt.Sprintf("%.0f", st.Throughput),
 			fmt.Sprintf("%.0f", st.RowsPerSec),
+			fmtMs(st.P50), fmtMs(st.P95), fmtMs(st.P99),
 			fmtGB(st.RemoteBytes),
 		})
 	}
 	fmt.Printf("  %d mixed-size requests (8-256 rows) over %d models (k=%d, d=%d), 48 workers\n\n",
 		requests, models, k, d)
 	printTable(
-		[]string{"placement", "sched", "sim-s", "req/s", "rows/s", "remote-GB"},
+		[]string{"placement", "sched", "sim-s", "req/s", "rows/s", "p50-ms", "p95-ms", "p99-ms", "remote-GB"},
 		rows)
 }

@@ -73,7 +73,7 @@ func shardServeExp(e env) {
 					fmt.Sprintf("%d", batch),
 					fmt.Sprintf("f%d", elem*8),
 					fmt.Sprintf("%.2fM", st.RowsPerSec/1e6),
-					fmtMs(st.P50), fmtMs(st.P99),
+					fmtMs(st.P50), fmtMs(st.P95), fmtMs(st.P99),
 					fmtX(sp),
 					fmt.Sprintf("%.0f%%", 100*sp/float64(m)),
 				})
@@ -82,7 +82,7 @@ func shardServeExp(e env) {
 	}
 	fmt.Printf("  k=%d d=%d, %d mixed-size batches per cell, closed loop window 4\n\n", k, d, nBatches)
 	printTable(
-		[]string{"machines", "batch", "wire", "rows/s", "p50-ms", "p99-ms", "speedup", "eff"},
+		[]string{"machines", "batch", "wire", "rows/s", "p50-ms", "p95-ms", "p99-ms", "speedup", "eff"},
 		rows)
 	fmt.Println()
 	shardParityCheck()

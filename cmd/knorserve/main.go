@@ -5,13 +5,17 @@
 //
 // Endpoints:
 //
-//	GET  /healthz            liveness
+//	GET  /healthz            liveness (the process is up)
+//	GET  /readyz             readiness (models published, state writable, not draining)
+//	GET  /metrics            Prometheus text exposition of every layer's telemetry
+//	GET  /debug/traces       recent sampled /assign request traces (see -trace-sample)
+//	GET  /debug/pprof/       net/http/pprof profiling endpoints (only with -pprof)
 //	GET  /v1/models          list models (name, version, k, d, node)
 //	POST /v1/models          train & register: {"name","k",("spec"|"rows"),...}
 //	POST /v1/assign          {"model","rows":[[...],...]} -> clusters + sqdists
 //	POST /v1/observe         fold rows into a model's stream updater
 //	POST /v1/publish         snapshot a stream updater into a new version
-//	GET  /v1/stats           batcher counters and p50/p99 latency
+//	GET  /v1/stats           batcher counters and p50/p95/p99 latency
 //
 // Usage:
 //
@@ -63,6 +67,7 @@ import (
 	"time"
 
 	"knor/internal/cliutil"
+	"knor/internal/telemetry"
 )
 
 func main() {
@@ -80,6 +85,10 @@ func main() {
 		retainVers   = flag.Int("retain-versions", 0, "retained model versions per name (0 = default 8)")
 		retainAge    = flag.Duration("retain-age", 0, "evict unpinned versions older than this (0 = no age bound)")
 		drainWait    = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		traceEvery   = flag.Int("trace-sample", 1000, "sample one /assign request in every N for /debug/traces (0 = off)")
+		accessLog    = flag.Bool("access-log", false, "log one line per HTTP request (with request IDs) to stderr")
+		telemetryOn  = flag.Bool("telemetry", true, "record latency histograms and traces (counters/gauges stay on regardless)")
 
 		loadtest  = flag.Bool("loadtest", false, "run the self-contained /assign load test and exit")
 		ltN       = flag.Int("lt-n", 1_000_000, "loadtest: training rows")
@@ -99,11 +108,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "knorserve:", err)
 		os.Exit(2)
 	}
+	telemetry.SetEnabled(*telemetryOn)
 	srv, err := newServer(serverOptions{
 		maxBatch: *maxBatch, maxWait: *maxWait, threads: *threads,
 		nodes: *nodes, machines: *machines, quota: *quota, stateDir: *stateDir,
 		publishEvery: *publishEvery, precision: prec,
 		retainVersions: *retainVers, retainAge: *retainAge,
+		pprof: *pprofOn, traceEvery: *traceEvery, accessLog: *accessLog,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "knorserve:", err)

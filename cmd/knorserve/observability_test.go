@@ -1,0 +1,289 @@
+package main
+
+// End-to-end tests of the observability surface: the Prometheus
+// exposition, readiness vs liveness, sampled request traces, and the
+// request-ID middleware. Instrument values are process-global and
+// accumulate across tests, so assertions check presence and shape, not
+// exact counts.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+const createBody = `{"name":"obs","k":2,"rows":[[0,0],[0,1],[9,0],[9,1]]}`
+
+// TestMetricsExposition drives traffic through /assign and asserts the
+// exposition is valid Prometheus text spanning every instrumented
+// layer, with at least 25 distinct series families.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{})
+	if code, body := postJSON(t, ts.URL+"/v1/models", createBody); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+	for i := 0; i < 3; i++ {
+		if code, _ := postJSON(t, ts.URL+"/v1/assign", `{"model":"obs","rows":[[1,1],[8,1]]}`); code != http.StatusOK {
+			t.Fatalf("assign: %d", code)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics content type: %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	families := map[string]string{}
+	for _, line := range strings.Split(text, "\n") {
+		if f, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.Fields(f)
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			families[parts[0]] = parts[1]
+		}
+	}
+	if len(families) < 25 {
+		t.Fatalf("only %d series families on /metrics, want >= 25:\n%v", len(families), families)
+	}
+	// One representative series per layer must be present.
+	for _, name := range []string{
+		"knor_serve_requests_total",      // serve batcher edge
+		"knor_serve_gemm_seconds",        // serve flush path
+		"knor_shardserve_requests_total", // fan-out edge
+		"knor_store_page_hits_total",     // I/O stack
+		"knor_sem_iterations_total",      // SEM engine
+		"knor_registry_publishes_total",  // registry
+		"knor_http_requests_total",       // HTTP middleware
+	} {
+		if _, ok := families[name]; !ok {
+			t.Errorf("family %s missing from /metrics", name)
+		}
+	}
+	// The served traffic must be visible: requests counted, latency
+	// histogram populated with cumulative buckets.
+	if !strings.Contains(text, "knor_serve_request_seconds_bucket{le=\"+Inf\"}") {
+		t.Error("request latency histogram has no +Inf bucket")
+	}
+	if !strings.Contains(text, `knor_http_requests_total{path="/v1/assign",code="200"}`) {
+		t.Error("HTTP middleware did not count /v1/assign 200s")
+	}
+}
+
+// TestReadyzLifecycle pins the liveness/readiness split: /healthz is
+// always 200 while the process serves; /readyz turns 503 with no
+// models, 200 once one is published, and 503 again while draining.
+func TestReadyzLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, serverOptions{})
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz with no models: %d, want 200 (liveness is not readiness)", got)
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with no models: %d, want 503", got)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/models", createBody); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Fatalf("readyz with a model: %d, want 200", got)
+	}
+	s.draining.Store(true)
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %d, want 503", got)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz while draining: %d, want 200", got)
+	}
+}
+
+// TestReadyzStateDir: an unwritable state directory turns readiness off
+// (snapshots would silently fail while the server looked healthy).
+func TestReadyzStateDir(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, serverOptions{stateDir: dir})
+	if code, body := postJSON(t, ts.URL+"/v1/models", createBody); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz with writable state dir: %d", resp.StatusCode)
+	}
+}
+
+// TestTraceSampling samples every /assign request and asserts the dump
+// shows the full pipeline: enqueue -> coalesce -> gemm -> reply.
+func TestTraceSampling(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{traceEvery: 1})
+	if code, body := postJSON(t, ts.URL+"/v1/models", createBody); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+	for i := 0; i < 4; i++ {
+		if code, _ := postJSON(t, ts.URL+"/v1/assign", `{"model":"obs","rows":[[1,1]]}`); code != http.StatusOK {
+			t.Fatalf("assign: %d", code)
+		}
+	}
+	var dump struct {
+		SampleEvery int `json:"sample_every"`
+		Traces      []struct {
+			ID      uint64  `json:"id"`
+			TotalUS float64 `json:"total_us"`
+			Stages  []struct {
+				Name string `json:"name"`
+			} `json:"stages"`
+		} `json:"traces"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/traces", &dump); code != http.StatusOK {
+		t.Fatalf("traces: %d", code)
+	}
+	if dump.SampleEvery != 1 || len(dump.Traces) == 0 {
+		t.Fatalf("traces dump: every=%d n=%d", dump.SampleEvery, len(dump.Traces))
+	}
+	tr := dump.Traces[0]
+	if tr.TotalUS <= 0 {
+		t.Errorf("trace total_us = %v, want > 0", tr.TotalUS)
+	}
+	stages := map[string]bool{}
+	for _, s := range tr.Stages {
+		stages[s.Name] = true
+	}
+	for _, want := range []string{"enqueue", "coalesce", "gemm", "reply"} {
+		if !stages[want] {
+			t.Errorf("trace missing stage %q (have %v)", want, tr.Stages)
+		}
+	}
+}
+
+// TestShardedTraceSampling runs the same check through the fan-out
+// path: shard spans and the min-allreduce stage must appear.
+func TestShardedTraceSampling(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{machines: 2, traceEvery: 1})
+	if code, body := postJSON(t, ts.URL+"/v1/models", createBody); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+	for i := 0; i < 4; i++ {
+		if code, _ := postJSON(t, ts.URL+"/v1/assign", `{"model":"obs","rows":[[1,1]]}`); code != http.StatusOK {
+			t.Fatalf("assign: %d", code)
+		}
+	}
+	var dump struct {
+		Traces []struct {
+			Stages []struct {
+				Name string `json:"name"`
+			} `json:"stages"`
+		} `json:"traces"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/traces", &dump); code != http.StatusOK {
+		t.Fatalf("traces: %d", code)
+	}
+	if len(dump.Traces) == 0 {
+		t.Fatal("no sampled traces through the sharded path")
+	}
+	stages := map[string]bool{}
+	for _, s := range dump.Traces[0].Stages {
+		stages[s.Name] = true
+	}
+	for _, want := range []string{"enqueue", "coalesce", "gemm", "shard_0", "shard_1", "min_allreduce", "reply"} {
+		if !stages[want] {
+			t.Errorf("sharded trace missing stage %q (have %v)", want, stages)
+		}
+	}
+}
+
+// TestRequestIDMiddleware: every response carries an X-Request-ID, and
+// a caller-provided ID is echoed back.
+func TestRequestIDMiddleware(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID assigned")
+	}
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "caller-chosen-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "caller-chosen-7" {
+		t.Errorf("X-Request-ID = %q, want echo of caller value", got)
+	}
+}
+
+// TestStatsObservabilityFields: /v1/stats carries the new p95, per-model
+// in-flight map, and snapshot persistence counters.
+func TestStatsObservabilityFields(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, serverOptions{stateDir: dir})
+	if code, body := postJSON(t, ts.URL+"/v1/models", createBody); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/assign", `{"model":"obs","rows":[[1,1]]}`); code != http.StatusOK {
+		t.Fatal("assign failed")
+	}
+	var stats map[string]json.RawMessage
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	for _, key := range []string{"p95_ms", "inflight", "snapshot_saves", "snapshot_loads"} {
+		if _, ok := stats[key]; !ok {
+			t.Errorf("stats missing %q: %v", key, stats)
+		}
+	}
+	var inflight map[string]int
+	if err := json.Unmarshal(stats["inflight"], &inflight); err != nil {
+		t.Fatalf("inflight not a map: %s", stats["inflight"])
+	}
+}
+
+// TestPprofGate: /debug/pprof/ serves only when opted in.
+func TestPprofGate(t *testing.T) {
+	_, tsOff := newTestServer(t, serverOptions{})
+	resp, err := http.Get(tsOff.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof served without -pprof")
+	}
+	_, tsOn := newTestServer(t, serverOptions{pprof: true})
+	resp, err = http.Get(tsOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with -pprof: %d", resp.StatusCode)
+	}
+}

@@ -6,15 +6,18 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"knor/internal/kmeans"
 	"knor/internal/matrix"
 	"knor/internal/serve"
 	"knor/internal/shardserve"
+	"knor/internal/telemetry"
 	"knor/internal/workload"
 )
 
@@ -39,6 +42,15 @@ type serverOptions struct {
 	// retainVersions/retainAge bound the registry's per-model history.
 	retainVersions int
 	retainAge      time.Duration
+	// pprof exposes net/http/pprof under /debug/pprof/ (the -pprof
+	// flag); off by default — profiling endpoints are opt-in.
+	pprof bool
+	// traceEvery samples one /assign request in every N for the
+	// /debug/traces dump (the -trace-sample flag); 0 disables tracing.
+	traceEvery int
+	// accessLog emits one structured line per HTTP request with its
+	// request ID (the -access-log flag).
+	accessLog bool
 }
 
 // server wires the registry, the batched assignment path (single-node
@@ -48,6 +60,11 @@ type server struct {
 	opts    serverOptions
 	reg     *serve.Registry
 	batcher serve.Assigner
+	tracer  *telemetry.Tracer // nil unless -trace-sample > 0
+	// draining flips before the HTTP listener shuts down so /readyz
+	// turns the server away from load balancers while in-flight
+	// requests finish.
+	draining atomic.Bool
 
 	closeOnce sync.Once
 	sweepStop chan struct{}
@@ -84,9 +101,13 @@ func newServer(opts serverOptions) (*server, error) {
 	if opts.retainVersions > 0 || opts.retainAge > 0 {
 		reg.SetRetention(serve.Retention{MaxVersions: opts.retainVersions, MaxAge: opts.retainAge})
 	}
+	var tracer *telemetry.Tracer
+	if opts.traceEvery > 0 {
+		tracer = telemetry.NewTracer(opts.traceEvery, 16)
+	}
 	bopts := serve.BatcherOptions{
 		MaxBatch: opts.maxBatch, MaxWait: opts.maxWait, Threads: opts.threads,
-		ModelQuota: opts.quota,
+		ModelQuota: opts.quota, Tracer: tracer,
 	}
 	var batcher serve.Assigner
 	if opts.machines > 1 {
@@ -102,6 +123,7 @@ func newServer(opts serverOptions) (*server, error) {
 		opts:      opts,
 		reg:       reg,
 		batcher:   batcher,
+		tracer:    tracer,
 		sweepStop: make(chan struct{}),
 		statePath: statePath,
 		streams:   map[string]*serve.StreamEngine{},
@@ -152,10 +174,12 @@ func (s *server) saver() {
 		select {
 		case <-s.saveCh:
 			if err := serve.SaveRegistry(s.reg, s.statePath); err != nil {
+				telSaveErrors.Inc()
 				fmt.Fprintln(os.Stderr, "knorserve: state save:", err)
 			}
 		case <-s.saveStop:
 			if err := serve.SaveRegistry(s.reg, s.statePath); err != nil {
+				telSaveErrors.Inc()
 				fmt.Fprintln(os.Stderr, "knorserve: state save:", err)
 			}
 			return
@@ -200,18 +224,92 @@ func (s *server) close() {
 	})
 }
 
-func (s *server) mux() *http.ServeMux {
+// mux builds the route table wrapped in the observability middleware.
+// /healthz is pure liveness (the process is up and serving its mux);
+// /readyz is readiness (this instance can usefully take traffic right
+// now) — load balancers should watch the latter.
+func (s *server) mux() http.Handler {
 	m := http.NewServeMux()
 	m.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	m.HandleFunc("GET /readyz", s.handleReady)
+	m.Handle("GET /metrics", telemetry.Default.Handler())
+	m.HandleFunc("GET /debug/traces", s.handleTraces)
+	if s.opts.pprof {
+		m.HandleFunc("/debug/pprof/", pprof.Index)
+		m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	m.HandleFunc("GET /v1/models", s.handleListModels)
 	m.HandleFunc("POST /v1/models", s.handleCreateModel)
 	m.HandleFunc("POST /v1/assign", s.handleAssign)
 	m.HandleFunc("POST /v1/observe", s.handleObserve)
 	m.HandleFunc("POST /v1/publish", s.handlePublish)
 	m.HandleFunc("GET /v1/stats", s.handleStats)
-	return m
+	return s.withObservability(m)
+}
+
+// handleReady answers readiness: 503 while draining, when no model is
+// published yet (nothing to serve), or when the state directory stopped
+// being writable (snapshots would silently fail).
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if len(s.reg.List()) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no models published"})
+		return
+	}
+	if s.opts.stateDir != "" {
+		probe, err := os.CreateTemp(s.opts.stateDir, ".readyz-*")
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]string{"status": "state dir not writable: " + err.Error()})
+			return
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// traceView is one sampled request lifecycle as served by
+// /debug/traces, durations in microseconds.
+type traceView struct {
+	ID      uint64       `json:"id"`
+	Begin   time.Time    `json:"begin"`
+	TotalUS float64      `json:"total_us"`
+	Stages  []traceStage `json:"stages"`
+}
+
+type traceStage struct {
+	Name    string  `json:"name"`
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
+}
+
+func (s *server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	trs := s.tracer.Traces()
+	out := make([]traceView, 0, len(trs))
+	for _, t := range trs {
+		tv := traceView{ID: t.ID, Begin: t.Begin, TotalUS: t.End().Sub(t.Begin).Seconds() * 1e6}
+		for _, st := range t.Stages() {
+			tv.Stages = append(tv.Stages, traceStage{
+				Name:    st.Name,
+				StartUS: st.Start.Seconds() * 1e6,
+				DurUS:   st.Dur.Seconds() * 1e6,
+			})
+		}
+		out = append(out, tv)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sample_every": s.opts.traceEvery,
+		"traces":       out,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -480,17 +578,21 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		machines = 1
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"requests":  st.Requests,
-		"rows":      st.Rows,
-		"flushes":   st.Flushes,
-		"rejected":  st.Rejected,
-		"p50_ms":    nanToZero(st.P50 * 1e3),
-		"p99_ms":    nanToZero(st.P99 * 1e3),
-		"mean_ms":   st.Mean * 1e3,
-		"models":    len(s.reg.List()),
-		"avg_batch": avgBatch(st),
-		"precision": s.opts.precision.String(),
-		"machines":  machines,
+		"requests":       st.Requests,
+		"rows":           st.Rows,
+		"flushes":        st.Flushes,
+		"rejected":       st.Rejected,
+		"p50_ms":         nanToZero(st.P50 * 1e3),
+		"p95_ms":         nanToZero(st.P95 * 1e3),
+		"p99_ms":         nanToZero(st.P99 * 1e3),
+		"mean_ms":        st.Mean * 1e3,
+		"models":         len(s.reg.List()),
+		"avg_batch":      avgBatch(st),
+		"precision":      s.opts.precision.String(),
+		"machines":       machines,
+		"inflight":       s.batcher.InFlight(),
+		"snapshot_saves": serve.SnapshotSaves(),
+		"snapshot_loads": serve.SnapshotLoads(),
 	})
 }
 

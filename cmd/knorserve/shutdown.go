@@ -32,6 +32,9 @@ func serveUntil(ctx context.Context, ln net.Listener, s *server, drainWait time.
 		return err
 	case <-ctx.Done():
 	}
+	// Flip readiness first: a load balancer polling /readyz stops
+	// routing here while the in-flight requests drain below.
+	s.draining.Store(true)
 	stopKick := make(chan struct{})
 	go func() {
 		t := time.NewTicker(5 * time.Millisecond)

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"knor/internal/telemetry"
+
+	// The server binary exposes the process-wide /metrics page; blank
+	// imports pull in the I/O-stack and SEM-engine series so every layer
+	// of the codebase is present on the exposition even before use.
+	_ "knor/internal/sem"
+	_ "knor/internal/store"
+)
+
+// HTTP-layer instruments (route label bounded to the known endpoints).
+var (
+	telHTTPRequests = telemetry.Default.CounterVec("knor_http_requests_total",
+		"HTTP requests served, by route and status code.", "path", "code")
+	telHTTPSeconds = telemetry.Default.Histogram("knor_http_request_seconds",
+		"HTTP request handling latency, all routes.", telemetry.DefLatencyBuckets())
+	telSaveErrors = telemetry.Default.Counter("knor_registry_snapshot_save_errors_total",
+		"Registry snapshot saves that failed (state persistence).")
+)
+
+// knownRoutes bounds the path label's cardinality: anything else
+// (typos, scans) collapses into "other".
+var knownRoutes = map[string]bool{
+	"/healthz": true, "/readyz": true, "/metrics": true,
+	"/v1/models": true, "/v1/assign": true, "/v1/observe": true,
+	"/v1/publish": true, "/v1/stats": true, "/debug/traces": true,
+}
+
+func routeLabel(path string) string {
+	if knownRoutes[path] {
+		return path
+	}
+	if len(path) >= len("/debug/pprof/") && path[:len("/debug/pprof/")] == "/debug/pprof/" {
+		return "/debug/pprof/"
+	}
+	return "other"
+}
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+var reqID atomic.Uint64
+
+// withObservability wraps h with request-ID assignment (X-Request-ID:
+// honoured inbound, echoed outbound), per-route request counting, a
+// latency histogram, and — when enabled — one structured access-log
+// line per request.
+func (s *server) withObservability(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("req-%08x", reqID.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		telHTTPRequests.With(routeLabel(r.URL.Path), fmt.Sprintf("%d", sw.status)).Inc()
+		telHTTPSeconds.Observe(dur.Seconds())
+		if s.opts.accessLog {
+			fmt.Fprintf(os.Stderr, "knorserve: %s %s %s %d %.3fms id=%s remote=%s\n",
+				start.UTC().Format(time.RFC3339Nano), r.Method, r.URL.Path,
+				sw.status, dur.Seconds()*1e3, id, r.RemoteAddr)
+		}
+	})
+}

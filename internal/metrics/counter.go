@@ -1,20 +1,14 @@
 package metrics
 
-import "sync/atomic"
+import "knor/internal/telemetry"
 
 // Counter is a monotonically-increasing atomic event counter, the
 // serving layer's lock-free bookkeeping for hot-path events (requests
 // answered, rows assigned, quota rejections). The zero value is ready
 // to use; methods are safe for concurrent callers.
-type Counter struct {
-	v atomic.Uint64
-}
-
-// Inc adds one.
-func (c *Counter) Inc() { c.v.Add(1) }
-
-// Add adds n.
-func (c *Counter) Add(n uint64) { c.v.Add(n) }
-
-// Load returns the current count.
-func (c *Counter) Load() uint64 { return c.v.Load() }
+//
+// It is the telemetry registry's counter instrument: callers that want
+// their counter exposed on /metrics obtain it from
+// telemetry.Default.Counter instead of zero-valuing one here, and both
+// spellings share an implementation.
+type Counter = telemetry.Counter

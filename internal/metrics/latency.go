@@ -1,95 +1,16 @@
 package metrics
 
-import (
-	"math"
-	"math/rand"
-	"sort"
-	"sync"
-)
-
-// latencyCap bounds the sample buffer; beyond it the recorder switches
-// to reservoir sampling so long-running servers keep O(1) memory while
-// quantiles stay unbiased estimates of the full stream.
-const latencyCap = 1 << 16
+import "knor/internal/telemetry"
 
 // Latency records observation durations (seconds) and answers quantile
 // queries — the serving layer's p50/p99 source. Safe for concurrent
 // use.
-type Latency struct {
-	mu      sync.Mutex
-	samples []float64
-	count   uint64
-	sum     float64
-	rng     *rand.Rand
-}
+//
+// It is the telemetry package's recorder: a reservoir for exact
+// quantiles that can mirror into a registered histogram for /metrics
+// exposition (telemetry.Latency.Mirror).
+type Latency = telemetry.Latency
 
 // NewLatency returns an empty recorder. seed fixes the reservoir
 // replacement stream so tests are deterministic.
-func NewLatency(seed int64) *Latency {
-	return &Latency{rng: rand.New(rand.NewSource(seed))}
-}
-
-// Observe records one duration in seconds.
-func (l *Latency) Observe(seconds float64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.count++
-	l.sum += seconds
-	if len(l.samples) < latencyCap {
-		l.samples = append(l.samples, seconds)
-		return
-	}
-	// Reservoir: keep each of the count observations with equal chance.
-	if i := l.rng.Int63n(int64(l.count)); i < int64(latencyCap) {
-		l.samples[i] = seconds
-	}
-}
-
-// Count returns the number of observations.
-func (l *Latency) Count() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.count
-}
-
-// Mean returns the mean observed duration (0 when empty).
-func (l *Latency) Mean() float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.count == 0 {
-		return 0
-	}
-	return l.sum / float64(l.count)
-}
-
-// Quantile returns the q-th quantile (0 <= q <= 1) of the recorded
-// samples by nearest-rank on a sorted copy; NaN when empty.
-func (l *Latency) Quantile(q float64) float64 {
-	l.mu.Lock()
-	cp := append([]float64(nil), l.samples...)
-	l.mu.Unlock()
-	if len(cp) == 0 {
-		return math.NaN()
-	}
-	sort.Float64s(cp)
-	if q <= 0 {
-		return cp[0]
-	}
-	if q >= 1 {
-		return cp[len(cp)-1]
-	}
-	idx := int(math.Ceil(q*float64(len(cp)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	return cp[idx]
-}
-
-// Reset discards all observations.
-func (l *Latency) Reset() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.samples = l.samples[:0]
-	l.count = 0
-	l.sum = 0
-}
+func NewLatency(seed int64) *Latency { return telemetry.NewLatency(seed) }

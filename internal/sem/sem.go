@@ -332,7 +332,14 @@ func (e *Engine) Step() error {
 	if real {
 		st.SimSeconds = time.Since(t0).Seconds()
 		e.wall += st.SimSeconds
+		telIterSeconds.Observe(st.SimSeconds)
 	}
+	telIterations.Inc()
+	telActiveRows.Add(uint64(st.ActiveRows))
+	telBytesWanted.Add(st.BytesWanted)
+	telBytesRead.Add(st.BytesRead)
+	telRowCacheHits.Add(st.RowCacheHits)
+	telDrift.Set(drift)
 
 	e.perIter = append(e.perIter, st)
 	e.iter++
@@ -565,6 +572,7 @@ func (e *Engine) result() (*kmeans.Result, error) {
 	if e.src.Real() {
 		res.SimSeconds = e.wall
 	}
+	telLastSSE.Set(res.SSE)
 	res.Sizes = make([]int, e.k)
 	for _, a := range e.ps.Assign {
 		if a >= 0 {

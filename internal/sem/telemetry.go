@@ -1,0 +1,27 @@
+package sem
+
+import "knor/internal/telemetry"
+
+// Engine-level instruments, registered at init against
+// telemetry.Default. Aggregated over every engine in the process — the
+// per-iteration breakdown stays in kmeans.IterStats, the exposition
+// answers "how is the SEM pass progressing" for dashboards.
+var (
+	telIterations = telemetry.Default.Counter("knor_sem_iterations_total",
+		"SEM iterations completed.")
+	telActiveRows = telemetry.Default.Counter("knor_sem_active_rows_total",
+		"Rows that needed computation, summed over iterations (pruned rows excluded).")
+	telBytesWanted = telemetry.Default.Counter("knor_sem_bytes_wanted_total",
+		"Bytes the algorithm requested from the backend, summed over iterations.")
+	telBytesRead = telemetry.Default.Counter("knor_sem_bytes_read_total",
+		"Bytes the backend read from the device, summed over iterations.")
+	telRowCacheHits = telemetry.Default.Counter("knor_sem_rowcache_hits_total",
+		"Row-cache hits, summed over iterations.")
+	telIterSeconds = telemetry.Default.Histogram("knor_sem_iteration_seconds",
+		"Wall-clock seconds per iteration (real backend only).",
+		[]float64{1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 60})
+	telDrift = telemetry.Default.Gauge("knor_sem_last_drift",
+		"Centroid drift of the most recent iteration (convergence indicator).")
+	telLastSSE = telemetry.Default.Gauge("knor_sem_last_sse",
+		"Final SSE of the most recently finished run.")
+)

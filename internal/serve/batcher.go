@@ -10,6 +10,7 @@ import (
 	"knor/internal/kmeans"
 	"knor/internal/matrix"
 	"knor/internal/metrics"
+	"knor/internal/telemetry"
 )
 
 // ErrOverloaded is wrapped by assignment errors rejected for quota:
@@ -46,6 +47,16 @@ type BatcherOptions struct {
 	// tie-break ordering match the single-node scan exactly; the
 	// combiner applies the clamp once, after the global min.
 	RawSqDist bool
+	// Internal marks this batcher as a per-shard stage behind a fan-out
+	// edge: it reports the flush/GEMM/queue telemetry (its flushes are
+	// real GEMMs) but not the edge instruments (requests, rows,
+	// rejections, request latency, in-flight), which the edge owns — so
+	// a fanned-out request is never double-counted on /metrics.
+	Internal bool
+	// Tracer samples request traces at this batcher's edge (nil = no
+	// tracing). Ignored when Internal is set: a shard batcher records
+	// onto traces injected by the edge instead of sampling its own.
+	Tracer *telemetry.Tracer
 }
 
 func (o BatcherOptions) withDefaults() BatcherOptions {
@@ -69,6 +80,7 @@ type BatcherStats struct {
 	Rejected uint64  // requests refused by the per-model quota
 	Queued   int     // rows waiting for the next flush right now
 	P50      float64 // request latency quantiles, seconds
+	P95      float64
 	P99      float64
 	Mean     float64
 }
@@ -80,11 +92,13 @@ type pendingReq[T blas.Float] struct {
 	rows  *matrix.Mat[T]
 	out   chan batchAnswer
 	start time.Time
+	trace *telemetry.Trace // nil unless this request was sampled
 }
 
 type batchAnswer struct {
 	assigns []Assignment
 	err     error
+	done    time.Time // when the answer was posted (traced requests only)
 }
 
 // BatcherOf coalesces concurrent assignment requests into one blocked
@@ -134,10 +148,16 @@ func NewBatcher(reg *Registry, opts BatcherOptions) *Batcher {
 // NewBatcherOf starts the assignment path at element type T over a
 // registry. Close it to stop the background flusher.
 func NewBatcherOf[T blas.Float](reg *Registry, opts BatcherOptions) *BatcherOf[T] {
+	lat := metrics.NewLatency(1)
+	if !opts.Internal {
+		// The edge's reservoir (exact Stats quantiles) mirrors into the
+		// registered histogram so /metrics reports the same stream.
+		lat.Mirror(telRequestSeconds)
+	}
 	b := &BatcherOf[T]{
 		reg:      reg,
 		opts:     opts.withDefaults(),
-		lat:      metrics.NewLatency(1),
+		lat:      lat,
 		inflight: map[string]int{},
 		work:     make(chan struct{}, 1),
 		full:     make(chan struct{}, 1),
@@ -165,10 +185,25 @@ func (b *BatcherOf[T]) Assign(model string, row []T) (Assignment, error) {
 // with an error wrapping ErrOverloaded — backpressure instead of an
 // unbounded queue.
 func (b *BatcherOf[T]) AssignBatch(model string, rows *matrix.Mat[T]) ([]Assignment, error) {
+	return b.AssignBatchTraced(model, rows, nil)
+}
+
+// AssignBatchTraced is AssignBatch with an injected trace: the fan-out
+// edge passes the sampled request's trace into one shard batcher so the
+// dump shows the enqueue/coalesce/GEMM stages inside the shard. With a
+// nil trace the batcher samples its own tracer (edge batchers only).
+func (b *BatcherOf[T]) AssignBatchTraced(model string, rows *matrix.Mat[T], tr *telemetry.Trace) ([]Assignment, error) {
 	if rows.Rows() == 0 {
 		return nil, nil
 	}
-	req := pendingReq[T]{model: model, rows: rows, out: make(chan batchAnswer, 1), start: time.Now()}
+	owned := false
+	if tr == nil && !b.opts.Internal {
+		if tr = b.opts.Tracer.Sample(); tr != nil {
+			owned = true
+		}
+	}
+	req := pendingReq[T]{model: model, rows: rows, out: make(chan batchAnswer, 1),
+		start: time.Now(), trace: tr}
 	b.mu.Lock()
 	if b.stopped {
 		b.mu.Unlock()
@@ -177,6 +212,9 @@ func (b *BatcherOf[T]) AssignBatch(model string, rows *matrix.Mat[T]) ([]Assignm
 	if q := b.opts.ModelQuota; q > 0 && b.inflight[model] >= q {
 		b.mu.Unlock()
 		b.rejected.Inc()
+		if !b.opts.Internal {
+			telRejected.Inc()
+		}
 		return nil, fmt.Errorf("%w: model %q has %d requests in flight", ErrOverloaded, model, q)
 	}
 	b.inflight[model]++
@@ -185,6 +223,10 @@ func (b *BatcherOf[T]) AssignBatch(model string, rows *matrix.Mat[T]) ([]Assignm
 	b.queued += rows.Rows()
 	isFull := b.queued >= b.opts.MaxBatch
 	b.mu.Unlock()
+	telQueueDepth.Add(float64(rows.Rows()))
+	if !b.opts.Internal {
+		telInflight.With(model).Inc()
+	}
 	if wasEmpty {
 		signal(b.work)
 	}
@@ -197,12 +239,25 @@ func (b *BatcherOf[T]) AssignBatch(model string, rows *matrix.Mat[T]) ([]Assignm
 		delete(b.inflight, model)
 	}
 	b.mu.Unlock()
+	if !b.opts.Internal {
+		telInflight.With(model).Dec()
+	}
 	if ans.err != nil {
 		return nil, ans.err
+	}
+	if owned {
+		// Injected traces (sharded fan-out) get their reply span at the
+		// fan-out edge, after the cross-shard min — not per shard.
+		tr.Span("reply", ans.done, time.Now())
+		b.opts.Tracer.Done(tr)
 	}
 	b.lat.Observe(time.Since(req.start).Seconds())
 	b.requests.Inc()
 	b.rows.Add(uint64(rows.Rows()))
+	if !b.opts.Internal {
+		telRequests.Inc()
+		telRows.Add(uint64(rows.Rows()))
+	}
 	return ans.assigns, nil
 }
 
@@ -235,9 +290,22 @@ func (b *BatcherOf[T]) Stats() BatcherStats {
 	st.Queued = b.queued
 	b.mu.Unlock()
 	st.P50 = b.lat.Quantile(0.50)
+	st.P95 = b.lat.Quantile(0.95)
 	st.P99 = b.lat.Quantile(0.99)
 	st.Mean = b.lat.Mean()
 	return st
+}
+
+// InFlight snapshots the per-model in-flight request counts (queued or
+// being answered right now).
+func (b *BatcherOf[T]) InFlight() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int, len(b.inflight))
+	for m, n := range b.inflight {
+		out[m] = n
+	}
+	return out
 }
 
 // Close rejects new requests, answers everything queued, and stops the
@@ -312,12 +380,15 @@ func (b *BatcherOf[T]) drain() {
 	for {
 		b.mu.Lock()
 		batch := b.queue
+		taken := b.queued
 		b.queue = nil
 		b.queued = 0
 		b.mu.Unlock()
 		if len(batch) == 0 {
 			return
 		}
+		telQueueDepth.Add(-float64(taken))
+		telBatchRows.Observe(float64(taken))
 		b.flush(batch)
 	}
 }
@@ -325,6 +396,12 @@ func (b *BatcherOf[T]) drain() {
 // flush groups queued requests by model and answers each group with a
 // single GEMM-formulated distance computation against one snapshot.
 func (b *BatcherOf[T]) flush(batch []pendingReq[T]) {
+	flushStart := time.Now()
+	for i := range batch {
+		// Traced requests: the enqueue span is arrival → flush pickup
+		// (the MaxWait/MaxBatch coalescing window).
+		batch[i].trace.Span("enqueue", batch[i].start, flushStart)
+	}
 	groups := map[string][]int{}
 	for i, r := range batch {
 		groups[r.model] = append(groups[r.model], i)
@@ -360,15 +437,23 @@ func (b *BatcherOf[T]) flush(batch []pendingReq[T]) {
 			copy(a[off:], batch[i].rows.Data)
 			off += len(batch[i].rows.Data)
 		}
+		gemmStart := time.Now()
 		assigns := assignBlock(a, total, snap, b.opts.Threads, b.opts.RawSqDist)
+		gemmEnd := time.Now()
+		telGemmSeconds.Observe(gemmEnd.Sub(gemmStart).Seconds())
 		row := 0
 		for _, i := range live {
+			if batch[i].trace != nil {
+				batch[i].trace.Span("coalesce", flushStart, gemmStart)
+				batch[i].trace.Span("gemm", gemmStart, gemmEnd)
+			}
 			n := batch[i].rows.Rows()
-			batch[i].out <- batchAnswer{assigns: assigns[row : row+n : row+n]}
+			batch[i].out <- batchAnswer{assigns: assigns[row : row+n : row+n], done: gemmEnd}
 			row += n
 		}
 	}
 	b.flushes.Inc()
+	telFlushes.Inc()
 }
 
 // assignBlock computes nearest centroids for an m×d row block via the
@@ -406,6 +491,8 @@ type Assigner interface {
 	AssignRows(model string, rows *matrix.Dense) ([]Assignment, error)
 	// Stats reports counters and latency quantiles.
 	Stats() BatcherStats
+	// InFlight snapshots the per-model in-flight request counts.
+	InFlight() map[string]int
 	// Flush answers everything queued right now without closing.
 	Flush()
 	// Close rejects new requests, answers everything queued, and stops

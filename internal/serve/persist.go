@@ -59,7 +59,11 @@ func SaveRegistry(r *Registry, path string) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("serve: save registry state: %w", err)
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	telSnapshotSaves.Inc()
+	return nil
 }
 
 // LoadRegistry rebuilds a registry from a state file written by
@@ -90,5 +94,6 @@ func LoadRegistry(path string, nodes int) (*Registry, error) {
 			return nil, fmt.Errorf("serve: registry state %s: %w", path, err)
 		}
 	}
+	telSnapshotLoads.Inc()
 	return r, nil
 }

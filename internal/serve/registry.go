@@ -163,6 +163,7 @@ func (r *Registry) Publish(name string, centroids *matrix.Dense) (*Model, error)
 	r.latest[name] = m
 	r.versions[name] = append(r.versions[name], m)
 	r.evictLocked(name, m.PublishedAt)
+	telPublishes.Inc()
 	for _, fn := range r.onPublish {
 		fn(m)
 	}
@@ -217,6 +218,7 @@ func (r *Registry) Restore(name string, version, node int, centroids *matrix.Den
 	r.latest[name] = m
 	r.versions[name] = append(r.versions[name], m)
 	r.evictLocked(name, m.PublishedAt)
+	telPublishes.Inc()
 	for _, fn := range r.onPublish {
 		fn(m)
 	}
@@ -268,6 +270,9 @@ func (r *Registry) evictLocked(name string, now time.Time) int {
 		kept = trimmed
 	}
 	r.versions[name] = kept
+	if evicted > 0 {
+		telEvictions.Add(uint64(evicted))
+	}
 	return evicted
 }
 

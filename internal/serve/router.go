@@ -7,6 +7,7 @@ import (
 	"knor/internal/numa"
 	"knor/internal/sched"
 	"knor/internal/simclock"
+	"knor/internal/telemetry"
 )
 
 // RouterConfig drives a simulated serve epoch: worker shards pinned to
@@ -57,6 +58,9 @@ type RouteStats struct {
 	LocalBytes  uint64
 	RemoteBytes uint64
 	PerWorker   []int // requests served per worker shard
+	// P50/P95/P99 are per-request service-time quantiles in simulated
+	// seconds (centroid pull + distance kernel on the serving worker).
+	P50, P95, P99 float64
 }
 
 // SimulateServe routes a request trace over the registry's models. Each
@@ -103,6 +107,7 @@ func SimulateServe(reg *Registry, reqs []Request, cfg RouterConfig) (RouteStats,
 
 	machine := numa.NewMachine(cfg.Topo, cfg.Model)
 	group := simclock.NewGroup(cfg.Workers, cfg.Model)
+	lat := telemetry.NewLatency(cfg.Seed + 1)
 	st := RouteStats{Requests: len(reqs), PerWorker: make([]int, cfg.Workers)}
 	alive := cfg.Workers
 	done := make([]bool, cfg.Workers)
@@ -124,6 +129,7 @@ func SimulateServe(reg *Registry, reqs []Request, cfg RouterConfig) (RouteStats,
 		req := reqs[t.ID]
 		m := byName[req.Model]
 		c := group.Clock(w)
+		svcStart := c.Now()
 		at := workerNode(w)
 		machine.Touch(c, at, t.Node, m.Bytes())
 		// Remote execution slows the kernel itself, exactly as in the
@@ -134,8 +140,12 @@ func SimulateServe(reg *Registry, reqs []Request, cfg RouterConfig) (RouteStats,
 		}
 		c.Advance(scale * (cfg.Model.DistanceCost(m.Dims())*float64(req.Rows)*float64(m.K()) +
 			float64(req.Rows)*cfg.Model.RowOverhead))
+		lat.Observe(c.Now() - svcStart)
 		st.PerWorker[w]++
 	}
+	st.P50 = lat.Quantile(0.50)
+	st.P95 = lat.Quantile(0.95)
+	st.P99 = lat.Quantile(0.99)
 	st.SimSeconds = group.Max()
 	if st.SimSeconds > 0 {
 		st.Throughput = float64(len(reqs)) / st.SimSeconds

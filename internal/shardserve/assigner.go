@@ -2,6 +2,7 @@ package shardserve
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"knor/internal/matrix"
 	"knor/internal/metrics"
 	"knor/internal/serve"
+	"knor/internal/telemetry"
 )
 
 // skewRetries bounds how often a fan-out is retried when a publish
@@ -53,15 +55,19 @@ type AssignerOf[T blas.Float] struct {
 // ModelQuota is enforced here at the fan-out edge — a rejected request
 // must burn zero GEMM time on ANY shard — so the per-shard batchers
 // run unlimited, and RawSqDist is forced on for the shards (the
-// combiner clamps). Close stops every shard batcher.
+// combiner clamps). The shard batchers also run Internal: the edge
+// instruments (request counts, latency, in-flight) are reported here,
+// once per request, never per shard. Close stops every shard batcher.
 func NewAssignerOf[T blas.Float](sr *ShardRegistry, opts serve.BatcherOptions) *AssignerOf[T] {
 	shardOpts := opts
 	shardOpts.RawSqDist = true
 	shardOpts.ModelQuota = 0
+	shardOpts.Internal = true
+	shardOpts.Tracer = nil
 	a := &AssignerOf[T]{
 		sr:       sr,
 		opts:     opts,
-		lat:      metrics.NewLatency(1),
+		lat:      metrics.NewLatency(1).Mirror(telRequestSeconds),
 		inflight: map[string]int{},
 	}
 	a.bats = make([]*serve.BatcherOf[T], sr.Machines())
@@ -106,37 +112,45 @@ func (a *AssignerOf[T]) AssignBatch(model string, rows *matrix.Mat[T]) ([]serve.
 	if rows.Rows() == 0 {
 		return nil, nil
 	}
-	if q := a.opts.ModelQuota; q > 0 {
-		a.mu.Lock()
-		if a.inflight[model] >= q {
-			a.mu.Unlock()
-			a.rejected.Inc()
-			return nil, fmt.Errorf("%w: model %q has %d requests in flight", serve.ErrOverloaded, model, q)
-		}
-		a.inflight[model]++
+	a.mu.Lock()
+	if q := a.opts.ModelQuota; q > 0 && a.inflight[model] >= q {
 		a.mu.Unlock()
-		defer func() {
-			a.mu.Lock()
-			if a.inflight[model]--; a.inflight[model] == 0 {
-				delete(a.inflight, model)
-			}
-			a.mu.Unlock()
-		}()
+		a.rejected.Inc()
+		telRejected.Inc()
+		return nil, fmt.Errorf("%w: model %q has %d requests in flight", serve.ErrOverloaded, model, q)
 	}
+	a.inflight[model]++
+	a.mu.Unlock()
+	telInflight.With(model).Inc()
+	defer func() {
+		telInflight.With(model).Dec()
+		a.mu.Lock()
+		if a.inflight[model]--; a.inflight[model] == 0 {
+			delete(a.inflight, model)
+		}
+		a.mu.Unlock()
+	}()
+	tr := a.opts.Tracer.Sample()
 	start := time.Now()
 	var lastErr error
 	for try := 0; try < skewRetries; try++ {
 		if try > 0 {
+			telSkewRetries.Inc()
 			time.Sleep(time.Duration(try) * skewBackoff)
 		}
-		out, retry, err := a.fanout(model, rows)
+		out, retry, err := a.fanout(model, rows, tr)
 		if err != nil {
 			return nil, err
 		}
 		if !retry {
-			a.lat.Observe(time.Since(start).Seconds())
+			done := time.Now()
+			tr.Span("reply", done, done)
+			a.opts.Tracer.Done(tr)
+			a.lat.Observe(done.Sub(start).Seconds())
 			a.requests.Inc()
 			a.rows.Add(uint64(rows.Rows()))
+			telRequests.Inc()
+			telRows.Add(uint64(rows.Rows()))
 			return out, nil
 		}
 		lastErr = fmt.Errorf("shardserve: model %q: shard versions skewed by concurrent publish", model)
@@ -150,7 +164,7 @@ func (a *AssignerOf[T]) AssignBatch(model string, rows *matrix.Mat[T]) ([]serve.
 // version check detects a publish landing mid-flight — the caller
 // retries, since the split table and the shard snapshots must describe
 // the same version for the local→global index mapping to make sense.
-func (a *AssignerOf[T]) fanout(model string, rows *matrix.Mat[T]) (out []serve.Assignment, retry bool, err error) {
+func (a *AssignerOf[T]) fanout(model string, rows *matrix.Mat[T], tr *telemetry.Trace) (out []serve.Assignment, retry bool, err error) {
 	version, offsets, ok := a.sr.Split(model)
 	if !ok {
 		return nil, false, fmt.Errorf("shardserve: unknown model %q", model)
@@ -158,10 +172,20 @@ func (a *AssignerOf[T]) fanout(model string, rows *matrix.Mat[T]) (out []serve.A
 	shards := len(offsets) - 1
 	n := rows.Rows()
 
+	dispatch := time.Now()
 	answers := make(chan shardAnswer, shards)
 	for s := 0; s < shards; s++ {
 		go func(s int) {
-			as, err := a.bats[s].AssignBatch(model, rows)
+			var as []serve.Assignment
+			var err error
+			if s == 0 {
+				// A sampled trace rides through shard 0's batcher so the
+				// dump shows the enqueue/coalesce/GEMM stages in-shard.
+				as, err = a.bats[s].AssignBatchTraced(model, rows, tr)
+			} else {
+				as, err = a.bats[s].AssignBatch(model, rows)
+			}
+			telShardSeconds.With(strconv.Itoa(s)).Observe(time.Since(dispatch).Seconds())
 			answers <- shardAnswer{shard: s, assigns: as, err: err}
 		}(s)
 	}
@@ -171,8 +195,11 @@ func (a *AssignerOf[T]) fanout(model string, rows *matrix.Mat[T]) (out []serve.A
 		pairs[i].Index = -1
 	}
 	src := make([]cluster.MinPair, n)
+	var reduceStart, reduceEnd time.Time
+	var reduceTotal time.Duration
 	for done := 0; done < shards; done++ {
 		ans := <-answers
+		tr.Span(fmt.Sprintf("shard_%d", ans.shard), dispatch, time.Now())
 		if err != nil || retry {
 			continue // drain remaining shards before returning
 		}
@@ -191,7 +218,18 @@ func (a *AssignerOf[T]) fanout(model string, rows *matrix.Mat[T]) (out []serve.A
 		if retry {
 			continue
 		}
+		cs := time.Now()
 		cluster.CombineMin(pairs, src)
+		ce := time.Now()
+		if reduceStart.IsZero() {
+			reduceStart = cs
+		}
+		reduceEnd = ce
+		reduceTotal += ce.Sub(cs)
+	}
+	if !reduceEnd.IsZero() {
+		telMinReduceSeconds.Observe(reduceTotal.Seconds())
+		tr.Span("min_allreduce", reduceStart, reduceEnd)
 	}
 	if err != nil {
 		// A shard error can itself be publish skew: a republish that
@@ -249,9 +287,22 @@ func (a *AssignerOf[T]) Stats() serve.BatcherStats {
 		}
 	}
 	st.P50 = a.lat.Quantile(0.50)
+	st.P95 = a.lat.Quantile(0.95)
 	st.P99 = a.lat.Quantile(0.99)
 	st.Mean = a.lat.Mean()
 	return st
+}
+
+// InFlight snapshots the per-model in-flight request counts at the
+// fan-out edge (each distributed request counted once, not per shard).
+func (a *AssignerOf[T]) InFlight() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.inflight))
+	for m, n := range a.inflight {
+		out[m] = n
+	}
+	return out
 }
 
 // Flush synchronously answers everything queued on every shard.

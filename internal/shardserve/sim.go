@@ -6,8 +6,8 @@ import (
 
 	"knor/internal/cluster"
 	"knor/internal/dist"
-	"knor/internal/metrics"
 	"knor/internal/simclock"
+	"knor/internal/telemetry"
 )
 
 // SimConfig drives a simulated sharded-serving epoch: a front-end
@@ -75,8 +75,8 @@ type SimStats struct {
 	// the steady-state assign throughput rows/SimSeconds.
 	SimSeconds float64
 	RowsPerSec float64
-	// P50/P99 are per-batch latency quantiles (admission→completion).
-	P50, P99 float64
+	// P50/P95/P99 are per-batch latency quantiles (admission→completion).
+	P50, P95, P99 float64
 	// Resource busy seconds, for utilisation reporting: the router NIC,
 	// all machine NICs summed, all machine CPUs summed.
 	RouterBusy float64
@@ -136,7 +136,7 @@ func SimulateShardServe(cfg SimConfig) (SimStats, error) {
 		tx[i] = simclock.NewResource(fmt.Sprintf("nic-tx-%d", i))
 		cpus[i] = simclock.NewResource(fmt.Sprintf("cpu-%d", i))
 	}
-	lat := metrics.NewLatency(1)
+	lat := telemetry.NewLatency(1)
 	done := make([]float64, len(cfg.Batches))
 	fanRounds := rounds(shards)
 	st := SimStats{Machines: M, Batches: len(cfg.Batches)}
@@ -206,6 +206,7 @@ func SimulateShardServe(cfg SimConfig) (SimStats, error) {
 		st.RowsPerSec = float64(st.Rows) / end
 	}
 	st.P50 = lat.Quantile(0.50)
+	st.P95 = lat.Quantile(0.95)
 	st.P99 = lat.Quantile(0.99)
 	st.RouterBusy = routerIn.BusyTime() + routerOut.BusyTime()
 	for i := range rx {

@@ -1,0 +1,29 @@
+package shardserve
+
+import "knor/internal/telemetry"
+
+// Fan-out-edge instruments, registered at init against
+// telemetry.Default. The per-shard serve.BatcherOf instances run with
+// BatcherOptions.Internal set, so the serve-layer edge instruments stay
+// silent and these count each distributed request exactly once; the
+// shard batchers still feed the process-wide flush/GEMM/queue series.
+var (
+	telRequests = telemetry.Default.Counter("knor_shardserve_requests_total",
+		"Assign/AssignBatch calls answered by the fan-out edge.")
+	telRows = telemetry.Default.Counter("knor_shardserve_rows_total",
+		"Query rows answered by the fan-out edge.")
+	telRejected = telemetry.Default.Counter("knor_shardserve_rejected_total",
+		"Requests refused by the per-model in-flight quota at the fan-out edge.")
+	telSkewRetries = telemetry.Default.Counter("knor_shardserve_skew_retries_total",
+		"Fan-out attempts retried because a concurrent publish skewed shard versions.")
+	telRequestSeconds = telemetry.Default.Histogram("knor_shardserve_request_seconds",
+		"End-to-end /assign latency at the fan-out edge.", telemetry.DefLatencyBuckets())
+	telShardSeconds = telemetry.Default.HistogramVec("knor_shardserve_shard_seconds",
+		"Per-shard fan-out latency: dispatch to that shard's answer.",
+		telemetry.DefLatencyBuckets(), "shard")
+	telMinReduceSeconds = telemetry.Default.Histogram("knor_shardserve_minreduce_seconds",
+		"Time folding shard answers into the global argmin (first to last combine).",
+		telemetry.DefLatencyBuckets())
+	telInflight = telemetry.Default.GaugeVec("knor_shardserve_inflight_requests",
+		"In-flight assignment requests per model at the fan-out edge.", "model")
+)

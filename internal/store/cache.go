@@ -29,14 +29,19 @@ type cacheShard struct {
 type cacheEntry struct {
 	page int64
 	data []byte
+	// prefetched marks a page inserted by the prefetch pool and not yet
+	// touched by a demand read; the first demand hit counts it as a used
+	// prefetch and clears the mark.
+	prefetched bool
 }
 
 // flight is one in-progress page fetch. done is closed after data/err
 // are set; data is immutable afterwards.
 type flight struct {
-	done chan struct{}
-	data []byte
-	err  error
+	done     chan struct{}
+	data     []byte
+	err      error
+	prefetch bool // owned by the prefetch pool
 }
 
 func newPageCache(capacityBytes, pageSize, shards int) *pageCache {
@@ -77,10 +82,17 @@ func (c *pageCache) acquire(p int64, record bool) (data []byte, fl *flight, owne
 	defer s.mu.Unlock()
 	if el, ok := s.items[p]; ok {
 		s.ll.MoveToFront(el)
+		ent := el.Value.(cacheEntry)
 		if record {
 			s.hits++
+			telPageHits.Inc()
+			if ent.prefetched {
+				telPrefetchUsed.Inc()
+				ent.prefetched = false
+				el.Value = ent
+			}
 		}
-		return el.Value.(cacheEntry).data, nil, false
+		return ent.data, nil, false
 	}
 	if fl, ok := s.flights[p]; ok {
 		// Another reader is already fetching: joining costs no device
@@ -88,13 +100,19 @@ func (c *pageCache) acquire(p int64, record bool) (data []byte, fl *flight, owne
 		// exists to create).
 		if record {
 			s.hits++
+			telPageHits.Inc()
+			if fl.prefetch {
+				telPrefetchUsed.Inc()
+				fl.prefetch = false
+			}
 		}
 		return nil, fl, false
 	}
-	fl = &flight{done: make(chan struct{})}
+	fl = &flight{done: make(chan struct{}), prefetch: !record}
 	s.flights[p] = fl
 	if record {
 		s.misses++
+		telPageMisses.Inc()
 	}
 	return nil, fl, true
 }
@@ -105,11 +123,14 @@ func (c *pageCache) publish(p int64, fl *flight, data []byte) {
 	s.mu.Lock()
 	delete(s.flights, p)
 	if _, ok := s.items[p]; !ok {
-		s.items[p] = s.ll.PushFront(cacheEntry{page: p, data: data})
+		s.items[p] = s.ll.PushFront(cacheEntry{page: p, data: data, prefetched: fl.prefetch})
+		telResidentPages.Inc()
 		for s.ll.Len() > s.cap {
 			back := s.ll.Back()
 			s.ll.Remove(back)
 			delete(s.items, back.Value.(cacheEntry).page)
+			telPageEvictions.Inc()
+			telResidentPages.Dec()
 		}
 		if s.ll.Len() > s.peak {
 			s.peak = s.ll.Len()

@@ -143,6 +143,8 @@ func (f *File) Close() error {
 	if f.pf != nil {
 		f.pf.stop()
 	}
+	// This file's resident pages leave the process-wide gauge with it.
+	telResidentPages.Add(-float64(f.cache.lenPages()))
 	if f.closer != nil {
 		return f.closer.Close()
 	}
@@ -250,6 +252,9 @@ func (f *File) readRun(p int64, runPages int) ([]byte, error) {
 		return nil, fmt.Errorf("store: short read at page %d: %w", p, err)
 	}
 	f.devRead.Add(uint64(want))
+	telMergedReads.Inc()
+	telRunPages.Observe(float64(runPages))
+	telDeviceBytes.Add(uint64(want))
 	return buf, nil
 }
 
@@ -307,6 +312,7 @@ func (r *Reader) Row(i int) ([]float64, error) {
 	}
 	if !r.Untracked {
 		f.requested.Add(uint64(rowBytes))
+		telRequestedBytes.Add(uint64(rowBytes))
 	}
 	return r.buf, nil
 }
@@ -350,7 +356,9 @@ func newPrefetcher(f *File, workers, queue int) *prefetcher {
 func (p *prefetcher) submit(r pageRange) {
 	select {
 	case p.ch <- r:
+		telPrefetchIssued.Inc()
 	default: // queue full: drop the hint rather than stall compute
+		telPrefetchDropped.Inc()
 	}
 }
 

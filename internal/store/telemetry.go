@@ -1,0 +1,33 @@
+package store
+
+import "knor/internal/telemetry"
+
+// Process-wide I/O-stack instruments, registered at init against
+// telemetry.Default. They aggregate over every open File: per-file
+// figures stay available programmatically (Traffic, CacheStats), the
+// exposition answers "what is the I/O stack doing right now" for the
+// whole process.
+var (
+	telPageHits = telemetry.Default.Counter("knor_store_page_hits_total",
+		"Page-cache hits, including joins of in-flight fetches.")
+	telPageMisses = telemetry.Default.Counter("knor_store_page_misses_total",
+		"Page-cache misses that owned a device fetch.")
+	telPageEvictions = telemetry.Default.Counter("knor_store_page_evictions_total",
+		"Pages evicted by the LRU to stay within the cache byte bound.")
+	telMergedReads = telemetry.Default.Counter("knor_store_merged_reads_total",
+		"Device ReadAt calls issued (adjacent missing pages merged into one run).")
+	telRunPages = telemetry.Default.Histogram("knor_store_run_pages",
+		"Pages per merged device read.", telemetry.DefSizeBuckets())
+	telDeviceBytes = telemetry.Default.Counter("knor_store_device_read_bytes_total",
+		"Bytes read from the backing file at page granularity.")
+	telRequestedBytes = telemetry.Default.Counter("knor_store_requested_bytes_total",
+		"Bytes the algorithm asked for (tracked rows x row bytes).")
+	telPrefetchIssued = telemetry.Default.Counter("knor_store_prefetch_issued_total",
+		"Merged page ranges accepted onto the prefetch queue.")
+	telPrefetchDropped = telemetry.Default.Counter("knor_store_prefetch_dropped_total",
+		"Prefetch hints dropped because the queue was full.")
+	telPrefetchUsed = telemetry.Default.Counter("knor_store_prefetch_used_total",
+		"Demand reads served by a prefetched page or an in-flight prefetch.")
+	telResidentPages = telemetry.Default.Gauge("knor_store_resident_pages",
+		"Pages resident in the page cache across all open files.")
+)

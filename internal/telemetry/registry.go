@@ -1,0 +1,331 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry names instruments and renders them in Prometheus text
+// exposition format. Registration is get-or-create: asking twice for
+// the same name returns the same instrument (process-wide series
+// semantics), and asking with a conflicting kind panics loudly at init
+// time rather than corrupting exposition quietly at scrape time.
+type Registry struct {
+	mu    sync.Mutex
+	insts map[string]*instrument
+}
+
+// instrument is one registered family: a scalar instrument, a callback,
+// or a labeled family keyed by its label value tuple.
+type instrument struct {
+	name, help, kind string // kind: counter | gauge | histogram
+	labels           []string
+
+	counter *Counter
+	gauge   *Gauge
+	gfn     func() float64
+	hist    *Histogram
+
+	mu       sync.Mutex // guards children
+	children map[string]*child
+}
+
+type child struct {
+	labelVals []string
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+}
+
+// NewRegistry builds an empty registry. Most callers want Default.
+func NewRegistry() *Registry {
+	return &Registry{insts: map[string]*instrument{}}
+}
+
+// Default is the process-wide registry every subsystem registers
+// against at init; knorserve's GET /metrics serves it.
+var Default = NewRegistry()
+
+func (r *Registry) get(name, help, kind string, labels []string) *instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.insts[name]; ok {
+		if in.kind != kind || len(in.labels) != len(labels) {
+			panic(fmt.Sprintf("telemetry: %q re-registered as %s/%v (was %s/%v)",
+				name, kind, labels, in.kind, in.labels))
+		}
+		return in
+	}
+	in := &instrument{name: name, help: help, kind: kind, labels: labels}
+	if len(labels) > 0 {
+		in.children = map[string]*child{}
+	}
+	r.insts[name] = in
+	return in
+}
+
+// Counter returns the registered counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	in := r.get(name, help, "counter", nil)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.counter == nil {
+		in.counter = &Counter{}
+	}
+	return in.counter
+}
+
+// Gauge returns the registered gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	in := r.get(name, help, "gauge", nil)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.gauge == nil {
+		in.gauge = &Gauge{}
+	}
+	return in.gauge
+}
+
+// GaugeFunc registers (or replaces) a callback gauge evaluated at
+// exposition time — for values that already live somewhere (model
+// count, resident cache pages) and should not be double-tracked.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	in := r.get(name, help, "gauge", nil)
+	in.mu.Lock()
+	in.gfn = fn
+	in.mu.Unlock()
+}
+
+// Histogram returns the registered histogram, creating it with the
+// given bounds on first use (later bounds are ignored: first writer
+// wins, matching get-or-create).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	in := r.get(name, help, "histogram", nil)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.hist == nil {
+		in.hist = NewHistogram(bounds)
+	}
+	return in.hist
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ in *instrument }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ in *instrument }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct {
+	in     *instrument
+	bounds []float64
+}
+
+// CounterVec returns the registered labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{in: r.get(name, help, "counter", labels)}
+}
+
+// GaugeVec returns the registered labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{in: r.get(name, help, "gauge", labels)}
+}
+
+// HistogramVec returns the registered labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{in: r.get(name, help, "histogram", labels), bounds: bounds}
+}
+
+// childKey joins label values; \xff never appears in sane label values.
+func childKey(vals []string) string { return strings.Join(vals, "\xff") }
+
+func (in *instrument) child(vals []string) *child {
+	if len(vals) != len(in.labels) {
+		panic(fmt.Sprintf("telemetry: %q wants %d label values, got %d",
+			in.name, len(in.labels), len(vals)))
+	}
+	key := childKey(vals)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c, ok := in.children[key]
+	if !ok {
+		c = &child{labelVals: append([]string(nil), vals...)}
+		in.children[key] = c
+	}
+	return c
+}
+
+// With returns the child counter for the given label values.
+func (v *CounterVec) With(vals ...string) *Counter {
+	c := v.in.child(vals)
+	v.in.mu.Lock()
+	defer v.in.mu.Unlock()
+	if c.counter == nil {
+		c.counter = &Counter{}
+	}
+	return c.counter
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(vals ...string) *Gauge {
+	c := v.in.child(vals)
+	v.in.mu.Lock()
+	defer v.in.mu.Unlock()
+	if c.gauge == nil {
+		c.gauge = &Gauge{}
+	}
+	return c.gauge
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(vals ...string) *Histogram {
+	c := v.in.child(vals)
+	v.in.mu.Lock()
+	defer v.in.mu.Unlock()
+	if c.hist == nil {
+		c.hist = NewHistogram(v.bounds)
+	}
+	return c.hist
+}
+
+// --- exposition --------------------------------------------------------
+
+// WritePrometheus renders every registered instrument in Prometheus
+// text exposition format (version 0.0.4), sorted by family name and
+// label tuple so output is deterministic for golden tests.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.insts))
+	for n := range r.insts {
+		names = append(names, n)
+	}
+	insts := make(map[string]*instrument, len(r.insts))
+	for n, in := range r.insts {
+		insts[n] = in
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		writeFamily(&b, insts[n])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeFamily(b *strings.Builder, in *instrument) {
+	if in.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", in.name, escapeHelp(in.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", in.name, in.kind)
+	if len(in.labels) == 0 {
+		in.mu.Lock()
+		counter, gauge, gfn, hist := in.counter, in.gauge, in.gfn, in.hist
+		in.mu.Unlock()
+		switch {
+		case counter != nil:
+			fmt.Fprintf(b, "%s %s\n", in.name, fmtVal(float64(counter.Load())))
+		case gfn != nil:
+			fmt.Fprintf(b, "%s %s\n", in.name, fmtVal(gfn()))
+		case gauge != nil:
+			fmt.Fprintf(b, "%s %s\n", in.name, fmtVal(gauge.Load()))
+		case hist != nil:
+			writeHist(b, in.name, "", hist)
+		}
+		return
+	}
+	in.mu.Lock()
+	keys := make([]string, 0, len(in.children))
+	for k := range in.children {
+		keys = append(keys, k)
+	}
+	children := make(map[string]*child, len(in.children))
+	for k, c := range in.children {
+		children[k] = c
+	}
+	in.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := children[k]
+		lbl := labelString(in.labels, c.labelVals)
+		switch {
+		case c.counter != nil:
+			fmt.Fprintf(b, "%s{%s} %s\n", in.name, lbl, fmtVal(float64(c.counter.Load())))
+		case c.gauge != nil:
+			fmt.Fprintf(b, "%s{%s} %s\n", in.name, lbl, fmtVal(c.gauge.Load()))
+		case c.hist != nil:
+			writeHist(b, in.name, lbl, c.hist)
+		}
+	}
+}
+
+func writeHist(b *strings.Builder, name, labels string, h *Histogram) {
+	counts := h.BucketCounts()
+	var cum uint64
+	for i, bound := range h.Bounds() {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, bucketPrefix(labels), fmtVal(bound), cum)
+	}
+	cum += counts[len(counts)-1]
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, bucketPrefix(labels), cum)
+	fmt.Fprintf(b, "%s_sum %s\n", name+braced(labels), fmtVal(h.Sum()))
+	fmt.Fprintf(b, "%s_count %d\n", name+braced(labels), cum)
+}
+
+func bucketPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func labelString(names, vals []string) string {
+	parts := make([]string, len(names))
+	for i := range names {
+		parts[i] = fmt.Sprintf("%s=%q", names[i], vals[i])
+	}
+	return strings.Join(parts, ",")
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// fmtVal renders a float the way Prometheus clients do: integral values
+// without an exponent, NaN/Inf spelled out.
+func fmtVal(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,84 @@
+// Package telemetry is the unified observability layer: a low-overhead
+// instrument registry (atomic counters, gauges, fixed-bucket
+// histograms, labeled families) with Prometheus text-format exposition,
+// plus a sampled request tracer. Every hot subsystem — the serve
+// batcher, the shardserve fan-out, the store page cache, the sem engine
+// and the model registry — registers its instruments against the
+// package Default registry at init, so any process that links a
+// subsystem exposes its series on GET /metrics without wiring.
+//
+// Design rules, in order:
+//
+//  1. The hot path pays atomics only. Counter.Add and Gauge.Add are one
+//     atomic RMW; Histogram.Observe is a branchless bucket scan plus
+//     two atomic adds. No locks, no allocation, no map lookups.
+//  2. Registration is get-or-create and idempotent: two subsystem
+//     instances (or two tests) asking for the same series share one
+//     instrument instead of panicking, matching process-wide semantics.
+//  3. SetEnabled(false) gates the non-essential observations (histogram
+//     buckets, trace sampling) so a latency-critical deployment can
+//     shed even that cost; counters and gauges stay live because the
+//     pre-telemetry code already paid for them.
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// enabled gates histogram observation and trace sampling (rule 3).
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled toggles histogram observation and trace sampling
+// process-wide. Counters and gauges are unaffected.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether histogram observation and trace sampling are
+// on.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a monotonically-increasing atomic event counter. The zero
+// value is ready to use; methods are safe for concurrent callers.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value (queue depth, drift, resident
+// pages). The zero value reads 0 and is ready to use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop; gauges are read-mostly, contention is rare).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }

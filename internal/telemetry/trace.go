@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage is one named step of a traced request, as offsets from the
+// trace's begin time so a dump is self-contained.
+type Stage struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_us"`
+	Dur   time.Duration `json:"dur_us"`
+}
+
+// Trace captures one sampled request's lifecycle as a flat span list
+// (enqueue → batch coalesce → GEMM → shard fan-out → min-allreduce →
+// reply). A nil *Trace is the not-sampled case and every method on it
+// is a no-op, so hot paths call unconditionally.
+type Trace struct {
+	ID    uint64
+	Begin time.Time
+
+	mu     sync.Mutex
+	stages []Stage
+	end    time.Time
+}
+
+// Span records a named stage spanning [start, end).
+func (t *Trace) Span(name string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.stages = append(t.stages, Stage{
+		Name:  name,
+		Start: start.Sub(t.Begin),
+		Dur:   end.Sub(start),
+	})
+	t.mu.Unlock()
+}
+
+// Stages returns a snapshot of the recorded stages.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Stage(nil), t.stages...)
+}
+
+// End returns the trace's completion time (zero until finished).
+func (t *Trace) End() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.end
+}
+
+// Tracer samples one request in every Every and keeps the most recent
+// completed traces in a fixed ring. A nil *Tracer never samples, so
+// components take one without caring whether tracing is configured.
+type Tracer struct {
+	every int64
+	n     atomic.Int64
+	id    atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+}
+
+// NewTracer samples one request in every (>= 1), retaining the keep
+// (default 16) most recent completed traces.
+func NewTracer(every, keep int) *Tracer {
+	if every < 1 {
+		every = 1
+	}
+	if keep < 1 {
+		keep = 16
+	}
+	return &Tracer{every: int64(every), ring: make([]*Trace, keep)}
+}
+
+// Sample returns a fresh Trace when this request is selected, nil
+// otherwise (and always nil while telemetry is disabled or the tracer
+// itself is nil).
+func (tr *Tracer) Sample() *Trace {
+	if tr == nil || !enabled.Load() {
+		return nil
+	}
+	if tr.n.Add(1)%tr.every != 0 {
+		return nil
+	}
+	return &Trace{ID: tr.id.Add(1), Begin: time.Now()}
+}
+
+// Done finishes a sampled trace and stores it in the ring. No-op for a
+// nil trace or nil tracer.
+func (tr *Tracer) Done(t *Trace) {
+	if tr == nil || t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.end = time.Now()
+	t.mu.Unlock()
+	tr.mu.Lock()
+	tr.ring[tr.next] = t
+	tr.next = (tr.next + 1) % len(tr.ring)
+	tr.mu.Unlock()
+}
+
+// Traces returns the completed traces, most recent first.
+func (tr *Tracer) Traces() []*Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]*Trace, 0, len(tr.ring))
+	for i := 0; i < len(tr.ring); i++ {
+		idx := (tr.next - 1 - i + 2*len(tr.ring)) % len(tr.ring)
+		if tr.ring[idx] != nil {
+			out = append(out, tr.ring[idx])
+		}
+	}
+	return out
+}
