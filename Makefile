@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-precision figs docs serve-loadtest io-smoke shardserve-smoke metrics-smoke clean
+.PHONY: all build vet test race bench bench-precision figs docs serve-loadtest io-smoke shardserve-smoke metrics-smoke chaos-smoke clean
 
 all: vet build test
 
@@ -17,7 +17,7 @@ test:
 race:
 	$(GO) test -race ./internal/serve/... ./internal/kmeans/... ./cmd/knorserve/... \
 		./internal/store/... ./internal/sem/... ./internal/telemetry/... \
-		./internal/shardserve/... ./internal/cluster/...
+		./internal/shardserve/... ./internal/cluster/... ./internal/topology/...
 
 # Headline benchmarks: one representative configuration per paper
 # artifact (Tables 1-3, Figures 4-13, ablations).
@@ -73,15 +73,27 @@ shardserve-smoke:
 	$(GO) test -run 'TestShardParity|TestSimulateShardServeScaling' ./internal/shardserve
 	$(GO) run ./cmd/knorbench -quick -exp shardserve
 
-# Observability smoke (mirrors CI): boot knorserve, publish a model,
-# and assert /readyz flips ready, /metrics serves the expected series
-# from every instrumented layer, and /debug/traces holds a sampled
-# /assign lifecycle.
+# Chaos smoke (mirrors CI, deterministic, well under 30s): the seeded
+# kill-schedule harness — replicated shard serving stays oracle-exact
+# through machine kills/recoveries at both precisions, failures confine
+# to the dead group's centroid range, and the schedule replays exactly
+# from its seed. Override the schedule with CHAOS_SEED=N for replay.
+CHAOS_SEED ?= 1
+chaos-smoke:
+	$(GO) test -run 'TestChaos' ./internal/shardserve -chaos-seed $(CHAOS_SEED)
+	$(GO) run ./cmd/knorbench -quick -exp failover
+
+# Observability smoke (mirrors CI): boot knorserve replicated
+# (-machines 3 -replicas 2), publish a model, and assert /readyz flips
+# ready, /metrics serves the expected series from every instrumented
+# layer (including the topology membership instruments), /debug/traces
+# holds a sampled /assign lifecycle, and killing a machine drops the
+# live gauge, fires failovers, and keeps /assign answering.
 metrics-smoke:
 	@tmp=$$(mktemp -d) || exit 1; \
 	trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o $$tmp/knorserve ./cmd/knorserve && \
-	$$tmp/knorserve -addr 127.0.0.1:18080 -trace-sample 1 & pid=$$!; \
+	$$tmp/knorserve -addr 127.0.0.1:18080 -trace-sample 1 -machines 3 -replicas 2 & pid=$$!; \
 	for i in $$(seq 1 50); do \
 		curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
 	curl -sS -o /dev/null -w '%{http_code}' http://127.0.0.1:18080/readyz | grep -q 503 || \
@@ -96,14 +108,27 @@ metrics-smoke:
 	for series in knor_serve_requests_total knor_serve_gemm_seconds \
 		knor_shardserve_requests_total knor_store_page_hits_total \
 		knor_sem_iterations_total knor_registry_publishes_total \
-		knor_http_requests_total; do \
+		knor_http_requests_total knor_topology_machines_live \
+		knor_topology_transitions_total knor_topology_health_pulse_seconds \
+		knor_shardserve_failovers_total knor_shardserve_rebalances_total; do \
 		grep -q "^# TYPE $$series" $$tmp/metrics.txt || \
 			{ echo "metrics-smoke: $$series missing from /metrics"; exit 1; }; done; \
+	grep -q '^knor_topology_machines_live 3$$' $$tmp/metrics.txt || \
+		{ echo "metrics-smoke: live gauge should read 3 at boot"; exit 1; }; \
 	families=$$(grep -c '^# TYPE ' $$tmp/metrics.txt); \
 	[ "$$families" -ge 25 ] || { echo "metrics-smoke: only $$families series families"; exit 1; }; \
 	curl -fsS http://127.0.0.1:18080/debug/traces | grep -q '"gemm"' || \
 		{ echo "metrics-smoke: no gemm stage in sampled traces"; exit 1; }; \
-	echo "metrics-smoke: ok ($$families series families, readyz + traces verified)"
+	curl -fsS -X POST http://127.0.0.1:18080/v1/machines -d '{"machine":1,"action":"kill"}' >/dev/null && \
+	curl -fsS -X POST http://127.0.0.1:18080/v1/assign -d \
+		'{"model":"smoke","rows":[[0.1,0.2,0.3,0.4]]}' >/dev/null || \
+		{ echo "metrics-smoke: assign failed with one machine down (replicas=2)"; exit 1; }; \
+	curl -fsS http://127.0.0.1:18080/metrics > $$tmp/metrics2.txt && \
+	grep -q '^knor_topology_machines_live 2$$' $$tmp/metrics2.txt || \
+		{ echo "metrics-smoke: live gauge should read 2 after kill"; exit 1; }; \
+	grep -q '^knor_topology_transitions_total{to="dead"} [1-9]' $$tmp/metrics2.txt || \
+		{ echo "metrics-smoke: no dead transition recorded"; exit 1; }; \
+	echo "metrics-smoke: ok ($$families series families, readyz + traces + failover verified)"
 
 clean:
 	$(GO) clean ./...

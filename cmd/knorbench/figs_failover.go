@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+
+	"knor/internal/kmeans"
+	"knor/internal/shardserve"
+)
+
+// failoverExp sweeps the replicated serving layer's fault response:
+// replication factor R × kill rate over a 5-machine cluster, driven by
+// the chaos harness (seeded deterministic kill schedule, QueryStream
+// traffic, every answer compared bit-for-bit to the single-node
+// oracle). The table shows the availability story the replication
+// layer buys:
+//
+//   - R=1: any kill silences the victim's centroid range until it
+//     revives — batches error (bounded, confined) but nothing ever
+//     answers WRONG: correctness degrades to unavailability, never to
+//     silently different assignments.
+//   - R>=2 with at most R-1 concurrent deaths: zero errors and zero
+//     wrong rows; the only trace of the kills is the failover counter.
+//
+// "wrong" must read 0 on every row of every run — it counts answers
+// that differ from the oracle in any of cluster, distance bits, or
+// version.
+func failoverExp(e env) {
+	const machines = 5
+	rounds := 40
+	if e.quick {
+		rounds = 12
+	}
+
+	var rows [][]string
+	for _, prec := range []kmeans.Precision{kmeans.Precision64, kmeans.Precision32} {
+		for _, replicas := range []int{1, 2, 3} {
+			for _, killEvery := range []int{4, 2} {
+				maxDead := replicas - 1
+				if maxDead < 1 {
+					maxDead = 1
+				}
+				stats, err := shardserve.RunChaos(shardserve.ChaosConfig{
+					Machines: machines, Replicas: replicas, MaxDead: maxDead,
+					KillEvery: killEvery, Rounds: rounds,
+					Precision: prec, Seed: 1,
+				})
+				if err != nil {
+					panic(err)
+				}
+				avail := 100 * float64(stats.Rounds-stats.Errors) / float64(stats.Rounds)
+				rows = append(rows, []string{
+					prec.String(),
+					fmt.Sprintf("%d", replicas),
+					fmt.Sprintf("1/%d", killEvery),
+					fmt.Sprintf("%d", stats.Kills),
+					fmt.Sprintf("%d", stats.Failovers),
+					fmt.Sprintf("%d", stats.Errors),
+					fmt.Sprintf("%d", stats.Wrong),
+					fmt.Sprintf("%d+%d", stats.FinalErrors, stats.FinalWrong),
+					fmt.Sprintf("%.1f%%", avail),
+				})
+			}
+		}
+	}
+	fmt.Printf("  %d machines, %d rounds of oracle-checked QueryStream batches, seeded kill schedule (seed 1)\n", machines, rounds)
+	fmt.Printf("  kill rate = kills per round; recovery column = errors+wrong AFTER all machines revived\n\n")
+	printTable(
+		[]string{"prec", "R", "kill-rate", "kills", "failovers", "errors", "wrong", "recovery", "avail"},
+		rows)
+}

@@ -57,6 +57,7 @@ var experiments = []experiment{
 	{"precision", "Precision: float32 vs float64 kernels, training and serving", precisionExp},
 	{"io", "Real I/O: knors on a store file, page cache x prefetch x devices", ioExp},
 	{"shardserve", "Distributed serving: centroid-sharded /assign, machines x batch x wire", shardServeExp},
+	{"failover", "Failover: replicated shard serving under a seeded kill schedule, R x kill rate", failoverExp},
 }
 
 func main() {

@@ -1,0 +1,137 @@
+package main
+
+// End-to-end tests of the replicated serving surface: -replicas
+// failover keeping /assign bit-exact through machine kills, /readyz's
+// degraded/unavailable classification, and the /v1/machines admin
+// endpoints.
+
+import (
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// awaitReady polls /readyz until its body status matches, tolerating
+// the asynchronous healing window after a membership transition.
+func awaitReady(t *testing.T, url, wantStatus string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var body map[string]any
+		getJSON(t, url+"/readyz", &body)
+		if body["status"] == wantStatus {
+			return body
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz never reached %q, last: %v", wantStatus, body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func machineAction(t *testing.T, url string, m int, action string) {
+	t.Helper()
+	code, body := postJSON(t, url+"/v1/machines", fmt.Sprintf(`{"machine":%d,"action":%q}`, m, action))
+	if code != http.StatusOK {
+		t.Fatalf("%s machine %d: %d %v", action, m, code, body)
+	}
+}
+
+// TestE2EFailover walks a 3-machine R=2 cluster through the whole
+// fault ladder: healthy → one dead (failover, answers unchanged) →
+// two dead (healed onto the survivor, degraded but exact) → all dead
+// (unavailable, 503s) → revived (ready and exact again).
+func TestE2EFailover(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{machines: 3, replicas: 2})
+	create := `{"name":"f","k":7,"iters":15,"spec":{"n":400,"d":4,"clusters":7,"spread":0.05,"seed":5}}`
+	if code, body := postJSON(t, ts.URL+"/v1/models", create); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+	awaitReady(t, ts.URL, "ready")
+
+	q := `{"model":"f","rows":[[0.5,0.5,0.5,0.5],[0.1,0.9,0.1,0.9],[0.9,0.2,0.4,0.6]]}`
+	code, baseline := postJSON(t, ts.URL+"/v1/assign", q)
+	if code != http.StatusOK {
+		t.Fatalf("baseline assign: %d %v", code, baseline)
+	}
+	assertExact := func(when string) {
+		t.Helper()
+		code, got := postJSON(t, ts.URL+"/v1/assign", q)
+		if code != http.StatusOK {
+			t.Fatalf("%s: assign %d %v", when, code, got)
+		}
+		if !reflect.DeepEqual(got, baseline) {
+			t.Fatalf("%s: answers drifted from baseline:\n%v\n%v", when, got, baseline)
+		}
+	}
+
+	// One machine down: R=2 keeps every group answerable; healing then
+	// re-spreads over the two survivors, so the cluster returns to
+	// fully-replicated "ready". Answers never change.
+	machineAction(t, ts.URL, 0, "kill")
+	assertExact("one machine down")
+	awaitReady(t, ts.URL, "ready")
+	assertExact("healed onto two machines")
+
+	// Two down: only one machine left, so groups can hold one replica
+	// (< R) — steady-state "degraded", still serving, still exact.
+	machineAction(t, ts.URL, 1, "kill")
+	body := awaitReady(t, ts.URL, "degraded")
+	if body["degraded"] == nil {
+		t.Fatalf("degraded readyz carries no shard list: %v", body)
+	}
+	assertExact("two machines down")
+
+	// All down: nothing can answer. /readyz flips to 503 "unavailable"
+	// naming the groups; /assign answers 503.
+	machineAction(t, ts.URL, 2, "kill")
+	awaitReady(t, ts.URL, "unavailable")
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz status %d with every machine dead, want 503", resp.StatusCode)
+	}
+	if code, errBody := postJSON(t, ts.URL+"/v1/assign", q); code != http.StatusServiceUnavailable {
+		t.Fatalf("assign with all machines dead: %d %v, want 503", code, errBody)
+	}
+
+	// Recovery restores exactness.
+	for m := 0; m < 3; m++ {
+		machineAction(t, ts.URL, m, "revive")
+	}
+	awaitReady(t, ts.URL, "ready")
+	assertExact("after full recovery")
+}
+
+// TestE2EMachinesEndpoint checks the admin surface shape and its
+// single-node 404.
+func TestE2EMachinesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{machines: 2, replicas: 2})
+	var body map[string]any
+	if code := getJSON(t, ts.URL+"/v1/machines", &body); code != http.StatusOK {
+		t.Fatalf("GET /v1/machines: %d", code)
+	}
+	if n := len(body["machines"].([]any)); n != 2 {
+		t.Fatalf("machines list has %d entries, want 2", n)
+	}
+	if body["replicas"] != float64(2) {
+		t.Fatalf("replicas %v, want 2", body["replicas"])
+	}
+	if code, resp := postJSON(t, ts.URL+"/v1/machines", `{"machine":7,"action":"kill"}`); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range kill: %d %v", code, resp)
+	}
+	if code, resp := postJSON(t, ts.URL+"/v1/machines", `{"machine":0,"action":"explode"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad action: %d %v", code, resp)
+	}
+
+	_, single := newTestServer(t, serverOptions{})
+	var e map[string]any
+	if code := getJSON(t, single.URL+"/v1/machines", &e); code != http.StatusNotFound {
+		t.Fatalf("single-node GET /v1/machines: %d, want 404", code)
+	}
+}

@@ -36,6 +36,22 @@
 // argmins merge with lowest-global-index tie-breaking — bit-identical
 // answers to -machines 1 at either precision.
 //
+// -replicas R places every shard group on R distinct machines. The
+// fan-out asks the preferred replica first and fails over to the
+// others, so up to R-1 machine deaths stay invisible to clients
+// (answers remain bit-identical — every replica holds the same rows at
+// the same version). A membership layer (internal/topology) detects
+// dead and recovered machines from health pulses and re-spreads shard
+// replicas from the canonical copies, healing the layout while the
+// cluster keeps serving. /readyz reports "degraded" (some replicas
+// down, still serving, HTTP 200) and "unavailable" (a whole group
+// dead: its centroid range answers 503 until a machine recovers)
+// with the affected shard groups in the body. /v1/machines inspects
+// the cluster and injects faults:
+//
+//	GET  /v1/machines        per-machine liveness + shard group health
+//	POST /v1/machines        {"machine":M,"action":"kill"|"revive"}
+//
 // -quota N bounds in-flight /assign requests per model; excess
 // requests are answered 429 with a Retry-After hint instead of growing
 // the batch queue without bound.
@@ -78,6 +94,7 @@ func main() {
 		threads      = flag.Int("threads", 0, "GEMM threads (0 = GOMAXPROCS)")
 		nodes        = flag.Int("nodes", 4, "simulated NUMA nodes to pin model shards across")
 		machines     = flag.Int("machines", 1, "shard each model's centroids across this many simulated machines (1 = single-node assigner)")
+		replicas     = flag.Int("replicas", 1, "replicas per shard group: /assign fails over across them, so replicas-1 machine deaths stay invisible (needs -machines > 1)")
 		quota        = flag.Int("quota", 0, "max in-flight /assign requests per model; excess answered 429 (0 = unlimited)")
 		stateDir     = flag.String("state", "", "directory for model snapshot persistence; reloaded on restart (empty = none)")
 		publishEvery = flag.Int("publish-every", 4096, "auto-publish a stream model every N observed rows (0 = manual)")
@@ -111,7 +128,7 @@ func main() {
 	telemetry.SetEnabled(*telemetryOn)
 	srv, err := newServer(serverOptions{
 		maxBatch: *maxBatch, maxWait: *maxWait, threads: *threads,
-		nodes: *nodes, machines: *machines, quota: *quota, stateDir: *stateDir,
+		nodes: *nodes, machines: *machines, replicas: *replicas, quota: *quota, stateDir: *stateDir,
 		publishEvery: *publishEvery, precision: prec,
 		retainVersions: *retainVers, retainAge: *retainAge,
 		pprof: *pprofOn, traceEvery: *traceEvery, accessLog: *accessLog,
@@ -141,8 +158,8 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("knorserve listening on %s (batch=%d wait=%s threads=%d precision=%s machines=%d)\n",
-		ln.Addr(), *maxBatch, *maxWait, *threads, prec, *machines)
+	fmt.Printf("knorserve listening on %s (batch=%d wait=%s threads=%d precision=%s machines=%d replicas=%d)\n",
+		ln.Addr(), *maxBatch, *maxWait, *threads, prec, *machines, *replicas)
 	if err := serveUntil(ctx, ln, srv, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "knorserve:", err)
 		os.Exit(1)

@@ -18,6 +18,7 @@ import (
 	"knor/internal/serve"
 	"knor/internal/shardserve"
 	"knor/internal/telemetry"
+	"knor/internal/topology"
 	"knor/internal/workload"
 )
 
@@ -30,6 +31,11 @@ type serverOptions struct {
 	// machines shards every model's centroids across this many
 	// simulated machines (the -machines flag); 1 serves single-node.
 	machines int
+	// replicas places every shard group on this many distinct machines
+	// (the -replicas flag): /assign fans out to the preferred replica
+	// and fails over to the others, so any replicas-1 machine deaths
+	// stay invisible to clients. Only meaningful with machines > 1.
+	replicas int
 	// quota bounds in-flight /assign requests per model (-quota);
 	// excess requests are answered 429 with a Retry-After hint.
 	quota int
@@ -61,6 +67,12 @@ type server struct {
 	reg     *serve.Registry
 	batcher serve.Assigner
 	tracer  *telemetry.Tracer // nil unless -trace-sample > 0
+	// shards/topo are set when -machines > 1: the replicated shard
+	// layout and the membership layer healing it. pulseStop halts the
+	// health-pulse clock feeding the topology.
+	shards    *shardserve.ShardRegistry
+	topo      *topology.Topology
+	pulseStop func()
 	// draining flips before the HTTP listener shuts down so /readyz
 	// turns the server away from load balancers while in-flight
 	// requests finish.
@@ -110,12 +122,23 @@ func newServer(opts serverOptions) (*server, error) {
 		ModelQuota: opts.quota, Tracer: tracer,
 	}
 	var batcher serve.Assigner
+	var shards *shardserve.ShardRegistry
+	var topo *topology.Topology
+	var pulseStop func()
 	if opts.machines > 1 {
-		sr := shardserve.NewShardRegistry(opts.machines)
-		if err := sr.Attach(reg); err != nil {
+		topo = topology.New(topology.Config{Machines: opts.machines})
+		shards = shardserve.NewShardRegistryWith(shardserve.Options{
+			Machines: opts.machines, Replicas: opts.replicas, Topology: topo,
+		})
+		if err := shards.Attach(reg); err != nil {
+			topo.Close()
 			return nil, err
 		}
-		batcher = shardserve.NewAssigner(sr, bopts, opts.precision)
+		batcher = shardserve.NewAssigner(shards, bopts, opts.precision)
+		// The production detection loop: every simulated machine whose
+		// process is "up" (kill switch off) pulses; machines that go
+		// silent are swept dead and their shards re-spread.
+		pulseStop = topo.StartClock(0, func(m int) bool { return !shards.MachineDown(m) })
 	} else {
 		batcher = serve.NewAssigner(reg, bopts, opts.precision)
 	}
@@ -124,6 +147,9 @@ func newServer(opts serverOptions) (*server, error) {
 		reg:       reg,
 		batcher:   batcher,
 		tracer:    tracer,
+		shards:    shards,
+		topo:      topo,
+		pulseStop: pulseStop,
 		sweepStop: make(chan struct{}),
 		statePath: statePath,
 		streams:   map[string]*serve.StreamEngine{},
@@ -214,7 +240,13 @@ func clampDuration(d, lo, hi time.Duration) time.Duration {
 func (s *server) close() {
 	s.closeOnce.Do(func() {
 		close(s.sweepStop)
+		if s.pulseStop != nil {
+			s.pulseStop()
+		}
 		s.batcher.Close()
+		if s.topo != nil {
+			s.topo.Close()
+		}
 		if s.saveStop != nil {
 			// The saver writes one final snapshot before exiting, so a
 			// clean shutdown never loses a published version.
@@ -245,6 +277,8 @@ func (s *server) mux() http.Handler {
 	}
 	m.HandleFunc("GET /v1/models", s.handleListModels)
 	m.HandleFunc("POST /v1/models", s.handleCreateModel)
+	m.HandleFunc("GET /v1/machines", s.handleListMachines)
+	m.HandleFunc("POST /v1/machines", s.handleMachineAction)
 	m.HandleFunc("POST /v1/assign", s.handleAssign)
 	m.HandleFunc("POST /v1/observe", s.handleObserve)
 	m.HandleFunc("POST /v1/publish", s.handlePublish)
@@ -254,7 +288,12 @@ func (s *server) mux() http.Handler {
 
 // handleReady answers readiness: 503 while draining, when no model is
 // published yet (nothing to serve), or when the state directory stopped
-// being writable (snapshots would silently fail).
+// being writable (snapshots would silently fail). With a replicated
+// shard layout it also classifies shard health: "degraded" (some
+// replicas down, every group still answering — 200, the instance can
+// take traffic, but operators should look) and "unavailable" (at least
+// one group has no live replica, so part of the centroid space cannot
+// answer — 503). Both carry the affected shard groups in the body.
 func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
@@ -274,7 +313,86 @@ func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		probe.Close()
 		os.Remove(probe.Name())
 	}
+	if s.shards != nil {
+		degraded, unavailable := s.shards.Health()
+		if len(unavailable) > 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "unavailable", "unavailable": unavailable, "degraded": degraded,
+			})
+			return
+		}
+		if len(degraded) > 0 {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"status": "degraded", "degraded": degraded,
+			})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleListMachines reports the simulated cluster: per-machine
+// liveness (both the kill switch and the membership layer's view) and
+// every shard group's replica health. 404 on a single-node server —
+// there is no cluster to inspect.
+func (s *server) handleListMachines(w http.ResponseWriter, _ *http.Request) {
+	if s.shards == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("single-node server: no machines (-machines 1)"))
+		return
+	}
+	type machineInfo struct {
+		Machine int  `json:"machine"`
+		Up      bool `json:"up"`   // kill switch: the process answers
+		Live    bool `json:"live"` // membership: the topology's view
+	}
+	machines := make([]machineInfo, s.shards.Machines())
+	for m := range machines {
+		machines[m] = machineInfo{
+			Machine: m,
+			Up:      !s.shards.MachineDown(m),
+			Live:    s.topo.IsLive(m),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"machines": machines,
+		"replicas": s.shards.Replicas(),
+		"groups":   s.shards.GroupHealth(),
+	})
+}
+
+// handleMachineAction kills or revives one simulated machine — the
+// fault-injection surface behind the chaos experiments, and a handy
+// drain lever ("kill" stops routing to a machine immediately; its
+// shards fail over and the membership layer re-spreads them).
+func (s *server) handleMachineAction(w http.ResponseWriter, r *http.Request) {
+	if s.shards == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("single-node server: no machines (-machines 1)"))
+		return
+	}
+	var req struct {
+		Machine int    `json:"machine"`
+		Action  string `json:"action"` // "kill" | "revive"
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Machine < 0 || req.Machine >= s.shards.Machines() {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("machine %d out of range [0,%d)", req.Machine, s.shards.Machines()))
+		return
+	}
+	switch req.Action {
+	case "kill":
+		s.shards.Kill(req.Machine)
+	case "revive":
+		s.shards.Revive(req.Machine)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown action %q (want kill|revive)", req.Action))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"machine": req.Machine, "action": req.Action, "live": s.topo.Live(),
+	})
 }
 
 // traceView is one sampled request lifecycle as served by
@@ -483,6 +601,13 @@ func (s *server) handleAssign(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusTooManyRequests, err)
 			return
 		}
+		if errors.Is(err, shardserve.ErrShardUnavailable) {
+			// A shard group lost every replica: that centroid range
+			// cannot answer until a machine recovers (the error names
+			// the range). Clients should retry elsewhere.
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -577,6 +702,10 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if machines < 1 {
 		machines = 1
 	}
+	replicas := 1
+	if s.shards != nil {
+		replicas = s.shards.Replicas()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"requests":       st.Requests,
 		"rows":           st.Rows,
@@ -590,6 +719,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"avg_batch":      avgBatch(st),
 		"precision":      s.opts.precision.String(),
 		"machines":       machines,
+		"replicas":       replicas,
 		"inflight":       s.batcher.InFlight(),
 		"snapshot_saves": serve.SnapshotSaves(),
 		"snapshot_loads": serve.SnapshotLoads(),

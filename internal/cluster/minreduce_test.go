@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"knor/internal/simclock"
@@ -124,5 +125,92 @@ func TestMinAllreduceCost(t *testing.T) {
 	ringCost := ring.RingAllreduce(bytes)
 	if minCost := got - 1; minCost >= ringCost {
 		t.Errorf("min-allreduce cost %g should beat ring cost %g on small payloads", minCost, ringCost)
+	}
+}
+
+// TestCombineMinPartialParticipation is the replication layer's
+// algebraic contract: for EVERY subset of machines (a machine-death
+// mask — the dead shards' answers arrive from replicas holding
+// identical values, or not at all), folding the surviving
+// contributions in ANY order, with ANY of them duplicated (two
+// replicas of one shard both answering), equals the single-node
+// ascending-index argmin scan over the surviving ranges. Distances are
+// drawn from a tiny value set so exact cross-machine ties are common,
+// and the whole grid runs at both distance precisions (float64, and
+// float64-of-float32 as the 32-bit serving path produces).
+func TestCombineMinPartialParticipation(t *testing.T) {
+	const machines = 5
+	const rows = 24
+	rng := rand.New(rand.NewSource(11))
+
+	for _, quantize := range []bool{false, true} {
+		// Machine m answers every row with an argmin inside its own
+		// global index range [m*10, m*10+10). The tie pool guarantees
+		// equal distances across machines (duplicate centroids).
+		tiePool := []float64{0.25, 0.5, 1, 2}
+		contribs := make([][]MinPair, machines)
+		for m := range contribs {
+			contribs[m] = make([]MinPair, rows)
+			for i := range contribs[m] {
+				d := tiePool[rng.Intn(len(tiePool))]
+				if rng.Intn(3) == 0 {
+					d = rng.Float64()
+				}
+				if quantize {
+					d = float64(float32(d))
+				}
+				contribs[m][i] = MinPair{Index: int32(m*10 + rng.Intn(10)), Dist: d}
+			}
+		}
+
+		// oracle: the single-node scan over the surviving machines'
+		// candidates, ascending global index, strictly-smaller wins.
+		oracle := func(mask uint) []MinPair {
+			out := make([]MinPair, rows)
+			for i := range out {
+				out[i].Index = -1
+			}
+			for m := 0; m < machines; m++ { // ascending ⇒ ascending global index
+				if mask&(1<<m) == 0 {
+					continue
+				}
+				for i, c := range contribs[m] {
+					if out[i].Index < 0 || c.Dist < out[i].Dist {
+						out[i] = c
+					}
+				}
+			}
+			return out
+		}
+
+		for mask := uint(1); mask < 1<<machines; mask++ {
+			want := oracle(mask)
+			var live []int
+			for m := 0; m < machines; m++ {
+				if mask&(1<<m) != 0 {
+					live = append(live, m)
+				}
+			}
+			for trial := 0; trial < 4; trial++ {
+				order := append([]int(nil), live...)
+				rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+				acc := make([]MinPair, rows)
+				for i := range acc {
+					acc[i].Index = -1
+				}
+				for _, m := range order {
+					CombineMin(acc, contribs[m])
+					if trial%2 == 1 { // a second replica answers too
+						CombineMin(acc, contribs[m])
+					}
+				}
+				for i := range want {
+					if acc[i] != want[i] {
+						t.Fatalf("quantize=%v mask=%05b order=%v row %d: got %+v want %+v",
+							quantize, mask, order, i, acc[i], want[i])
+					}
+				}
+			}
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package shardserve
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -15,6 +16,15 @@ import (
 	"knor/internal/telemetry"
 )
 
+// ErrShardUnavailable wraps fan-out errors where every replica of some
+// shard group is dead: the global argmin cannot be computed because a
+// centroid range answered nowhere (its rows could hold the true
+// nearest centroid). Errors carry the group's [lo,hi) centroid range,
+// confining the blast radius to that range's models; the HTTP layer
+// maps the error to 503. Recovery of any one replica restores exact
+// answers.
+var ErrShardUnavailable = errors.New("shardserve: shard group unavailable")
+
 // skewRetries bounds how often a fan-out is retried when a publish
 // lands mid-flight and shard answers straddle two versions; retry i
 // backs off i·skewBackoff first, so a burst of publishes can drain.
@@ -28,14 +38,22 @@ const (
 )
 
 // AssignerOf is the fan-out assignment router: one serve.BatcherOf per
-// machine over that machine's shard registry, queries fanned out to
-// every shard holding the model and folded into the global argmin as
-// the shards answer (cluster.CombineMin — associative and commutative,
-// so arrival order never changes the result). Bit-identical to the
-// single-node serve.BatcherOf for any machine count: shards report raw
-// distances, the cancellation clamp is applied once after the global
-// min, and ties break on the lowest global centroid index exactly as
-// the single-node ascending scan does.
+// machine over that machine's local registry, queries fanned out to
+// every shard group holding the model and folded into the global
+// argmin as the groups answer (cluster.CombineMin — associative and
+// commutative, so arrival order never changes the result).
+// Bit-identical to the single-node serve.BatcherOf for any machine
+// count: shards report raw distances, the cancellation clamp is
+// applied once after the global min, and ties break on the lowest
+// global centroid index exactly as the single-node ascending scan
+// does.
+//
+// Failover: every replica of a shard holds the same centroid rows at
+// the same version, so a shard group's answer is replica-independent —
+// the goroutine serving group s walks the plan's replica list, skips
+// machines whose kill switch is down, and retries the next replica on
+// error. Only a group with no answering replica fails the fan-out
+// (ErrShardUnavailable).
 type AssignerOf[T blas.Float] struct {
 	sr   *ShardRegistry
 	bats []*serve.BatcherOf[T]
@@ -45,9 +63,10 @@ type AssignerOf[T blas.Float] struct {
 	mu       sync.Mutex
 	inflight map[string]int
 
-	requests metrics.Counter
-	rows     metrics.Counter
-	rejected metrics.Counter
+	requests  metrics.Counter
+	rows      metrics.Counter
+	rejected  metrics.Counter
+	failovers metrics.Counter
 }
 
 // NewAssignerOf starts the sharded assignment path at element type T.
@@ -158,33 +177,26 @@ func (a *AssignerOf[T]) AssignBatch(model string, rows *matrix.Mat[T]) ([]serve.
 	return nil, lastErr
 }
 
-// fanout runs one fan-out attempt: every shard answers against its
-// latest snapshot, answers are folded into the running global min as
-// they arrive (reduction overlapping the slower shards' GEMMs), and a
-// version check detects a publish landing mid-flight — the caller
-// retries, since the split table and the shard snapshots must describe
-// the same version for the local→global index mapping to make sense.
+// fanout runs one fan-out attempt: every shard group answers against
+// its latest snapshot (failing over across its replicas), answers are
+// folded into the running global min as they arrive (reduction
+// overlapping the slower groups' GEMMs), and a version check detects a
+// publish landing mid-flight — the caller retries, since the plan and
+// the shard snapshots must describe the same version for the
+// local→global index mapping to make sense.
 func (a *AssignerOf[T]) fanout(model string, rows *matrix.Mat[T], tr *telemetry.Trace) (out []serve.Assignment, retry bool, err error) {
-	version, offsets, ok := a.sr.Split(model)
+	plan, ok := a.sr.GetPlan(model)
 	if !ok {
 		return nil, false, fmt.Errorf("shardserve: unknown model %q", model)
 	}
-	shards := len(offsets) - 1
+	shards := len(plan.Offsets) - 1
 	n := rows.Rows()
 
 	dispatch := time.Now()
 	answers := make(chan shardAnswer, shards)
 	for s := 0; s < shards; s++ {
 		go func(s int) {
-			var as []serve.Assignment
-			var err error
-			if s == 0 {
-				// A sampled trace rides through shard 0's batcher so the
-				// dump shows the enqueue/coalesce/GEMM stages in-shard.
-				as, err = a.bats[s].AssignBatchTraced(model, rows, tr)
-			} else {
-				as, err = a.bats[s].AssignBatch(model, rows)
-			}
+			as, err := a.answerShard(model, s, plan, rows, tr)
 			telShardSeconds.With(strconv.Itoa(s)).Observe(time.Since(dispatch).Seconds())
 			answers <- shardAnswer{shard: s, assigns: as, err: err}
 		}(s)
@@ -207,9 +219,9 @@ func (a *AssignerOf[T]) fanout(model string, rows *matrix.Mat[T], tr *telemetry.
 			err = ans.err
 			continue
 		}
-		lo := offsets[ans.shard]
+		lo := plan.Offsets[ans.shard]
 		for i, as := range ans.assigns {
-			if as.Version != version {
+			if as.Version != plan.Version {
 				retry = true
 				break
 			}
@@ -232,12 +244,13 @@ func (a *AssignerOf[T]) fanout(model string, rows *matrix.Mat[T], tr *telemetry.
 		tr.Span("min_allreduce", reduceStart, reduceEnd)
 	}
 	if err != nil {
-		// A shard error can itself be publish skew: a republish that
-		// shrank k drops the name from the tail machines, so a fan-out
-		// holding the old split gets "unknown model" from them. If the
-		// split moved while we were in flight, retry with the new one
-		// instead of surfacing the transient error.
-		if v, _, ok := a.sr.Split(model); ok && v != version {
+		// A shard error can itself be plan skew: a republish that
+		// shrank k, or a rebalance after a membership change, drops
+		// shard copies from machines the old plan still points at. If
+		// the plan moved while we were in flight (version or gen),
+		// retry with the new one instead of surfacing the transient
+		// error.
+		if p, ok := a.sr.GetPlan(model); ok && (p.Version != plan.Version || p.Gen != plan.Gen) {
 			return nil, true, nil
 		}
 		return nil, false, err
@@ -251,10 +264,51 @@ func (a *AssignerOf[T]) fanout(model string, rows *matrix.Mat[T], tr *telemetry.
 		if d < 0 { // numerical cancellation, clamped once globally
 			d = 0
 		}
-		out[i] = serve.Assignment{Cluster: p.Index, SqDist: d, Version: version}
+		out[i] = serve.Assignment{Cluster: p.Index, SqDist: d, Version: plan.Version}
 	}
 	return out, false, nil
 }
+
+// answerShard answers shard group s by walking its replica list:
+// machines with the kill switch down are skipped, an erroring replica
+// fails over to the next, and every pass past the preferred replica
+// counts as a failover. All replicas hold identical centroid rows at
+// identical versions, so whichever answers first is THE answer. Only a
+// group with no answering replica errors, carrying its centroid range.
+func (a *AssignerOf[T]) answerShard(model string, s int, plan Plan, rows *matrix.Mat[T], tr *telemetry.Trace) ([]serve.Assignment, error) {
+	key := ShardKey(model, s)
+	var lastErr error
+	for i, m := range plan.Replicas[s] {
+		if i > 0 {
+			a.failovers.Inc()
+			telFailovers.With(strconv.Itoa(s)).Inc()
+		}
+		if a.sr.MachineDown(m) {
+			lastErr = fmt.Errorf("machine %d down", m)
+			continue
+		}
+		var as []serve.Assignment
+		var err error
+		if s == 0 {
+			// A sampled trace rides through group 0's batcher so the
+			// dump shows the enqueue/coalesce/GEMM stages in-shard.
+			as, err = a.bats[m].AssignBatchTraced(key, rows, tr)
+		} else {
+			as, err = a.bats[m].AssignBatch(key, rows)
+		}
+		if err == nil {
+			return as, nil
+		}
+		lastErr = err
+	}
+	telUnavailable.Inc()
+	return nil, fmt.Errorf("%w: model %q shard %d (centroid rows [%d,%d)): %v",
+		ErrShardUnavailable, model, s, plan.Offsets[s], plan.Offsets[s+1], lastErr)
+}
+
+// Failovers reports how many times a fan-out passed over a shard
+// group's preferred replica (dead or erring) to a backup.
+func (a *AssignerOf[T]) Failovers() uint64 { return a.failovers.Load() }
 
 // AssignRows answers float64 query rows regardless of the assigner's
 // element type, converting once when T is narrower — the

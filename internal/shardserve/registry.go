@@ -2,50 +2,128 @@ package shardserve
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"knor/internal/dist"
 	"knor/internal/matrix"
 	"knor/internal/serve"
+	"knor/internal/topology"
 )
 
 // ShardRegistry keeps M per-machine serve.Registry instances in
 // lockstep: every published model is split into contiguous centroid-row
-// shards (dist.Partition over the k rows) and shard i is restored into
-// machine i's registry under the same name and the SAME version number.
-// Each shard registry is an ordinary copy-on-write serve.Registry, so
-// per-machine batchers get the single-node snapshot guarantees for
-// free; the split table maps shard-local argmins back to global
-// centroid indices.
+// shards (dist.Partition over the k rows) and each shard is restored
+// into R machines' registries under the same shard key and the SAME
+// version number. Each machine registry is an ordinary copy-on-write
+// serve.Registry, so per-machine batchers get the single-node snapshot
+// guarantees for free; the plan table maps shard-local argmins back to
+// global centroid indices and lists each shard's replica machines in
+// preference order.
 //
-// A model with fewer centroids than machines occupies only the first k
-// machines; a publish that changes k rebalances the split and drops the
-// name from machines that no longer hold a shard.
+// Replication and self-healing: with Options.Replicas R > 1, shard s
+// lands on R distinct machines (topology.Place over the live set), so
+// any R-1 machine deaths leave every centroid range answerable — the
+// fan-out fails over to the surviving replicas. With a Topology
+// attached, every dead/recovered transition re-spreads placements from
+// the canonical copy the registry retains per model, restoring full
+// replication while the cluster keeps serving.
+//
+// A model with fewer centroids than machines occupies only k shard
+// groups; a publish that changes k rebalances the split and drops
+// stranded shard copies so no stale snapshot can answer.
 type ShardRegistry struct {
 	machines int
-	regs     []*serve.Registry
+	replicas int
+	topo     *topology.Topology
+
+	regs []*serve.Registry
+	// down[m] is the fault-injection kill switch: a down machine's
+	// batcher is never consulted (its calls would time out in a real
+	// cluster), independent of whether the topology has detected the
+	// death yet — that lag is exactly the window the fan-out's failover
+	// covers.
+	down []atomic.Bool
 
 	mu     sync.RWMutex
-	splits map[string]split
+	splits map[string]*split
+	// canon retains each model's latest full centroid snapshot (the
+	// publisher's copy), the source self-healing re-replicates from: a
+	// machine death never loses shard data as long as the registry
+	// process lives, mirroring a driver that re-pushes placements.
+	canon map[string]canonModel
 }
 
-// split records how one model's current version is laid out: shard i
-// holds global centroid rows [Offsets[i], Offsets[i+1]).
+// split records how one model's current version is laid out: shard s
+// holds global centroid rows [offsets[s], offsets[s+1]) on the machines
+// replicas[s], in preference order.
 type split struct {
 	version int
-	offsets []int
+	// gen increments on every re-spread — including same-version
+	// rebalances after membership changes — so an in-flight fan-out can
+	// tell "my plan went stale" apart from "a replica is truly dead".
+	gen      uint64
+	offsets  []int
+	replicas [][]int
+}
+
+// canonModel is the retained canonical copy of one model.
+type canonModel struct {
+	version   int
+	node      int
+	centroids *matrix.Dense // immutable (cloned at publish / snapshot at mirror)
+}
+
+// Options configure a ShardRegistry.
+type Options struct {
+	// Machines is the simulated machine count (>= 1).
+	Machines int
+	// Replicas is the replication factor R: every shard is restored
+	// into min(R, live machines) distinct machines. Values < 1 mean 1
+	// (no replication, the pre-replication layout).
+	Replicas int
+	// Topology, when set, drives liveness-aware placement: shards are
+	// placed over live machines only, and every dead/recovered
+	// transition re-spreads under-replicated shards from the canonical
+	// copy (self-healing). The registry subscribes to the topology; the
+	// caller retains ownership and must Close it after the registry is
+	// done serving.
+	Topology *topology.Topology
 }
 
 // NewShardRegistry builds an empty sharded registry over the given
-// machine count.
+// machine count with no replication — the single-copy layout.
 func NewShardRegistry(machines int) *ShardRegistry {
-	if machines < 1 {
+	return NewShardRegistryWith(Options{Machines: machines})
+}
+
+// NewShardRegistryWith builds an empty sharded registry from Options.
+func NewShardRegistryWith(opts Options) *ShardRegistry {
+	if opts.Machines < 1 {
 		panic("shardserve: need at least one machine")
 	}
-	sr := &ShardRegistry{machines: machines, splits: map[string]split{}}
-	sr.regs = make([]*serve.Registry, machines)
+	r := opts.Replicas
+	if r < 1 {
+		r = 1
+	}
+	if r > opts.Machines {
+		r = opts.Machines
+	}
+	sr := &ShardRegistry{
+		machines: opts.Machines,
+		replicas: r,
+		topo:     opts.Topology,
+		down:     make([]atomic.Bool, opts.Machines),
+		splits:   map[string]*split{},
+		canon:    map[string]canonModel{},
+	}
+	sr.regs = make([]*serve.Registry, opts.Machines)
 	for i := range sr.regs {
 		sr.regs[i] = serve.NewRegistry(1)
+	}
+	if sr.topo != nil {
+		sr.topo.Subscribe(func(topology.Event) { sr.rebalance() })
 	}
 	return sr
 }
@@ -53,31 +131,100 @@ func NewShardRegistry(machines int) *ShardRegistry {
 // Machines returns the machine count.
 func (sr *ShardRegistry) Machines() int { return sr.machines }
 
-// Registry returns machine i's shard registry (for wiring per-machine
-// batchers).
+// Replicas returns the replication factor R.
+func (sr *ShardRegistry) Replicas() int { return sr.replicas }
+
+// Registry returns machine i's local registry (for wiring per-machine
+// batchers). Shards live in it under ShardKey(model, shard).
 func (sr *ShardRegistry) Registry(i int) *serve.Registry { return sr.regs[i] }
 
-// Split returns the named model's current version and shard offsets
-// (len = shards+1; shard i serves global centroid rows
-// [offsets[i], offsets[i+1])).
-func (sr *ShardRegistry) Split(name string) (version int, offsets []int, ok bool) {
+// ShardKey names shard s of a model inside a machine's local registry.
+// The NUL separator cannot collide with user-facing model names (JSON
+// strings never round-trip through it in our API paths).
+func ShardKey(model string, shard int) string {
+	return fmt.Sprintf("%s\x00%d", model, shard)
+}
+
+// Kill simulates machine m's process dying: the fan-out stops routing
+// to it immediately (down switch) and, when a topology is attached, the
+// membership layer is told explicitly — the deterministic
+// fault-injection path. The machine's registry contents are retained,
+// as a rejoining process would recover its local state.
+func (sr *ShardRegistry) Kill(m int) {
+	sr.down[m].Store(true)
+	if sr.topo != nil {
+		sr.topo.MarkDead(m)
+	}
+}
+
+// Revive brings a killed machine back: routing resumes and the
+// membership layer re-spreads placements to reinclude it.
+func (sr *ShardRegistry) Revive(m int) {
+	sr.down[m].Store(false)
+	if sr.topo != nil {
+		sr.topo.MarkRecovered(m)
+	}
+}
+
+// MachineDown reports machine m's kill switch.
+func (sr *ShardRegistry) MachineDown(m int) bool { return sr.down[m].Load() }
+
+// Plan is one model's current serving layout, the unit a fan-out
+// operates on: all three fields must describe the same (version, gen)
+// for the local->global index mapping and the failover order to make
+// sense.
+type Plan struct {
+	Version int
+	Gen     uint64
+	// Offsets has len shards+1: shard s serves global centroid rows
+	// [Offsets[s], Offsets[s+1]).
+	Offsets []int
+	// Replicas[s] lists the machines holding shard s in preference
+	// order; a fan-out tries them left to right.
+	Replicas [][]int
+}
+
+// GetPlan returns the named model's current layout.
+func (sr *ShardRegistry) GetPlan(name string) (Plan, bool) {
 	sr.mu.RLock()
 	defer sr.mu.RUnlock()
 	sp, ok := sr.splits[name]
-	return sp.version, sp.offsets, ok
+	if !ok {
+		return Plan{}, false
+	}
+	return Plan{Version: sp.version, Gen: sp.gen, Offsets: sp.offsets, Replicas: sp.replicas}, true
+}
+
+// Split returns the named model's current version and shard offsets
+// (len = shards+1; shard s serves global centroid rows
+// [offsets[s], offsets[s+1])).
+func (sr *ShardRegistry) Split(name string) (version int, offsets []int, ok bool) {
+	sr.mu.RLock()
+	defer sr.mu.RUnlock()
+	sp, spOK := sr.splits[name]
+	if !spOK {
+		return 0, nil, false
+	}
+	return sp.version, sp.offsets, true
 }
 
 // Publish splits centroids across the machines as the next version of
-// the named model. The shard registries clone their slices
+// the named model. The machine registries clone their slices
 // (copy-on-write), so the caller keeps ownership of centroids.
 func (sr *ShardRegistry) Publish(name string, centroids *matrix.Dense) (version int, err error) {
 	if centroids == nil || centroids.Rows() == 0 {
 		return 0, fmt.Errorf("shardserve: model %q published with no centroids", name)
 	}
+	cl := centroids.Clone()
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
-	v := sr.splits[name].version + 1
-	if err := sr.restoreLocked(name, v, 0, centroids); err != nil {
+	var v int
+	if sp, ok := sr.splits[name]; ok {
+		v = sp.version + 1
+	} else {
+		v = 1
+	}
+	if err := sr.restoreLocked(name, v, 0, cl); err != nil {
 		return 0, err
 	}
 	return v, nil
@@ -110,11 +257,13 @@ func (sr *ShardRegistry) Attach(primary *serve.Registry) error {
 }
 
 // mirror restores one primary snapshot into the shards, skipping
-// versions the shards already caught up past (the Attach race).
+// versions the shards already caught up past (the Attach race). The
+// snapshot's centroids are immutable, so the canonical copy retains
+// them without cloning.
 func (sr *ShardRegistry) mirror(m *serve.Model) {
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
-	if sr.splits[m.Name].version >= m.Version {
+	if sp, ok := sr.splits[m.Name]; ok && sp.version >= m.Version {
 		return
 	}
 	if err := sr.restoreLocked(m.Name, m.Version, m.Node, m.Centroids); err != nil {
@@ -124,39 +273,186 @@ func (sr *ShardRegistry) mirror(m *serve.Model) {
 	}
 }
 
-// restoreLocked splits centroids and restores shard i into machine i's
-// registry at the given version, then updates the split table. Caller
+// livePlacementLocked returns the machines placement may use: the
+// topology's live set when one is attached (all machines if it is
+// somehow empty — placement must target somewhere, and the fan-out's
+// down checks still protect callers), every machine otherwise.
+func (sr *ShardRegistry) livePlacementLocked() []int {
+	if sr.topo != nil {
+		if live := sr.topo.Live(); len(live) > 0 {
+			return live
+		}
+	}
+	all := make([]int, sr.machines)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// restoreLocked splits centroids, restores shard s into its placed
+// machines' registries at the given version, drops copies that fell
+// out of the placement, and updates the plan table. centroids must be
+// safe to retain (cloned by Publish, immutable from mirror). Caller
 // holds sr.mu.
 func (sr *ShardRegistry) restoreLocked(name string, version, node int, centroids *matrix.Dense) error {
+	if cm, ok := sr.canon[name]; ok && cm.centroids.Cols() != centroids.Cols() {
+		return fmt.Errorf("shardserve: model %q dims changed %d -> %d",
+			name, cm.centroids.Cols(), centroids.Cols())
+	}
 	k := centroids.Rows()
 	shards := sr.machines
 	if k < shards {
 		shards = k
 	}
 	parts := dist.Partition(k, shards)
+	live := sr.livePlacementLocked()
 	offsets := make([]int, shards+1)
-	for i, p := range parts {
-		offsets[i+1] = p.Hi
-		if _, err := sr.regs[i].Restore(name, version, node, p.View(centroids)); err != nil {
-			return err
+	reps := make([][]int, shards)
+	for s, p := range parts {
+		offsets[s+1] = p.Hi
+		reps[s] = topology.Place(s, sr.replicas, live)
+		for _, m := range reps[s] {
+			key := ShardKey(name, s)
+			if cur, ok := sr.regs[m].Get(key); ok && cur.Version >= version {
+				continue // already holds this shard at this version (rebalance path)
+			}
+			if _, err := sr.regs[m].Restore(key, version, node, p.View(centroids)); err != nil {
+				return err
+			}
 		}
 	}
-	// A shrinking k strands shards on the tail machines; drop them so
-	// their batchers can never answer from a stale snapshot.
-	for i := shards; i < sr.machines; i++ {
-		sr.regs[i].Drop(name)
+	// Drop copies outside the new placement: machines a shard moved
+	// away from, and whole shard groups stranded by a shrinking k. An
+	// in-flight fan-out holding the old plan that races a drop fails
+	// over, then retries on the gen bump.
+	oldShards := shards
+	if sp, ok := sr.splits[name]; ok {
+		if n := len(sp.offsets) - 1; n > oldShards {
+			oldShards = n
+		}
 	}
-	sr.splits[name] = split{version: version, offsets: offsets}
+	for s := 0; s < oldShards; s++ {
+		var want []int
+		if s < shards {
+			want = reps[s]
+		}
+		for m := 0; m < sr.machines; m++ {
+			placed := false
+			for _, w := range want {
+				if w == m {
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				sr.regs[m].Drop(ShardKey(name, s))
+			}
+		}
+	}
+	var gen uint64
+	if sp, ok := sr.splits[name]; ok {
+		gen = sp.gen + 1
+	}
+	sr.splits[name] = &split{version: version, gen: gen, offsets: offsets, replicas: reps}
+	sr.canon[name] = canonModel{version: version, node: node, centroids: centroids}
 	return nil
 }
 
-// Drop removes the model from every shard registry and the split
+// rebalance re-spreads every model's shards over the current live set
+// from the canonical copies — the self-healing step, run on the
+// topology dispatcher after each membership transition. Same-version
+// restores skip machines that already hold their shard, so healing
+// only copies what actually moved.
+func (sr *ShardRegistry) rebalance() {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	telRebalances.Inc()
+	for name, cm := range sr.canon {
+		if err := sr.restoreLocked(name, cm.version, cm.node, cm.centroids); err != nil {
+			// Re-spreading a version that already published cannot
+			// change dims and never moves a version backwards.
+			panic(fmt.Sprintf("shardserve: rebalance %q v%d: %v", name, cm.version, err))
+		}
+	}
+}
+
+// ShardHealth describes one shard group's replica liveness.
+type ShardHealth struct {
+	Model string `json:"model"`
+	Shard int    `json:"shard"`
+	// Lo/Hi are the group's global centroid rows [Lo, Hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Placed is how many replicas the current plan holds; Want is the
+	// configured replication factor; Live is how many placed replicas
+	// sit on machines currently answering.
+	Placed int `json:"placed"`
+	Want   int `json:"want"`
+	Live   int `json:"live"`
+}
+
+// GroupHealth reports every shard group of every model, sorted by
+// model name then shard index.
+func (sr *ShardRegistry) GroupHealth() []ShardHealth {
+	sr.mu.RLock()
+	defer sr.mu.RUnlock()
+	names := make([]string, 0, len(sr.splits))
+	for name := range sr.splits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []ShardHealth
+	for _, name := range names {
+		sp := sr.splits[name]
+		for s, ms := range sp.replicas {
+			h := ShardHealth{
+				Model: name, Shard: s,
+				Lo: sp.offsets[s], Hi: sp.offsets[s+1],
+				Placed: len(ms), Want: sr.replicas,
+			}
+			for _, m := range ms {
+				if !sr.down[m].Load() {
+					h.Live++
+				}
+			}
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Health classifies the shard groups that are not fully healthy:
+// degraded groups still answer (>= 1 live replica) but sit below the
+// configured replication factor; unavailable groups have no live
+// replica, so their centroid range cannot answer and fan-outs touching
+// them fail with ErrShardUnavailable until a replica returns.
+func (sr *ShardRegistry) Health() (degraded, unavailable []ShardHealth) {
+	for _, h := range sr.GroupHealth() {
+		switch {
+		case h.Live == 0:
+			unavailable = append(unavailable, h)
+		case h.Live < h.Want:
+			degraded = append(degraded, h)
+		}
+	}
+	return degraded, unavailable
+}
+
+// Drop removes the model from every machine registry and the plan
 // table.
 func (sr *ShardRegistry) Drop(name string) {
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
-	for _, r := range sr.regs {
-		r.Drop(name)
+	sp, ok := sr.splits[name]
+	if !ok {
+		return
+	}
+	for s := 0; s < len(sp.offsets)-1; s++ {
+		for _, r := range sr.regs {
+			r.Drop(ShardKey(name, s))
+		}
 	}
 	delete(sr.splits, name)
+	delete(sr.canon, name)
 }

@@ -44,9 +44,11 @@ func TestShardRegistrySplit(t *testing.T) {
 			t.Fatalf("offsets %v, want %v", offsets, want)
 		}
 	}
-	// Every shard registry holds exactly its rows, same version.
+	// Every shard registry holds exactly its rows, same version. With
+	// R=1 over a fully-live cluster, shard i lands on machine i, keyed
+	// by ShardKey so one machine could hold several shards.
 	for i := 0; i < 3; i++ {
-		m, ok := sr.Registry(i).Get("m")
+		m, ok := sr.Registry(i).Get(ShardKey("m", i))
 		if !ok {
 			t.Fatalf("machine %d has no shard", i)
 		}
@@ -81,13 +83,13 @@ func TestShardRegistryRebalance(t *testing.T) {
 		t.Fatalf("after rebalance: version=%d offsets=%v", version, offsets)
 	}
 	for i := 0; i < 2; i++ {
-		m, ok := sr.Registry(i).Get("m")
+		m, ok := sr.Registry(i).Get(ShardKey("m", i))
 		if !ok || m.Version != 2 || m.K() != 1 {
 			t.Fatalf("machine %d: ok=%v", i, ok)
 		}
 	}
 	for i := 2; i < 4; i++ {
-		if _, ok := sr.Registry(i).Get("m"); ok {
+		if _, ok := sr.Registry(i).Get(ShardKey("m", i)); ok {
 			t.Fatalf("machine %d still holds a stale shard after k shrank", i)
 		}
 	}
@@ -96,7 +98,7 @@ func TestShardRegistryRebalance(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		m, ok := sr.Registry(i).Get("m")
+		m, ok := sr.Registry(i).Get(ShardKey("m", i))
 		if !ok || m.Version != 3 {
 			t.Fatalf("machine %d after regrow: ok=%v", i, ok)
 		}
@@ -136,15 +138,15 @@ func TestShardRegistryAttach(t *testing.T) {
 	if version, offsets, ok := sr.Split("b"); !ok || version != 1 || len(offsets) != 2 {
 		t.Fatalf("model b: version=%d offsets=%v ok=%v", version, offsets, ok)
 	}
-	m0, _ := sr.Registry(0).Get("a")
+	m0, _ := sr.Registry(0).Get(ShardKey("a", 0))
 	if m0.Version != 3 {
 		t.Fatalf("shard 0 of a at version %d, want 3", m0.Version)
 	}
-	m0b, ok := sr.Registry(0).Get("b")
+	m0b, ok := sr.Registry(0).Get(ShardKey("b", 0))
 	if !ok || m0b.K() != 1 {
 		t.Fatalf("model b shard: ok=%v", ok)
 	}
-	if _, ok := sr.Registry(1).Get("b"); ok {
+	if _, ok := sr.Registry(1).Get(ShardKey("b", 0)); ok {
 		t.Fatal("k=1 model must occupy only machine 0")
 	}
 }
@@ -159,7 +161,7 @@ func TestShardRegistryDrop(t *testing.T) {
 		t.Fatal("split survived Drop")
 	}
 	for i := 0; i < 2; i++ {
-		if _, ok := sr.Registry(i).Get("m"); ok {
+		if _, ok := sr.Registry(i).Get(ShardKey("m", i)); ok {
 			t.Fatalf("machine %d still holds dropped model", i)
 		}
 	}

@@ -26,4 +26,11 @@ var (
 		telemetry.DefLatencyBuckets())
 	telInflight = telemetry.Default.GaugeVec("knor_shardserve_inflight_requests",
 		"In-flight assignment requests per model at the fan-out edge.", "model")
+	telFailovers = telemetry.Default.CounterVec("knor_shardserve_failovers_total",
+		"Fan-outs that passed over a shard group's preferred replica (dead or erring) to a backup.",
+		"shard")
+	telUnavailable = telemetry.Default.Counter("knor_shardserve_unavailable_total",
+		"Shard-group answers that failed on every replica (the group was unavailable).")
+	telRebalances = telemetry.Default.Counter("knor_shardserve_rebalances_total",
+		"Placement rebalances triggered by membership transitions (replicas re-spread from the canonical copies).")
 )

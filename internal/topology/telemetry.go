@@ -1,0 +1,18 @@
+package topology
+
+import "knor/internal/telemetry"
+
+// Membership instruments, registered at init against telemetry.Default.
+// The live gauge and transition counter update synchronously inside the
+// transition (under the topology lock), so a scrape immediately after a
+// kill already reflects it; only subscriber delivery is asynchronous.
+var (
+	telMachinesLive = telemetry.Default.Gauge("knor_topology_machines_live",
+		"Machines currently in the Live membership state.")
+	telTransitions = telemetry.Default.CounterVec("knor_topology_transitions_total",
+		"Membership transitions by destination state (dead = detected or injected failure, live = recovery).",
+		"to")
+	telPulseSeconds = telemetry.Default.Histogram("knor_topology_health_pulse_seconds",
+		"Interval between a machine's consecutive health pulses.",
+		telemetry.DefLatencyBuckets())
+)

@@ -49,6 +49,7 @@ import (
 	"knor/internal/shardserve"
 	"knor/internal/simclock"
 	"knor/internal/store"
+	"knor/internal/topology"
 	"knor/internal/workload"
 )
 
@@ -348,11 +349,40 @@ type (
 	// lockstep: publishing splits a model's centroid rows into
 	// contiguous shards, one per machine, at the same version number.
 	ShardRegistry = shardserve.ShardRegistry
+	// ShardOptions configures a replicated shard registry: machine
+	// count, replicas per shard group, and an optional membership
+	// layer that triggers self-healing re-placement.
+	ShardOptions = shardserve.Options
 	// ShardSimConfig drives a simulated sharded-serving epoch.
 	ShardSimConfig = shardserve.SimConfig
 	// ShardSimStats summarises a simulated sharded-serving epoch.
 	ShardSimStats = shardserve.SimStats
+	// ChaosConfig drives a seeded kill-schedule run against a
+	// replicated shard registry (see RunChaos).
+	ChaosConfig = shardserve.ChaosConfig
+	// ChaosStats summarises a chaos run: kills, failovers, errors,
+	// wrong answers (always zero on a passing run), and recovery.
+	ChaosStats = shardserve.ChaosStats
+	// ClusterTopology is the cluster membership layer: health pulses,
+	// sweep detection, and dead/recovered transitions dispatched over
+	// channels to subscribers such as the shard registry. (Topology is
+	// the simulated NUMA machine description.)
+	ClusterTopology = topology.Topology
+	// ClusterTopologyConfig sizes a ClusterTopology (machine count,
+	// pulse timeout).
+	ClusterTopologyConfig = topology.Config
 )
+
+// ErrShardUnavailable reports that every replica of a shard group was
+// down; the error message names the dead centroid range [lo,hi).
+// Other groups keep answering.
+var ErrShardUnavailable = shardserve.ErrShardUnavailable
+
+// NewClusterTopology builds a membership layer over machine IDs
+// 0..machines-1, all initially live.
+func NewClusterTopology(cfg ClusterTopologyConfig) *ClusterTopology {
+	return topology.New(cfg)
+}
 
 // NewShardRegistry builds an empty centroid-sharded registry over the
 // given machine count.
@@ -373,6 +403,25 @@ func NewShardedAssigner(reg *Registry, machines int, opts BatcherOptions, p Prec
 	}
 	return shardserve.NewAssigner(sr, opts, p), nil
 }
+
+// NewReplicatedShardRegistry builds a shard registry whose shard
+// groups are each placed on sopts.Replicas distinct machines; the
+// fan-out assigner fails over across a group's replicas, so up to
+// Replicas-1 machine deaths stay invisible to clients (answers remain
+// bit-identical — every replica holds the same centroid rows at the
+// same version). Wire a Topology into sopts to make the registry
+// self-healing: on every dead/recovered transition it re-spreads shard
+// replicas over the live machines from its retained canonical copies.
+func NewReplicatedShardRegistry(sopts ShardOptions) *ShardRegistry {
+	return shardserve.NewShardRegistryWith(sopts)
+}
+
+// RunChaos drives a seeded kill schedule against a replicated shard
+// registry under QueryStream traffic, checking every answer against a
+// single-node oracle bit for bit. Identical configs (same Seed)
+// produce identical schedules and stats — the replay knob behind
+// `make chaos-smoke`.
+func RunChaos(cfg ChaosConfig) (ChaosStats, error) { return shardserve.RunChaos(cfg) }
 
 // SimulateShardServe runs the sharded /assign fan-out pipeline in
 // simulated time (router serialisation, binomial bcast, per-shard
