@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-precision figs docs serve-loadtest io-smoke shardserve-smoke metrics-smoke chaos-smoke clean
+.PHONY: all build vet test race bench bench-precision bench-kernels test-noasm figs docs serve-loadtest io-smoke shardserve-smoke metrics-smoke chaos-smoke clean
 
 all: vet build test
 
@@ -29,6 +29,19 @@ bench:
 bench-precision:
 	$(GO) test -run=NONE -bench='Gemm32vs64' -benchtime=5x ./internal/blas
 	$(GO) test -run=NONE -bench='ServeAssign' -benchtime=20x ./internal/serve
+
+# EXPERIMENTS.md's Kernels table: SIMD vs pure-Go GEMM GFLOP/s at both
+# element widths plus the int8 quantized scan, with the machine-readable
+# report (including the float32 asm/go speedup on the acceptance shape)
+# in BENCH_kernels.json.
+bench-kernels:
+	$(GO) run ./cmd/knorbench -exp kernels -json BENCH_kernels.json
+
+# The parity suite against the pure-Go reference kernels (mirrors CI):
+# the same tests that gate the assembly path must pass with it compiled
+# out.
+test-noasm:
+	$(GO) test -tags noasm ./internal/blas/... ./internal/serve/... ./internal/shardserve/...
 
 # Full figure sweeps (smaller -quick variants; drop -quick for the
 # complete scale-reduced reproduction).
@@ -93,7 +106,8 @@ metrics-smoke:
 	@tmp=$$(mktemp -d) || exit 1; \
 	trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o $$tmp/knorserve ./cmd/knorserve && \
-	$$tmp/knorserve -addr 127.0.0.1:18080 -trace-sample 1 -machines 3 -replicas 2 & pid=$$!; \
+	$$tmp/knorserve -addr 127.0.0.1:18080 -trace-sample 1 -machines 3 -replicas 2 \
+		-precision 32 -quantize int8 & pid=$$!; \
 	for i in $$(seq 1 50); do \
 		curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
 	curl -sS -o /dev/null -w '%{http_code}' http://127.0.0.1:18080/readyz | grep -q 503 || \
@@ -110,9 +124,15 @@ metrics-smoke:
 		knor_sem_iterations_total knor_registry_publishes_total \
 		knor_http_requests_total knor_topology_machines_live \
 		knor_topology_transitions_total knor_topology_health_pulse_seconds \
-		knor_shardserve_failovers_total knor_shardserve_rebalances_total; do \
+		knor_shardserve_failovers_total knor_shardserve_rebalances_total \
+		knor_shardserve_spread_bytes_total knor_blas_gemm_dispatch_total \
+		knor_serve_quant_rows_total knor_serve_quant_rerank_fallbacks_total; do \
 		grep -q "^# TYPE $$series" $$tmp/metrics.txt || \
 			{ echo "metrics-smoke: $$series missing from /metrics"; exit 1; }; done; \
+	grep -q '^knor_serve_quant_rows_total [1-9]' $$tmp/metrics.txt || \
+		{ echo "metrics-smoke: quantized assign path served no rows (-quantize int8)"; exit 1; }; \
+	grep '^knor_serve_quant_rerank_fallbacks_total' $$tmp/metrics.txt || \
+		{ echo "metrics-smoke: no rerank fallback counter"; exit 1; }; \
 	grep -q '^knor_topology_machines_live 3$$' $$tmp/metrics.txt || \
 		{ echo "metrics-smoke: live gauge should read 3 at boot"; exit 1; }; \
 	families=$$(grep -c '^# TYPE ' $$tmp/metrics.txt); \

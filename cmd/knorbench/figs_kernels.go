@@ -1,0 +1,155 @@
+package main
+
+// Kernels experiment: GFLOP/s of the Dgemm microkernels at both
+// element widths with the assembly path on and off (same binary — the
+// dispatch switch flips at runtime), plus the int8 quantized
+// centroid-scan kernel's throughput. With -json the measurements also
+// land in a machine-readable file (the bench-kernels Makefile target
+// writes BENCH_kernels.json), including the float32 asm/go speedup on
+// the acceptance shape.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"knor/internal/blas"
+	"knor/internal/matrix"
+	"knor/internal/workload"
+)
+
+// kernelResult is one GEMM measurement in the JSON report.
+type kernelResult struct {
+	Dtype  string  `json:"dtype"`  // float32 | float64
+	Kernel string  `json:"kernel"` // go | avx2fma | neon
+	M      int     `json:"m"`
+	D      int     `json:"d"`
+	K      int     `json:"k"`
+	GFLOPS float64 `json:"gflops"`
+}
+
+// quantResult is one int8 scan measurement in the JSON report.
+type quantResult struct {
+	M          int     `json:"m"`
+	D          int     `json:"d"`
+	K          int     `json:"k"`
+	GOPS       float64 `json:"gops"` // 2*m*k*d int ops per second
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// kernelsReport is the BENCH_kernels.json schema.
+type kernelsReport struct {
+	// Kernel is the assembly flavour compiled in ("go" when the binary
+	// was built with -tags noasm or on an unsupported CPU).
+	Kernel  string `json:"kernel"`
+	Threads int    `json:"threads"`
+	// SpeedupF32 is asm/go GFLOP/s on the acceptance shape (1M-row
+	// PairwiseSqDist-shaped GEMM, d=16, k=100); 1.0 without assembly.
+	SpeedupF32 float64        `json:"speedup_f32"`
+	Gemm       []kernelResult `json:"gemm"`
+	Quantized  []quantResult  `json:"quantized"`
+}
+
+// gemmShapes: the acceptance shape first (1M x 16 by k=100 — the
+// PairwiseSqDist shape serving flushes run), then a wider and a deeper
+// panel to exercise the tail paths.
+var gemmShapes = []struct{ m, d, k int }{
+	{1_000_000, 16, 100},
+	{200_000, 64, 64},
+	{100_000, 100, 31},
+}
+
+func kernelsExp(e env) {
+	threads := runtime.GOMAXPROCS(0)
+	reps := 3
+	shapes := gemmShapes
+	if e.quick {
+		reps = 1
+		shapes = append([]struct{ m, d, k int }{}, shapes...)
+		for i := range shapes {
+			shapes[i].m /= 10
+		}
+	}
+	report := kernelsReport{Kernel: blas.KernelName(), Threads: threads}
+	fmt.Printf("  kernel flavour: %s (asm supported: %v), %d threads\n",
+		blas.KernelName(), blas.AsmSupported(), threads)
+
+	var rows [][]string
+	for _, sh := range shapes {
+		spec := workload.Spec{Kind: workload.UniformMultivariate, N: sh.m + sh.k, D: sh.d, Seed: int64(sh.d)}
+		all := workload.Generate(spec)
+		all32 := matrix.Convert[float32](all)
+		a64, c64 := all.Data[:sh.m*sh.d], all.Data[sh.m*sh.d:]
+		a32, c32 := all32.Data[:sh.m*sh.d], all32.Data[sh.m*sh.d:]
+		out64 := make([]float64, sh.m*sh.k)
+		out32 := make([]float32, sh.m*sh.k)
+		flops := 2 * float64(sh.m) * float64(sh.k) * float64(sh.d)
+
+		perKernel := map[string][2]float64{} // kernel -> {gf32, gf64}
+		for _, asm := range []bool{true, false} {
+			if asm && !blas.AsmSupported() {
+				continue
+			}
+			prev := blas.SetAsmEnabled(asm)
+			name := blas.KernelName()
+			if !asm {
+				name = "go"
+			}
+			t32 := timeReps(reps, func() { blas.Dgemm[float32](-2, a32, sh.m, sh.d, c32, sh.k, 0, out32, threads) })
+			t64 := timeReps(reps, func() { blas.Dgemm[float64](-2, a64, sh.m, sh.d, c64, sh.k, 0, out64, threads) })
+			blas.SetAsmEnabled(prev)
+			gf32, gf64 := flops/t32/1e9, flops/t64/1e9
+			perKernel[name] = [2]float64{gf32, gf64}
+			report.Gemm = append(report.Gemm,
+				kernelResult{Dtype: "float32", Kernel: name, M: sh.m, D: sh.d, K: sh.k, GFLOPS: gf32},
+				kernelResult{Dtype: "float64", Kernel: name, M: sh.m, D: sh.d, K: sh.k, GFLOPS: gf64},
+			)
+			rows = append(rows, []string{
+				fmt.Sprintf("%dx%d k=%d", sh.m, sh.d, sh.k), name,
+				fmt.Sprintf("%.2f", gf32), fmt.Sprintf("%.2f", gf64),
+			})
+		}
+		if sh == shapes[0] {
+			report.SpeedupF32 = 1
+			if asmGF, ok := perKernel[blas.KernelName()]; ok && blas.AsmSupported() {
+				report.SpeedupF32 = asmGF[0] / perKernel["go"][0]
+			}
+		}
+
+		// Quantized scan on the same shape: quantize once, time the
+		// int8 dot sweep (what a quantized flush runs per batch).
+		q8c := blas.QuantizeRows(c32, sh.k, sh.d)
+		q8a := blas.QuantizeRows(a32, sh.m, sh.d)
+		dots := make([]int32, sh.m*sh.k)
+		tq := timeReps(reps, func() { blas.Gemm8(q8a.Data, sh.m, sh.d, q8c.Data, sh.k, dots, threads) })
+		report.Quantized = append(report.Quantized, quantResult{
+			M: sh.m, D: sh.d, K: sh.k,
+			GOPS:       flops / tq / 1e9,
+			RowsPerSec: float64(sh.m) / tq,
+		})
+		rows = append(rows, []string{
+			fmt.Sprintf("%dx%d k=%d", sh.m, sh.d, sh.k), "int8",
+			fmt.Sprintf("%.2f", flops/tq/1e9), "-",
+		})
+	}
+	printTable([]string{"shape", "kernel", "f32 GF/s", "f64 GF/s"}, rows)
+	if blas.AsmSupported() {
+		fmt.Printf("  float32 asm/go speedup on %dx%d k=%d: %.2fx\n",
+			shapes[0].m, shapes[0].d, shapes[0].k, report.SpeedupF32)
+	}
+
+	if e.jsonPath != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knorbench: marshal kernels report:", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(e.jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "knorbench: write kernels report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote %s\n", e.jsonPath)
+	}
+}

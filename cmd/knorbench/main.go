@@ -33,6 +33,9 @@ type env struct {
 	scale       int // divisor for the billion-row datasets
 	friendScale int // divisor for the Friendster datasets
 	quick       bool
+	// jsonPath, when set, makes experiments that support it (kernels)
+	// write a machine-readable report there as well.
+	jsonPath string
 }
 
 var experiments = []experiment{
@@ -58,6 +61,7 @@ var experiments = []experiment{
 	{"io", "Real I/O: knors on a store file, page cache x prefetch x devices", ioExp},
 	{"shardserve", "Distributed serving: centroid-sharded /assign, machines x batch x wire", shardServeExp},
 	{"failover", "Failover: replicated shard serving under a seeded kill schedule, R x kill rate", failoverExp},
+	{"kernels", "Kernels: SIMD vs pure-Go GEMM GFLOP/s, int8 quantized scan throughput", kernelsExp},
 }
 
 func main() {
@@ -66,6 +70,7 @@ func main() {
 		scale   = flag.Int("scale", 4000, "row divisor for RM/RU datasets")
 		fscale  = flag.Int("fscale", 1000, "row divisor for Friendster datasets")
 		quick   = flag.Bool("quick", false, "smaller sweeps for smoke testing")
+		jsonOut = flag.String("json", "", "also write a machine-readable report to this file (kernels experiment)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -91,7 +96,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	e := env{scale: *scale, friendScale: *fscale, quick: *quick}
+	e := env{scale: *scale, friendScale: *fscale, quick: *quick, jsonPath: *jsonOut}
 	ran := 0
 	for _, ex := range experiments {
 		if !all && !want[ex.name] {

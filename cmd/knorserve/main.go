@@ -30,6 +30,15 @@
 // documented in EXPERIMENTS.md. Training and the registry's canonical
 // centroids stay float64.
 //
+// -quantize int8 (requires -precision 32) scans all centroids with a
+// per-row symmetric int8 quantization and an int8×int8→int32 SIMD
+// kernel, keeps the candidates whose error interval could contain the
+// minimum, and re-ranks just those exactly in float32 — answers stay
+// bit-identical to the plain -precision 32 path (DESIGN.md has the
+// error bound); rows whose candidate set exceeds the re-rank cap fall
+// back to a full exact scan, counted in
+// knor_serve_quant_rerank_fallbacks_total.
+//
 // -machines M shards every model's centroids across M simulated
 // machines (internal/shardserve): /assign batches fan out, each
 // machine computes distances against only its shard, and the per-shard
@@ -83,6 +92,7 @@ import (
 	"time"
 
 	"knor/internal/cliutil"
+	"knor/internal/kmeans"
 	"knor/internal/telemetry"
 )
 
@@ -99,6 +109,7 @@ func main() {
 		stateDir     = flag.String("state", "", "directory for model snapshot persistence; reloaded on restart (empty = none)")
 		publishEvery = flag.Int("publish-every", 4096, "auto-publish a stream model every N observed rows (0 = manual)")
 		precision    = flag.String("precision", "64", "assign-path element type: 32 | 64")
+		quantize     = flag.String("quantize", "", "int8: serve /assign via the quantized centroid scan + exact re-rank (requires -precision 32; answers stay bit-identical)")
 		retainVers   = flag.Int("retain-versions", 0, "retained model versions per name (0 = default 8)")
 		retainAge    = flag.Duration("retain-age", 0, "evict unpinned versions older than this (0 = no age bound)")
 		drainWait    = flag.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
@@ -125,11 +136,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "knorserve:", err)
 		os.Exit(2)
 	}
+	switch *quantize {
+	case "":
+	case "int8":
+		if prec != kmeans.Precision32 {
+			fmt.Fprintln(os.Stderr, "knorserve: -quantize int8 requires -precision 32")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "knorserve: unknown -quantize %q (want int8)\n", *quantize)
+		os.Exit(2)
+	}
 	telemetry.SetEnabled(*telemetryOn)
 	srv, err := newServer(serverOptions{
 		maxBatch: *maxBatch, maxWait: *maxWait, threads: *threads,
 		nodes: *nodes, machines: *machines, replicas: *replicas, quota: *quota, stateDir: *stateDir,
-		publishEvery: *publishEvery, precision: prec,
+		publishEvery: *publishEvery, precision: prec, quantize: *quantize,
 		retainVersions: *retainVers, retainAge: *retainAge,
 		pprof: *pprofOn, traceEvery: *traceEvery, accessLog: *accessLog,
 	})
@@ -158,8 +180,12 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	mode := prec.String()
+	if *quantize != "" {
+		mode += "+" + *quantize
+	}
 	fmt.Printf("knorserve listening on %s (batch=%d wait=%s threads=%d precision=%s machines=%d replicas=%d)\n",
-		ln.Addr(), *maxBatch, *maxWait, *threads, prec, *machines, *replicas)
+		ln.Addr(), *maxBatch, *maxWait, *threads, mode, *machines, *replicas)
 	if err := serveUntil(ctx, ln, srv, *drainWait); err != nil {
 		fmt.Fprintln(os.Stderr, "knorserve:", err)
 		os.Exit(1)

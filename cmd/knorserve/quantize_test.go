@@ -1,0 +1,83 @@
+package main
+
+// End-to-end tests of the -quantize int8 serving mode and the
+// zero-dimensional-input boundary validation.
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"knor/internal/kmeans"
+)
+
+// TestE2EQuantizedMatchesExact boots one exact float32 server and one
+// quantized one, registers the same model in both, and requires every
+// /assign answer to agree exactly (same clusters, same sqdist JSON).
+func TestE2EQuantizedMatchesExact(t *testing.T) {
+	_, exact := newTestServer(t, serverOptions{precision: kmeans.Precision32})
+	_, quant := newTestServer(t, serverOptions{precision: kmeans.Precision32, quantize: "int8"})
+
+	create := `{"name":"m","k":6,"spec":{"n":600,"d":8,"clusters":6,"spread":0.05,"seed":7}}`
+	for _, ts := range []string{exact.URL, quant.URL} {
+		if code, body := postJSON(t, ts+"/v1/models", create); code != http.StatusCreated {
+			t.Fatalf("create: %d %v", code, body)
+		}
+	}
+
+	var rows strings.Builder
+	rows.WriteString(`{"model":"m","rows":[`)
+	for i := 0; i < 48; i++ {
+		if i > 0 {
+			rows.WriteString(",")
+		}
+		fmt.Fprintf(&rows, "[%d.25,%d.5,0.1,0.2,0.3,0.4,0.5,0.6]", i%7, (i*3)%5)
+	}
+	rows.WriteString("]}")
+
+	codeE, respE := postJSON(t, exact.URL+"/v1/assign", rows.String())
+	codeQ, respQ := postJSON(t, quant.URL+"/v1/assign", rows.String())
+	if codeE != http.StatusOK || codeQ != http.StatusOK {
+		t.Fatalf("assign: exact %d %v, quant %d %v", codeE, respE, codeQ, respQ)
+	}
+	for _, field := range []string{"clusters", "sqdists"} {
+		e := fmt.Sprint(respE[field])
+		q := fmt.Sprint(respQ[field])
+		if e != q {
+			t.Fatalf("%s differ:\nexact %s\nquant %s", field, e, q)
+		}
+	}
+
+	// The quantized mode shows up in /v1/stats.
+	var st map[string]any
+	if code := getJSON(t, quant.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st["quantize"] != "int8" {
+		t.Fatalf("stats quantize = %v, want int8", st["quantize"])
+	}
+}
+
+// TestE2EZeroDimCreateRejected pins the boundary fix: training rows
+// with zero dimensions (or an empty spec shape) must be a clean 400,
+// not a panic inside the distance kernels.
+func TestE2EZeroDimCreateRejected(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{})
+	for _, body := range []string{
+		`{"name":"z","k":2,"rows":[[]]}`,
+		`{"name":"z","k":2,"rows":[[],[]]}`,
+		`{"name":"z","k":2,"spec":{"n":10,"d":0,"clusters":2}}`,
+		`{"name":"z","k":2,"spec":{"n":0,"d":4,"clusters":2}}`,
+	} {
+		code, resp := postJSON(t, ts.URL+"/v1/models", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("create %s: code %d (%v), want 400", body, code, resp)
+		}
+	}
+	// The server still works after the rejected creates.
+	if code, body := postJSON(t, ts.URL+"/v1/models",
+		`{"name":"ok","k":2,"spec":{"n":100,"d":4,"clusters":2,"seed":1}}`); code != http.StatusCreated {
+		t.Fatalf("create after rejections: %d %v", code, body)
+	}
+}

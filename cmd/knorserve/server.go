@@ -45,6 +45,9 @@ type serverOptions struct {
 	// precision selects the assign hot path's element type (the
 	// -precision flag): float32 halves per-flush memory traffic.
 	precision kmeans.Precision
+	// quantize, when "int8" (the -quantize flag, float32 only), serves
+	// /assign via the quantized centroid scan + exact re-rank.
+	quantize string
 	// retainVersions/retainAge bound the registry's per-model history.
 	retainVersions int
 	retainAge      time.Duration
@@ -119,7 +122,7 @@ func newServer(opts serverOptions) (*server, error) {
 	}
 	bopts := serve.BatcherOptions{
 		MaxBatch: opts.maxBatch, MaxWait: opts.maxWait, Threads: opts.threads,
-		ModelQuota: opts.quota, Tracer: tracer,
+		ModelQuota: opts.quota, Tracer: tracer, Quantize: opts.quantize,
 	}
 	var batcher serve.Assigner
 	var shards *shardserve.ShardRegistry
@@ -514,12 +517,24 @@ func (s *server) handleCreateModel(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case req.Spec != nil:
+		if req.Spec.N <= 0 || req.Spec.D <= 0 {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("spec is %dx%d: need at least one row and one dimension", req.Spec.N, req.Spec.D))
+			return
+		}
 		data = workload.Generate(workload.Spec{
 			Kind: workload.NaturalClusters, N: req.Spec.N, D: req.Spec.D,
 			Clusters: req.Spec.Clusters, Spread: req.Spec.Spread, Seed: req.Spec.Seed,
 		})
 	default:
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("need rows or spec"))
+		return
+	}
+	// Zero-dimensional or empty training data would otherwise reach the
+	// distance kernels (k=0/d=0 GEMMs) — reject it at the boundary.
+	if data.Rows() == 0 || data.Cols() == 0 {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("training data is %dx%d: need at least one row and one dimension", data.Rows(), data.Cols()))
 		return
 	}
 	cfg := kmeans.Config{
@@ -718,6 +733,7 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"models":         len(s.reg.List()),
 		"avg_batch":      avgBatch(st),
 		"precision":      s.opts.precision.String(),
+		"quantize":       s.opts.quantize,
 		"machines":       machines,
 		"replicas":       replicas,
 		"inflight":       s.batcher.InFlight(),

@@ -89,6 +89,13 @@ func Dgemm[T Float](alpha T, a []T, m, k int, b []T, n int, beta T, c []T, threa
 			c[i] *= beta
 		}
 	}
+	// Degenerate shapes contribute nothing beyond the beta scaling. The
+	// k == 0 case in particular must return here: the reference loops
+	// fall through harmlessly, but the assembly drivers take &a[i*k+p0]
+	// and run a do-while over k, neither of which tolerates emptiness.
+	if m == 0 || n == 0 || k == 0 {
+		return
+	}
 	if threads <= 1 {
 		dgemmRange(alpha, a, m, k, b, n, c, 0, m)
 		return
@@ -114,14 +121,34 @@ func Dgemm[T Float](alpha T, a []T, m, k int, b []T, n int, beta T, c []T, threa
 	wg.Wait()
 }
 
-// dgemmRange dispatches rows [rlo, rhi) to the width-specific kernel:
-// float64 must keep the legacy operation order (bit-identity with the
-// oracle), float32 runs the register-tiled microkernel.
+// dgemmRange dispatches rows [rlo, rhi) to the width-specific kernel.
+// When the CPU probe enabled them (see kernels.go) the assembly drivers
+// take both widths: float64 asm is bit-identical to the reference
+// schedule by construction, float32 asm keeps the same ULP-level and
+// column-slice-invariance contracts as the tiled Go microkernel.
+// Otherwise float64 runs the legacy reference order (bit-identity with
+// the oracle) and float32 the register-tiled Go microkernel.
 func dgemmRange[T Float](alpha T, a []T, m, k int, b []T, n int, c []T, rlo, rhi int) {
+	asm := asmEnabled.Load()
 	if a32, ok := any(a).([]float32); ok {
-		dgemmBlock32(float32(alpha), a32, m, k, any(b).([]float32), n, any(c).([]float32), rlo, rhi)
+		b32, c32 := any(b).([]float32), any(c).([]float32)
+		if asm {
+			telGemmAsm32.Inc()
+			dgemmBlockAsm32(float32(alpha), a32, m, k, b32, n, c32, rlo, rhi)
+			return
+		}
+		telGemmGo32.Inc()
+		dgemmBlock32(float32(alpha), a32, m, k, b32, n, c32, rlo, rhi)
 		return
 	}
+	if asm {
+		if a64, ok := any(a).([]float64); ok {
+			telGemmAsm64.Inc()
+			dgemmBlockAsm64(float64(alpha), a64, m, k, any(b).([]float64), n, any(c).([]float64), rlo, rhi)
+			return
+		}
+	}
+	telGemmGo64.Inc()
 	dgemmBlock(alpha, a, m, k, b, n, c, rlo, rhi)
 }
 

@@ -1,0 +1,70 @@
+//go:build amd64 && !noasm
+
+package blas
+
+// CPU feature probe for the AVX2/FMA microkernels, hand-rolled (the
+// module has no dependencies, so no golang.org/x/sys/cpu): AVX2 is
+// CPUID.(EAX=7,ECX=0):EBX[5], FMA is CPUID.(EAX=1):ECX[12], and both are
+// usable only when the OS saves YMM state (OSXSAVE + XCR0[2:1] = 11).
+
+// cpuid executes CPUID with the given EAX/ECX inputs.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+	)
+	if c1&fma == 0 || c1&osxsave == 0 {
+		return
+	}
+	if ax, _ := xgetbv(); ax&0x6 != 0x6 { // XMM and YMM state enabled
+		return
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	if b7&avx2 == 0 {
+		return
+	}
+	asmSupported = true
+	kernelName = "avx2fma"
+	asmEnabled.Store(true)
+}
+
+// gemmKern32 accumulates one register tile: for r in {0,1} (r=1 only
+// when rows == 2), c_r[j] += alpha * Σ_p a_r[p]·pack[p*ldp+j] for
+// j ∈ [0, jn). pack is the zero-padded column-major-in-p B-transpose
+// panel (ldp a multiple of 8 ≥ jn); loads beyond jn read the zero pad,
+// stores beyond jn are masked off. Per output element the accumulation
+// is a p-ascending FMA chain — position inside the tile (wide body,
+// 8-wide tail, masked tail) never changes a lane's arithmetic, which is
+// what keeps the column-slice invariance contract (see dgemmBlock32).
+//
+//go:noescape
+func gemmKern32(a0, a1, pack, c0, c1 *float32, jn, ldp, kl, rows int, alpha float32)
+
+// gemmKern64 is the float64 tile. It deliberately uses separate VMULPD
+// and VADDPD (no FMA): per lane the accumulation is exactly the scalar
+// reference's s += a[p]*b[p] rounding sequence in p order, followed by
+// the same alpha-multiply-then-add store — so the float64 assembly path
+// is bit-identical to dgemmBlock, preserving the oracle contract.
+//
+//go:noescape
+func gemmKern64(a0, a1, pack, c0, c1 *float64, jn, ldp, kl, rows int, alpha float64)
+
+// dotKern8 fills out[j] = Σ_p q[p]·b[j*ldb+p] for j ∈ [0, n) over the
+// first kl ∈ 16ℤ inner elements (the Go wrapper adds the scalar tail):
+// sign-extend 16 int8 lanes to int16, VPMADDWD into 8 int32 partials,
+// horizontal-sum per row. Products are ≤ 127², so the int16-pair dot of
+// VPMADDWD cannot overflow and the int32 accumulator is exact.
+//
+//go:noescape
+func dotKern8(q, b *int8, ldb, n, kl int, out *int32)

@@ -1,0 +1,446 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2/FMA GEMM microkernels. The Go driver (kernels_asm.go) keeps the
+// reference i0→j0→p0 cache blocking and packs each (j0,p0) panel of Bᵀ
+// into pack[p*ldp+j] with zero-padded columns; these kernels compute a
+// 2-row register tile over that panel. Column traversal: a wide body
+// (32 float32 / 16 float64 columns), then 1-group chunks, the last one
+// store-masked. Per output lane the arithmetic is identical in every
+// chunk — a p-ascending accumulate followed by one alpha-multiply and
+// one add into C — so a column's value never depends on its position in
+// the tile (the column-slice invariance contract).
+//
+// float32 uses FMA (consumers get a ULP contract, not bit-identity).
+// float64 uses separate VMULPD/VADDPD so every lane reproduces the
+// scalar reference's rounding sequence exactly: gemmKern64 is
+// bit-identical to dgemmBlock.
+
+// masked-store tables: &tab[lanes-rem] has rem all-ones lanes then zeros.
+DATA mask32tab<>+0x00(SB)/4, $0xffffffff
+DATA mask32tab<>+0x04(SB)/4, $0xffffffff
+DATA mask32tab<>+0x08(SB)/4, $0xffffffff
+DATA mask32tab<>+0x0c(SB)/4, $0xffffffff
+DATA mask32tab<>+0x10(SB)/4, $0xffffffff
+DATA mask32tab<>+0x14(SB)/4, $0xffffffff
+DATA mask32tab<>+0x18(SB)/4, $0xffffffff
+DATA mask32tab<>+0x1c(SB)/4, $0xffffffff
+DATA mask32tab<>+0x20(SB)/4, $0x00000000
+DATA mask32tab<>+0x24(SB)/4, $0x00000000
+DATA mask32tab<>+0x28(SB)/4, $0x00000000
+DATA mask32tab<>+0x2c(SB)/4, $0x00000000
+DATA mask32tab<>+0x30(SB)/4, $0x00000000
+DATA mask32tab<>+0x34(SB)/4, $0x00000000
+DATA mask32tab<>+0x38(SB)/4, $0x00000000
+DATA mask32tab<>+0x3c(SB)/4, $0x00000000
+GLOBL mask32tab<>(SB), RODATA, $64
+
+DATA mask64tab<>+0x00(SB)/8, $0xffffffffffffffff
+DATA mask64tab<>+0x08(SB)/8, $0xffffffffffffffff
+DATA mask64tab<>+0x10(SB)/8, $0xffffffffffffffff
+DATA mask64tab<>+0x18(SB)/8, $0xffffffffffffffff
+DATA mask64tab<>+0x20(SB)/8, $0x0000000000000000
+DATA mask64tab<>+0x28(SB)/8, $0x0000000000000000
+DATA mask64tab<>+0x30(SB)/8, $0x0000000000000000
+DATA mask64tab<>+0x38(SB)/8, $0x0000000000000000
+GLOBL mask64tab<>(SB), RODATA, $64
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	MOVL $0, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func gemmKern32(a0, a1, pack, c0, c1 *float32, jn, ldp, kl, rows int, alpha float32)
+//
+// Register plan: SI/DI = a0/a1 base, BX = pack, R8/R9 = c0/c1,
+// R10 = jn, R11 = ldp bytes, R12 = kl, R13 = rows, R14 = column j.
+// Tile: 2 rows × 4 groups of 8 (Y0-Y3 row0, Y4-Y7 row1), pack loads in
+// Y8-Y11, broadcasts Y12/Y13, mask Y14, alpha Y15.
+TEXT ·gemmKern32(SB), NOSPLIT, $0-76
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DI
+	MOVQ pack+16(FP), BX
+	MOVQ c0+24(FP), R8
+	MOVQ c1+32(FP), R9
+	MOVQ jn+40(FP), R10
+	MOVQ ldp+48(FP), R11
+	MOVQ kl+56(FP), R12
+	MOVQ rows+64(FP), R13
+	VBROADCASTSS alpha+72(FP), Y15
+	SHLQ $2, R11
+	XORQ R14, R14
+
+f32body:
+	MOVQ R10, AX
+	SUBQ R14, AX
+	CMPQ AX, $32
+	JLT  f32tail
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	LEAQ (BX)(R14*4), CX
+	MOVQ SI, DX
+	MOVQ DI, R15
+	MOVQ R12, AX
+
+f32body_p:
+	VBROADCASTSS (DX), Y12
+	VBROADCASTSS (R15), Y13
+	VMOVUPS (CX), Y8
+	VMOVUPS 32(CX), Y9
+	VMOVUPS 64(CX), Y10
+	VMOVUPS 96(CX), Y11
+	VFMADD231PS Y8, Y12, Y0
+	VFMADD231PS Y9, Y12, Y1
+	VFMADD231PS Y10, Y12, Y2
+	VFMADD231PS Y11, Y12, Y3
+	VFMADD231PS Y8, Y13, Y4
+	VFMADD231PS Y9, Y13, Y5
+	VFMADD231PS Y10, Y13, Y6
+	VFMADD231PS Y11, Y13, Y7
+	ADDQ $4, DX
+	ADDQ $4, R15
+	ADDQ R11, CX
+	DECQ AX
+	JNZ  f32body_p
+
+	LEAQ (R8)(R14*4), CX
+	VMULPS Y15, Y0, Y0
+	VMULPS Y15, Y1, Y1
+	VMULPS Y15, Y2, Y2
+	VMULPS Y15, Y3, Y3
+	VADDPS (CX), Y0, Y0
+	VADDPS 32(CX), Y1, Y1
+	VADDPS 64(CX), Y2, Y2
+	VADDPS 96(CX), Y3, Y3
+	VMOVUPS Y0, (CX)
+	VMOVUPS Y1, 32(CX)
+	VMOVUPS Y2, 64(CX)
+	VMOVUPS Y3, 96(CX)
+	CMPQ R13, $2
+	JLT  f32body_next
+	LEAQ (R9)(R14*4), CX
+	VMULPS Y15, Y4, Y4
+	VMULPS Y15, Y5, Y5
+	VMULPS Y15, Y6, Y6
+	VMULPS Y15, Y7, Y7
+	VADDPS (CX), Y4, Y4
+	VADDPS 32(CX), Y5, Y5
+	VADDPS 64(CX), Y6, Y6
+	VADDPS 96(CX), Y7, Y7
+	VMOVUPS Y4, (CX)
+	VMOVUPS Y5, 32(CX)
+	VMOVUPS Y6, 64(CX)
+	VMOVUPS Y7, 96(CX)
+
+f32body_next:
+	ADDQ $32, R14
+	JMP  f32body
+
+f32tail:
+	MOVQ R10, AX
+	SUBQ R14, AX
+	TESTQ AX, AX
+	JLE  f32done
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y4, Y4, Y4
+	LEAQ (BX)(R14*4), CX
+	MOVQ SI, DX
+	MOVQ DI, R15
+	MOVQ R12, AX
+
+f32tail_p:
+	VBROADCASTSS (DX), Y12
+	VBROADCASTSS (R15), Y13
+	VMOVUPS (CX), Y8
+	VFMADD231PS Y8, Y12, Y0
+	VFMADD231PS Y8, Y13, Y4
+	ADDQ $4, DX
+	ADDQ $4, R15
+	ADDQ R11, CX
+	DECQ AX
+	JNZ  f32tail_p
+
+	VMULPS Y15, Y0, Y0
+	VMULPS Y15, Y4, Y4
+	MOVQ R10, AX
+	SUBQ R14, AX
+	CMPQ AX, $8
+	JLT  f32tail_mask
+
+	LEAQ (R8)(R14*4), CX
+	VADDPS (CX), Y0, Y0
+	VMOVUPS Y0, (CX)
+	CMPQ R13, $2
+	JLT  f32tail_next
+	LEAQ (R9)(R14*4), CX
+	VADDPS (CX), Y4, Y4
+	VMOVUPS Y4, (CX)
+
+f32tail_next:
+	ADDQ $8, R14
+	JMP  f32tail
+
+f32tail_mask:
+	MOVQ $8, CX
+	SUBQ AX, CX
+	SHLQ $2, CX
+	LEAQ mask32tab<>(SB), DX
+	VMOVDQU (DX)(CX*1), Y14
+	LEAQ (R8)(R14*4), CX
+	VMASKMOVPS (CX), Y14, Y8
+	VADDPS Y8, Y0, Y0
+	VMASKMOVPS Y0, Y14, (CX)
+	CMPQ R13, $2
+	JLT  f32done
+	LEAQ (R9)(R14*4), CX
+	VMASKMOVPS (CX), Y14, Y8
+	VADDPS Y8, Y4, Y4
+	VMASKMOVPS Y4, Y14, (CX)
+
+f32done:
+	VZEROUPPER
+	RET
+
+// func gemmKern64(a0, a1, pack, c0, c1 *float64, jn, ldp, kl, rows int, alpha float64)
+//
+// Same plan at 4 lanes: 2 rows × 4 groups of 4 (16 columns per body
+// step). VMULPD into the Y14 scratch then VADDPD keeps each lane's
+// rounding sequence identical to the scalar reference (no FMA).
+TEXT ·gemmKern64(SB), NOSPLIT, $0-80
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DI
+	MOVQ pack+16(FP), BX
+	MOVQ c0+24(FP), R8
+	MOVQ c1+32(FP), R9
+	MOVQ jn+40(FP), R10
+	MOVQ ldp+48(FP), R11
+	MOVQ kl+56(FP), R12
+	MOVQ rows+64(FP), R13
+	VBROADCASTSD alpha+72(FP), Y15
+	SHLQ $3, R11
+	XORQ R14, R14
+
+f64body:
+	MOVQ R10, AX
+	SUBQ R14, AX
+	CMPQ AX, $16
+	JLT  f64tail
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	LEAQ (BX)(R14*8), CX
+	MOVQ SI, DX
+	MOVQ DI, R15
+	MOVQ R12, AX
+
+f64body_p:
+	VBROADCASTSD (DX), Y12
+	VBROADCASTSD (R15), Y13
+	VMOVUPD (CX), Y8
+	VMOVUPD 32(CX), Y9
+	VMOVUPD 64(CX), Y10
+	VMOVUPD 96(CX), Y11
+	VMULPD Y8, Y12, Y14
+	VADDPD Y14, Y0, Y0
+	VMULPD Y9, Y12, Y14
+	VADDPD Y14, Y1, Y1
+	VMULPD Y10, Y12, Y14
+	VADDPD Y14, Y2, Y2
+	VMULPD Y11, Y12, Y14
+	VADDPD Y14, Y3, Y3
+	VMULPD Y8, Y13, Y14
+	VADDPD Y14, Y4, Y4
+	VMULPD Y9, Y13, Y14
+	VADDPD Y14, Y5, Y5
+	VMULPD Y10, Y13, Y14
+	VADDPD Y14, Y6, Y6
+	VMULPD Y11, Y13, Y14
+	VADDPD Y14, Y7, Y7
+	ADDQ $8, DX
+	ADDQ $8, R15
+	ADDQ R11, CX
+	DECQ AX
+	JNZ  f64body_p
+
+	LEAQ (R8)(R14*8), CX
+	VMULPD Y15, Y0, Y0
+	VMULPD Y15, Y1, Y1
+	VMULPD Y15, Y2, Y2
+	VMULPD Y15, Y3, Y3
+	VADDPD (CX), Y0, Y0
+	VADDPD 32(CX), Y1, Y1
+	VADDPD 64(CX), Y2, Y2
+	VADDPD 96(CX), Y3, Y3
+	VMOVUPD Y0, (CX)
+	VMOVUPD Y1, 32(CX)
+	VMOVUPD Y2, 64(CX)
+	VMOVUPD Y3, 96(CX)
+	CMPQ R13, $2
+	JLT  f64body_next
+	LEAQ (R9)(R14*8), CX
+	VMULPD Y15, Y4, Y4
+	VMULPD Y15, Y5, Y5
+	VMULPD Y15, Y6, Y6
+	VMULPD Y15, Y7, Y7
+	VADDPD (CX), Y4, Y4
+	VADDPD 32(CX), Y5, Y5
+	VADDPD 64(CX), Y6, Y6
+	VADDPD 96(CX), Y7, Y7
+	VMOVUPD Y4, (CX)
+	VMOVUPD Y5, 32(CX)
+	VMOVUPD Y6, 64(CX)
+	VMOVUPD Y7, 96(CX)
+
+f64body_next:
+	ADDQ $16, R14
+	JMP  f64body
+
+f64tail:
+	MOVQ R10, AX
+	SUBQ R14, AX
+	TESTQ AX, AX
+	JLE  f64done
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y4, Y4, Y4
+	LEAQ (BX)(R14*8), CX
+	MOVQ SI, DX
+	MOVQ DI, R15
+	MOVQ R12, AX
+
+f64tail_p:
+	VBROADCASTSD (DX), Y12
+	VBROADCASTSD (R15), Y13
+	VMOVUPD (CX), Y8
+	VMULPD Y8, Y12, Y14
+	VADDPD Y14, Y0, Y0
+	VMULPD Y8, Y13, Y14
+	VADDPD Y14, Y4, Y4
+	ADDQ $8, DX
+	ADDQ $8, R15
+	ADDQ R11, CX
+	DECQ AX
+	JNZ  f64tail_p
+
+	VMULPD Y15, Y0, Y0
+	VMULPD Y15, Y4, Y4
+	MOVQ R10, AX
+	SUBQ R14, AX
+	CMPQ AX, $4
+	JLT  f64tail_mask
+
+	LEAQ (R8)(R14*8), CX
+	VADDPD (CX), Y0, Y0
+	VMOVUPD Y0, (CX)
+	CMPQ R13, $2
+	JLT  f64tail_next
+	LEAQ (R9)(R14*8), CX
+	VADDPD (CX), Y4, Y4
+	VMOVUPD Y4, (CX)
+
+f64tail_next:
+	ADDQ $4, R14
+	JMP  f64tail
+
+f64tail_mask:
+	MOVQ $4, CX
+	SUBQ AX, CX
+	SHLQ $3, CX
+	LEAQ mask64tab<>(SB), DX
+	VMOVDQU (DX)(CX*1), Y14
+	LEAQ (R8)(R14*8), CX
+	VMASKMOVPD (CX), Y14, Y8
+	VADDPD Y8, Y0, Y0
+	VMASKMOVPD Y0, Y14, (CX)
+	CMPQ R13, $2
+	JLT  f64done
+	LEAQ (R9)(R14*8), CX
+	VMASKMOVPD (CX), Y14, Y8
+	VADDPD Y8, Y4, Y4
+	VMASKMOVPD Y4, Y14, (CX)
+
+f64done:
+	VZEROUPPER
+	RET
+
+// func dotKern8(q, b *int8, ldb, n, kl int, out *int32)
+//
+// out[j] = Σ_{p<kl} q[p]·b[j*ldb+p], kl a multiple of 16 (the Go
+// wrapper adds the scalar tail). 16 int8 sign-extend to int16 lanes,
+// VPMADDWD pairs them into 8 exact int32 partials (|prod| ≤ 2·127²,
+// far inside int16-pair range), VPADDD accumulates, horizontal sum.
+TEXT ·dotKern8(SB), NOSPLIT, $0-48
+	MOVQ q+0(FP), SI
+	MOVQ b+8(FP), BX
+	MOVQ ldb+16(FP), R11
+	MOVQ n+24(FP), R10
+	MOVQ kl+32(FP), R12
+	MOVQ out+40(FP), R8
+	XORQ R14, R14
+
+i8rows:
+	CMPQ R14, R10
+	JGE  i8done
+	VPXOR Y0, Y0, Y0
+	MOVQ R14, AX
+	IMULQ R11, AX
+	LEAQ (BX)(AX*1), CX
+	MOVQ SI, DX
+	MOVQ R12, AX
+	TESTQ AX, AX
+	JZ   i8sum
+
+i8inner:
+	VPMOVSXBW (DX), Y8
+	VPMOVSXBW (CX), Y9
+	VPMADDWD Y8, Y9, Y10
+	VPADDD Y10, Y0, Y0
+	ADDQ $16, DX
+	ADDQ $16, CX
+	SUBQ $16, AX
+	JNZ  i8inner
+
+i8sum:
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD X1, X0, X0
+	VPSHUFD $0x4e, X0, X1
+	VPADDD X1, X0, X0
+	VPSHUFD $0xb1, X0, X1
+	VPADDD X1, X0, X0
+	MOVL X0, AX
+	MOVL AX, (R8)(R14*4)
+	INCQ R14
+	JMP  i8rows
+
+i8done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,32 @@
+//go:build arm64 && !noasm
+
+package blas
+
+// NEON (Advanced SIMD) is baseline on arm64 — no feature probe needed.
+func init() {
+	asmSupported = true
+	kernelName = "neon"
+	asmEnabled.Store(true)
+}
+
+// gemmKern32 — see kernels_amd64.go for the full contract. The NEON
+// variant uses vector FMLA and scalar FMADDS uniformly: on arm64 the Go
+// compiler itself fuses s += a*b (and c += alpha*s) into FMADD, so the
+// fused kernels match the pure-Go schedules' per-element rounding.
+//
+//go:noescape
+func gemmKern32(a0, a1, pack, c0, c1 *float32, jn, ldp, kl, rows int, alpha float32)
+
+// gemmKern64 is the float64 tile. Fused FMLA/FMADDD throughout, which on
+// arm64 is exactly the reference dgemmBlock's codegen — the float64
+// assembly path stays bit-identical to the pure-Go kernel per platform
+// (the differential tests assert it on whatever hardware they run on).
+//
+//go:noescape
+func gemmKern64(a0, a1, pack, c0, c1 *float64, jn, ldp, kl, rows int, alpha float64)
+
+// dotKern8 — SMULL/SMULL2 + SADALP int8 dot rows; exact int32, same
+// contract as the amd64 kernel (kl a multiple of 16, Go wrapper tails).
+//
+//go:noescape
+func dotKern8(q, b *int8, ldb, n, kl int, out *int32)

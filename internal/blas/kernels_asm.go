@@ -1,0 +1,116 @@
+//go:build (amd64 || arm64) && !noasm
+
+package blas
+
+// Pack-panel drivers for the assembly microkernels. They keep the
+// reference cache blocking — p0 ascends per output element, every block
+// is blockDim-edged — but pack each (j0, p0) panel of Bᵀ into a dense
+// pack[p*ldp+j] layout so the kernel's column loads are contiguous. ldp
+// is rounded up to the SIMD lane count and the pad columns are zeroed:
+// full-width loads past jl read zeros (which contribute +0 to lanes the
+// masked store then discards), so the kernel never reads or writes out
+// of bounds and every real column's arithmetic is independent of its
+// position in the tile.
+
+const (
+	packLanes32 = 8 // float32 lanes per vector (AVX2 YMM / 2×NEON)
+	packLanes64 = 4 // float64 lanes per vector
+)
+
+// dgemmBlockAsm32 computes rows [rlo, rhi) of C += alpha*A*Bᵀ via
+// gemmKern32. Same blocking as dgemmBlock32; the j0/p0 loops are hoisted
+// outside i0 so each packed panel is reused across all row blocks of the
+// stripe. Per output element only the p0 order matters (ascending, as in
+// the reference), so the interchange is arithmetic-neutral.
+func dgemmBlockAsm32(alpha float32, a []float32, m, k int, b []float32, n int, c []float32, rlo, rhi int) {
+	pack := make([]float32, blockDim*roundUp(min(blockDim, n), packLanes32))
+	for j0 := 0; j0 < n; j0 += blockDim {
+		jMax := min(j0+blockDim, n)
+		jl := jMax - j0
+		ldp := roundUp(jl, packLanes32)
+		for p0 := 0; p0 < k; p0 += blockDim {
+			pMax := min(p0+blockDim, k)
+			kl := pMax - p0
+			if ldp != jl {
+				clear(pack[:kl*ldp])
+			}
+			for j := 0; j < jl; j++ {
+				brow := b[(j0+j)*k+p0 : (j0+j)*k+pMax]
+				for p, v := range brow {
+					pack[p*ldp+j] = v
+				}
+			}
+			for i0 := rlo; i0 < rhi; i0 += blockDim {
+				iMax := min(i0+blockDim, rhi)
+				for i := i0; i < iMax; i += 2 {
+					a0, c0 := &a[i*k+p0], &c[i*n+j0]
+					a1, c1, rows := a0, c0, 1
+					if i+1 < iMax {
+						a1, c1, rows = &a[(i+1)*k+p0], &c[(i+1)*n+j0], 2
+					}
+					gemmKern32(a0, a1, &pack[0], c0, c1, jl, ldp, kl, rows, alpha)
+				}
+			}
+		}
+	}
+}
+
+// dgemmBlockAsm64 is the float64 driver over gemmKern64. The kernel's
+// unfused per-lane schedule makes this path bit-identical to dgemmBlock
+// (the parity tests assert it), so dispatch may flip freely.
+func dgemmBlockAsm64(alpha float64, a []float64, m, k int, b []float64, n int, c []float64, rlo, rhi int) {
+	pack := make([]float64, blockDim*roundUp(min(blockDim, n), packLanes64))
+	for j0 := 0; j0 < n; j0 += blockDim {
+		jMax := min(j0+blockDim, n)
+		jl := jMax - j0
+		ldp := roundUp(jl, packLanes64)
+		for p0 := 0; p0 < k; p0 += blockDim {
+			pMax := min(p0+blockDim, k)
+			kl := pMax - p0
+			if ldp != jl {
+				clear(pack[:kl*ldp])
+			}
+			for j := 0; j < jl; j++ {
+				brow := b[(j0+j)*k+p0 : (j0+j)*k+pMax]
+				for p, v := range brow {
+					pack[p*ldp+j] = v
+				}
+			}
+			for i0 := rlo; i0 < rhi; i0 += blockDim {
+				iMax := min(i0+blockDim, rhi)
+				for i := i0; i < iMax; i += 2 {
+					a0, c0 := &a[i*k+p0], &c[i*n+j0]
+					a1, c1, rows := a0, c0, 1
+					if i+1 < iMax {
+						a1, c1, rows = &a[(i+1)*k+p0], &c[(i+1)*n+j0], 2
+					}
+					gemmKern64(a0, a1, &pack[0], c0, c1, jl, ldp, kl, rows, alpha)
+				}
+			}
+		}
+	}
+}
+
+// scanRowsI8Asm fills out[j] = Σ_p q[p]·b[j*d+p] for j ∈ [0, n) using
+// the SIMD int8 dot kernel for the 16-aligned prefix of d and a scalar
+// tail. All arithmetic is exact in int32, so asm and pure-Go scans are
+// identical by construction.
+func scanRowsI8Asm(q []int8, b []int8, n, d int, out []int32) {
+	kl := d &^ 15
+	if kl > 0 {
+		dotKern8(&q[0], &b[0], d, n, kl, &out[0])
+	} else {
+		clear(out[:n])
+	}
+	if kl == d {
+		return
+	}
+	for j := 0; j < n; j++ {
+		row := b[j*d : (j+1)*d]
+		var s int32
+		for p := kl; p < d; p++ {
+			s += int32(q[p]) * int32(row[p])
+		}
+		out[j] += s
+	}
+}

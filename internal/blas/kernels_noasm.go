@@ -1,0 +1,23 @@
+//go:build noasm || (!amd64 && !arm64)
+
+package blas
+
+// Pure-Go stand-ins for the assembly drivers on architectures without
+// kernels (or under the noasm build tag). asmEnabled can never be set on
+// these builds — no init flips asmSupported — so the bodies are
+// unreachable through dispatch, but delegating keeps them honest if ever
+// called directly (the differential tests do).
+
+func dgemmBlockAsm32(alpha float32, a []float32, m, k int, b []float32, n int, c []float32, rlo, rhi int) {
+	dgemmBlock32(alpha, a, m, k, b, n, c, rlo, rhi)
+}
+
+func dgemmBlockAsm64(alpha float64, a []float64, m, k int, b []float64, n int, c []float64, rlo, rhi int) {
+	dgemmBlock(alpha, a, m, k, b, n, c, rlo, rhi)
+}
+
+func scanRowsI8Asm(q []int8, b []int8, n, d int, out []int32) {
+	for j := 0; j < n; j++ {
+		out[j] = scanRowI8(q, b[j*d:(j+1)*d])
+	}
+}

@@ -1,0 +1,302 @@
+package blas_test
+
+// Differential tests for the assembly microkernels against the pure-Go
+// tiled kernels, across odd shapes (block remainders, masked tails,
+// single rows/columns) and alpha/beta edge cases. Contracts:
+//
+//   float64: bit-identical. The amd64 kernel reproduces the scalar
+//   reference's rounding sequence with unfused mul/add; the arm64 kernel
+//   fuses exactly where the Go compiler fuses. Either way asm and Go
+//   must agree to the bit on the platform the test runs on.
+//
+//   float32: ULP-bounded. Both kernels sum in p order per element but
+//   round differently (FMA vs separate ops, even/odd split), so each is
+//   compared against a float64 oracle within a per-element error bound
+//   of ~(k+4)·ε₃₂ scaled by the sum of |a·b| magnitudes.
+//
+// Under -tags noasm (or on ports without kernels) AsmSupported is false
+// and SetAsmEnabled(true) is a no-op, so the same bodies exercise the
+// pure-Go path twice — proving the fallback build passes every test.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"knor/internal/blas"
+)
+
+var parityShapes = func() [][3]int {
+	dims := []int{1, 2, 3, 5, 7, 8, 9, 31, 64}
+	var shapes [][3]int
+	// Full cross product of the small dims is cheap and hits every
+	// body/tail/masked-tail and row-pairing combination.
+	for _, m := range dims {
+		for _, n := range dims {
+			for _, k := range dims {
+				shapes = append(shapes, [3]int{m, n, k})
+			}
+		}
+	}
+	// Larger-than-one-block shapes, including the PairwiseSqDist-shaped
+	// wide-m case and a 1000-ish k for accumulation depth.
+	shapes = append(shapes,
+		[3]int{130, 100, 16},
+		[3]int{65, 129, 70},
+		[3]int{3, 257, 1000},
+		[3]int{200, 3, 999},
+	)
+	return shapes
+}()
+
+var parityCoeffs = []struct{ alpha, beta float64 }{
+	{-2, 0},
+	{1, 1},
+	{0.5, -1},
+	{0, 2},
+	{-2, 1},
+}
+
+func fillF64(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func TestDgemm64AsmBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range parityShapes {
+		m, n, k := sh[0], sh[1], sh[2]
+		a := fillF64(rng, m*k)
+		b := fillF64(rng, n*k)
+		c0 := fillF64(rng, m*n)
+		for _, cf := range parityCoeffs {
+			for _, threads := range []int{1, 3} {
+				cAsm := append([]float64(nil), c0...)
+				cGo := append([]float64(nil), c0...)
+				prev := blas.SetAsmEnabled(true)
+				blas.Dgemm(cf.alpha, a, m, k, b, n, cf.beta, cAsm, threads)
+				blas.SetAsmEnabled(false)
+				blas.Dgemm(cf.alpha, a, m, k, b, n, cf.beta, cGo, threads)
+				blas.SetAsmEnabled(prev)
+				for i := range cAsm {
+					if math.Float64bits(cAsm[i]) != math.Float64bits(cGo[i]) {
+						t.Fatalf("shape %v alpha=%v beta=%v threads=%d: c[%d] asm=%v (%#x) go=%v (%#x)",
+							sh, cf.alpha, cf.beta, threads, i,
+							cAsm[i], math.Float64bits(cAsm[i]), cGo[i], math.Float64bits(cGo[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDgemm32AsmULPBounded(t *testing.T) {
+	const eps32 = 1.0 / (1 << 24)
+	rng := rand.New(rand.NewSource(43))
+	for _, sh := range parityShapes {
+		m, n, k := sh[0], sh[1], sh[2]
+		a := make([]float32, m*k)
+		b := make([]float32, n*k)
+		a64 := make([]float64, m*k)
+		b64 := make([]float64, n*k)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			a64[i] = float64(a[i])
+		}
+		for i := range b {
+			b[i] = float32(rng.NormFloat64())
+			b64[i] = float64(b[i])
+		}
+		c0 := make([]float32, m*n)
+		for i := range c0 {
+			c0[i] = float32(rng.NormFloat64())
+		}
+		for _, cf := range parityCoeffs {
+			alpha, beta := float32(cf.alpha), float32(cf.beta)
+			cAsm := append([]float32(nil), c0...)
+			cGo := append([]float32(nil), c0...)
+			prev := blas.SetAsmEnabled(true)
+			blas.Dgemm(alpha, a, m, k, b, n, beta, cAsm, 1)
+			blas.SetAsmEnabled(false)
+			blas.Dgemm(alpha, a, m, k, b, n, beta, cGo, 1)
+			blas.SetAsmEnabled(prev)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					// float64 oracle and magnitude bound for element (i, j).
+					var ref, mag float64
+					for p := 0; p < k; p++ {
+						prod := a64[i*k+p] * b64[j*k+p]
+						ref += prod
+						mag += math.Abs(prod)
+					}
+					want := cf.alpha*ref + cf.beta*float64(c0[i*n+j])
+					tol := (float64(k)+4)*eps32*math.Abs(cf.alpha)*mag + 4*eps32*(math.Abs(want)+1)
+					for _, got := range []float32{cAsm[i*n+j], cGo[i*n+j]} {
+						if d := math.Abs(float64(got) - want); d > tol {
+							t.Fatalf("shape %v alpha=%v beta=%v: c[%d,%d]=%v want %v (|d|=%g > tol %g)",
+								sh, cf.alpha, cf.beta, i, j, got, want, d, tol)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDgemm32AsmSliceInvariant checks the contract the sharded serving
+// layer depends on for the assembly path, like TestGemm32ColumnSliceInvariant
+// does for the tiled Go kernel: computing distances against a row slice
+// of B must equal the corresponding columns of the full computation.
+func TestDgemm32AsmSliceInvariant(t *testing.T) {
+	if !blas.AsmSupported() {
+		t.Skip("no assembly kernels on this build")
+	}
+	rng := rand.New(rand.NewSource(44))
+	const m, n, k = 37, 100, 16
+	a := make([]float32, m*k)
+	b := make([]float32, n*k)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+	}
+	for i := range b {
+		b[i] = float32(rng.NormFloat64())
+	}
+	full := make([]float32, m*n)
+	blas.Dgemm(-2, a, m, k, b, n, 0, full, 1)
+	for _, cut := range [][2]int{{0, 1}, {0, 33}, {7, 71}, {33, 100}, {99, 100}} {
+		lo, hi := cut[0], cut[1]
+		part := make([]float32, m*(hi-lo))
+		blas.Dgemm(-2, a, m, k, b[lo*k:hi*k], hi-lo, 0, part, 1)
+		for i := 0; i < m; i++ {
+			for j := lo; j < hi; j++ {
+				if math.Float32bits(part[i*(hi-lo)+j-lo]) != math.Float32bits(full[i*n+j]) {
+					t.Fatalf("slice [%d,%d): c[%d,%d] differs from full GEMM", lo, hi, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDgemmDegenerateShapes(t *testing.T) {
+	// k=0 (zero-dim rows), m=0 and n=0 must not panic and must apply
+	// exactly the beta scaling — this is the serve-boundary edge case a
+	// zero-dim publish used to reach as a panic.
+	c := []float64{1, 2, 3, 4}
+	blas.Dgemm(-2, nil, 2, 0, nil, 2, 0.5, c, 1)
+	for i, want := range []float64{0.5, 1, 1.5, 2} {
+		if c[i] != want {
+			t.Fatalf("k=0: c[%d]=%v want %v", i, c[i], want)
+		}
+	}
+	blas.Dgemm[float32](1, nil, 0, 3, []float32{1, 2, 3}, 1, 2, nil, 1)
+	blas.Dgemm[float32](1, []float32{1, 2, 3}, 1, 3, nil, 0, 2, nil, 2)
+}
+
+func TestGemm8AsmParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for _, sh := range [][3]int{{1, 1, 1}, {3, 7, 15}, {2, 9, 16}, {5, 12, 17}, {4, 100, 48}, {8, 33, 1000}} {
+		m, k, d := sh[0], sh[1], sh[2]
+		q := make([]int8, m*d)
+		b := make([]int8, k*d)
+		for i := range q {
+			q[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range b {
+			b[i] = int8(rng.Intn(255) - 127)
+		}
+		outAsm := make([]int32, m*k)
+		outGo := make([]int32, m*k)
+		prev := blas.SetAsmEnabled(true)
+		blas.Gemm8(q, m, d, b, k, outAsm, 2)
+		blas.SetAsmEnabled(false)
+		blas.Gemm8(q, m, d, b, k, outGo, 1)
+		blas.SetAsmEnabled(prev)
+		for i := range outAsm {
+			if outAsm[i] != outGo[i] {
+				t.Fatalf("shape %v: out[%d] asm=%d go=%d", sh, i, outAsm[i], outGo[i])
+			}
+		}
+		// Exact check against a big-int-free but widened accumulation.
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				var want int64
+				for p := 0; p < d; p++ {
+					want += int64(q[i*d+p]) * int64(b[j*d+p])
+				}
+				if int64(outGo[i*k+j]) != want {
+					t.Fatalf("shape %v: out[%d,%d]=%d want %d", sh, i, j, outGo[i*k+j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantizeRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	const rows, cols = 20, 33
+	a := make([]float32, rows*cols)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64()) * float32(math.Pow(10, float64(rng.Intn(5)-2)))
+	}
+	// Row 3: all zeros; row 5: single huge outlier.
+	for p := 0; p < cols; p++ {
+		a[3*cols+p] = 0
+	}
+	a[5*cols+7] = 3e8
+	q := blas.QuantizeRows(a, rows, cols)
+	for i := 0; i < rows; i++ {
+		s := q.Scale[i]
+		var abs int32
+		for p := 0; p < cols; p++ {
+			c := q.Data[i*cols+p]
+			if c < -127 || c > 127 {
+				t.Fatalf("row %d: code %d out of range", i, c)
+			}
+			if c < 0 {
+				abs -= int32(c)
+			} else {
+				abs += int32(c)
+			}
+			// Dequantization error ≤ s/2 plus float slack.
+			if d := math.Abs(float64(a[i*cols+p]) - s*float64(c)); d > s/2*(1+1e-9)+1e-12 {
+				t.Fatalf("row %d col %d: |x - s·q| = %g > s/2 = %g", i, p, d, s/2)
+			}
+		}
+		if abs != q.AbsSum[i] {
+			t.Fatalf("row %d: AbsSum %d want %d", i, q.AbsSum[i], abs)
+		}
+	}
+	if q.Scale[3] != 1 {
+		t.Fatalf("zero row scale = %v want 1", q.Scale[3])
+	}
+}
+
+func FuzzDgemmAsmParity(f *testing.F) {
+	f.Add(int64(1), 3, 5, 7)
+	f.Add(int64(2), 1, 1, 1)
+	f.Add(int64(3), 9, 31, 64)
+	f.Fuzz(func(t *testing.T, seed int64, m, n, k int) {
+		if m < 1 || n < 1 || k < 1 || m > 80 || n > 80 || k > 80 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		a := fillF64(rng, m*k)
+		b := fillF64(rng, n*k)
+		c0 := fillF64(rng, m*n)
+		cAsm := append([]float64(nil), c0...)
+		cGo := append([]float64(nil), c0...)
+		prev := blas.SetAsmEnabled(true)
+		blas.Dgemm(-2, a, m, k, b, n, 1, cAsm, 1)
+		blas.SetAsmEnabled(false)
+		blas.Dgemm(-2, a, m, k, b, n, 1, cGo, 1)
+		blas.SetAsmEnabled(prev)
+		for i := range cAsm {
+			if math.Float64bits(cAsm[i]) != math.Float64bits(cGo[i]) {
+				t.Fatalf("m=%d n=%d k=%d: c[%d] asm=%v go=%v", m, n, k, i, cAsm[i], cGo[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package blas
+
+import (
+	"math"
+	"sync"
+)
+
+// Per-row symmetric int8 quantization and the int8×int8→int32 scan that
+// powers the quantized /assign path (serve.BatcherOptions.Quantize). A
+// row x quantizes to q[p] = round(x[p]/s) clamped to ±127 with scale
+// s = max|x|/127, so the dequantization error per element is bounded by
+// |x[p] − s·q[p]| ≤ s/2 (round-to-nearest, no saturation below the max).
+// The serving layer uses Scale and AbsSum to turn that into a rigorous
+// per-pair dot-product error bound and re-ranks the surviving candidate
+// set exactly — see serve/quant.go for the margin algebra.
+
+// QuantizedRows is a row-major int8 matrix with per-row scales.
+type QuantizedRows struct {
+	Rows, Cols int
+	Data       []int8    // Rows×Cols, row-major
+	Scale      []float64 // per row: dequantized value = Scale[i]·Data[i*Cols+p]
+	AbsSum     []int32   // per row: Σ_p |Data[i*Cols+p]|, for error bounds
+}
+
+// QuantizeRows quantizes the rows×cols row-major float32 matrix a,
+// row-symmetrically. An all-zero row gets scale 1 and all-zero codes.
+func QuantizeRows(a []float32, rows, cols int) *QuantizedRows {
+	if len(a) < rows*cols {
+		panic("blas: QuantizeRows size mismatch")
+	}
+	q := &QuantizedRows{
+		Rows:   rows,
+		Cols:   cols,
+		Data:   make([]int8, rows*cols),
+		Scale:  make([]float64, rows),
+		AbsSum: make([]int32, rows),
+	}
+	for i := 0; i < rows; i++ {
+		row := a[i*cols : (i+1)*cols]
+		var maxAbs float64
+		for _, v := range row {
+			if av := math.Abs(float64(v)); av > maxAbs {
+				maxAbs = av
+			}
+		}
+		s := 1.0
+		if maxAbs > 0 {
+			s = maxAbs / 127
+		}
+		q.Scale[i] = s
+		var abs int32
+		out := q.Data[i*cols : (i+1)*cols]
+		for p, v := range row {
+			c := math.Round(float64(v) / s)
+			if c > 127 {
+				c = 127
+			} else if c < -127 {
+				c = -127
+			}
+			out[p] = int8(c)
+			if c < 0 {
+				abs -= int32(c)
+			} else {
+				abs += int32(c)
+			}
+		}
+		q.AbsSum[i] = abs
+	}
+	return q
+}
+
+// scanRowI8 returns the exact int32 dot product of two int8 vectors.
+// d ≤ 2²³ keeps Σ 127² exactly inside int32; serving dimensionalities
+// are orders of magnitude below that.
+func scanRowI8(q, b []int8) int32 {
+	var s int32
+	for p, v := range q {
+		s += int32(v) * int32(b[p])
+	}
+	return s
+}
+
+// Gemm8 fills out (m×k row-major) with exact int32 dot products between
+// rows of q (m×d int8) and rows of b (k×d int8): out[i*k+j] =
+// Σ_p q[i*d+p]·b[j*d+p]. threads ≤ 1 runs serially; otherwise rows of q
+// are striped across workers. Assembly and pure-Go paths are identical
+// (integer arithmetic is exact), so there is no dispatch contract to
+// keep beyond speed.
+func Gemm8(q []int8, m, d int, b []int8, k int, out []int32, threads int) {
+	if len(q) < m*d || len(b) < k*d || len(out) < m*k {
+		panic("blas: Gemm8 size mismatch")
+	}
+	if m == 0 || k == 0 {
+		return
+	}
+	if d == 0 {
+		clear(out[:m*k])
+		return
+	}
+	scan := func(lo, hi int) {
+		telQuantScans.Inc()
+		for i := lo; i < hi; i++ {
+			scanRowsQ(q[i*d:(i+1)*d], b, k, d, out[i*k:(i+1)*k])
+		}
+	}
+	if threads <= 1 || m == 1 {
+		scan(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	stripe := (m + threads - 1) / threads
+	for w := 0; w < threads; w++ {
+		lo := w * stripe
+		if lo >= m {
+			break
+		}
+		hi := min(lo+stripe, m)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scan(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// scanRowsQ scans one query row against all k code rows, dispatching to
+// the SIMD kernel when enabled.
+func scanRowsQ(qrow []int8, b []int8, k, d int, out []int32) {
+	if asmEnabled.Load() {
+		scanRowsI8Asm(qrow, b, k, d, out)
+		return
+	}
+	for j := 0; j < k; j++ {
+		out[j] = scanRowI8(qrow, b[j*d:(j+1)*d])
+	}
+}

@@ -57,6 +57,18 @@ type BatcherOptions struct {
 	// tracing). Ignored when Internal is set: a shard batcher records
 	// onto traces injected by the edge instead of sampling its own.
 	Tracer *telemetry.Tracer
+	// Quantize selects the approximate scan for the float32 assign path:
+	// "int8" scans all k centroids with the int8×int8→int32 kernel and
+	// re-ranks the margin-surviving candidates exactly, keeping answers
+	// bit-identical to the exact path (see quant.go). "" (default) runs
+	// the exact GEMM scan. Only the float32 instantiation honours it;
+	// float64 batchers ignore the option.
+	Quantize string
+	// QuantRerank bounds the exact re-rank's candidate set per query row
+	// (default 32); rows whose quantization margin leaves more candidates
+	// fall back to a full exact scan, counted in
+	// knor_serve_quant_rerank_fallbacks_total.
+	QuantRerank int
 }
 
 func (o BatcherOptions) withDefaults() BatcherOptions {
@@ -68,6 +80,9 @@ func (o BatcherOptions) withDefaults() BatcherOptions {
 	}
 	if o.Threads <= 0 {
 		o.Threads = 1
+	}
+	if o.QuantRerank <= 0 {
+		o.QuantRerank = 32
 	}
 	return o
 }
@@ -438,7 +453,18 @@ func (b *BatcherOf[T]) flush(batch []pendingReq[T]) {
 			off += len(batch[i].rows.Data)
 		}
 		gemmStart := time.Now()
-		assigns := assignBlock(a, total, snap, b.opts.Threads, b.opts.RawSqDist)
+		var assigns []Assignment
+		if a32, ok := any(a).([]float32); ok && b.opts.Quantize == "int8" {
+			var fallbacks int
+			assigns, fallbacks = assignBlockQuant(a32, total, snap,
+				b.opts.Threads, b.opts.RawSqDist, b.opts.QuantRerank)
+			telQuantRows.Add(uint64(total))
+			if fallbacks > 0 {
+				telQuantFallbacks.Add(uint64(fallbacks))
+			}
+		} else {
+			assigns = assignBlock(a, total, snap, b.opts.Threads, b.opts.RawSqDist)
+		}
 		gemmEnd := time.Now()
 		telGemmSeconds.Observe(gemmEnd.Sub(gemmStart).Seconds())
 		row := 0

@@ -31,6 +31,13 @@ type Model struct {
 	// router re-pins under its own placement policy for the
 	// placement-sweep experiments).
 	Node int
+	// Elem is the canonical element width of the published payload: 8
+	// for float64 publishes (Centroids is the source of truth), 4 for
+	// float32 publishes via PublishOf/RestoreOf (the float32 mirror is
+	// canonical and Centroids is an eagerly widened compatibility view).
+	// Persistence and the shard-spread wire honour Elem so 4-byte models
+	// move at half the bytes end to end.
+	Elem int
 
 	// c32/n32 mirror Centroids/NormsSq at float32 for the Precision32
 	// assign path, built lazily on first float32 access (mirrorOnce) so
@@ -40,6 +47,12 @@ type Model struct {
 	mirrorOnce sync.Once
 	c32        *matrix.Mat[float32]
 	n32        []float32
+
+	// q8 is the per-snapshot int8 quantization of the float32 mirror,
+	// built lazily on the first quantized flush (quantOnce) — exact-path
+	// deployments never pay for it, quantized flushes build it once.
+	quantOnce sync.Once
+	q8        *blas.QuantizedRows
 }
 
 // K returns the number of centroids.
@@ -48,8 +61,21 @@ func (m *Model) K() int { return m.Centroids.Rows() }
 // Dims returns the centroid dimensionality.
 func (m *Model) Dims() int { return m.Centroids.Cols() }
 
-// Bytes returns the in-memory size of the canonical centroid data.
-func (m *Model) Bytes() int { return m.K() * m.Dims() * 8 }
+// Bytes returns the size of the canonical centroid payload — what a
+// snapshot save or a shard re-spread actually moves (4-byte elements
+// for float32-published models, 8-byte for float64).
+func (m *Model) Bytes() int { return m.K() * m.Dims() * m.Elem }
+
+// Payload32 returns the canonical float32 payload for Elem == 4 models
+// (nil otherwise): the exact bits the trainer published, which the
+// persistence and shard-spread paths carry instead of the widened
+// Centroids view.
+func (m *Model) Payload32() *matrix.Mat[float32] {
+	if m.Elem != 4 {
+		return nil
+	}
+	return m.c32
+}
 
 // centroidsOf returns the model's centroids and cached ‖c‖² at the
 // requested element type, building the float32 mirror on first use.
@@ -130,44 +156,85 @@ func (r *Registry) SetRetention(p Retention) {
 	}
 }
 
+// newModelOf builds the immutable snapshot for a publish at element
+// type T. A float64 publish stores the clone canonically (Elem 8, the
+// float32 mirror stays lazy). A float32 publish keeps the 4-byte clone
+// as the canonical payload (Elem 4, mirror pre-built with the published
+// bits) and eagerly widens a float64 Centroids view so every
+// precision-independent consumer — K/Dims, JSON listings, float64
+// batchers, the shard splitter — keeps working unchanged.
+func newModelOf[T blas.Float](name string, centroids *matrix.Mat[T]) *Model {
+	cl := centroids.Clone()
+	m := &Model{Name: name, PublishedAt: time.Now(), Elem: blas.ElemBytes[T]()}
+	if c32, ok := any(cl).(*matrix.Mat[float32]); ok {
+		n32 := make([]float32, c32.Rows())
+		blas.RowNormsSq(c32.Data, c32.Rows(), c32.Cols(), n32)
+		m.mirrorOnce.Do(func() { m.c32, m.n32 = c32, n32 })
+		m.Centroids = matrix.Convert[float64](c32)
+	} else {
+		m.Centroids = any(cl).(*matrix.Dense)
+	}
+	m.NormsSq = make([]float64, m.Centroids.Rows())
+	blas.RowNormsSq(m.Centroids.Data, m.Centroids.Rows(), m.Centroids.Cols(), m.NormsSq)
+	return m
+}
+
+// add installs a fully built snapshot under the registry lock. A
+// restore (version > 0) keeps the explicit version/node and must land
+// after the current latest; a publish (version == 0) increments the
+// latest version and inherits (or round-robin-assigns) the node pin.
+func (r *Registry) add(m *Model, version, node int) (*Model, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev, exists := r.latest[m.Name]
+	if exists && prev.Dims() != m.Dims() {
+		return nil, fmt.Errorf("serve: model %q dims changed %d -> %d", m.Name, prev.Dims(), m.Dims())
+	}
+	switch {
+	case version > 0:
+		if exists && version <= prev.Version {
+			return nil, fmt.Errorf("serve: model %q restore version %d not after latest %d",
+				m.Name, version, prev.Version)
+		}
+		m.Version, m.Node = version, node
+	case exists:
+		m.Version, m.Node = prev.Version+1, prev.Node
+	default:
+		m.Version = 1
+		m.Node = r.nextNode % r.nodes
+		r.nextNode++
+	}
+	r.latest[m.Name] = m
+	r.versions[m.Name] = append(r.versions[m.Name], m)
+	r.evictLocked(m.Name, m.PublishedAt)
+	telPublishes.Inc()
+	for _, fn := range r.onPublish {
+		fn(m)
+	}
+	return m, nil
+}
+
 // Publish clones centroids into a new immutable version of the named
 // model and returns the snapshot. The first publish of a name pins the
 // model to a NUMA node; later versions inherit the pin so a serving
 // shard never migrates mid-flight. Publishing also applies retention to
 // the model's history.
 func (r *Registry) Publish(name string, centroids *matrix.Dense) (*Model, error) {
+	return PublishOf(r, name, centroids)
+}
+
+// PublishOf is Publish at an explicit element type: a float32 publish
+// keeps the 4-byte payload canonical (Model.Elem == 4) so snapshots and
+// shard re-spreads move half the bytes; a float64 publish is exactly
+// Publish.
+func PublishOf[T blas.Float](r *Registry, name string, centroids *matrix.Mat[T]) (*Model, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: empty model name")
 	}
 	if centroids == nil || centroids.Rows() == 0 || centroids.Cols() == 0 {
 		return nil, fmt.Errorf("serve: model %q published with no centroids", name)
 	}
-	cl := centroids.Clone()
-	norms := make([]float64, cl.Rows())
-	blas.RowNormsSq(cl.Data, cl.Rows(), cl.Cols(), norms)
-
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m := &Model{Name: name, Centroids: cl, NormsSq: norms, PublishedAt: time.Now()}
-	if prev, ok := r.latest[name]; ok {
-		if prev.Dims() != m.Dims() {
-			return nil, fmt.Errorf("serve: model %q dims changed %d -> %d", name, prev.Dims(), m.Dims())
-		}
-		m.Version = prev.Version + 1
-		m.Node = prev.Node
-	} else {
-		m.Version = 1
-		m.Node = r.nextNode % r.nodes
-		r.nextNode++
-	}
-	r.latest[name] = m
-	r.versions[name] = append(r.versions[name], m)
-	r.evictLocked(name, m.PublishedAt)
-	telPublishes.Inc()
-	for _, fn := range r.onPublish {
-		fn(m)
-	}
-	return m, nil
+	return r.add(newModelOf(name, centroids), 0, 0)
 }
 
 // OnPublish registers fn to run after every successful Publish or
@@ -189,6 +256,13 @@ func (r *Registry) OnPublish(fn func(*Model)) {
 // stale restores are rejected so a mirror replaying a mix of history
 // and live publishes converges on the newest snapshot.
 func (r *Registry) Restore(name string, version, node int, centroids *matrix.Dense) (*Model, error) {
+	return RestoreOf(r, name, version, node, centroids)
+}
+
+// RestoreOf is Restore at an explicit element type, preserving 4-byte
+// payloads through snapshot reloads and shard mirrors the same way
+// PublishOf does through publishes.
+func RestoreOf[T blas.Float](r *Registry, name string, version, node int, centroids *matrix.Mat[T]) (*Model, error) {
 	if name == "" {
 		return nil, fmt.Errorf("serve: empty model name")
 	}
@@ -198,31 +272,7 @@ func (r *Registry) Restore(name string, version, node int, centroids *matrix.Den
 	if centroids == nil || centroids.Rows() == 0 || centroids.Cols() == 0 {
 		return nil, fmt.Errorf("serve: model %q restored with no centroids", name)
 	}
-	cl := centroids.Clone()
-	norms := make([]float64, cl.Rows())
-	blas.RowNormsSq(cl.Data, cl.Rows(), cl.Cols(), norms)
-
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m := &Model{Name: name, Version: version, Node: node,
-		Centroids: cl, NormsSq: norms, PublishedAt: time.Now()}
-	if prev, ok := r.latest[name]; ok {
-		if prev.Dims() != m.Dims() {
-			return nil, fmt.Errorf("serve: model %q dims changed %d -> %d", name, prev.Dims(), m.Dims())
-		}
-		if version <= prev.Version {
-			return nil, fmt.Errorf("serve: model %q restore version %d not after latest %d",
-				name, version, prev.Version)
-		}
-	}
-	r.latest[name] = m
-	r.versions[name] = append(r.versions[name], m)
-	r.evictLocked(name, m.PublishedAt)
-	telPublishes.Inc()
-	for _, fn := range r.onPublish {
-		fn(m)
-	}
-	return m, nil
+	return r.add(newModelOf(name, centroids), version, node)
 }
 
 // evictLocked applies the retention policy to one model's history:

@@ -53,8 +53,14 @@ type ChaosConfig struct {
 	BatchRows   int
 	FinalRounds int
 	// Precision selects the element type of both the oracle and the
-	// sharded path.
+	// sharded path. Publishes go through PublishOf at that element
+	// width, so float32 runs move 4-byte shard payloads end to end.
 	Precision kmeans.Precision
+	// Quantize, when "int8" (float32 runs only), serves the sharded
+	// path through the quantized scan + exact re-rank while the oracle
+	// stays on the exact path — the run then proves the quantized
+	// distributed answers are bit-identical to exact single-node ones.
+	Quantize string
 	// Seed drives the kill schedule, centroids, queries, republishes.
 	Seed int64
 	// KillEvery kills one machine every that-many rounds (0 = never);
@@ -143,7 +149,11 @@ type ChaosStats struct {
 	FinalWrong  int
 	// Versions is how many versions were published over the run.
 	Versions int
-	Elapsed  time.Duration
+	// SpreadBytes is the registry's count of centroid payload bytes
+	// copied into machine registries over the run (publishes + healing
+	// re-spreads) — float32 runs move half the bytes of float64 ones.
+	SpreadBytes uint64
+	Elapsed     time.Duration
 }
 
 // RunChaos executes one seeded chaos run at cfg.Precision.
@@ -243,16 +253,17 @@ func runChaosOf[T blas.Float](cfg ChaosConfig) (ChaosStats, error) {
 		opts.Topology = topo
 	}
 	sr := NewShardRegistryWith(opts)
-	if _, err := sr.Publish("chaos", cents); err != nil {
+	if _, err := PublishOf(sr, "chaos", matrix.Convert[T](cents)); err != nil {
 		return stats, err
 	}
-	asn := NewAssignerOf[T](sr, serve.BatcherOptions{MaxWait: time.Microsecond})
+	asn := NewAssignerOf[T](sr, serve.BatcherOptions{MaxWait: time.Microsecond, Quantize: cfg.Quantize})
 	defer asn.Close()
 
 	// The oracle: a single-node batcher over the same snapshots,
-	// published in lockstep so versions line up.
+	// published in lockstep (same element width) so versions and payload
+	// bits line up.
 	oreg := serve.NewRegistry(1)
-	if _, err := oreg.Publish("chaos", cents); err != nil {
+	if _, err := serve.PublishOf(oreg, "chaos", matrix.Convert[T](cents)); err != nil {
 		return stats, err
 	}
 	oracle := serve.NewBatcherOf[T](oreg, serve.BatcherOptions{MaxWait: time.Microsecond})
@@ -324,10 +335,10 @@ func runChaosOf[T blas.Float](cfg ChaosConfig) (ChaosStats, error) {
 		}
 		if cfg.PublishEvery > 0 && r > 0 && r%cfg.PublishEvery == 0 {
 			cents = chaosCentroids(cfg.K, cfg.D, rng)
-			if _, err := sr.Publish("chaos", cents); err != nil {
+			if _, err := PublishOf(sr, "chaos", matrix.Convert[T](cents)); err != nil {
 				return stats, err
 			}
-			if _, err := oreg.Publish("chaos", cents); err != nil {
+			if _, err := serve.PublishOf(oreg, "chaos", matrix.Convert[T](cents)); err != nil {
 				return stats, err
 			}
 			version++
@@ -360,6 +371,7 @@ func runChaosOf[T blas.Float](cfg ChaosConfig) (ChaosStats, error) {
 	}
 	stats.Failovers = asn.Failovers()
 	stats.Versions = version
+	stats.SpreadBytes = sr.SpreadBytes()
 	stats.Elapsed = time.Since(start)
 	return stats, nil
 }

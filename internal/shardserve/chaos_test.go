@@ -330,3 +330,71 @@ func TestChaosSmoke(t *testing.T) {
 	runChaosSmokeOf[float64](t, kmeans.Precision64)
 	runChaosSmokeOf[float32](t, kmeans.Precision32)
 }
+
+// TestChaosSpreadBytesHalvedAtFloat32 pins the wire-format win: the
+// same seeded schedule (same kills, same heals, same republishes) at
+// float32 moves half the shard payload bytes of the float64 run,
+// because publishes and healing re-spreads carry 4-byte elements end
+// to end. The ratio window [1.9, 2.1] allows nothing but the element
+// width to differ.
+func TestChaosSpreadBytesHalvedAtFloat32(t *testing.T) {
+	run := func(p kmeans.Precision) ChaosStats {
+		t.Helper()
+		stats, err := RunChaos(ChaosConfig{
+			Machines: 5, Replicas: 2, MaxDead: 2,
+			Heal: true, Settle: true,
+			KillEvery: 2, DeadFor: 3, Rounds: 14, PublishEvery: 4,
+			Precision: p, Seed: *chaosSeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Wrong != 0 || stats.FinalWrong != 0 {
+			t.Fatalf("%s: wrong=%d finalWrong=%d (seed %d)", p, stats.Wrong, stats.FinalWrong, *chaosSeed)
+		}
+		if stats.SpreadBytes == 0 {
+			t.Fatalf("%s: no spread bytes counted despite publishes and healing", p)
+		}
+		return stats
+	}
+	s64 := run(kmeans.Precision64)
+	s32 := run(kmeans.Precision32)
+	if len(s64.Events) != len(s32.Events) {
+		t.Fatalf("schedules diverge between precisions: %d vs %d events", len(s64.Events), len(s32.Events))
+	}
+	ratio := float64(s64.SpreadBytes) / float64(s32.SpreadBytes)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("spread bytes f64/f32 = %d/%d = %.3f, want ~2.0 (4-byte wire payloads)",
+			s64.SpreadBytes, s32.SpreadBytes, ratio)
+	}
+	t.Logf("spread bytes: f64=%d f32=%d ratio=%.3f", s64.SpreadBytes, s32.SpreadBytes, ratio)
+}
+
+// TestChaosQuantizedParity serves the sharded path through the int8
+// quantized scan + exact re-rank while the oracle stays exact, under
+// kills, failover and republishes: every answered row must still be
+// bit-identical to the exact single-node oracle.
+func TestChaosQuantizedParity(t *testing.T) {
+	stats, err := RunChaos(ChaosConfig{
+		Machines: 3, Replicas: 2, MaxDead: 1,
+		Rounds: 14, PublishEvery: 5,
+		Precision: kmeans.Precision32, Quantize: "int8",
+		Seed: *chaosSeed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Kills == 0 {
+		t.Fatal("kill schedule never fired")
+	}
+	if stats.Errors != 0 {
+		t.Errorf("%d client-visible errors (seed %d)", stats.Errors, *chaosSeed)
+	}
+	if stats.Wrong != 0 {
+		t.Errorf("%d quantized rows differ from the exact oracle (seed %d)", stats.Wrong, *chaosSeed)
+	}
+	if stats.FinalErrors != 0 || stats.FinalWrong != 0 {
+		t.Errorf("post-recovery: %d errors, %d wrong rows (seed %d)",
+			stats.FinalErrors, stats.FinalWrong, *chaosSeed)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"knor/internal/blas"
 	"knor/internal/dist"
 	"knor/internal/matrix"
 	"knor/internal/serve"
@@ -46,6 +47,13 @@ type ShardRegistry struct {
 	// covers.
 	down []atomic.Bool
 
+	// spreadBytes counts centroid payload bytes actually copied into
+	// machine registries by publishes, mirrors and healing re-spreads —
+	// the simulated network cost of moving shard data. Restores skipped
+	// because a machine already holds the shard at that version don't
+	// count; 4-byte (float32) models move half the bytes of 8-byte ones.
+	spreadBytes atomic.Uint64
+
 	mu     sync.RWMutex
 	splits map[string]*split
 	// canon retains each model's latest full centroid snapshot (the
@@ -68,11 +76,44 @@ type split struct {
 	replicas [][]int
 }
 
-// canonModel is the retained canonical copy of one model.
+// canonModel is the retained canonical copy of one model. Exactly one
+// of c64/c32 is set, per elem (8 or 4): a float32-published model keeps
+// its 4-byte payload canonical end to end, so every shard restore —
+// publish, mirror or healing re-spread — moves half the bytes and the
+// shard batchers serve the publisher's float32 bits unconverted.
 type canonModel struct {
-	version   int
-	node      int
-	centroids *matrix.Dense // immutable (cloned at publish / snapshot at mirror)
+	version int
+	node    int
+	elem    int           // payload element width: 8 or 4
+	c64     *matrix.Dense // immutable (cloned at publish / snapshot at mirror)
+	c32     *matrix.Mat[float32]
+}
+
+func (cm canonModel) rows() int {
+	if cm.elem == 4 {
+		return cm.c32.Rows()
+	}
+	return cm.c64.Rows()
+}
+
+func (cm canonModel) cols() int {
+	if cm.elem == 4 {
+		return cm.c32.Cols()
+	}
+	return cm.c64.Cols()
+}
+
+// canonOf wraps a centroid matrix (already safe to retain) as a
+// canonical copy at the given version.
+func canonOf[T blas.Float](version, node int, centroids *matrix.Mat[T]) canonModel {
+	cm := canonModel{version: version, node: node, elem: blas.ElemBytes[T]()}
+	switch c := any(centroids).(type) {
+	case *matrix.Mat[float32]:
+		cm.c32 = c
+	case *matrix.Dense:
+		cm.c64 = c
+	}
+	return cm
 }
 
 // Options configure a ShardRegistry.
@@ -212,7 +253,15 @@ func (sr *ShardRegistry) Split(name string) (version int, offsets []int, ok bool
 // the named model. The machine registries clone their slices
 // (copy-on-write), so the caller keeps ownership of centroids.
 func (sr *ShardRegistry) Publish(name string, centroids *matrix.Dense) (version int, err error) {
-	if centroids == nil || centroids.Rows() == 0 {
+	return PublishOf(sr, name, centroids)
+}
+
+// PublishOf is Publish for either element width: float32 centroids
+// stay 4-byte on the wire — every shard restore and healing re-spread
+// moves the float32 payload, and the shard batchers serve those bits
+// unconverted (bit-compatible with the single-node float32 path).
+func PublishOf[T blas.Float](sr *ShardRegistry, name string, centroids *matrix.Mat[T]) (version int, err error) {
+	if centroids == nil || centroids.Rows() == 0 || centroids.Cols() == 0 {
 		return 0, fmt.Errorf("shardserve: model %q published with no centroids", name)
 	}
 	cl := centroids.Clone()
@@ -224,11 +273,16 @@ func (sr *ShardRegistry) Publish(name string, centroids *matrix.Dense) (version 
 	} else {
 		v = 1
 	}
-	if err := sr.restoreLocked(name, v, 0, cl); err != nil {
+	if err := sr.restoreLocked(name, canonOf(v, 0, cl)); err != nil {
 		return 0, err
 	}
 	return v, nil
 }
+
+// SpreadBytes reports the cumulative centroid payload bytes this
+// registry has copied into machine registries (publishes, mirrors and
+// healing re-spreads).
+func (sr *ShardRegistry) SpreadBytes() uint64 { return sr.spreadBytes.Load() }
 
 // Attach mirrors primary into the shard registries — current models
 // first, then every future publish via the registry's publish hook —
@@ -266,7 +320,11 @@ func (sr *ShardRegistry) mirror(m *serve.Model) {
 	if sp, ok := sr.splits[m.Name]; ok && sp.version >= m.Version {
 		return
 	}
-	if err := sr.restoreLocked(m.Name, m.Version, m.Node, m.Centroids); err != nil {
+	cm := canonModel{version: m.Version, node: m.Node, elem: 8, c64: m.Centroids}
+	if p32 := m.Payload32(); p32 != nil {
+		cm = canonModel{version: m.Version, node: m.Node, elem: 4, c32: p32}
+	}
+	if err := sr.restoreLocked(m.Name, cm); err != nil {
 		// Dims changed without a version going backwards can only be a
 		// primary-registry invariant violation; surface loudly.
 		panic(fmt.Sprintf("shardserve: mirror %q v%d: %v", m.Name, m.Version, err))
@@ -290,17 +348,17 @@ func (sr *ShardRegistry) livePlacementLocked() []int {
 	return all
 }
 
-// restoreLocked splits centroids, restores shard s into its placed
-// machines' registries at the given version, drops copies that fell
-// out of the placement, and updates the plan table. centroids must be
-// safe to retain (cloned by Publish, immutable from mirror). Caller
-// holds sr.mu.
-func (sr *ShardRegistry) restoreLocked(name string, version, node int, centroids *matrix.Dense) error {
-	if cm, ok := sr.canon[name]; ok && cm.centroids.Cols() != centroids.Cols() {
+// restoreLocked splits the canonical copy, restores shard s into its
+// placed machines' registries at cm's version, drops copies that fell
+// out of the placement, and updates the plan table. cm's payload must
+// be safe to retain (cloned by PublishOf, immutable from mirror).
+// Caller holds sr.mu.
+func (sr *ShardRegistry) restoreLocked(name string, cm canonModel) error {
+	if old, ok := sr.canon[name]; ok && old.cols() != cm.cols() {
 		return fmt.Errorf("shardserve: model %q dims changed %d -> %d",
-			name, cm.centroids.Cols(), centroids.Cols())
+			name, old.cols(), cm.cols())
 	}
-	k := centroids.Rows()
+	k, d := cm.rows(), cm.cols()
 	shards := sr.machines
 	if k < shards {
 		shards = k
@@ -312,14 +370,24 @@ func (sr *ShardRegistry) restoreLocked(name string, version, node int, centroids
 	for s, p := range parts {
 		offsets[s+1] = p.Hi
 		reps[s] = topology.Place(s, sr.replicas, live)
+		key := ShardKey(name, s)
 		for _, m := range reps[s] {
-			key := ShardKey(name, s)
-			if cur, ok := sr.regs[m].Get(key); ok && cur.Version >= version {
+			if cur, ok := sr.regs[m].Get(key); ok && cur.Version >= cm.version {
 				continue // already holds this shard at this version (rebalance path)
 			}
-			if _, err := sr.regs[m].Restore(key, version, node, p.View(centroids)); err != nil {
+			var err error
+			if cm.elem == 4 {
+				view := &matrix.Mat[float32]{RowsN: p.Rows(), ColsN: d, Data: cm.c32.Data[p.Lo*d : p.Hi*d]}
+				_, err = serve.RestoreOf(sr.regs[m], key, cm.version, cm.node, view)
+			} else {
+				_, err = sr.regs[m].Restore(key, cm.version, cm.node, p.View(cm.c64))
+			}
+			if err != nil {
 				return err
 			}
+			moved := uint64(p.Rows() * d * cm.elem)
+			sr.spreadBytes.Add(moved)
+			telSpreadBytes.Add(moved)
 		}
 	}
 	// Drop copies outside the new placement: machines a shard moved
@@ -354,8 +422,8 @@ func (sr *ShardRegistry) restoreLocked(name string, version, node int, centroids
 	if sp, ok := sr.splits[name]; ok {
 		gen = sp.gen + 1
 	}
-	sr.splits[name] = &split{version: version, gen: gen, offsets: offsets, replicas: reps}
-	sr.canon[name] = canonModel{version: version, node: node, centroids: centroids}
+	sr.splits[name] = &split{version: cm.version, gen: gen, offsets: offsets, replicas: reps}
+	sr.canon[name] = cm
 	return nil
 }
 
@@ -369,7 +437,7 @@ func (sr *ShardRegistry) rebalance() {
 	defer sr.mu.Unlock()
 	telRebalances.Inc()
 	for name, cm := range sr.canon {
-		if err := sr.restoreLocked(name, cm.version, cm.node, cm.centroids); err != nil {
+		if err := sr.restoreLocked(name, cm); err != nil {
 			// Re-spreading a version that already published cannot
 			// change dims and never moves a version backwards.
 			panic(fmt.Sprintf("shardserve: rebalance %q v%d: %v", name, cm.version, err))

@@ -33,4 +33,6 @@ var (
 		"Shard-group answers that failed on every replica (the group was unavailable).")
 	telRebalances = telemetry.Default.Counter("knor_shardserve_rebalances_total",
 		"Placement rebalances triggered by membership transitions (replicas re-spread from the canonical copies).")
+	telSpreadBytes = telemetry.Default.Counter("knor_shardserve_spread_bytes_total",
+		"Centroid payload bytes copied into machine registries by publishes, mirrors and healing re-spreads.")
 )
