@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-precision bench-kernels test-noasm figs docs serve-loadtest io-smoke shardserve-smoke metrics-smoke chaos-smoke clean
+.PHONY: all build vet test race bench bench-precision bench-kernels test-noasm figs docs serve-loadtest io-smoke shardserve-smoke metrics-smoke chaos-smoke cluster-smoke clean
 
 all: vet build test
 
@@ -17,7 +17,8 @@ test:
 race:
 	$(GO) test -race ./internal/serve/... ./internal/kmeans/... ./cmd/knorserve/... \
 		./internal/store/... ./internal/sem/... ./internal/telemetry/... \
-		./internal/shardserve/... ./internal/cluster/... ./internal/topology/...
+		./internal/shardserve/... ./internal/cluster/... ./internal/topology/... \
+		./internal/netcluster/... ./internal/dist/... ./internal/cliutil/...
 
 # Headline benchmarks: one representative configuration per paper
 # artifact (Tables 1-3, Figures 4-13, ablations).
@@ -126,7 +127,9 @@ metrics-smoke:
 		knor_topology_transitions_total knor_topology_health_pulse_seconds \
 		knor_shardserve_failovers_total knor_shardserve_rebalances_total \
 		knor_shardserve_spread_bytes_total knor_blas_gemm_dispatch_total \
-		knor_serve_quant_rows_total knor_serve_quant_rerank_fallbacks_total; do \
+		knor_serve_quant_rows_total knor_serve_quant_rerank_fallbacks_total \
+		knor_net_bytes_total knor_net_frames_total \
+		knor_net_dial_errors_total knor_net_roundtrip_seconds; do \
 		grep -q "^# TYPE $$series" $$tmp/metrics.txt || \
 			{ echo "metrics-smoke: $$series missing from /metrics"; exit 1; }; done; \
 	grep -q '^knor_serve_quant_rows_total [1-9]' $$tmp/metrics.txt || \
@@ -149,6 +152,14 @@ metrics-smoke:
 	grep -q '^knor_topology_transitions_total{to="dead"} [1-9]' $$tmp/metrics2.txt || \
 		{ echo "metrics-smoke: no dead transition recorded"; exit 1; }; \
 	echo "metrics-smoke: ok ($$families series families, readyz + traces + failover verified)"
+
+# Real-cluster smoke (mirrors CI): knord as 3 OS processes over
+# loopback TCP bit-identical (result checksum) to the single-process
+# run at both precisions, then knorserve as coordinator + 2 worker
+# processes answering /v1/assign byte-identical to a single-node
+# server before and after a kill -9 of one worker.
+cluster-smoke:
+	@sh scripts/cluster_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -62,6 +62,7 @@ var experiments = []experiment{
 	{"shardserve", "Distributed serving: centroid-sharded /assign, machines x batch x wire", shardServeExp},
 	{"failover", "Failover: replicated shard serving under a seeded kill schedule, R x kill rate", failoverExp},
 	{"kernels", "Kernels: SIMD vs pure-Go GEMM GFLOP/s, int8 quantized scan throughput", kernelsExp},
+	{"net", "Transport: ring allgather, simulated cost model vs real TCP on loopback", netExp},
 }
 
 func main() {

@@ -61,6 +61,18 @@
 //	GET  /v1/machines        per-machine liveness + shard group health
 //	POST /v1/machines        {"machine":M,"action":"kill"|"revive"}
 //
+// -listen/-join turn the simulated machines into real OS processes
+// over internal/netcluster TCP: the coordinator (-listen, with
+// -machines M and the HTTP API) pushes shard replicas to M-1 worker
+// processes (-join host:port, no HTTP), fans /assign batches out as
+// transport RPCs, and tracks worker liveness from heartbeat pulses —
+// kill -9 a worker and the fan-out fails over to surviving replicas
+// with byte-identical answers (make cluster-smoke drives exactly
+// that):
+//
+//	knorserve -addr :8080 -listen 127.0.0.1:7002 -machines 3 -replicas 2 -threads 1
+//	knorserve -join 127.0.0.1:7002 -threads 1     (run M-1 times)
+//
 // -quota N bounds in-flight /assign requests per model; excess
 // requests are answered 429 with a Retry-After hint instead of growing
 // the batch queue without bound.
@@ -93,6 +105,9 @@ import (
 
 	"knor/internal/cliutil"
 	"knor/internal/kmeans"
+	"knor/internal/netcluster"
+	"knor/internal/serve"
+	"knor/internal/shardserve"
 	"knor/internal/telemetry"
 )
 
@@ -127,6 +142,8 @@ func main() {
 		ltRows    = flag.Int("lt-rows", 4, "loadtest: query rows per request")
 		ltSeed    = flag.Int64("lt-seed", 1, "loadtest: dataset/query seed")
 	)
+	var cluster cliutil.ClusterFlags
+	cluster.Register(flag.CommandLine)
 	flag.Parse()
 	if *threads <= 0 {
 		*threads = runtime.GOMAXPROCS(0)
@@ -148,8 +165,51 @@ func main() {
 		os.Exit(2)
 	}
 	telemetry.SetEnabled(*telemetryOn)
+	role, err := cluster.Validate(*machines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knorserve:", err)
+		os.Exit(2)
+	}
+	digest := "knorserve:p=" + prec.String()
+	if role == cliutil.RoleWorker {
+		// Worker process: join the coordinator, serve pushed shards and
+		// answer assign RPCs until the coordinator goes away. No HTTP.
+		tr, err := netcluster.DialCluster(netcluster.TCPOptions{
+			Listen: cluster.Listen, Join: cluster.Join, Digest: digest,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knorserve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("knorserve worker rank %d/%d serving (coordinator %s)\n",
+			tr.Rank(), tr.Size(), cluster.Join)
+		err = shardserve.ServePeer(tr, shardserve.PeerOptions{
+			Batcher: serve.BatcherOptions{MaxBatch: *maxBatch, MaxWait: *maxWait, Threads: *threads},
+		})
+		tr.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knorserve:", err)
+			os.Exit(1)
+		}
+		fmt.Println("knorserve worker: coordinator closed, bye")
+		return
+	}
+	var transport netcluster.Transport
+	if role == cliutil.RoleCoordinator {
+		fmt.Printf("knorserve coordinator on %s waiting for %d workers...\n", cluster.Listen, *machines-1)
+		tr, err := netcluster.DialCluster(netcluster.TCPOptions{
+			Listen: cluster.Listen, Machines: *machines, Digest: digest,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knorserve:", err)
+			os.Exit(1)
+		}
+		transport = tr
+		fmt.Printf("knorserve cluster bootstrapped: %d processes\n", tr.Size())
+	}
 	srv, err := newServer(serverOptions{
-		maxBatch: *maxBatch, maxWait: *maxWait, threads: *threads,
+		transport: transport,
+		maxBatch:  *maxBatch, maxWait: *maxWait, threads: *threads,
 		nodes: *nodes, machines: *machines, replicas: *replicas, quota: *quota, stateDir: *stateDir,
 		publishEvery: *publishEvery, precision: prec, quantize: *quantize,
 		retainVersions: *retainVers, retainAge: *retainAge,

@@ -15,6 +15,7 @@ import (
 
 	"knor/internal/kmeans"
 	"knor/internal/matrix"
+	"knor/internal/netcluster"
 	"knor/internal/serve"
 	"knor/internal/shardserve"
 	"knor/internal/telemetry"
@@ -60,6 +61,12 @@ type serverOptions struct {
 	// accessLog emits one structured line per HTTP request with its
 	// request ID (the -access-log flag).
 	accessLog bool
+	// transport, when set, is a bootstrapped netcluster coordinator
+	// rank: the machines are real worker processes (ServePeer) instead
+	// of simulated in-process registries. Implies machines =
+	// transport.Size(); heartbeats arrive over the wire instead of the
+	// in-process pulse clock.
+	transport netcluster.Transport
 }
 
 // server wires the registry, the batched assignment path (single-node
@@ -76,6 +83,10 @@ type server struct {
 	shards    *shardserve.ShardRegistry
 	topo      *topology.Topology
 	pulseStop func()
+	// hub is the coordinator side of a real cluster (-cluster mode):
+	// it pushes shard placements to worker peers and answers fan-out
+	// RPCs. nil in single-process and simulated-machine modes.
+	hub *shardserve.Hub
 	// draining flips before the HTTP listener shuts down so /readyz
 	// turns the server away from load balancers while in-flight
 	// requests finish.
@@ -98,17 +109,18 @@ type server struct {
 
 func newServer(opts serverOptions) (*server, error) {
 	var reg *serve.Registry
+	var loadedCPs []serve.StreamCheckpoint
 	statePath := ""
 	if opts.stateDir != "" {
 		if err := os.MkdirAll(opts.stateDir, 0o755); err != nil {
 			return nil, fmt.Errorf("state dir: %w", err)
 		}
 		statePath = filepath.Join(opts.stateDir, "registry.json")
-		loaded, err := serve.LoadRegistry(statePath, opts.nodes)
+		loaded, cps, err := serve.LoadState(statePath, opts.nodes)
 		if err != nil {
 			return nil, err
 		}
-		reg = loaded // nil on first boot
+		reg, loadedCPs = loaded, cps // nil on first boot
 	}
 	if reg == nil {
 		reg = serve.NewRegistry(opts.nodes)
@@ -128,7 +140,27 @@ func newServer(opts serverOptions) (*server, error) {
 	var shards *shardserve.ShardRegistry
 	var topo *topology.Topology
 	var pulseStop func()
-	if opts.machines > 1 {
+	var hub *shardserve.Hub
+	switch {
+	case opts.transport != nil:
+		// Real cluster: machine m is transport rank m. Machine 0 is
+		// this process; the rest are worker peers running ServePeer.
+		// Heartbeats arrive over the wire (hub demux), the hub's clock
+		// self-pulses machine 0 and sweeps, and shard placements are
+		// pushed to the owning peers on publish and rebalance.
+		m := opts.transport.Size()
+		topo = topology.New(topology.Config{Machines: m})
+		hub = shardserve.NewHub(opts.transport, 0)
+		shards = shardserve.NewShardRegistryWith(shardserve.Options{
+			Machines: m, Replicas: opts.replicas, Topology: topo, Remote: hub,
+		})
+		if err := shards.Attach(reg); err != nil {
+			topo.Close()
+			return nil, err
+		}
+		batcher = shardserve.NewAssigner(shards, bopts, opts.precision)
+		hub.Start(topo, shards)
+	case opts.machines > 1:
 		topo = topology.New(topology.Config{Machines: opts.machines})
 		shards = shardserve.NewShardRegistryWith(shardserve.Options{
 			Machines: opts.machines, Replicas: opts.replicas, Topology: topo,
@@ -142,7 +174,7 @@ func newServer(opts serverOptions) (*server, error) {
 		// process is "up" (kill switch off) pulses; machines that go
 		// silent are swept dead and their shards re-spread.
 		pulseStop = topo.StartClock(0, func(m int) bool { return !shards.MachineDown(m) })
-	} else {
+	default:
 		batcher = serve.NewAssigner(reg, bopts, opts.precision)
 	}
 	s := &server{
@@ -153,22 +185,33 @@ func newServer(opts serverOptions) (*server, error) {
 		shards:    shards,
 		topo:      topo,
 		pulseStop: pulseStop,
+		hub:       hub,
 		sweepStop: make(chan struct{}),
 		statePath: statePath,
 		streams:   map[string]*serve.StreamEngine{},
 		unfolded:  map[string]int{},
 	}
-	// Reloaded models get a fresh stream updater seeded from the
-	// persisted centroids: the registry state (names, versions,
-	// centroid bits) survives the restart; the mini-batch learning
-	// rates restart, which only slows early post-restart folding.
+	// Reloaded models resume their stream updater from the persisted
+	// mini-batch checkpoint when the state file carries one — the
+	// resumed engine folds the next batch with exactly the learning
+	// rates an uninterrupted one would. Models from older state files
+	// (no checkpoint) get a fresh updater seeded from the published
+	// centroids; only their early post-restart folding is slower.
+	cpByModel := make(map[string]serve.StreamCheckpoint, len(loadedCPs))
+	for _, cp := range loadedCPs {
+		cpByModel[cp.Model] = cp
+	}
 	for _, m := range reg.List() {
-		eng, err := serve.ResumeStreamEngine(serve.StreamCheckpoint{
-			Model:     m.Name,
-			Centroids: m.Centroids,
-			Counts:    make([]int64, m.K()),
-			Published: m.Version,
-		}, reg)
+		cp, ok := cpByModel[m.Name]
+		if !ok {
+			cp = serve.StreamCheckpoint{
+				Model:     m.Name,
+				Centroids: m.Centroids,
+				Counts:    make([]int64, m.K()),
+				Published: m.Version,
+			}
+		}
+		eng, err := serve.ResumeStreamEngine(cp, reg)
 		if err != nil {
 			return nil, fmt.Errorf("restore stream for %q: %w", m.Name, err)
 		}
@@ -195,25 +238,42 @@ func newServer(opts serverOptions) (*server, error) {
 	return s, nil
 }
 
-// saver persists the registry after publishes (coalescing bursts) and
-// once more on shutdown.
+// saver persists the registry and the stream-updater checkpoints after
+// publishes (coalescing bursts) and once more on shutdown — the
+// shutdown save captures any rows folded since the last publish, so a
+// restart resumes mid-stream exactly.
 func (s *server) saver() {
 	defer close(s.saveDone)
+	save := func() {
+		if err := serve.SaveState(s.reg, s.checkpoints(), s.statePath); err != nil {
+			telSaveErrors.Inc()
+			fmt.Fprintln(os.Stderr, "knorserve: state save:", err)
+		}
+	}
 	for {
 		select {
 		case <-s.saveCh:
-			if err := serve.SaveRegistry(s.reg, s.statePath); err != nil {
-				telSaveErrors.Inc()
-				fmt.Fprintln(os.Stderr, "knorserve: state save:", err)
-			}
+			save()
 		case <-s.saveStop:
-			if err := serve.SaveRegistry(s.reg, s.statePath); err != nil {
-				telSaveErrors.Inc()
-				fmt.Fprintln(os.Stderr, "knorserve: state save:", err)
-			}
+			save()
 			return
 		}
 	}
+}
+
+// checkpoints snapshots every stream updater's mini-batch state.
+func (s *server) checkpoints() []serve.StreamCheckpoint {
+	s.mu.Lock()
+	engs := make([]*serve.StreamEngine, 0, len(s.streams))
+	for _, eng := range s.streams {
+		engs = append(engs, eng)
+	}
+	s.mu.Unlock()
+	cps := make([]serve.StreamCheckpoint, 0, len(engs))
+	for _, eng := range engs {
+		cps = append(cps, eng.Checkpoint())
+	}
+	return cps
 }
 
 // sweep applies the age bound periodically until close.
@@ -247,6 +307,11 @@ func (s *server) close() {
 			s.pulseStop()
 		}
 		s.batcher.Close()
+		if s.hub != nil {
+			// Closes the transport too, which tells the worker peers'
+			// serve loops to exit.
+			s.hub.Close()
+		}
 		if s.topo != nil {
 			s.topo.Close()
 		}

@@ -156,3 +156,69 @@ func TestE2EStateRoundTrip(t *testing.T) {
 		t.Fatalf("publish after restart: %d %v", code, body)
 	}
 }
+
+// TestE2EStreamStateResume is the restart-in-the-middle-of-a-mini-batch
+// contract: a server killed between publishes must come back with its
+// stream updater's unpublished state (fold counts drive the learning
+// rate), so observing the remaining rows and publishing lands on the
+// same centroid bits an uninterrupted server produces. The restarted
+// server's answers are compared against a never-restarted oracle fed
+// the identical observation sequence.
+func TestE2EStreamStateResume(t *testing.T) {
+	create := `{"name":"m","k":2,"rows":[[0,0],[0,1],[1,0],[1,1]]}`
+	batch1 := `{"model":"m","rows":[[0.1,0.2],[0.8,0.9],[0.4,0.6]]}`
+	batch2 := `{"model":"m","rows":[[0.7,0.3],[0.2,0.2]]}`
+	q := `{"model":"m","rows":[[0.3,0.7],[0.9,0.1],[0.5,0.5]]}`
+
+	// Oracle: one server folds both batches with no interruption.
+	_, oracle := newTestServer(t, serverOptions{publishEvery: 0})
+	for _, step := range []string{create, batch1, batch2} {
+		url, want := oracle.URL+"/v1/observe", http.StatusOK
+		if step == create {
+			url, want = oracle.URL+"/v1/models", http.StatusCreated
+		}
+		if code, body := postJSON(t, url, step); code != want {
+			t.Fatalf("oracle step: %d %v", code, body)
+		}
+	}
+	if code, body := postJSON(t, oracle.URL+"/v1/publish", `{"model":"m"}`); code != http.StatusOK {
+		t.Fatalf("oracle publish: %d %v", code, body)
+	}
+	_, wantAns := postJSON(t, oracle.URL+"/v1/assign", q)
+
+	// Same sequence with a full server restart between the batches.
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, serverOptions{stateDir: dir, publishEvery: 0})
+	if code, body := postJSON(t, ts1.URL+"/v1/models", create); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+	if code, body := postJSON(t, ts1.URL+"/v1/observe", batch1); code != http.StatusOK {
+		t.Fatalf("observe batch1: %d %v", code, body)
+	}
+	ts1.Close()
+	s1.close() // persists the mid-mini-batch stream checkpoint
+
+	_, ts2 := newTestServer(t, serverOptions{stateDir: dir, publishEvery: 0})
+	if code, body := postJSON(t, ts2.URL+"/v1/observe", batch2); code != http.StatusOK {
+		t.Fatalf("observe batch2 after restart: %d %v", code, body)
+	}
+	if code, body := postJSON(t, ts2.URL+"/v1/publish", `{"model":"m"}`); code != http.StatusOK ||
+		body["version"] != float64(2) {
+		t.Fatalf("publish after restart: %d %v", code, body)
+	}
+	code, gotAns := postJSON(t, ts2.URL+"/v1/assign", q)
+	if code != http.StatusOK {
+		t.Fatalf("assign after restart: %d %v", code, gotAns)
+	}
+	wc, gc := wantAns["clusters"].([]any), gotAns["clusters"].([]any)
+	wd, gd := wantAns["sqdists"].([]any), gotAns["sqdists"].([]any)
+	for i := range wc {
+		if wc[i] != gc[i] || wd[i] != gd[i] {
+			t.Fatalf("row %d: resumed server answered (%v, %v), uninterrupted oracle (%v, %v)",
+				i, gc[i], gd[i], wc[i], wd[i])
+		}
+	}
+	if gotAns["version"] != wantAns["version"] {
+		t.Fatalf("version %v after resume, oracle %v", gotAns["version"], wantAns["version"])
+	}
+}

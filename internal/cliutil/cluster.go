@@ -1,0 +1,141 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// ClusterFlags is the shared -listen/-join plumbing for commands that
+// can run as one process of a real netcluster (knord, knorserve). The
+// command keeps its own -machines flag (defaults and help text differ
+// per tool) and passes its value to Validate.
+type ClusterFlags struct {
+	// Listen is the address this process's cluster transport binds
+	// (the coordinator's advertised address, or a worker's mesh port).
+	Listen string
+	// Join is the coordinator address a worker process joins; empty on
+	// the coordinator and in single-process mode.
+	Join string
+}
+
+// Register installs -listen and -join on fs.
+func (c *ClusterFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Listen, "listen", "",
+		"cluster mode: transport listen address for this process (coordinator requires it; workers default to 127.0.0.1:0)")
+	fs.StringVar(&c.Join, "join", "",
+		"cluster mode: coordinator host:port to join as a worker process")
+}
+
+// Role is what the cluster flags make of this process.
+type Role int
+
+const (
+	// RoleSolo runs everything in-process (no cluster flags set).
+	RoleSolo Role = iota
+	// RoleCoordinator is rank 0: it listens, assigns ranks to joining
+	// workers, and is the process that reports results.
+	RoleCoordinator
+	// RoleWorker joins a coordinator and is assigned a rank >= 1.
+	RoleWorker
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleSolo:
+		return "solo"
+	case RoleCoordinator:
+		return "coordinator"
+	case RoleWorker:
+		return "worker"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Validate classifies the flags into a role and rejects the
+// misconfigurations that would otherwise hang a bootstrap: a worker
+// joining its own listen address (the join dial would connect to
+// itself and wait forever for a rank), a worker joining a wildcard or
+// portless address, and a coordinator whose machine count cannot cover
+// a cluster. Workers with no -listen get a loopback ephemeral port —
+// the address is advertised to the coordinator during the join
+// handshake, so it need not be predictable.
+func (c *ClusterFlags) Validate(machines int) (Role, error) {
+	switch {
+	case c.Join == "" && c.Listen == "":
+		return RoleSolo, nil
+	case c.Join != "":
+		host, port, err := net.SplitHostPort(c.Join)
+		if err != nil {
+			return 0, fmt.Errorf("-join %q: %v", c.Join, err)
+		}
+		if port == "" || port == "0" {
+			return 0, fmt.Errorf("-join %q: need the coordinator's concrete port", c.Join)
+		}
+		if host == "" || host == "0.0.0.0" || host == "::" {
+			return 0, fmt.Errorf("-join %q: need the coordinator's concrete host", c.Join)
+		}
+		if c.Listen == "" {
+			c.Listen = "127.0.0.1:0"
+		}
+		if selfJoin(c.Join, c.Listen) {
+			return 0, fmt.Errorf("-join %s is this process's own -listen address (self-join)", c.Join)
+		}
+		return RoleWorker, nil
+	default: // Listen set, Join empty: the coordinator
+		if machines < 2 {
+			return 0, fmt.Errorf("-listen without -join starts a coordinator: need -machines >= 2, have %d", machines)
+		}
+		if _, _, err := net.SplitHostPort(c.Listen); err != nil {
+			return 0, fmt.Errorf("-listen %q: %v", c.Listen, err)
+		}
+		return RoleCoordinator, nil
+	}
+}
+
+// selfJoin reports whether join and listen name the same endpoint:
+// equal ports and hosts that are equal after loopback/wildcard
+// normalisation (a worker listening on ":7001" joins "127.0.0.1:7001"
+// on the same box — that is itself).
+func selfJoin(join, listen string) bool {
+	jh, jp, err := net.SplitHostPort(join)
+	if err != nil {
+		return false
+	}
+	lh, lp, err := net.SplitHostPort(listen)
+	if err != nil {
+		return false
+	}
+	if jp != lp {
+		return false
+	}
+	norm := func(h string) string {
+		switch strings.ToLower(h) {
+		case "", "0.0.0.0", "::", "localhost", "::1":
+			return "127.0.0.1"
+		}
+		return h
+	}
+	return norm(jh) == norm(lh)
+}
+
+// CheckRoster rejects rosters that cannot be a cluster: empty
+// addresses (a rank nobody can dial) and duplicates (two processes
+// claiming one rank slot). The netcluster bootstrap enforces the same
+// invariants online; this is the offline check for explicit rosters.
+func CheckRoster(addrs []string) error {
+	seen := make(map[string]int, len(addrs))
+	for r, a := range addrs {
+		if a == "" {
+			return fmt.Errorf("rank %d has an empty address", r)
+		}
+		if prev, dup := seen[a]; dup {
+			return fmt.Errorf("ranks %d and %d share address %s (duplicate rank)", prev, r, a)
+		}
+		seen[a] = r
+	}
+	return nil
+}

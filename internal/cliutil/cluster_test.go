@@ -1,0 +1,85 @@
+package cliutil
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestClusterFlagsRoles(t *testing.T) {
+	cases := []struct {
+		name     string
+		listen   string
+		join     string
+		machines int
+		role     Role
+		errPart  string
+	}{
+		{name: "solo", machines: 1, role: RoleSolo},
+		{name: "coordinator", listen: "127.0.0.1:7001", machines: 3, role: RoleCoordinator},
+		{name: "worker", join: "127.0.0.1:7001", machines: 3, role: RoleWorker},
+		{name: "worker with listen", listen: "127.0.0.1:7002", join: "127.0.0.1:7001", machines: 3, role: RoleWorker},
+		{name: "coordinator needs machines", listen: "127.0.0.1:7001", machines: 1, errPart: "-machines"},
+		{name: "bad listen", listen: "no-port", machines: 3, errPart: "-listen"},
+		{name: "bad join", join: "no-port", machines: 3, errPart: "-join"},
+		{name: "join needs port", join: "127.0.0.1:0", machines: 3, errPart: "concrete port"},
+		{name: "join needs host", join: "0.0.0.0:7001", machines: 3, errPart: "concrete host"},
+		{name: "self-join exact", listen: "127.0.0.1:7001", join: "127.0.0.1:7001", machines: 3, errPart: "self-join"},
+		{name: "self-join wildcard", listen: ":7001", join: "127.0.0.1:7001", machines: 3, errPart: "self-join"},
+		{name: "self-join localhost", listen: "localhost:7001", join: "127.0.0.1:7001", machines: 3, errPart: "self-join"},
+		{name: "not self-join other port", listen: "127.0.0.1:7002", join: "127.0.0.1:7001", machines: 3, role: RoleWorker},
+		{name: "not self-join other host", listen: "10.0.0.2:7001", join: "10.0.0.1:7001", machines: 3, role: RoleWorker},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := ClusterFlags{Listen: tc.listen, Join: tc.join}
+			role, err := c.Validate(tc.machines)
+			if tc.errPart != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.errPart) {
+					t.Fatalf("want error containing %q, got %v", tc.errPart, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if role != tc.role {
+				t.Fatalf("role %v, want %v", role, tc.role)
+			}
+		})
+	}
+}
+
+func TestClusterFlagsWorkerListenDefault(t *testing.T) {
+	c := ClusterFlags{Join: "10.0.0.1:7001"}
+	if _, err := c.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if c.Listen != "127.0.0.1:0" {
+		t.Fatalf("worker listen defaulted to %q", c.Listen)
+	}
+}
+
+func TestClusterFlagsRegister(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	var c ClusterFlags
+	c.Register(fs)
+	if err := fs.Parse([]string{"-listen", ":7001", "-join", "h:7002"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Listen != ":7001" || c.Join != "h:7002" {
+		t.Fatalf("parsed %+v", c)
+	}
+}
+
+func TestCheckRoster(t *testing.T) {
+	if err := CheckRoster([]string{"a:1", "b:2", "c:3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckRoster([]string{"a:1", "b:2", "a:1"}); err == nil || !strings.Contains(err.Error(), "duplicate rank") {
+		t.Fatalf("duplicate not rejected: %v", err)
+	}
+	if err := CheckRoster([]string{"a:1", ""}); err == nil || !strings.Contains(err.Error(), "empty address") {
+		t.Fatalf("empty not rejected: %v", err)
+	}
+}

@@ -1,6 +1,9 @@
 package dist
 
-import "knor/internal/matrix"
+import (
+	"knor/internal/blas"
+	"knor/internal/matrix"
+)
 
 // Shard is one machine's contiguous row range [Lo, Hi) of the global
 // matrix. Contiguity matters twice: shard-local row indices translate
@@ -27,8 +30,14 @@ func (s Shard) Tasks(taskSize int) int {
 // storage — the simulated analogue of each cluster machine loading its
 // partition of the row-major input file.
 func (s Shard) View(m *matrix.Dense) *matrix.Dense {
+	return ViewOf(s, m)
+}
+
+// ViewOf is View generic over the element type (the transport runner's
+// float32 shards).
+func ViewOf[T blas.Float](s Shard, m *matrix.Mat[T]) *matrix.Mat[T] {
 	d := m.Cols()
-	return &matrix.Dense{
+	return &matrix.Mat[T]{
 		RowsN: s.Rows(),
 		ColsN: d,
 		Data:  m.Data[s.Lo*d : s.Hi*d],

@@ -1,0 +1,223 @@
+package dist
+
+import (
+	"fmt"
+
+	"knor/internal/blas"
+	"knor/internal/kmeans"
+	"knor/internal/matrix"
+	"knor/internal/netcluster"
+)
+
+// The transport runner: one rank's share of the distributed iteration
+// over a netcluster.Transport — the path knord takes when the M
+// "machines" are real OS processes (or a netcluster.SimGroup in tests).
+//
+// Parity discipline, mirrored line for line from the simulated run():
+// every rank computes the SAME global accumulator by allgathering all M
+// per-rank deltas and folding them in fixed rank order 0..M-1 — the
+// exact summation order of run()'s `for m { global.Merge(deltas[m]) }`
+// loop — then applies it to identical centroids. Because each rank also
+// holds every rank's iteration stats, the convergence decision is the
+// same expression over the same values everywhere: the ranks never need
+// a verdict broadcast and can never disagree about when to stop.
+
+// RunTransport runs this rank's part of a distributed k-means over tr
+// at the requested precision. Every rank must be given the identical
+// data and cfg (the TCP bootstrap's config digest enforces this); the
+// returned Result carries the converged centroids and per-iteration
+// stats on every rank, and additionally the global assignments, sizes
+// and SSE on rank 0 (assignments are gathered to the coordinator, which
+// is the process that reports).
+func RunTransport(tr netcluster.Transport, data *matrix.Dense, cfg Config, p kmeans.Precision) (*kmeans.Result, error) {
+	if p == kmeans.Precision32 {
+		return runTransport[float32](tr, data, cfg)
+	}
+	return runTransport[float64](tr, data, cfg)
+}
+
+func runTransport[T blas.Float](tr netcluster.Transport, data *matrix.Dense, cfg Config) (*kmeans.Result, error) {
+	if data == nil || data.Rows() == 0 {
+		return nil, fmt.Errorf("dist: empty dataset")
+	}
+	if err := cfg.validate(data.Rows()); err != nil {
+		return nil, err
+	}
+	if cfg.Mode != ModeKnord {
+		return nil, fmt.Errorf("dist: transport runner supports mode knord, not %v", cfg.Mode)
+	}
+	if cfg.Machines != tr.Size() {
+		return nil, fmt.Errorf("dist: cfg.Machines=%d but transport has %d ranks", cfg.Machines, tr.Size())
+	}
+	kcfg, err := cfg.Kmeans.WithDefaults(data.Rows())
+	if err != nil {
+		return nil, err
+	}
+
+	// Precision conversion happens ONCE on the full float64 matrix —
+	// exactly where kmeans.RunPrecision does it — so every downstream
+	// value (normalisation, init, iteration) is computed in T arithmetic
+	// and matches the single-process T oracle bit for bit.
+	dataT := matrix.Convert[T](data)
+	full := dataT
+	if kcfg.Spherical {
+		full = dataT.Clone()
+		matrix.NormalizeRows(full)
+	}
+
+	// Initial centroids from the FULL dataset, as run() does: sharding
+	// the init would make the result depend on the machine count.
+	init := kmeans.InitCentroidsOf(full, kcfg)
+
+	shardCfg := kcfg
+	shardCfg.Init = kmeans.InitGiven
+	shardCfg.Centroids = matrix.ToFloat64(init) // exact T→float64→T round-trip
+
+	n, d, k := full.Rows(), full.Cols(), kcfg.K
+	M, rank := tr.Size(), tr.Rank()
+	shards := Partition(n, M)
+	// The engine gets this rank's view of the RAW (un-normalised) rows
+	// and normalises them itself on spherical runs — the identical
+	// row-wise operation the oracle applies to the full matrix.
+	eng, err := kmeans.NewEngine(ViewOf(shards[rank], dataT), shardCfg)
+	if err != nil {
+		return nil, fmt.Errorf("dist: rank %d (rows %d..%d): %w", rank, shards[rank].Lo, shards[rank].Hi, err)
+	}
+
+	elem := byte(blas.ElemBytes[T]())
+	payloadBytes := kmeans.NewAccumOf[T](k, d).SerializedBytes()
+	res := &kmeans.Result{}
+	prevEnd := 0.0
+	statsAll := make([]kmeans.IterStats, M)
+	for iter := 0; iter < kcfg.MaxIters; iter++ {
+		st, delta := eng.LocalPhase(iter)
+		mine := encodeAccum(delta, st)
+		blocks, err := netcluster.Allgather(tr, netcluster.FrameAccum, elem, uint32(iter), mine)
+		if err != nil {
+			return nil, fmt.Errorf("dist: iteration %d: %w", iter, err)
+		}
+		// Fixed-rank-order fold — the parity-critical line. Every rank
+		// decodes every block (its own included, so all M inputs take
+		// the identical encode→decode path) and merges 0..M-1.
+		global := kmeans.NewAccumOf[T](k, d)
+		for m := 0; m < M; m++ {
+			dm, sm, err := decodeAccum[T](blocks[m], k, d)
+			if err != nil {
+				return nil, fmt.Errorf("dist: iteration %d, block from rank %d: %w", iter, m, err)
+			}
+			global.Merge(dm)
+			statsAll[m] = sm
+		}
+		drift := eng.ApplyGlobal(global)
+
+		agg := aggregateStats(statsAll)
+		agg.Iter = iter
+		agg.Drift = drift
+		iterEnd := eng.Group().Max()
+		agg.SimSeconds = iterEnd - prevEnd
+		prevEnd = iterEnd
+		res.PerIter = append(res.PerIter, agg)
+		res.Iters = iter + 1
+		// Identical inputs everywhere → identical verdict everywhere.
+		if iter > 0 && (agg.RowsChanged == 0 || drift <= kcfg.Tol) {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Centroids = matrix.ToFloat64(eng.Centroids())
+	res.SimSeconds = prevEnd
+	var total uint64
+	for _, sh := range shards {
+		total += uint64(sh.Rows()) * uint64(d) * uint64(elem)
+		total += kmeans.StateBytes(sh.Rows(), d, k, kcfg.Threads, kcfg.Prune)
+		total += 2 * uint64(payloadBytes)
+	}
+	res.MemoryBytes = total
+
+	// Assignments gather to rank 0, which assembles the global vector
+	// in shard order and computes sizes and the SSE over the full
+	// (normalised) data — the same final step as run()'s finish().
+	gathered, err := netcluster.Gather(tr, 0, netcluster.FrameGather, 0,
+		uint32(kcfg.MaxIters), netcluster.AppendInt32s(nil, eng.Assign()))
+	if err != nil {
+		return nil, fmt.Errorf("dist: assignment gather: %w", err)
+	}
+	if rank == 0 {
+		assign := make([]int32, n)
+		for m, sh := range shards {
+			if got, want := len(gathered[m]), sh.Rows()*4; got != want {
+				return nil, fmt.Errorf("dist: rank %d gathered %d assignment bytes, want %d", m, got, want)
+			}
+			if _, err := netcluster.Int32sAt(gathered[m], 0, sh.Rows(), assign[sh.Lo:sh.Hi]); err != nil {
+				return nil, fmt.Errorf("dist: rank %d assignments: %w", m, err)
+			}
+		}
+		res.Assign = assign
+		res.Sizes = make([]int, k)
+		for _, a := range assign {
+			if a >= 0 {
+				res.Sizes[a]++
+			}
+		}
+		res.SSE = kmeans.SSEOf(full, eng.Centroids(), assign)
+	}
+	return res, nil
+}
+
+// encodeAccum serialises one rank's iteration contribution: the delta
+// accumulator (counts then exact sum bits) and the stat counters the
+// cluster aggregates.
+func encodeAccum[T blas.Float](a *kmeans.AccumOf[T], st kmeans.IterStats) []byte {
+	b := netcluster.AppendUint32(nil, uint32(a.K))
+	b = netcluster.AppendUint32(b, uint32(a.D))
+	b = netcluster.AppendInt64s(b, a.Count)
+	b = netcluster.AppendFloats(b, a.Sum)
+	b = netcluster.AppendUint64(b, st.DistCalcs)
+	b = netcluster.AppendUint64(b, st.PrunedC1)
+	b = netcluster.AppendUint64(b, st.PrunedC2)
+	b = netcluster.AppendUint64(b, st.PrunedC3)
+	b = netcluster.AppendUint64(b, uint64(st.RowsChanged))
+	b = netcluster.AppendUint64(b, uint64(st.ActiveRows))
+	b = netcluster.AppendUint64(b, st.BytesWanted)
+	b = netcluster.AppendUint64(b, st.BytesRead)
+	b = netcluster.AppendUint64(b, st.RowCacheHits)
+	return b
+}
+
+// decodeAccum is encodeAccum's inverse, validating the k×d shape
+// against this rank's configuration (a shape disagreement means the
+// cluster is running mixed configs).
+func decodeAccum[T blas.Float](b []byte, k, d int) (*kmeans.AccumOf[T], kmeans.IterStats, error) {
+	var st kmeans.IterStats
+	gk, err := netcluster.Uint32At(b, 0)
+	if err != nil {
+		return nil, st, err
+	}
+	gd, err := netcluster.Uint32At(b, 4)
+	if err != nil {
+		return nil, st, err
+	}
+	if int(gk) != k || int(gd) != d {
+		return nil, st, fmt.Errorf("dist: accumulator shape %dx%d, this rank runs %dx%d", gk, gd, k, d)
+	}
+	a := kmeans.NewAccumOf[T](k, d)
+	off, err := netcluster.Int64sAt(b, 8, k, a.Count)
+	if err != nil {
+		return nil, st, err
+	}
+	off, err = netcluster.FloatsAt(b, off, k*d, a.Sum)
+	if err != nil {
+		return nil, st, err
+	}
+	us := make([]uint64, 9)
+	for i := range us {
+		if us[i], err = netcluster.Uint64At(b, off+8*i); err != nil {
+			return nil, st, err
+		}
+	}
+	st.DistCalcs, st.PrunedC1, st.PrunedC2, st.PrunedC3 = us[0], us[1], us[2], us[3]
+	st.RowsChanged, st.ActiveRows = int(us[4]), int(us[5])
+	st.BytesWanted, st.BytesRead, st.RowCacheHits = us[6], us[7], us[8]
+	return a, st, nil
+}

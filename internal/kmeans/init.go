@@ -25,6 +25,14 @@ func InitCentroidsFor(data *matrix.Dense, cfg Config) *matrix.Dense {
 	return initCentroids(data, cfg)
 }
 
+// InitCentroidsOf is InitCentroidsFor generic over the element type:
+// the float32 instantiation is the init a Precision32 run performs
+// (arithmetic in float32, so the seed centroids match the single-node
+// float32 oracle's bit for bit).
+func InitCentroidsOf[T blas.Float](data *matrix.Mat[T], cfg Config) *matrix.Mat[T] {
+	return initCentroids(data, cfg)
+}
+
 // InitCentroidsFromRows is InitCentroidsFor over any row source — the
 // streaming path for engines whose data never fully resides in memory.
 // Fed the same row values it is bit-identical to InitCentroidsFor.

@@ -1,0 +1,204 @@
+package netcluster
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"knor/internal/cluster"
+	"knor/internal/simclock"
+)
+
+// forEachTransport runs body over both Transport implementations at
+// cluster size m: the simulated group and a real TCP mesh on loopback.
+// The transports are passed indexed by rank; body is invoked once per
+// implementation and must drive all ranks itself.
+func forEachTransport(t *testing.T, m int, body func(t *testing.T, ts []Transport)) {
+	t.Helper()
+	t.Run("sim", func(t *testing.T) {
+		g := NewSimGroup(cluster.New(m, simclock.DefaultCostModel()))
+		defer g.Close()
+		ts := make([]Transport, m)
+		for r := 0; r < m; r++ {
+			ts[r] = g.Transport(r)
+		}
+		body(t, ts)
+	})
+	t.Run("tcp", func(t *testing.T) {
+		tcp := tcpCluster(t, m, "collective")
+		ts := make([]Transport, m)
+		for r := 0; r < m; r++ {
+			ts[r] = tcp[r]
+		}
+		body(t, ts)
+	})
+}
+
+// perRank runs fn concurrently on every rank and fails the test on the
+// first error.
+func perRank(t *testing.T, ts []Transport, fn func(tr Transport) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(ts))
+	for r, tr := range ts {
+		wg.Add(1)
+		go func(r int, tr Transport) {
+			defer wg.Done()
+			errs[r] = fn(tr)
+		}(r, tr)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestAllgather: every rank ends up with every rank's block, indexed
+// by origin, on both transports — the property knord's iteration merge
+// stands on.
+func TestAllgather(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5} {
+		forEachTransport(t, m, func(t *testing.T, ts []Transport) {
+			perRank(t, ts, func(tr Transport) error {
+				mine := bytes.Repeat([]byte{byte('A' + tr.Rank())}, 3+tr.Rank())
+				blocks, err := Allgather(tr, FrameAccum, 0, 7, mine)
+				if err != nil {
+					return err
+				}
+				for s := 0; s < m; s++ {
+					want := bytes.Repeat([]byte{byte('A' + s)}, 3+s)
+					if !bytes.Equal(blocks[s], want) {
+						return fmt.Errorf("block %d = %q, want %q", s, blocks[s], want)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestGatherAndBcast: the hub-side movement primitives.
+func TestGatherAndBcast(t *testing.T) {
+	const m = 4
+	forEachTransport(t, m, func(t *testing.T, ts []Transport) {
+		perRank(t, ts, func(tr Transport) error {
+			mine := AppendUint32(nil, uint32(tr.Rank()*11))
+			blocks, err := Gather(tr, 0, FrameGather, 0, 1, mine)
+			if err != nil {
+				return err
+			}
+			if tr.Rank() == 0 {
+				for s := 0; s < m; s++ {
+					v, err := Uint32At(blocks[s], 0)
+					if err != nil || int(v) != s*11 {
+						return fmt.Errorf("gather block %d = %v (err %v)", s, v, err)
+					}
+				}
+			} else if blocks != nil {
+				return fmt.Errorf("non-root got gather blocks")
+			}
+			got, err := Bcast(tr, 0, FramePulse, 0, 2, []byte("verdict"))
+			if err != nil {
+				return err
+			}
+			if tr.Rank() != 0 && string(got) != "verdict" {
+				return fmt.Errorf("bcast got %q", got)
+			}
+			return nil
+		})
+	})
+}
+
+// TestMinAllreduce: the distributed argmin fold equals the sequential
+// rank-order CombineMin oracle on every rank, including exact-tie
+// rows (same distance, different global index → lowest index wins).
+func TestMinAllreduce(t *testing.T) {
+	const m, rows = 3, 8
+	// Deterministic per-rank inputs, with row 5 an exact three-way tie
+	// and row 6 empty on some ranks (Index < 0).
+	input := func(rank int) []cluster.MinPair {
+		ps := make([]cluster.MinPair, rows)
+		for i := range ps {
+			ps[i] = cluster.MinPair{
+				Index: int32(rank*rows + i),
+				Dist:  float64((rank*31+i*17)%23) + 0.5,
+			}
+		}
+		ps[5] = cluster.MinPair{Index: int32(100 + rank), Dist: 4.25}
+		if rank%2 == 1 {
+			ps[6] = cluster.MinPair{Index: -1}
+		}
+		return ps
+	}
+	oracle := make([]cluster.MinPair, rows)
+	for i := range oracle {
+		oracle[i].Index = -1
+	}
+	for r := 0; r < m; r++ {
+		cluster.CombineMin(oracle, input(r))
+	}
+	if oracle[5].Index != 100 {
+		t.Fatalf("oracle tie-break picked %d, want 100", oracle[5].Index)
+	}
+	forEachTransport(t, m, func(t *testing.T, ts []Transport) {
+		perRank(t, ts, func(tr Transport) error {
+			pairs := input(tr.Rank())
+			if err := MinAllreduce(tr, 9, pairs); err != nil {
+				return err
+			}
+			for i, p := range pairs {
+				if p != oracle[i] {
+					return fmt.Errorf("row %d: got %+v, want %+v", i, p, oracle[i])
+				}
+			}
+			return nil
+		})
+	})
+}
+
+// TestMinPairCodec: encode/decode round-trip with exact float bits and
+// the length-disagreement error.
+func TestMinPairCodec(t *testing.T) {
+	in := []cluster.MinPair{{Index: -1, Dist: 0}, {Index: 7, Dist: 1.0000000000000002}}
+	b := EncodeMinPairs(nil, in)
+	out := make([]cluster.MinPair, 2)
+	if err := DecodeMinPairs(b, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("pair %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+	if err := DecodeMinPairs(b, make([]cluster.MinPair, 3)); err == nil {
+		t.Fatal("length disagreement should error")
+	}
+}
+
+// TestSimChargesTime: moving frames through the sim transport advances
+// the simulated clocks by the alpha-beta model, so RunTransport over a
+// SimGroup still reports meaningful simulated durations.
+func TestSimChargesTime(t *testing.T) {
+	net := cluster.New(2, simclock.DefaultCostModel())
+	g := NewSimGroup(net)
+	defer g.Close()
+	a, b := g.Transport(0), g.Transport(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f, err := b.Recv(0)
+		if err != nil || len(f.Payload) != 1024 {
+			t.Errorf("recv: %v", err)
+		}
+	}()
+	if err := a.Send(1, &Frame{Type: FrameAccum, Payload: make([]byte, 1024)}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if net.Clock(0).Now() <= 0 || net.Clock(1).Now() < net.Clock(0).Now() {
+		t.Fatalf("clocks not charged: sender=%g receiver=%g", net.Clock(0).Now(), net.Clock(1).Now())
+	}
+}

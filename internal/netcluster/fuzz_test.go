@@ -1,0 +1,53 @@
+package netcluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame: arbitrary byte streams never panic the decoder, never
+// make it read past the declared length, and anything it accepts
+// re-encodes to the exact bytes consumed (decode/encode is an
+// involution on the valid set).
+func FuzzReadFrame(f *testing.F) {
+	// Seeds: a valid frame of each shape plus near-miss corruptions.
+	for _, fr := range []*Frame{
+		{Type: FrameJoin, Payload: AppendString(AppendString(nil, "127.0.0.1:9001"), "digest")},
+		{Type: FrameAccum, Elem: 8, Seq: 12, Payload: AppendFloats(nil, []float64{1, 2, 3})},
+		{Type: FrameMinPairs, Elem: 4, Seq: 1, Payload: bytes.Repeat([]byte{7}, 33)},
+		{Type: FramePulse},
+	} {
+		buf, err := EncodeFrame(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		f.Add(buf[:len(buf)-1]) // truncated payload
+		f.Add(buf[:headerBytes-2])
+		bad := append([]byte(nil), buf...)
+		bad[4] = 9 // wrong version
+		f.Add(bad)
+		huge := append([]byte(nil), buf...)
+		binary.BigEndian.PutUint32(huge[12:], MaxFrameBytes+1)
+		f.Add(huge)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		fr, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - r.Len()
+		re, err := EncodeFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("re-encode mismatch: consumed %d bytes, re-encoded %d", consumed, len(re))
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package netcluster
+
+import "knor/internal/telemetry"
+
+// Transport instruments, registered at init against telemetry.Default.
+// The byte counters sit in the frame codec itself (WriteFrame /
+// ReadFrame), so every path through the transport — handshake,
+// collectives, serving RPCs, heartbeats — is counted once, at the
+// wire. The tx/rx children are materialised eagerly so the families
+// render in /metrics from boot, before any cluster traffic flows.
+var (
+	telBytes = telemetry.Default.CounterVec("knor_net_bytes_total",
+		"Bytes moved over the netcluster transport, by direction.", "dir")
+	telBytesTx = telBytes.With("tx")
+	telBytesRx = telBytes.With("rx")
+	telFrames  = telemetry.Default.CounterVec("knor_net_frames_total",
+		"Frames written to the netcluster transport, by frame type.", "type")
+	telDialErrors = telemetry.Default.Counter("knor_net_dial_errors_total",
+		"Failed dials (or handshake failures on a fresh connection) to cluster peers.")
+	telRoundtrip = telemetry.Default.Histogram("knor_net_roundtrip_seconds",
+		"Round-trip latency of request/response exchanges over the transport (serving RPCs).",
+		telemetry.DefLatencyBuckets())
+	telPeerErrors = telemetry.Default.Counter("knor_net_peer_errors_total",
+		"Connections to peers that failed mid-stream (read/write errors after establishment).")
+)
+
+// ObserveRoundtrip records one request/response round trip over the
+// transport in knor_net_roundtrip_seconds — called by the layers that
+// own the exchange (the serving hub's RPCs), since only they see both
+// endpoints of the timing.
+func ObserveRoundtrip(seconds float64) { telRoundtrip.Observe(seconds) }

@@ -1,0 +1,199 @@
+package netcluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/iotest"
+)
+
+// TestFrameRoundTrip: every frame type × element width × payload shape
+// survives encode → decode bit-exactly, including through a reader
+// that delivers one byte at a time (partial reads).
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {0xff}, bytes.Repeat([]byte{0xab}, 1<<14)}
+	for typ := byte(1); typ < frameTypeMax; typ++ {
+		for _, elem := range []byte{0, 4, 8} {
+			for pi, payload := range payloads {
+				f := &Frame{Type: typ, Elem: elem, Seq: uint32(pi)*7 + uint32(typ), Payload: payload}
+				buf, err := EncodeFrame(nil, f)
+				if err != nil {
+					t.Fatalf("encode type=%d elem=%d: %v", typ, elem, err)
+				}
+				for _, r := range []io.Reader{bytes.NewReader(buf), iotest.OneByteReader(bytes.NewReader(buf))} {
+					got, err := ReadFrame(r)
+					if err != nil {
+						t.Fatalf("decode type=%d elem=%d: %v", typ, elem, err)
+					}
+					if got.Type != f.Type || got.Elem != f.Elem || got.Seq != f.Seq || !bytes.Equal(got.Payload, f.Payload) {
+						t.Fatalf("round-trip mismatch: sent %+v got %+v", f, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReadFrameTruncated: every strict prefix of a valid frame yields
+// io.EOF (empty stream) or ErrTruncated — never a panic, never a
+// decoded frame.
+func TestReadFrameTruncated(t *testing.T) {
+	buf, err := EncodeFrame(nil, &Frame{Type: FrameAccum, Elem: 8, Seq: 3, Payload: []byte("0123456789abcdef")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		_, err := ReadFrame(bytes.NewReader(buf[:cut]))
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut=0: want io.EOF, got %v", err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: want ErrTruncated, got %v", cut, err)
+		}
+	}
+}
+
+// corrupt returns a valid frame encoding with one header mutation.
+func corrupt(t *testing.T, mutate func(h []byte)) []byte {
+	t.Helper()
+	buf, err := EncodeFrame(nil, &Frame{Type: FramePulse, Elem: 0, Seq: 1, Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(buf)
+	return buf
+}
+
+// TestReadFrameHeaderValidation: each malformed header field maps to
+// its typed error.
+func TestReadFrameHeaderValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(h []byte)
+		want   error
+	}{
+		{"bad magic", func(h []byte) { h[0] = 'X' }, ErrBadMagic},
+		{"bad version", func(h []byte) { h[4] = 99 }, ErrBadVersion},
+		{"zero type", func(h []byte) { h[5] = 0 }, ErrBadType},
+		{"type past max", func(h []byte) { h[5] = frameTypeMax }, ErrBadType},
+		{"bad elem", func(h []byte) { h[6] = 3 }, ErrBadElem},
+		{"reserved set", func(h []byte) { h[7] = 1 }, ErrBadReserved},
+		{"oversized length", func(h []byte) {
+			binary.BigEndian.PutUint32(h[12:], MaxFrameBytes+1)
+		}, ErrFrameTooLarge},
+	}
+	for _, tc := range cases {
+		if _, err := ReadFrame(bytes.NewReader(corrupt(t, tc.mutate))); !errors.Is(err, tc.want) {
+			t.Errorf("%s: want %v, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+// TestReadFrameOversizedNeverAllocates: a header announcing a huge
+// payload is rejected from the 16 header bytes alone — the reader
+// neither allocates the declared length nor waits for more input.
+func TestReadFrameOversizedNeverAllocates(t *testing.T) {
+	var h [headerBytes]byte
+	binary.BigEndian.PutUint32(h[0:], frameMagic)
+	h[4], h[5] = codecVersion, FrameAccum
+	binary.BigEndian.PutUint32(h[12:], 1<<31)
+	// An ErrReader after the header would hang or error if the decoder
+	// tried to read the payload; the length check must fire first.
+	r := io.MultiReader(bytes.NewReader(h[:]), iotest.ErrReader(errors.New("must not be read")))
+	if _, err := ReadFrame(r); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+// TestEncodeFrameRejects: the encoder refuses frames it could not
+// decode.
+func TestEncodeFrameRejects(t *testing.T) {
+	if _, err := EncodeFrame(nil, &Frame{Type: 0}); !errors.Is(err, ErrBadType) {
+		t.Errorf("zero type: want ErrBadType, got %v", err)
+	}
+	if _, err := EncodeFrame(nil, &Frame{Type: frameTypeMax}); !errors.Is(err, ErrBadType) {
+		t.Errorf("type past max: want ErrBadType, got %v", err)
+	}
+	if _, err := EncodeFrame(nil, &Frame{Type: FramePulse, Elem: 5}); !errors.Is(err, ErrBadElem) {
+		t.Errorf("bad elem: want ErrBadElem, got %v", err)
+	}
+	if _, err := EncodeFrame(nil, &Frame{Type: FrameAccum, Payload: make([]byte, MaxFrameBytes+1)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized: want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+// TestCheckElem: width disagreement is the typed mismatch error.
+func TestCheckElem(t *testing.T) {
+	f := &Frame{Type: FrameAccum, Elem: 4}
+	if err := CheckElem(f, 4); err != nil {
+		t.Fatalf("matching width: %v", err)
+	}
+	if err := CheckElem(f, 8); !errors.Is(err, ErrElemMismatch) {
+		t.Fatalf("want ErrElemMismatch, got %v", err)
+	}
+}
+
+// TestPayloadPrimitives: scalar round-trips and short-payload bounds.
+func TestPayloadPrimitives(t *testing.T) {
+	b := AppendUint32(nil, 0xdeadbeef)
+	b = AppendUint64(b, 1<<60+7)
+	b = AppendString(b, "host:9001")
+	b = AppendInt32s(b, []int32{-1, 0, 42})
+	b = AppendInt64s(b, []int64{-9, 1 << 50})
+	b = AppendFloats(b, []float32{1.5, -0.25})
+	b = AppendFloats(b, []float64{3.14159, -2.5})
+
+	u32, err := Uint32At(b, 0)
+	if err != nil || u32 != 0xdeadbeef {
+		t.Fatalf("Uint32At: %v %x", err, u32)
+	}
+	u64, err := Uint64At(b, 4)
+	if err != nil || u64 != 1<<60+7 {
+		t.Fatalf("Uint64At: %v %x", err, u64)
+	}
+	s, off, err := StringAt(b, 12)
+	if err != nil || s != "host:9001" {
+		t.Fatalf("StringAt: %v %q", err, s)
+	}
+	i32s := make([]int32, 3)
+	off, err = Int32sAt(b, off, 3, i32s)
+	if err != nil || i32s[0] != -1 || i32s[2] != 42 {
+		t.Fatalf("Int32sAt: %v %v", err, i32s)
+	}
+	i64s := make([]int64, 2)
+	off, err = Int64sAt(b, off, 2, i64s)
+	if err != nil || i64s[0] != -9 || i64s[1] != 1<<50 {
+		t.Fatalf("Int64sAt: %v %v", err, i64s)
+	}
+	f32s := make([]float32, 2)
+	off, err = FloatsAt(b, off, 2, f32s)
+	if err != nil || f32s[0] != 1.5 || f32s[1] != -0.25 {
+		t.Fatalf("FloatsAt[float32]: %v %v", err, f32s)
+	}
+	f64s := make([]float64, 2)
+	if _, err = FloatsAt(b, off, 2, f64s); err != nil || f64s[0] != 3.14159 || f64s[1] != -2.5 {
+		t.Fatalf("FloatsAt[float64]: %v %v", err, f64s)
+	}
+
+	// Out-of-bounds and negative offsets are ErrShortPayload, not panics.
+	if _, err := Uint32At(b, len(b)-3); !errors.Is(err, ErrShortPayload) {
+		t.Errorf("Uint32At past end: %v", err)
+	}
+	if _, err := Uint64At(b, -1); !errors.Is(err, ErrShortPayload) {
+		t.Errorf("Uint64At negative: %v", err)
+	}
+	if _, _, err := StringAt([]byte{255, 255, 255, 255}, 0); !errors.Is(err, ErrShortPayload) {
+		t.Errorf("StringAt huge length: %v", err)
+	}
+	if _, err := FloatsAt(b, len(b)-4, 2, f64s); !errors.Is(err, ErrShortPayload) {
+		t.Errorf("FloatsAt past end: %v", err)
+	}
+	if _, err := Int32sAt(b, 0, -1, i32s); !errors.Is(err, ErrShortPayload) {
+		t.Errorf("Int32sAt negative count: %v", err)
+	}
+}

@@ -40,9 +40,27 @@ type persistedModel struct {
 	Data32 string    `json:"data32,omitempty"` // base64 of little-endian float32, rows×cols
 }
 
-// persistedRegistry is the state file's schema.
+// persistedStream is one model's stream-updater checkpoint on disk:
+// the unpublished mini-batch state (per-centroid fold counts drive the
+// learning rate, so persisting them means a resumed engine folds the
+// next batch with exactly the step sizes an uninterrupted one would).
+type persistedStream struct {
+	Model     string    `json:"model"`
+	Seen      int64     `json:"seen"`
+	Published int       `json:"published"`
+	Counts    []int64   `json:"counts"`
+	Rows      int       `json:"rows"`
+	Cols      int       `json:"cols"`
+	Data      []float64 `json:"data"` // unpublished centroids, row-major
+}
+
+// persistedRegistry is the state file's schema. Streams is absent in
+// files written before stream checkpoints were persisted; those load
+// with no checkpoints (the server falls back to seeding updaters from
+// the published centroids).
 type persistedRegistry struct {
-	Models []persistedModel `json:"models"`
+	Models  []persistedModel  `json:"models"`
+	Streams []persistedStream `json:"streams,omitempty"`
 }
 
 // encodeF32 packs a float32 slice as base64 little-endian bytes.
@@ -73,6 +91,16 @@ func decodeF32(s string, n int) ([]float32, error) {
 // SaveRegistry writes the latest snapshot of every model to path,
 // atomically (temp file + rename).
 func SaveRegistry(r *Registry, path string) error {
+	return SaveState(r, nil, path)
+}
+
+// SaveState writes the latest snapshot of every model plus the given
+// stream-updater checkpoints to path, atomically (temp file + rename).
+// A server that persists both resumes not just its published models
+// but the exact mini-batch state between publishes — folding is
+// deterministic, so a restarted updater fed the remaining batches
+// lands bit-identically with one that never stopped.
+func SaveState(r *Registry, streams []StreamCheckpoint, path string) error {
 	var pf persistedRegistry
 	for _, m := range r.List() {
 		pm := persistedModel{
@@ -85,6 +113,17 @@ func SaveRegistry(r *Registry, path string) error {
 			pm.Data = m.Centroids.Data
 		}
 		pf.Models = append(pf.Models, pm)
+	}
+	for _, cp := range streams {
+		if cp.Centroids == nil {
+			continue
+		}
+		pf.Streams = append(pf.Streams, persistedStream{
+			Model: cp.Model, Seen: cp.Seen, Published: cp.Published,
+			Counts: cp.Counts,
+			Rows:   cp.Centroids.Rows(), Cols: cp.Centroids.Cols(),
+			Data: cp.Centroids.Data,
+		})
 	}
 	buf, err := json.Marshal(&pf)
 	if err != nil {
@@ -116,43 +155,66 @@ func SaveRegistry(r *Registry, path string) error {
 // never see them go backwards and 4-byte models stay 4-byte. Returns
 // (nil, nil) when the file does not exist — a first boot, not an error.
 func LoadRegistry(path string, nodes int) (*Registry, error) {
+	r, _, err := LoadState(path, nodes)
+	return r, err
+}
+
+// LoadState rebuilds a registry and the stream checkpoints persisted
+// alongside it. Returns (nil, nil, nil) when the file does not exist —
+// a first boot, not an error. Files written before stream checkpoints
+// existed load with no checkpoints.
+func LoadState(path string, nodes int) (*Registry, []StreamCheckpoint, error) {
 	buf, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("serve: load registry state: %w", err)
+		return nil, nil, fmt.Errorf("serve: load registry state: %w", err)
 	}
 	var pf persistedRegistry
 	if err := json.Unmarshal(buf, &pf); err != nil {
-		return nil, fmt.Errorf("serve: parse registry state %s: %w", path, err)
+		return nil, nil, fmt.Errorf("serve: parse registry state %s: %w", path, err)
 	}
 	r := NewRegistry(nodes)
 	for _, pm := range pf.Models {
 		if pm.Rows <= 0 || pm.Cols <= 0 {
-			return nil, fmt.Errorf("serve: registry state %s: model %q claims %dx%d",
+			return nil, nil, fmt.Errorf("serve: registry state %s: model %q claims %dx%d",
 				path, pm.Name, pm.Rows, pm.Cols)
 		}
 		if pm.Elem == 4 {
 			data, err := decodeF32(pm.Data32, pm.Rows*pm.Cols)
 			if err != nil {
-				return nil, fmt.Errorf("serve: registry state %s: model %q: %w", path, pm.Name, err)
+				return nil, nil, fmt.Errorf("serve: registry state %s: model %q: %w", path, pm.Name, err)
 			}
 			c := &matrix.Mat[float32]{RowsN: pm.Rows, ColsN: pm.Cols, Data: data}
 			if _, err := RestoreOf(r, pm.Name, pm.Version, pm.Node, c); err != nil {
-				return nil, fmt.Errorf("serve: registry state %s: %w", path, err)
+				return nil, nil, fmt.Errorf("serve: registry state %s: %w", path, err)
 			}
 			continue
 		}
 		if pm.Rows*pm.Cols != len(pm.Data) {
-			return nil, fmt.Errorf("serve: registry state %s: model %q claims %dx%d but has %d values",
+			return nil, nil, fmt.Errorf("serve: registry state %s: model %q claims %dx%d but has %d values",
 				path, pm.Name, pm.Rows, pm.Cols, len(pm.Data))
 		}
 		c := &matrix.Dense{RowsN: pm.Rows, ColsN: pm.Cols, Data: pm.Data}
 		if _, err := r.Restore(pm.Name, pm.Version, pm.Node, c); err != nil {
-			return nil, fmt.Errorf("serve: registry state %s: %w", path, err)
+			return nil, nil, fmt.Errorf("serve: registry state %s: %w", path, err)
 		}
 	}
+	var cps []StreamCheckpoint
+	for _, ps := range pf.Streams {
+		if ps.Rows <= 0 || ps.Cols <= 0 || ps.Rows*ps.Cols != len(ps.Data) || ps.Rows != len(ps.Counts) {
+			return nil, nil, fmt.Errorf("serve: registry state %s: stream %q claims %dx%d with %d values, %d counts",
+				path, ps.Model, ps.Rows, ps.Cols, len(ps.Data), len(ps.Counts))
+		}
+		cps = append(cps, StreamCheckpoint{
+			Model:     ps.Model,
+			Centroids: &matrix.Dense{RowsN: ps.Rows, ColsN: ps.Cols, Data: ps.Data},
+			Counts:    ps.Counts,
+			Seen:      ps.Seen,
+			Published: ps.Published,
+		})
+	}
 	telSnapshotLoads.Inc()
-	return r, nil
+	return r, cps, nil
 }

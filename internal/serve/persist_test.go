@@ -211,3 +211,122 @@ func TestPersistElem4RoundTrip(t *testing.T) {
 		t.Error("truncated float32 payload loaded without error")
 	}
 }
+
+// TestStreamStatePersistRoundTrip: the resume-after-restart contract.
+// An engine checkpointed mid-stream, persisted with SaveState, loaded
+// with LoadState and resumed must fold the remaining batches to
+// bit-identical centroids with an engine that never stopped — counts
+// drive the mini-batch learning rate, so they must survive exactly.
+func TestStreamStatePersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+
+	batch := func(base float64) *matrix.Dense {
+		b := matrix.NewDense(8, 3)
+		for i := range b.Data {
+			b.Data[i] = base + float64(i%5)*0.5
+		}
+		return b
+	}
+
+	// Uninterrupted oracle: seed, fold two batches.
+	oreg := NewRegistry(1)
+	oracle, err := NewStreamEngine("m", testCentroids(4, 3, 0), oreg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.Observe(batch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.Observe(batch(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restarted path: fold batch 1, persist, reload, resume, fold batch 2.
+	reg := NewRegistry(1)
+	eng, err := NewStreamEngine("m", testCentroids(4, 3, 0), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Observe(batch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveState(reg, []StreamCheckpoint{eng.Checkpoint()}, path); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, cps, err := LoadState(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 1 || cps[0].Model != "m" {
+		t.Fatalf("loaded %d checkpoints: %+v", len(cps), cps)
+	}
+	if cps[0].Seen != 8 || cps[0].Published != 1 {
+		t.Fatalf("checkpoint carries seen=%d published=%d", cps[0].Seen, cps[0].Published)
+	}
+	resumed, err := ResumeStreamEngine(cps[0], reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Observe(batch(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	want, got := oracle.Centroids(), resumed.Centroids()
+	for i := range want.Data {
+		if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+			t.Fatalf("element %d differs after resume: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	if resumed.Seen() != oracle.Seen() {
+		t.Fatalf("seen %d vs %d", resumed.Seen(), oracle.Seen())
+	}
+	// Publishing from the resumed engine continues the version sequence.
+	snap, err := resumed.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 2 {
+		t.Fatalf("resumed publish landed at version %d, want 2", snap.Version)
+	}
+}
+
+// TestLoadStatePreStreamFile: files written before stream checkpoints
+// existed load with models intact and no checkpoints.
+func TestLoadStatePreStreamFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+	r := NewRegistry(1)
+	if _, err := r.Publish("a", testCentroids(3, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRegistry(r, path); err != nil {
+		t.Fatal(err)
+	}
+	r2, cps, err := LoadState(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cps != nil {
+		t.Fatalf("unexpected checkpoints: %+v", cps)
+	}
+	if _, ok := r2.Get("a"); !ok {
+		t.Fatal("model missing after load")
+	}
+}
+
+// TestLoadStateRejectsMalformedStream: a stream block whose shape
+// lies is rejected loudly, not resumed half-right.
+func TestLoadStateRejectsMalformedStream(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "registry.json")
+	blob := `{"models":[{"name":"a","version":1,"rows":1,"cols":1,"data":[1]}],` +
+		`"streams":[{"model":"a","rows":2,"cols":2,"counts":[1],"data":[1,2,3]}]}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadState(path, 1); err == nil {
+		t.Fatal("malformed stream block should fail the load")
+	}
+}

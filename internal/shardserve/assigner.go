@@ -289,11 +289,19 @@ func (a *AssignerOf[T]) answerShard(model string, s int, plan Plan, rows *matrix
 		}
 		var as []serve.Assignment
 		var err error
-		if s == 0 {
+		switch {
+		case a.sr.remote != nil && !a.sr.remote.LocalMachine(m):
+			// Cluster mode: machine m is a peer process — the query
+			// rows' exact bits ride over the transport and the peer's
+			// batcher answers from its pushed shard snapshot. An RPC
+			// error (dead peer, timeout) fails over like any replica
+			// error.
+			as, err = remoteAssignBatch(a.sr.remote, m, key, rows)
+		case s == 0:
 			// A sampled trace rides through group 0's batcher so the
 			// dump shows the enqueue/coalesce/GEMM stages in-shard.
 			as, err = a.bats[m].AssignBatchTraced(key, rows, tr)
-		} else {
+		default:
 			as, err = a.bats[m].AssignBatch(key, rows)
 		}
 		if err == nil {

@@ -1,0 +1,231 @@
+package shardserve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knor/internal/netcluster"
+	"knor/internal/serve"
+	"knor/internal/topology"
+)
+
+// Hub is the coordinator side of a real (multi-process) serving
+// cluster: it owns the netcluster transport's coordinator rank, pushes
+// shard placements to worker peers (the Remote implementation a
+// ShardRegistry drives), answers fan-out RPCs by matching
+// FrameAssignResp sequence numbers to in-flight FrameAssignReq calls,
+// and feeds the membership layer — worker FramePulse heartbeats route
+// into topology.Pulse, a local ticker self-pulses machine 0 and sweeps,
+// and a peer whose connection drops is marked dead immediately (the
+// fast path; the pulse timeout covers hangs that keep the socket open).
+//
+// Machine index m is transport rank m: machine 0 is the coordinator
+// itself (served in-process), machines 1..M-1 are worker processes
+// running ServePeer.
+type Hub struct {
+	tr   netcluster.Transport
+	topo *topology.Topology
+	sr   *ShardRegistry
+
+	// rpcTimeout bounds one assign RPC; a peer that neither answers nor
+	// drops its connection within it counts as failed and the fan-out
+	// fails over to the next replica.
+	rpcTimeout time.Duration
+
+	seq atomic.Uint32
+
+	mu      sync.Mutex
+	pending map[uint64]chan *netcluster.Frame
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewHub wraps the coordinator rank of a bootstrapped transport.
+// rpcTimeout <= 0 defaults to 10s. Call Start once the topology and
+// shard registry exist, and Close before closing the transport.
+func NewHub(tr netcluster.Transport, rpcTimeout time.Duration) *Hub {
+	if tr.Rank() != 0 {
+		panic("shardserve: hub must run on the coordinator rank")
+	}
+	if rpcTimeout <= 0 {
+		rpcTimeout = 10 * time.Second
+	}
+	return &Hub{
+		tr:         tr,
+		rpcTimeout: rpcTimeout,
+		pending:    map[uint64]chan *netcluster.Frame{},
+		stop:       make(chan struct{}),
+	}
+}
+
+// Start attaches the membership layer and begins serving: one demux
+// goroutine per worker peer (routing pulses and RPC responses) and the
+// coordinator's own pulse/sweep clock. sr's kill switch gates pulses,
+// so an API "kill" silences a machine exactly like a dead process.
+func (h *Hub) Start(topo *topology.Topology, sr *ShardRegistry) {
+	h.topo = topo
+	h.sr = sr
+	for r := 1; r < h.tr.Size(); r++ {
+		h.wg.Add(1)
+		go h.demux(r)
+	}
+	h.wg.Add(1)
+	go h.clock()
+}
+
+// clock self-pulses the coordinator machine and sweeps silent machines
+// dead, at a quarter of the pulse timeout (the same cadence
+// topology.StartClock uses).
+func (h *Hub) clock() {
+	defer h.wg.Done()
+	tick := time.NewTicker(topology.DefaultPulseTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case now := <-tick.C:
+			if !h.sr.MachineDown(0) {
+				h.topo.Pulse(0, now)
+			}
+			h.topo.Sweep(now)
+		case <-h.stop:
+			return
+		}
+	}
+}
+
+// demux drains peer r's frames: pulses feed the topology (unless the
+// machine's kill switch is down — a "killed" machine must go silent),
+// assign responses complete their pending RPC. A receive error is the
+// peer's death: every RPC in flight to it fails immediately and the
+// membership layer is told without waiting out the pulse timeout.
+func (h *Hub) demux(r int) {
+	defer h.wg.Done()
+	for {
+		f, err := h.tr.Recv(r)
+		if err != nil {
+			h.failPeer(r)
+			select {
+			case <-h.stop: // shutdown, not a death
+			default:
+				h.topo.MarkDead(r)
+			}
+			return
+		}
+		switch f.Type {
+		case netcluster.FramePulse:
+			if !h.sr.MachineDown(r) {
+				h.topo.Pulse(r, time.Now())
+			}
+		case netcluster.FrameAssignResp:
+			h.mu.Lock()
+			ch, ok := h.pending[rpcKey(r, f.Seq)]
+			if ok {
+				delete(h.pending, rpcKey(r, f.Seq))
+			}
+			h.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+		}
+	}
+}
+
+// failPeer aborts every pending RPC addressed to peer r.
+func (h *Hub) failPeer(r int) {
+	h.mu.Lock()
+	for k, ch := range h.pending {
+		if int(k>>32) == r {
+			delete(h.pending, k)
+			close(ch)
+		}
+	}
+	h.mu.Unlock()
+}
+
+func rpcKey(peer int, seq uint32) uint64 {
+	return uint64(peer)<<32 | uint64(seq)
+}
+
+// call runs one RPC round trip to peer m: register the pending slot,
+// send, wait for the matching response (or peer death, timeout,
+// shutdown).
+func (h *Hub) call(m int, f *netcluster.Frame) (*netcluster.Frame, error) {
+	start := time.Now()
+	ch := make(chan *netcluster.Frame, 1)
+	key := rpcKey(m, f.Seq)
+	h.mu.Lock()
+	h.pending[key] = ch
+	h.mu.Unlock()
+	drop := func() {
+		h.mu.Lock()
+		delete(h.pending, key)
+		h.mu.Unlock()
+	}
+	if err := h.tr.Send(m, f); err != nil {
+		drop()
+		return nil, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("shardserve: peer %d died mid-call", m)
+		}
+		netcluster.ObserveRoundtrip(time.Since(start).Seconds())
+		return resp, nil
+	case <-time.After(h.rpcTimeout):
+		drop()
+		return nil, fmt.Errorf("shardserve: peer %d: rpc timeout after %s", m, h.rpcTimeout)
+	case <-h.stop:
+		drop()
+		return nil, fmt.Errorf("shardserve: hub closed")
+	}
+}
+
+// LocalMachine implements Remote: machine 0 is the coordinator.
+func (h *Hub) LocalMachine(m int) bool { return m == 0 }
+
+// AssignRemote implements Remote: one FrameAssignReq/FrameAssignResp
+// round trip to machine m's process.
+func (h *Hub) AssignRemote(m int, key string, elem byte, nrows, d int, rows []byte) ([]serve.Assignment, error) {
+	f := &netcluster.Frame{
+		Type: netcluster.FrameAssignReq, Elem: elem, Seq: h.seq.Add(1),
+		Payload: encodeAssignReq(key, nrows, d, rows),
+	}
+	resp, err := h.call(m, f)
+	if err != nil {
+		return nil, err
+	}
+	return decodeAssignResp(resp.Payload)
+}
+
+// RestoreRemote implements Remote: push one shard snapshot to machine
+// m's process (fire and forget — the peer installs it in arrival
+// order, and the fan-out's version check catches any lag).
+func (h *Hub) RestoreRemote(m int, key string, version, node int, elem byte, krows, d int, payload []byte) error {
+	return h.tr.Send(m, &netcluster.Frame{
+		Type: netcluster.FrameShard, Elem: elem,
+		Payload: encodeShard(key, version, node, krows, d, payload),
+	})
+}
+
+// DropRemote implements Remote: retire a shard copy from machine m.
+func (h *Hub) DropRemote(m int, key string) error {
+	return h.tr.Send(m, &netcluster.Frame{
+		Type:    netcluster.FrameShardDrop,
+		Payload: netcluster.AppendString(nil, key),
+	})
+}
+
+// Close stops the clock, aborts in-flight RPCs, and closes the
+// transport (which unblocks the demux goroutines' Recv calls).
+func (h *Hub) Close() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	h.tr.Close()
+	h.wg.Wait()
+}
+
+var _ Remote = (*Hub)(nil)

@@ -1,0 +1,177 @@
+package shardserve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"knor/internal/matrix"
+	"knor/internal/netcluster"
+	"knor/internal/serve"
+)
+
+// PeerOptions configure a worker peer's serve loop.
+type PeerOptions struct {
+	// Batcher configures the peer's shard batchers (MaxBatch, MaxWait,
+	// Threads). The peer forces the shard-role settings the in-process
+	// assigner uses — RawSqDist on (the coordinator clamps once after
+	// the global min), no per-model quota (enforced at the fan-out
+	// edge), Internal instruments — so a remote replica computes
+	// exactly what a local one would.
+	Batcher serve.BatcherOptions
+	// PulseEvery is the heartbeat cadence (default: a quarter of the
+	// topology's pulse timeout, matching the in-process clock).
+	PulseEvery time.Duration
+}
+
+// ServePeer runs a worker process's serve loop over a bootstrapped
+// transport (rank >= 1): it installs FrameShard pushes into a local
+// registry, answers FrameAssignReq RPCs from its shard batchers at the
+// request's element width, retires copies on FrameShardDrop, and
+// heartbeats the coordinator with FramePulse. Shard installs and drops
+// apply in arrival order on the receive goroutine (so a drop never
+// races its own shard's restore); assign RPCs run concurrently, each
+// on its own goroutine, because a GEMM must not stall the heartbeat or
+// a rebalance push.
+//
+// ServePeer blocks until the transport closes (coordinator shutdown or
+// this process being told to stop via tr.Close) and returns nil on a
+// clean close.
+func ServePeer(tr netcluster.Transport, opts PeerOptions) error {
+	if tr.Rank() == 0 {
+		return fmt.Errorf("shardserve: rank 0 is the coordinator, not a peer")
+	}
+	bopts := opts.Batcher
+	bopts.RawSqDist = true
+	bopts.ModelQuota = 0
+	bopts.Internal = true
+	bopts.Tracer = nil
+	reg := serve.NewRegistry(1)
+	bat64 := serve.NewBatcherOf[float64](reg, bopts)
+	bat32 := serve.NewBatcherOf[float32](reg, bopts)
+	defer bat64.Close()
+	defer bat32.Close()
+
+	pulseEvery := opts.PulseEvery
+	if pulseEvery <= 0 {
+		pulseEvery = 500 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(pulseEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if err := tr.Send(0, &netcluster.Frame{Type: netcluster.FramePulse}); err != nil {
+					return // coordinator gone; the recv loop is exiting too
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+	defer wg.Wait()
+	defer close(stop)
+
+	for {
+		f, err := tr.Recv(0)
+		if err != nil {
+			return nil // transport closed: clean shutdown
+		}
+		switch f.Type {
+		case netcluster.FrameShard:
+			if err := peerInstall(reg, f); err != nil {
+				return fmt.Errorf("shardserve: peer rank %d: bad shard push: %w", tr.Rank(), err)
+			}
+		case netcluster.FrameShardDrop:
+			key, _, err := netcluster.StringAt(f.Payload, 0)
+			if err != nil {
+				return fmt.Errorf("shardserve: peer rank %d: bad shard drop: %w", tr.Rank(), err)
+			}
+			reg.Drop(key)
+		case netcluster.FrameAssignReq:
+			wg.Add(1)
+			go func(f *netcluster.Frame) {
+				defer wg.Done()
+				as, aerr := peerAnswer(bat32, bat64, f)
+				resp := &netcluster.Frame{
+					Type: netcluster.FrameAssignResp, Seq: f.Seq,
+					Payload: encodeAssignResp(as, aerr),
+				}
+				// A send failure means the coordinator is gone; the recv
+				// loop notices on its next Recv.
+				_ = tr.Send(0, resp)
+			}(f)
+		}
+	}
+}
+
+// peerInstall restores one pushed shard snapshot into the peer's local
+// registry at the pushed element width — the payload bits go straight
+// into the registry, so a remote replica holds exactly the bytes the
+// coordinator's local registries hold.
+func peerInstall(reg *serve.Registry, f *netcluster.Frame) error {
+	key, version, node, krows, d, rest, err := decodeShard(f.Payload)
+	if err != nil {
+		return err
+	}
+	if krows <= 0 || d <= 0 {
+		return fmt.Errorf("shard %q claims %dx%d", key, krows, d)
+	}
+	switch f.Elem {
+	case 4:
+		c := matrix.New[float32](krows, d)
+		if _, err := netcluster.FloatsAt(rest, 0, krows*d, c.Data); err != nil {
+			return err
+		}
+		_, err = serve.RestoreOf(reg, key, version, node, c)
+	case 8:
+		c := matrix.New[float64](krows, d)
+		if _, err := netcluster.FloatsAt(rest, 0, krows*d, c.Data); err != nil {
+			return err
+		}
+		_, err = reg.Restore(key, version, node, c)
+	default:
+		return fmt.Errorf("shard %q has element width %d", key, f.Elem)
+	}
+	// A version that is not newer than what we hold is a rebalance
+	// replaying a push we already have — not an error.
+	if err != nil && version > 0 {
+		if cur, ok := reg.Get(key); ok && cur.Version >= version {
+			return nil
+		}
+	}
+	return err
+}
+
+// peerAnswer runs one assign RPC against the local shard batchers at
+// the request's element width.
+func peerAnswer(bat32 *serve.BatcherOf[float32], bat64 *serve.BatcherOf[float64], f *netcluster.Frame) ([]serve.Assignment, error) {
+	key, nrows, d, rows, err := decodeAssignReq(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if nrows <= 0 || d <= 0 {
+		return nil, fmt.Errorf("assign request claims %dx%d rows", nrows, d)
+	}
+	switch f.Elem {
+	case 4:
+		q := matrix.New[float32](nrows, d)
+		if _, err := netcluster.FloatsAt(rows, 0, nrows*d, q.Data); err != nil {
+			return nil, err
+		}
+		return bat32.AssignBatch(key, q)
+	case 8:
+		q := matrix.New[float64](nrows, d)
+		if _, err := netcluster.FloatsAt(rows, 0, nrows*d, q.Data); err != nil {
+			return nil, err
+		}
+		return bat64.AssignBatch(key, q)
+	default:
+		return nil, fmt.Errorf("assign request element width %d", f.Elem)
+	}
+}

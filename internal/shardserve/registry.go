@@ -9,6 +9,7 @@ import (
 	"knor/internal/blas"
 	"knor/internal/dist"
 	"knor/internal/matrix"
+	"knor/internal/netcluster"
 	"knor/internal/serve"
 	"knor/internal/topology"
 )
@@ -38,6 +39,7 @@ type ShardRegistry struct {
 	machines int
 	replicas int
 	topo     *topology.Topology
+	remote   Remote
 
 	regs []*serve.Registry
 	// down[m] is the fault-injection kill switch: a down machine's
@@ -131,6 +133,14 @@ type Options struct {
 	// caller retains ownership and must Close it after the registry is
 	// done serving.
 	Topology *topology.Topology
+	// Remote, when set, maps non-local machine indices to real peer
+	// processes (cluster mode): restores and drops for those machines
+	// are additionally pushed over the transport, and the fan-out
+	// answers their shard groups by RPC instead of an in-process
+	// batcher. Push errors are non-fatal (a dead peer must not abort
+	// the rebalance that is routing around it); they are counted in
+	// knor_shardserve_push_errors_total.
+	Remote Remote
 }
 
 // NewShardRegistry builds an empty sharded registry over the given
@@ -155,6 +165,7 @@ func NewShardRegistryWith(opts Options) *ShardRegistry {
 		machines: opts.Machines,
 		replicas: r,
 		topo:     opts.Topology,
+		remote:   opts.Remote,
 		down:     make([]atomic.Bool, opts.Machines),
 		splits:   map[string]*split{},
 		canon:    map[string]canonModel{},
@@ -174,6 +185,10 @@ func (sr *ShardRegistry) Machines() int { return sr.machines }
 
 // Replicas returns the replication factor R.
 func (sr *ShardRegistry) Replicas() int { return sr.replicas }
+
+// Remote returns the cluster-mode peer seam, nil on a single-process
+// registry.
+func (sr *ShardRegistry) Remote() Remote { return sr.remote }
 
 // Registry returns machine i's local registry (for wiring per-machine
 // batchers). Shards live in it under ShardKey(model, shard).
@@ -385,6 +400,22 @@ func (sr *ShardRegistry) restoreLocked(name string, cm canonModel) error {
 			if err != nil {
 				return err
 			}
+			// Cluster mode: machine m is a peer process — push the shard
+			// payload to it too. The local restore above stays the
+			// version bookkeeping (and the canonical fallback the next
+			// rebalance re-pushes from); a push to a dead peer fails
+			// non-fatally, since healing is exactly what routes around it.
+			if sr.remote != nil && !sr.remote.LocalMachine(m) {
+				var payload []byte
+				if cm.elem == 4 {
+					payload = netcluster.AppendFloats(nil, cm.c32.Data[p.Lo*d:p.Hi*d])
+				} else {
+					payload = netcluster.AppendFloats(nil, cm.c64.Data[p.Lo*d:p.Hi*d])
+				}
+				if perr := sr.remote.RestoreRemote(m, key, cm.version, cm.node, byte(cm.elem), p.Rows(), d, payload); perr != nil {
+					telPushErrors.Inc()
+				}
+			}
 			moved := uint64(p.Rows() * d * cm.elem)
 			sr.spreadBytes.Add(moved)
 			telSpreadBytes.Add(moved)
@@ -414,7 +445,7 @@ func (sr *ShardRegistry) restoreLocked(name string, cm canonModel) error {
 				}
 			}
 			if !placed {
-				sr.regs[m].Drop(ShardKey(name, s))
+				sr.dropCopyLocked(m, ShardKey(name, s))
 			}
 		}
 	}
@@ -517,10 +548,21 @@ func (sr *ShardRegistry) Drop(name string) {
 		return
 	}
 	for s := 0; s < len(sp.offsets)-1; s++ {
-		for _, r := range sr.regs {
-			r.Drop(ShardKey(name, s))
+		for m := range sr.regs {
+			sr.dropCopyLocked(m, ShardKey(name, s))
 		}
 	}
 	delete(sr.splits, name)
 	delete(sr.canon, name)
+}
+
+// dropCopyLocked removes machine m's copy of a shard key, mirroring
+// the drop to m's peer process in cluster mode. Caller holds sr.mu.
+func (sr *ShardRegistry) dropCopyLocked(m int, key string) {
+	sr.regs[m].Drop(key)
+	if sr.remote != nil && !sr.remote.LocalMachine(m) {
+		if err := sr.remote.DropRemote(m, key); err != nil {
+			telPushErrors.Inc()
+		}
+	}
 }

@@ -35,4 +35,6 @@ var (
 		"Placement rebalances triggered by membership transitions (replicas re-spread from the canonical copies).")
 	telSpreadBytes = telemetry.Default.Counter("knor_shardserve_spread_bytes_total",
 		"Centroid payload bytes copied into machine registries by publishes, mirrors and healing re-spreads.")
+	telPushErrors = telemetry.Default.Counter("knor_shardserve_push_errors_total",
+		"Shard restore/drop pushes to peer processes that failed (dead peer; the next rebalance re-spreads).")
 )
