@@ -157,7 +157,11 @@ metrics-smoke:
 # loopback TCP bit-identical (result checksum) to the single-process
 # run at both precisions, then knorserve as coordinator + 2 worker
 # processes answering /v1/assign byte-identical to a single-node
-# server before and after a kill -9 of one worker.
+# server before and after a kill -9 of one worker. Also asserts the
+# cluster observability surface: /metrics/cluster carries worker-rank
+# series and degrades the killed worker to knor_federation_stale,
+# /debug/traces shows worker spans stitched into coordinator traces,
+# and /debug/events journals the peer joins.
 cluster-smoke:
 	@sh scripts/cluster_smoke.sh
 

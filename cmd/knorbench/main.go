@@ -63,6 +63,7 @@ var experiments = []experiment{
 	{"failover", "Failover: replicated shard serving under a seeded kill schedule, R x kill rate", failoverExp},
 	{"kernels", "Kernels: SIMD vs pure-Go GEMM GFLOP/s, int8 quantized scan throughput", kernelsExp},
 	{"net", "Transport: ring allgather, simulated cost model vs real TCP on loopback", netExp},
+	{"trace", "Observability: sampled tracing + federation scrape overhead on the serving shape", traceExp},
 }
 
 func main() {

@@ -8,7 +8,10 @@
 //	GET  /healthz            liveness (the process is up)
 //	GET  /readyz             readiness (models published, state writable, not draining)
 //	GET  /metrics            Prometheus text exposition of every layer's telemetry
+//	GET  /metrics/cluster    federated exposition: every rank's series under rank="N"
+//	GET  /v1/cluster/stats   per-rank latency quantiles, bytes, in-flight, shard copies
 //	GET  /debug/traces       recent sampled /assign request traces (see -trace-sample)
+//	GET  /debug/events       structured cluster event journal (?since=SEQ&max=N cursor)
 //	GET  /debug/pprof/       net/http/pprof profiling endpoints (only with -pprof)
 //	GET  /v1/models          list models (name, version, k, d, node)
 //	POST /v1/models          train & register: {"name","k",("spec"|"rows"),...}
@@ -132,6 +135,7 @@ func main() {
 		traceEvery   = flag.Int("trace-sample", 1000, "sample one /assign request in every N for /debug/traces (0 = off)")
 		accessLog    = flag.Bool("access-log", false, "log one line per HTTP request (with request IDs) to stderr")
 		telemetryOn  = flag.Bool("telemetry", true, "record latency histograms and traces (counters/gauges stay on regardless)")
+		eventsLog    = flag.Bool("events-log", false, "mirror the structured cluster event journal (/debug/events) to stderr")
 
 		loadtest  = flag.Bool("loadtest", false, "run the self-contained /assign load test and exit")
 		ltN       = flag.Int("lt-n", 1_000_000, "loadtest: training rows")
@@ -165,6 +169,9 @@ func main() {
 		os.Exit(2)
 	}
 	telemetry.SetEnabled(*telemetryOn)
+	if *eventsLog {
+		telemetry.DefaultJournal.SetMirror(os.Stderr)
+	}
 	role, err := cluster.Validate(*machines)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "knorserve:", err)

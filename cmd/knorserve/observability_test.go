@@ -8,6 +8,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -285,5 +286,183 @@ func TestPprofGate(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("pprof with -pprof: %d", resp.StatusCode)
+	}
+}
+
+// TestClusterMetricsEndpoint: /metrics/cluster serves the federated
+// exposition in every mode — single-process it is rank 0 alone, every
+// series labeled rank="0" and no stale marker raised.
+func TestClusterMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{machines: 2})
+	if code, body := postJSON(t, ts.URL+"/v1/models", createBody); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/assign", `{"model":"obs","rows":[[1,1]]}`); code != http.StatusOK {
+		t.Fatal("assign failed")
+	}
+	resp, err := http.Get(ts.URL + "/metrics/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics/cluster: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics/cluster content type: %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	if !strings.Contains(text, `rank="0"`) {
+		t.Error("federated exposition carries no rank=\"0\" series")
+	}
+	if !strings.Contains(text, `knor_serve_requests_total{rank="0"}`) {
+		t.Error("federated exposition missing rank-labeled serve counter")
+	}
+	if strings.Contains(text, `knor_federation_stale{rank="0"} 1`) {
+		t.Error("rank 0 marked stale on its own scrape")
+	}
+}
+
+// TestClusterStatsEndpoint: /v1/cluster/stats answers the per-rank
+// digest with latency quantiles and shard counts, never stale for the
+// local rank.
+func TestClusterStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{machines: 2, replicas: 2})
+	if code, body := postJSON(t, ts.URL+"/v1/models", createBody); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+	for i := 0; i < 3; i++ {
+		if code, _ := postJSON(t, ts.URL+"/v1/assign", `{"model":"obs","rows":[[1,1]]}`); code != http.StatusOK {
+			t.Fatal("assign failed")
+		}
+	}
+	var stats struct {
+		Ranks []struct {
+			Rank   int     `json:"rank"`
+			Stale  bool    `json:"stale"`
+			P50MS  float64 `json:"p50_ms"`
+			P99MS  float64 `json:"p99_ms"`
+			Shards float64 `json:"shards"`
+		} `json:"ranks"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/cluster/stats", &stats); code != http.StatusOK {
+		t.Fatalf("cluster/stats: %d", code)
+	}
+	if len(stats.Ranks) != 1 {
+		t.Fatalf("simulated-machine mode reports %d ranks, want 1 (one process)", len(stats.Ranks))
+	}
+	r0 := stats.Ranks[0]
+	if r0.Rank != 0 || r0.Stale {
+		t.Fatalf("rank 0 digest: %+v", r0)
+	}
+	if r0.P50MS <= 0 || r0.P99MS < r0.P50MS {
+		t.Errorf("latency quantiles not populated/ordered: p50=%v p99=%v", r0.P50MS, r0.P99MS)
+	}
+	if r0.Shards <= 0 {
+		t.Errorf("rank 0 shard copies = %v, want > 0 after publish", r0.Shards)
+	}
+}
+
+// TestEventsJournalEndpoint: /debug/events serves the structured
+// journal with a working since-seq cursor, and cluster activity (a
+// publish) lands in it.
+func TestEventsJournalEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{machines: 2})
+	if code, body := postJSON(t, ts.URL+"/v1/models", createBody); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+	type eventsPage struct {
+		LastSeq uint64 `json:"last_seq"`
+		Events  []struct {
+			Seq       uint64 `json:"seq"`
+			Component string `json:"component"`
+			Severity  string `json:"severity"`
+			Msg       string `json:"msg"`
+		} `json:"events"`
+	}
+	var page eventsPage
+	if code := getJSON(t, ts.URL+"/debug/events", &page); code != http.StatusOK {
+		t.Fatalf("events: %d", code)
+	}
+	if page.LastSeq == 0 || len(page.Events) == 0 {
+		t.Fatalf("journal empty after a publish: last_seq=%d n=%d", page.LastSeq, len(page.Events))
+	}
+	found := false
+	for i, ev := range page.Events {
+		if ev.Msg == "model published" && ev.Component == "serve" {
+			found = true
+		}
+		if i > 0 && ev.Seq <= page.Events[i-1].Seq {
+			t.Fatalf("events not ascending: seq %d after %d", ev.Seq, page.Events[i-1].Seq)
+		}
+	}
+	if !found {
+		t.Errorf("no 'model published' event in journal page: %+v", page.Events)
+	}
+	// Cursor: asking since=last_seq returns nothing new.
+	var empty eventsPage
+	if code := getJSON(t, ts.URL+"/debug/events?since="+fmt.Sprint(page.LastSeq), &empty); code != http.StatusOK {
+		t.Fatalf("events cursor: %d", code)
+	}
+	for _, ev := range empty.Events {
+		if ev.Seq <= page.LastSeq {
+			t.Fatalf("cursor returned already-seen seq %d (cursor %d)", ev.Seq, page.LastSeq)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/debug/events?since=bogus", &empty); code != http.StatusBadRequest {
+		t.Fatalf("bad since cursor answered %d, want 400", code)
+	}
+}
+
+// TestTraceDumpIdentity: the /debug/traces dump carries the hex trace
+// ID and only non-negative span geometry — the regression surface for
+// out-of-order span arrival from stitched cluster traces.
+func TestTraceDumpIdentity(t *testing.T) {
+	_, ts := newTestServer(t, serverOptions{machines: 2, traceEvery: 1})
+	if code, body := postJSON(t, ts.URL+"/v1/models", createBody); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, body)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/assign", `{"model":"obs","rows":[[1,1]]}`); code != http.StatusOK {
+		t.Fatal("assign failed")
+	}
+	var dump struct {
+		Traces []struct {
+			ID      uint64  `json:"id"`
+			TraceID string  `json:"trace_id"`
+			TotalUS float64 `json:"total_us"`
+			Stages  []struct {
+				Name    string  `json:"name"`
+				StartUS float64 `json:"start_us"`
+				DurUS   float64 `json:"dur_us"`
+			} `json:"stages"`
+		} `json:"traces"`
+	}
+	if code := getJSON(t, ts.URL+"/debug/traces", &dump); code != http.StatusOK {
+		t.Fatalf("traces: %d", code)
+	}
+	if len(dump.Traces) == 0 {
+		t.Fatal("no sampled traces")
+	}
+	for _, tr := range dump.Traces {
+		if want := fmt.Sprintf("%016x", tr.ID); tr.TraceID != want {
+			t.Errorf("trace_id = %q, want %q", tr.TraceID, want)
+		}
+		if tr.TotalUS < 0 {
+			t.Errorf("trace %d total_us negative: %v", tr.ID, tr.TotalUS)
+		}
+		for i, st := range tr.Stages {
+			if st.StartUS < 0 || st.DurUS < 0 {
+				t.Errorf("trace %d stage %q has negative geometry: start=%v dur=%v",
+					tr.ID, st.Name, st.StartUS, st.DurUS)
+			}
+			if i > 0 && st.StartUS < tr.Stages[i-1].StartUS {
+				t.Errorf("trace %d stages not sorted by start: %q at %v after %q at %v",
+					tr.ID, st.Name, st.StartUS, tr.Stages[i-1].Name, tr.Stages[i-1].StartUS)
+			}
+		}
 	}
 }

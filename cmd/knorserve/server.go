@@ -245,10 +245,17 @@ func newServer(opts serverOptions) (*server, error) {
 func (s *server) saver() {
 	defer close(s.saveDone)
 	save := func() {
-		if err := serve.SaveState(s.reg, s.checkpoints(), s.statePath); err != nil {
+		cps := s.checkpoints()
+		if err := serve.SaveState(s.reg, cps, s.statePath); err != nil {
 			telSaveErrors.Inc()
 			fmt.Fprintln(os.Stderr, "knorserve: state save:", err)
+			telemetry.Log("serve", telemetry.SevError, "state save failed",
+				telemetry.F("path", s.statePath), telemetry.F("err", err.Error()))
+			return
 		}
+		telemetry.Log("serve", telemetry.SevInfo, "stream checkpoint saved",
+			telemetry.F("path", s.statePath),
+			telemetry.F("models", len(s.reg.List())), telemetry.F("checkpoints", len(cps)))
 	}
 	for {
 		select {
@@ -335,7 +342,9 @@ func (s *server) mux() http.Handler {
 	})
 	m.HandleFunc("GET /readyz", s.handleReady)
 	m.Handle("GET /metrics", telemetry.Default.Handler())
+	m.HandleFunc("GET /metrics/cluster", s.handleClusterMetrics)
 	m.HandleFunc("GET /debug/traces", s.handleTraces)
+	m.HandleFunc("GET /debug/events", s.handleEvents)
 	if s.opts.pprof {
 		m.HandleFunc("/debug/pprof/", pprof.Index)
 		m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -347,6 +356,7 @@ func (s *server) mux() http.Handler {
 	m.HandleFunc("POST /v1/models", s.handleCreateModel)
 	m.HandleFunc("GET /v1/machines", s.handleListMachines)
 	m.HandleFunc("POST /v1/machines", s.handleMachineAction)
+	m.HandleFunc("GET /v1/cluster/stats", s.handleClusterStats)
 	m.HandleFunc("POST /v1/assign", s.handleAssign)
 	m.HandleFunc("POST /v1/observe", s.handleObserve)
 	m.HandleFunc("POST /v1/publish", s.handlePublish)
@@ -466,7 +476,10 @@ func (s *server) handleMachineAction(w http.ResponseWriter, r *http.Request) {
 // traceView is one sampled request lifecycle as served by
 // /debug/traces, durations in microseconds.
 type traceView struct {
-	ID      uint64       `json:"id"`
+	ID uint64 `json:"id"`
+	// TraceID is the propagatable trace identity in hex — the value
+	// that crossed process boundaries for stitched cluster traces.
+	TraceID string       `json:"trace_id"`
 	Begin   time.Time    `json:"begin"`
 	TotalUS float64      `json:"total_us"`
 	Stages  []traceStage `json:"stages"`
@@ -482,7 +495,12 @@ func (s *server) handleTraces(w http.ResponseWriter, _ *http.Request) {
 	trs := s.tracer.Traces()
 	out := make([]traceView, 0, len(trs))
 	for _, t := range trs {
-		tv := traceView{ID: t.ID, Begin: t.Begin, TotalUS: t.End().Sub(t.Begin).Seconds() * 1e6}
+		tv := traceView{
+			ID: t.ID, TraceID: fmt.Sprintf("%016x", t.ID), Begin: t.Begin,
+			// A trace still being finalized has no end yet; clamp so the
+			// dump never shows a negative total.
+			TotalUS: max(t.End().Sub(t.Begin).Seconds()*1e6, 0),
+		}
 		for _, st := range t.Stages() {
 			tv.Stages = append(tv.Stages, traceStage{
 				Name:    st.Name,

@@ -30,8 +30,10 @@ var (
 // (typos, scans) collapses into "other".
 var knownRoutes = map[string]bool{
 	"/healthz": true, "/readyz": true, "/metrics": true,
+	"/metrics/cluster": true, "/v1/cluster/stats": true,
 	"/v1/models": true, "/v1/assign": true, "/v1/observe": true,
-	"/v1/publish": true, "/v1/stats": true, "/debug/traces": true,
+	"/v1/publish": true, "/v1/stats": true, "/v1/machines": true,
+	"/debug/traces": true, "/debug/events": true,
 }
 
 func routeLabel(path string) string {

@@ -1,0 +1,209 @@
+package netcluster
+
+import (
+	"fmt"
+	"math"
+
+	"knor/internal/telemetry"
+)
+
+// Metrics-federation payload codec: a telemetry registry snapshot
+// serialized with the shared payload primitives, carried in a
+// FrameMetrics reply. Layout (all little-endian):
+//
+//	u32 family count
+//	per family:
+//	  string name, string help, u8 kind (0 counter, 1 gauge, 2 histogram)
+//	  u32 label-name count, then each label name as a string
+//	  u32 sample count
+//	  per sample:
+//	    one string per label name (the label values)
+//	    counter/gauge: f64 value
+//	    histogram: u32 bound count, f64 bounds, u64 buckets
+//	               (bound count + 1 of them, +Inf last), f64 sum, u64 count
+
+const (
+	wireKindCounter = byte(0)
+	wireKindGauge   = byte(1)
+	wireKindHist    = byte(2)
+)
+
+func kindToWire(kind string) (byte, error) {
+	switch kind {
+	case "counter":
+		return wireKindCounter, nil
+	case "gauge":
+		return wireKindGauge, nil
+	case "histogram":
+		return wireKindHist, nil
+	}
+	return 0, fmt.Errorf("netcluster: unknown instrument kind %q", kind)
+}
+
+func kindFromWire(k byte) (string, error) {
+	switch k {
+	case wireKindCounter:
+		return "counter", nil
+	case wireKindGauge:
+		return "gauge", nil
+	case wireKindHist:
+		return "histogram", nil
+	}
+	return "", fmt.Errorf("%w: instrument kind byte 0x%02x", ErrShortPayload, k)
+}
+
+// EncodeSnapshot serializes a registry snapshot for a FrameMetrics
+// reply. Families the codec cannot express (unknown kind) are skipped
+// rather than failing the scrape.
+func EncodeSnapshot(dst []byte, fams []telemetry.SnapshotFamily) []byte {
+	kept := fams[:0:0]
+	for _, f := range fams {
+		if _, err := kindToWire(f.Kind); err == nil {
+			kept = append(kept, f)
+		}
+	}
+	dst = AppendUint32(dst, uint32(len(kept)))
+	for _, f := range kept {
+		k, _ := kindToWire(f.Kind)
+		dst = AppendString(dst, f.Name)
+		dst = AppendString(dst, f.Help)
+		dst = append(dst, k)
+		dst = AppendUint32(dst, uint32(len(f.LabelNames)))
+		for _, ln := range f.LabelNames {
+			dst = AppendString(dst, ln)
+		}
+		dst = AppendUint32(dst, uint32(len(f.Samples)))
+		for _, s := range f.Samples {
+			for i := range f.LabelNames {
+				v := ""
+				if i < len(s.Labels) {
+					v = s.Labels[i]
+				}
+				dst = AppendString(dst, v)
+			}
+			if k != wireKindHist {
+				dst = AppendUint64(dst, math.Float64bits(s.Value))
+				continue
+			}
+			dst = AppendUint32(dst, uint32(len(s.Bounds)))
+			dst = AppendFloats(dst, s.Bounds)
+			buckets := s.Buckets
+			if len(buckets) != len(s.Bounds)+1 {
+				buckets = make([]uint64, len(s.Bounds)+1)
+				copy(buckets, s.Buckets)
+			}
+			for _, b := range buckets {
+				dst = AppendUint64(dst, b)
+			}
+			dst = AppendUint64(dst, math.Float64bits(s.Sum))
+			dst = AppendUint64(dst, s.Count)
+		}
+	}
+	return dst
+}
+
+// DecodeSnapshot parses an EncodeSnapshot payload. Every malformed
+// input yields ErrShortPayload (possibly wrapped), never a panic, and
+// allocation is bounded by the payload length.
+func DecodeSnapshot(b []byte) ([]telemetry.SnapshotFamily, error) {
+	nfam, off, err := boundedCount(b, 0, 8)
+	if err != nil {
+		return nil, err
+	}
+	fams := make([]telemetry.SnapshotFamily, 0, nfam)
+	for fi := 0; fi < nfam; fi++ {
+		var f telemetry.SnapshotFamily
+		if f.Name, off, err = StringAt(b, off); err != nil {
+			return nil, err
+		}
+		if f.Help, off, err = StringAt(b, off); err != nil {
+			return nil, err
+		}
+		if off >= len(b) {
+			return nil, fmt.Errorf("%w: family %q kind", ErrShortPayload, f.Name)
+		}
+		if f.Kind, err = kindFromWire(b[off]); err != nil {
+			return nil, err
+		}
+		off++
+		var nlab int
+		if nlab, off, err = boundedCount(b, off, 4); err != nil {
+			return nil, err
+		}
+		f.LabelNames = make([]string, nlab)
+		for i := range f.LabelNames {
+			if f.LabelNames[i], off, err = StringAt(b, off); err != nil {
+				return nil, err
+			}
+		}
+		var nsamp int
+		if nsamp, off, err = boundedCount(b, off, 8); err != nil {
+			return nil, err
+		}
+		f.Samples = make([]telemetry.SnapshotSample, 0, nsamp)
+		for si := 0; si < nsamp; si++ {
+			var s telemetry.SnapshotSample
+			if nlab > 0 {
+				s.Labels = make([]string, nlab)
+				for i := range s.Labels {
+					if s.Labels[i], off, err = StringAt(b, off); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if f.Kind != "histogram" {
+				bits, err2 := Uint64At(b, off)
+				if err2 != nil {
+					return nil, err2
+				}
+				s.Value = math.Float64frombits(bits)
+				off += 8
+				f.Samples = append(f.Samples, s)
+				continue
+			}
+			var nb int
+			if nb, off, err = boundedCount(b, off, 8); err != nil {
+				return nil, err
+			}
+			s.Bounds = make([]float64, nb)
+			if off, err = FloatsAt(b, off, nb, s.Bounds); err != nil {
+				return nil, err
+			}
+			s.Buckets = make([]uint64, nb+1)
+			for i := range s.Buckets {
+				if s.Buckets[i], err = Uint64At(b, off); err != nil {
+					return nil, err
+				}
+				off += 8
+			}
+			bits, err2 := Uint64At(b, off)
+			if err2 != nil {
+				return nil, err2
+			}
+			s.Sum = math.Float64frombits(bits)
+			off += 8
+			if s.Count, err = Uint64At(b, off); err != nil {
+				return nil, err
+			}
+			off += 8
+			f.Samples = append(f.Samples, s)
+		}
+		fams = append(fams, f)
+	}
+	return fams, nil
+}
+
+// boundedCount reads a u32 count at off and rejects counts that could
+// not possibly fit in the remaining payload at minBytes per element,
+// bounding allocation before it happens.
+func boundedCount(b []byte, off, minBytes int) (int, int, error) {
+	n, err := Uint32At(b, off)
+	if err != nil {
+		return 0, 0, err
+	}
+	off += 4
+	if int(n) > (len(b)-off)/minBytes+1 {
+		return 0, 0, fmt.Errorf("%w: count %d exceeds payload", ErrShortPayload, n)
+	}
+	return int(n), off, nil
+}

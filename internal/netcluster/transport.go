@@ -5,6 +5,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"knor/internal/telemetry"
 )
 
 // Transport is the point-to-point seam the distributed trainer and the
@@ -289,6 +291,8 @@ func bootstrapCoordinator(ln net.Listener, opts TCPOptions, deadline time.Time) 
 		seen[addr] = next
 		t.addrs[next] = addr
 		t.peers[next] = newPeerLink(conn)
+		telemetry.Log("netcluster", telemetry.SevInfo, "peer joined",
+			telemetry.F("rank", next), telemetry.F("addr", addr))
 	}
 	// Every member is in: hand each worker its rank and the roster.
 	roster := make([]byte, 0, 64)
@@ -305,6 +309,8 @@ func bootstrapCoordinator(ln net.Listener, opts TCPOptions, deadline time.Time) 
 		}
 	}
 	t.startReaders()
+	telemetry.Log("netcluster", telemetry.SevInfo, "cluster bootstrapped",
+		telemetry.F("machines", m), telemetry.F("coordinator", t.addrs[0]))
 	return t, nil
 }
 
@@ -364,6 +370,10 @@ func bootstrapWorker(ln net.Listener, opts TCPOptions, deadline time.Time) (*TCP
 		telDialErrors.Inc()
 		if time.Now().Add(100 * time.Millisecond).After(deadline) {
 			ln.Close()
+			// Journal only the final failure — the retry loop is routine
+			// while the coordinator is still coming up.
+			telemetry.Log("netcluster", telemetry.SevError, "join dial failed",
+				telemetry.F("join", opts.Join), telemetry.F("err", err.Error()))
 			return nil, fmt.Errorf("netcluster: join %s: %w", opts.Join, err)
 		}
 		time.Sleep(100 * time.Millisecond)

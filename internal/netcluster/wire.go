@@ -36,25 +36,46 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"knor/internal/blas"
+	"knor/internal/telemetry"
 )
 
 // Frame header layout, 16 bytes, big-endian:
 //
 //	offset size field
 //	0      4    magic 0x6B6E6F72 ("knor")
-//	4      1    codec version (1)
+//	4      1    codec version (1 or 2)
 //	5      1    frame type
 //	6      1    element width: 0 (opaque), 4 (float32) or 8 (float64)
-//	7      1    reserved, must be 0
+//	7      1    v1: reserved, must be 0; v2: extension flags
 //	8      4    seq: collective round / RPC correlation tag
-//	12     4    payload length in bytes
-//	16     ...  payload
+//	12     4    payload length in bytes (extensions included)
+//	16     ...  [v2 extensions] payload
+//
+// Version discipline: version 2 exists only to mark the presence of a
+// payload-prefix extension (today: the trace context). A frame with no
+// extension is always emitted as version 1 — byte-for-byte what the v1
+// encoder wrote — so a v2 process talking to a v1 process degrades to
+// exactly the old wire format, and the decoder rejects a v2 header
+// whose flags byte names no extension (the encoder never produces
+// one). The reader accepts both versions.
 const (
-	frameMagic   = 0x6b6e6f72 // "knor"
-	codecVersion = 1
-	headerBytes  = 16
+	frameMagic     = 0x6b6e6f72 // "knor"
+	codecVersionV1 = 1
+	codecVersion   = 2
+	headerBytes    = 16
+)
+
+// Extension flags (header byte 7, version 2 frames only). Bits without
+// a name here are reserved and rejected.
+const (
+	// flagTrace: the payload is prefixed with a trace-context extension
+	// (see appendTraceExt for the layout).
+	flagTrace = byte(1 << 0)
+
+	knownFlags = flagTrace
 )
 
 // MaxFrameBytes bounds a frame's payload: a peer announcing a larger
@@ -95,6 +116,10 @@ const (
 	FrameAssignResp
 	// FrameError answers any request with a failure (payload = message).
 	FrameError
+	// FrameMetrics pulls a peer's telemetry registry snapshot: an empty
+	// request answered with a serialized snapshot (same seq) — the
+	// metrics-federation RPC behind GET /metrics/cluster.
+	FrameMetrics
 	frameTypeMax
 )
 
@@ -125,6 +150,8 @@ func frameTypeName(t byte) string {
 		return "assign_resp"
 	case FrameError:
 		return "error"
+	case FrameMetrics:
+		return "metrics"
 	default:
 		return "unknown"
 	}
@@ -165,12 +192,139 @@ type Frame struct {
 	// request id for RPCs.
 	Seq     uint32
 	Payload []byte
+	// Trace is the optional cross-process trace context (nil = none).
+	// When set, the frame is emitted as codec version 2 with the trace
+	// extension prefixed to the payload; Payload itself never includes
+	// the extension bytes on either side.
+	Trace *TraceExt
+}
+
+// TraceExt is the trace-context frame extension: the propagatable
+// identity of a sampled trace (ID + parent span + sampled bit), plus —
+// on replies — the worker-side spans recorded while answering,
+// expressed as offsets from the moment the worker received the request
+// (never absolute wall times, so cross-machine clock skew cannot
+// produce a negative or misplaced span when the coordinator re-anchors
+// them at its local dispatch time).
+type TraceExt struct {
+	TraceID uint64
+	Parent  uint64
+	Sampled bool
+	Spans   []telemetry.RemoteSpan
+}
+
+// traceExtSize returns the encoded extension size in bytes (excluding
+// the u32 length prefix).
+func traceExtSize(t *TraceExt) int {
+	n := 8 + 8 + 1 + 4
+	for _, s := range t.Spans {
+		n += 4 + len(s.Name) + 8 + 8
+	}
+	return n
+}
+
+// appendTraceExt appends the extension: u32 length, u64 trace ID, u64
+// parent span, u8 sampled, u32 span count, then per span a
+// length-prefixed name and u64 start/duration offsets in nanoseconds.
+// All little-endian, matching the payload primitives.
+func appendTraceExt(dst []byte, t *TraceExt) []byte {
+	dst = AppendUint32(dst, uint32(traceExtSize(t)))
+	dst = AppendUint64(dst, t.TraceID)
+	dst = AppendUint64(dst, t.Parent)
+	if t.Sampled {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = AppendUint32(dst, uint32(len(t.Spans)))
+	for _, s := range t.Spans {
+		dst = AppendString(dst, s.Name)
+		dst = AppendUint64(dst, uint64(s.Start.Nanoseconds()))
+		dst = AppendUint64(dst, uint64(s.Dur.Nanoseconds()))
+	}
+	return dst
+}
+
+// parseTraceExt decodes the extension at the head of b, returning the
+// extension and the offset of the real payload. Strict: the declared
+// length must exactly cover the span list and the sampled byte must be
+// 0 or 1, so decode→encode is an involution on the valid set.
+func parseTraceExt(b []byte) (*TraceExt, int, error) {
+	extLen, err := Uint32At(b, 0)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: trace extension length", ErrShortPayload)
+	}
+	end := 4 + int(extLen)
+	if extLen > uint32(MaxFrameBytes) || end > len(b) {
+		return nil, 0, fmt.Errorf("%w: trace extension (%d bytes declared)", ErrShortPayload, extLen)
+	}
+	ext := b[:end]
+	t := &TraceExt{}
+	off := 4
+	if t.TraceID, err = Uint64At(ext, off); err != nil {
+		return nil, 0, err
+	}
+	if t.Parent, err = Uint64At(ext, off+8); err != nil {
+		return nil, 0, err
+	}
+	off += 16
+	if off >= len(ext) {
+		return nil, 0, fmt.Errorf("%w: trace extension sampled bit", ErrShortPayload)
+	}
+	switch ext[off] {
+	case 0:
+		t.Sampled = false
+	case 1:
+		t.Sampled = true
+	default:
+		return nil, 0, fmt.Errorf("%w: trace extension sampled byte 0x%02x", ErrShortPayload, ext[off])
+	}
+	off++
+	nspans, err := Uint32At(ext, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	off += 4
+	// Each span needs at least 20 bytes, so a hostile count is rejected
+	// before any allocation proportional to it.
+	if int(nspans) > (len(ext)-off)/20 {
+		return nil, 0, fmt.Errorf("%w: trace extension declares %d spans", ErrShortPayload, nspans)
+	}
+	t.Spans = make([]telemetry.RemoteSpan, 0, nspans)
+	for i := uint32(0); i < nspans; i++ {
+		var s telemetry.RemoteSpan
+		s.Name, off, err = StringAt(ext, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		start, err := Uint64At(ext, off)
+		if err != nil {
+			return nil, 0, err
+		}
+		dur, err := Uint64At(ext, off+8)
+		if err != nil {
+			return nil, 0, err
+		}
+		off += 16
+		s.Start = time.Duration(start)
+		s.Dur = time.Duration(dur)
+		t.Spans = append(t.Spans, s)
+	}
+	if off != end {
+		return nil, 0, fmt.Errorf("%w: trace extension length %d does not match contents (%d)",
+			ErrShortPayload, extLen, off-4)
+	}
+	return t, end, nil
 }
 
 // validElem reports whether e is a legal element-width byte.
 func validElem(e byte) bool { return e == 0 || e == 4 || e == 8 }
 
-// EncodeFrame appends f's wire form to dst and returns the result.
+// EncodeFrame appends f's wire form to dst and returns the result. A
+// frame without extensions encodes as version 1 — bit-identical to the
+// pre-extension codec — so the extension-free wire format never drifts
+// and old peers interoperate; a trace context upgrades the frame to
+// version 2 with the extension prefixed to the payload.
 func EncodeFrame(dst []byte, f *Frame) ([]byte, error) {
 	if f.Type == 0 || f.Type >= frameTypeMax {
 		return dst, fmt.Errorf("%w: %d", ErrBadType, f.Type)
@@ -178,18 +332,27 @@ func EncodeFrame(dst []byte, f *Frame) ([]byte, error) {
 	if !validElem(f.Elem) {
 		return dst, fmt.Errorf("%w: %d", ErrBadElem, f.Elem)
 	}
-	if len(f.Payload) > MaxFrameBytes {
-		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(f.Payload))
+	version, flags, extBytes := byte(codecVersionV1), byte(0), 0
+	if f.Trace != nil {
+		version, flags = codecVersion, flagTrace
+		extBytes = 4 + traceExtSize(f.Trace)
+	}
+	total := extBytes + len(f.Payload)
+	if total > MaxFrameBytes {
+		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, total)
 	}
 	var h [headerBytes]byte
 	binary.BigEndian.PutUint32(h[0:], frameMagic)
-	h[4] = codecVersion
+	h[4] = version
 	h[5] = f.Type
 	h[6] = f.Elem
-	h[7] = 0
+	h[7] = flags
 	binary.BigEndian.PutUint32(h[8:], f.Seq)
-	binary.BigEndian.PutUint32(h[12:], uint32(len(f.Payload)))
+	binary.BigEndian.PutUint32(h[12:], uint32(total))
 	dst = append(dst, h[:]...)
+	if f.Trace != nil {
+		dst = appendTraceExt(dst, f.Trace)
+	}
 	return append(dst, f.Payload...), nil
 }
 
@@ -224,8 +387,9 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	if m := binary.BigEndian.Uint32(h[0:]); m != frameMagic {
 		return nil, fmt.Errorf("%w: 0x%08x", ErrBadMagic, m)
 	}
-	if h[4] != codecVersion {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, h[4])
+	version := h[4]
+	if version != codecVersionV1 && version != codecVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
 	f := &Frame{Type: h[5], Elem: h[6], Seq: binary.BigEndian.Uint32(h[8:])}
 	if f.Type == 0 || f.Type >= frameTypeMax {
@@ -234,8 +398,15 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	if !validElem(f.Elem) {
 		return nil, fmt.Errorf("%w: %d", ErrBadElem, f.Elem)
 	}
-	if h[7] != 0 {
-		return nil, fmt.Errorf("%w: 0x%02x", ErrBadReserved, h[7])
+	flags := h[7]
+	switch {
+	case version == codecVersionV1 && flags != 0:
+		return nil, fmt.Errorf("%w: 0x%02x", ErrBadReserved, flags)
+	case version == codecVersion && (flags&^knownFlags != 0 || flags == 0):
+		// Unknown flag bits are malformed; a v2 header with no extension
+		// is too — the encoder always downgrades extension-free frames to
+		// v1, so such a header can only come from a broken peer.
+		return nil, fmt.Errorf("%w: version 2 flags 0x%02x", ErrBadReserved, flags)
 	}
 	n := binary.BigEndian.Uint32(h[12:])
 	if n > MaxFrameBytes {
@@ -245,6 +416,17 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 		f.Payload = make([]byte, n)
 		if _, err := io.ReadFull(r, f.Payload); err != nil {
 			return nil, fmt.Errorf("%w: payload (%d bytes): %v", ErrTruncated, n, err)
+		}
+	}
+	if flags&flagTrace != 0 {
+		ext, skip, err := parseTraceExt(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		f.Trace = ext
+		f.Payload = f.Payload[skip:]
+		if len(f.Payload) == 0 {
+			f.Payload = nil
 		}
 	}
 	telBytesRx.Add(uint64(headerBytes + int(n)))

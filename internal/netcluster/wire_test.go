@@ -100,7 +100,7 @@ func TestReadFrameHeaderValidation(t *testing.T) {
 func TestReadFrameOversizedNeverAllocates(t *testing.T) {
 	var h [headerBytes]byte
 	binary.BigEndian.PutUint32(h[0:], frameMagic)
-	h[4], h[5] = codecVersion, FrameAccum
+	h[4], h[5] = codecVersionV1, FrameAccum
 	binary.BigEndian.PutUint32(h[12:], 1<<31)
 	// An ErrReader after the header would hang or error if the decoder
 	// tried to read the payload; the length check must fire first.

@@ -1,0 +1,238 @@
+package netcluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"knor/internal/telemetry"
+)
+
+// TestTraceExtRoundTrip: the trace extension rides every frame type the
+// fan-out uses (assign request, shard install, accumulator) and
+// survives encode → decode exactly, with the payload intact.
+func TestTraceExtRoundTrip(t *testing.T) {
+	ext := &TraceExt{
+		TraceID: 0xdeadbeefcafe, Parent: 42, Sampled: true,
+		Spans: []telemetry.RemoteSpan{
+			{Name: "decode", Start: 0, Dur: 150 * time.Microsecond},
+			{Name: "shard_gemm", Start: 150 * time.Microsecond, Dur: 2 * time.Millisecond},
+			{Name: "encode", Start: 2150 * time.Microsecond, Dur: 80 * time.Microsecond},
+		},
+	}
+	for _, tc := range []struct {
+		typ     byte
+		elem    byte
+		payload []byte
+	}{
+		{FrameAssignReq, 4, AppendFloats(nil, []float32{1, 2, 3})},
+		{FrameShard, 8, AppendFloats(nil, []float64{9.5, -1})},
+		{FrameAccum, 8, bytes.Repeat([]byte{0x7f}, 1024)},
+		{FrameAssignResp, 4, nil}, // reply with spans, empty payload
+	} {
+		f := &Frame{Type: tc.typ, Elem: tc.elem, Seq: 77, Payload: tc.payload, Trace: ext}
+		buf, err := EncodeFrame(nil, f)
+		if err != nil {
+			t.Fatalf("type %d: encode: %v", tc.typ, err)
+		}
+		if buf[4] != codecVersion || buf[7]&flagTrace == 0 {
+			t.Fatalf("type %d: extension frame not marked v2+flagTrace (version=%d flags=%#x)",
+				tc.typ, buf[4], buf[7])
+		}
+		got, err := ReadFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("type %d: decode: %v", tc.typ, err)
+		}
+		if got.Type != f.Type || got.Elem != f.Elem || got.Seq != f.Seq || !bytes.Equal(got.Payload, tc.payload) {
+			t.Fatalf("type %d: frame fields mangled: %+v", tc.typ, got)
+		}
+		if got.Trace == nil {
+			t.Fatalf("type %d: trace extension lost", tc.typ)
+		}
+		if got.Trace.TraceID != ext.TraceID || got.Trace.Parent != ext.Parent || !got.Trace.Sampled {
+			t.Fatalf("type %d: context mangled: %+v", tc.typ, got.Trace)
+		}
+		if len(got.Trace.Spans) != len(ext.Spans) {
+			t.Fatalf("type %d: %d spans, want %d", tc.typ, len(got.Trace.Spans), len(ext.Spans))
+		}
+		for i, s := range got.Trace.Spans {
+			if s != ext.Spans[i] {
+				t.Fatalf("type %d: span %d = %+v, want %+v", tc.typ, i, s, ext.Spans[i])
+			}
+		}
+		// Involution: the decoded frame re-encodes to the same bytes.
+		re, err := EncodeFrame(nil, got)
+		if err != nil || !bytes.Equal(re, buf) {
+			t.Fatalf("type %d: re-encode mismatch (err=%v)", tc.typ, err)
+		}
+	}
+}
+
+// TestCodecV2DecodesV1ByteForByte: the property the satellite demands —
+// frames without a trace extension are still emitted as exact version-1
+// bytes, and v1 bytes produced by hand (the old encoder's layout)
+// decode under the current reader to the identical frame. Randomized
+// over types, widths, seqs, and payloads.
+func TestCodecV2DecodesV1ByteForByte(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	elems := []byte{0, 4, 8}
+	for iter := 0; iter < 200; iter++ {
+		f := &Frame{
+			Type: byte(1 + rng.Intn(int(frameTypeMax)-1)),
+			Elem: elems[rng.Intn(len(elems))],
+			Seq:  rng.Uint32(),
+		}
+		if n := rng.Intn(512); n > 0 {
+			f.Payload = make([]byte, n)
+			rng.Read(f.Payload)
+		}
+		// Hand-build the v1 encoding (the old codec's exact layout).
+		v1 := make([]byte, headerBytes, headerBytes+len(f.Payload))
+		binary.BigEndian.PutUint32(v1[0:], frameMagic)
+		v1[4] = codecVersionV1
+		v1[5], v1[6], v1[7] = f.Type, f.Elem, 0
+		binary.BigEndian.PutUint32(v1[8:], f.Seq)
+		binary.BigEndian.PutUint32(v1[12:], uint32(len(f.Payload)))
+		v1 = append(v1, f.Payload...)
+
+		// Current encoder without extension == v1 bytes.
+		cur, err := EncodeFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cur, v1) {
+			t.Fatalf("iter %d: extension-free encoding drifted from v1 bytes", iter)
+		}
+		// Current reader decodes v1 bytes to the identical frame.
+		got, err := ReadFrame(bytes.NewReader(v1))
+		if err != nil {
+			t.Fatalf("iter %d: v1 frame rejected: %v", iter, err)
+		}
+		if got.Type != f.Type || got.Elem != f.Elem || got.Seq != f.Seq ||
+			!bytes.Equal(got.Payload, f.Payload) || got.Trace != nil {
+			t.Fatalf("iter %d: v1 decode mismatch: %+v", iter, got)
+		}
+	}
+}
+
+// TestV2FlagValidation: v2 headers with unknown flag bits or no flags
+// at all are rejected (the encoder never produces either), and v1
+// headers still require a zero byte 7.
+func TestV2FlagValidation(t *testing.T) {
+	mk := func(version, flags byte) []byte {
+		f := &Frame{Type: FramePulse, Seq: 1}
+		buf, err := EncodeFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[4], buf[7] = version, flags
+		return buf
+	}
+	for _, tc := range []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"v1 nonzero reserved", mk(codecVersionV1, 1), ErrBadReserved},
+		{"v2 no flags", mk(codecVersion, 0), ErrBadReserved},
+		{"v2 unknown flag", mk(codecVersion, 0x80), ErrBadReserved},
+		{"v2 trace flag but no extension bytes", mk(codecVersion, flagTrace), ErrShortPayload},
+		{"future version", mk(3, 0), ErrBadVersion},
+	} {
+		if _, err := ReadFrame(bytes.NewReader(tc.buf)); !errors.Is(err, tc.want) {
+			t.Errorf("%s: want %v, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+// TestTraceExtMalformed: corrupted extensions map to ErrShortPayload,
+// never a panic or a silent partial decode.
+func TestTraceExtMalformed(t *testing.T) {
+	good, err := EncodeFrame(nil, &Frame{
+		Type: FrameAssignReq, Seq: 5, Payload: []byte("rows"),
+		Trace: &TraceExt{TraceID: 1, Sampled: true,
+			Spans: []telemetry.RemoteSpan{{Name: "gemm", Start: 1, Dur: 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampled byte out of {0,1}.
+	bad := append([]byte(nil), good...)
+	bad[headerBytes+4+16] = 7
+	if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrShortPayload) {
+		t.Errorf("bad sampled byte: want ErrShortPayload, got %v", err)
+	}
+	// Declared ext length longer than the span list it holds.
+	bad = append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bad[headerBytes:], binary.LittleEndian.Uint32(bad[headerBytes:])+1)
+	binary.BigEndian.PutUint32(bad[12:], binary.BigEndian.Uint32(bad[12:])+1)
+	bad = append(bad, 0)
+	if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrShortPayload) {
+		t.Errorf("inflated ext length: want ErrShortPayload, got %v", err)
+	}
+	// Hostile span count.
+	bad = append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(bad[headerBytes+4+17:], 1<<30)
+	if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrShortPayload) {
+		t.Errorf("hostile span count: want ErrShortPayload, got %v", err)
+	}
+}
+
+// TestSnapshotCodecRoundTrip: a registry snapshot with every instrument
+// kind survives the metrics-federation payload codec exactly.
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	r := telemetry.NewRegistry()
+	r.Counter("fed_reqs_total", "requests").Add(1234)
+	r.Gauge("fed_depth", "queue depth").Set(-2.5)
+	h := r.Histogram("fed_lat_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3)
+	cv := r.CounterVec("fed_frames_total", "frames", "type", "dir")
+	cv.With("accum", "tx").Add(9)
+	cv.With("pulse", "rx").Add(2)
+
+	fams := r.Snapshot()
+	buf := EncodeSnapshot(nil, fams)
+	got, err := DecodeSnapshot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(fams) {
+		t.Fatalf("decoded %d families, want %d", len(got), len(fams))
+	}
+	for i, f := range fams {
+		g := got[i]
+		if g.Name != f.Name || g.Help != f.Help || g.Kind != f.Kind {
+			t.Fatalf("family %d header mismatch: %+v vs %+v", i, g, f)
+		}
+		if len(g.LabelNames) != len(f.LabelNames) || len(g.Samples) != len(f.Samples) {
+			t.Fatalf("family %q shape mismatch", f.Name)
+		}
+		for j, s := range f.Samples {
+			gs := g.Samples[j]
+			if gs.Value != s.Value || gs.Sum != s.Sum || gs.Count != s.Count {
+				t.Fatalf("family %q sample %d values mismatch: %+v vs %+v", f.Name, j, gs, s)
+			}
+			for li := range s.Labels {
+				if gs.Labels[li] != s.Labels[li] {
+					t.Fatalf("family %q sample %d label mismatch", f.Name, j)
+				}
+			}
+			for bi := range s.Bounds {
+				if gs.Bounds[bi] != s.Bounds[bi] || gs.Buckets[bi] != s.Buckets[bi] {
+					t.Fatalf("family %q sample %d hist mismatch", f.Name, j)
+				}
+			}
+		}
+	}
+	// Truncations never panic and always error.
+	for cut := 0; cut < len(buf); cut += 7 {
+		if _, err := DecodeSnapshot(buf[:cut]); err == nil {
+			t.Fatalf("truncated snapshot at %d decoded cleanly", cut)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"knor/internal/blas"
 	"knor/internal/matrix"
+	"knor/internal/telemetry"
 )
 
 // Model is one immutable published snapshot of a centroid set. The
@@ -208,6 +209,9 @@ func (r *Registry) add(m *Model, version, node int) (*Model, error) {
 	r.versions[m.Name] = append(r.versions[m.Name], m)
 	r.evictLocked(m.Name, m.PublishedAt)
 	telPublishes.Inc()
+	telemetry.Log("serve", telemetry.SevInfo, "model published",
+		telemetry.F("model", m.Name), telemetry.F("version", m.Version),
+		telemetry.F("k", m.K()), telemetry.F("d", m.Dims()), telemetry.F("node", m.Node))
 	for _, fn := range r.onPublish {
 		fn(m)
 	}

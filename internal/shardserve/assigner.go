@@ -282,6 +282,8 @@ func (a *AssignerOf[T]) answerShard(model string, s int, plan Plan, rows *matrix
 		if i > 0 {
 			a.failovers.Inc()
 			telFailovers.With(strconv.Itoa(s)).Inc()
+			telemetry.Log("shardserve", telemetry.SevWarn, "failover",
+				telemetry.F("model", model), telemetry.F("shard", s), telemetry.F("to_machine", m))
 		}
 		if a.sr.MachineDown(m) {
 			lastErr = fmt.Errorf("machine %d down", m)
@@ -295,8 +297,9 @@ func (a *AssignerOf[T]) answerShard(model string, s int, plan Plan, rows *matrix
 			// rows' exact bits ride over the transport and the peer's
 			// batcher answers from its pushed shard snapshot. An RPC
 			// error (dead peer, timeout) fails over like any replica
-			// error.
-			as, err = remoteAssignBatch(a.sr.remote, m, key, rows)
+			// error. A sampled trace rides along and comes back with the
+			// worker's decode/GEMM/encode spans stitched in.
+			as, err = remoteAssignBatch(a.sr.remote, m, key, rows, tr)
 		case s == 0:
 			// A sampled trace rides through group 0's batcher so the
 			// dump shows the enqueue/coalesce/GEMM stages in-shard.
@@ -310,6 +313,8 @@ func (a *AssignerOf[T]) answerShard(model string, s int, plan Plan, rows *matrix
 		lastErr = err
 	}
 	telUnavailable.Inc()
+	telemetry.Log("shardserve", telemetry.SevError, "shard unavailable",
+		telemetry.F("model", model), telemetry.F("shard", s), telemetry.F("last_err", lastErr))
 	return nil, fmt.Errorf("%w: model %q shard %d (centroid rows [%d,%d)): %v",
 		ErrShardUnavailable, model, s, plan.Offsets[s], plan.Offsets[s+1], lastErr)
 }

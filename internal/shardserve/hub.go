@@ -8,6 +8,7 @@ import (
 
 	"knor/internal/netcluster"
 	"knor/internal/serve"
+	"knor/internal/telemetry"
 	"knor/internal/topology"
 )
 
@@ -111,6 +112,8 @@ func (h *Hub) demux(r int) {
 			select {
 			case <-h.stop: // shutdown, not a death
 			default:
+				telemetry.Log("netcluster", telemetry.SevWarn, "peer connection lost",
+					telemetry.F("rank", r))
 				h.topo.MarkDead(r)
 			}
 			return
@@ -120,7 +123,7 @@ func (h *Hub) demux(r int) {
 			if !h.sr.MachineDown(r) {
 				h.topo.Pulse(r, time.Now())
 			}
-		case netcluster.FrameAssignResp:
+		case netcluster.FrameAssignResp, netcluster.FrameMetrics:
 			h.mu.Lock()
 			ch, ok := h.pending[rpcKey(r, f.Seq)]
 			if ok {
@@ -154,6 +157,10 @@ func rpcKey(peer int, seq uint32) uint64 {
 // send, wait for the matching response (or peer death, timeout,
 // shutdown).
 func (h *Hub) call(m int, f *netcluster.Frame) (*netcluster.Frame, error) {
+	return h.callTimeout(m, f, h.rpcTimeout)
+}
+
+func (h *Hub) callTimeout(m int, f *netcluster.Frame, timeout time.Duration) (*netcluster.Frame, error) {
 	start := time.Now()
 	ch := make(chan *netcluster.Frame, 1)
 	key := rpcKey(m, f.Seq)
@@ -176,9 +183,9 @@ func (h *Hub) call(m int, f *netcluster.Frame) (*netcluster.Frame, error) {
 		}
 		netcluster.ObserveRoundtrip(time.Since(start).Seconds())
 		return resp, nil
-	case <-time.After(h.rpcTimeout):
+	case <-time.After(timeout):
 		drop()
-		return nil, fmt.Errorf("shardserve: peer %d: rpc timeout after %s", m, h.rpcTimeout)
+		return nil, fmt.Errorf("shardserve: peer %d: rpc timeout after %s", m, timeout)
 	case <-h.stop:
 		drop()
 		return nil, fmt.Errorf("shardserve: hub closed")
@@ -189,17 +196,52 @@ func (h *Hub) call(m int, f *netcluster.Frame) (*netcluster.Frame, error) {
 func (h *Hub) LocalMachine(m int) bool { return m == 0 }
 
 // AssignRemote implements Remote: one FrameAssignReq/FrameAssignResp
-// round trip to machine m's process.
-func (h *Hub) AssignRemote(m int, key string, elem byte, nrows, d int, rows []byte) ([]serve.Assignment, error) {
+// round trip to machine m's process. A sampled trace's context rides
+// as the frame's trace extension; the peer answers with its
+// worker-local spans (decode → shard GEMM → encode) as offsets from
+// its request receipt, and they are stitched into tr here anchored at
+// the local dispatch time — both sides measure only their own
+// monotonic clocks, so cross-machine wall-clock skew can never produce
+// a negative or misplaced span.
+func (h *Hub) AssignRemote(m int, key string, elem byte, nrows, d int, rows []byte, tr *telemetry.Trace) ([]serve.Assignment, error) {
 	f := &netcluster.Frame{
 		Type: netcluster.FrameAssignReq, Elem: elem, Seq: h.seq.Add(1),
 		Payload: encodeAssignReq(key, nrows, d, rows),
+	}
+	var dispatch time.Time
+	if ctx := tr.Context(); ctx.Sampled {
+		f.Trace = &netcluster.TraceExt{TraceID: ctx.TraceID, Parent: ctx.Parent, Sampled: true}
+		dispatch = time.Now()
 	}
 	resp, err := h.call(m, f)
 	if err != nil {
 		return nil, err
 	}
+	if tr != nil && resp.Trace != nil {
+		base := dispatch.Sub(tr.Begin)
+		for _, s := range resp.Trace.Spans {
+			tr.SpanAt(fmt.Sprintf("rank%d/%s", m, s.Name), base+s.Start, s.Dur)
+		}
+	}
 	return decodeAssignResp(resp.Payload)
+}
+
+// FetchMetrics pulls machine m's telemetry registry snapshot over one
+// FrameMetrics round trip. The timeout is capped well below the assign
+// RPC timeout so a hung worker degrades a federated scrape to a stale
+// marker instead of stalling it.
+func (h *Hub) FetchMetrics(m int) ([]telemetry.SnapshotFamily, error) {
+	timeout := h.rpcTimeout
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	resp, err := h.callTimeout(m, &netcluster.Frame{
+		Type: netcluster.FrameMetrics, Seq: h.seq.Add(1),
+	}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return netcluster.DecodeSnapshot(resp.Payload)
 }
 
 // RestoreRemote implements Remote: push one shard snapshot to machine

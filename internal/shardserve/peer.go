@@ -8,6 +8,7 @@ import (
 	"knor/internal/matrix"
 	"knor/internal/netcluster"
 	"knor/internal/serve"
+	"knor/internal/telemetry"
 )
 
 // PeerOptions configure a worker peer's serve loop.
@@ -51,6 +52,11 @@ func ServePeer(tr netcluster.Transport, opts PeerOptions) error {
 	bat32 := serve.NewBatcherOf[float32](reg, bopts)
 	defer bat64.Close()
 	defer bat32.Close()
+	// Live-shard count for the federated scrape: the coordinator's
+	// /metrics/cluster shows how many shard copies each worker holds.
+	telemetry.Default.GaugeFunc("knor_peer_shards",
+		"Shard copies installed in this worker process's local registry.",
+		func() float64 { return float64(len(reg.List())) })
 
 	pulseEvery := opts.PulseEvery
 	if pulseEvery <= 0 {
@@ -97,16 +103,78 @@ func ServePeer(tr netcluster.Transport, opts PeerOptions) error {
 			wg.Add(1)
 			go func(f *netcluster.Frame) {
 				defer wg.Done()
-				as, aerr := peerAnswer(bat32, bat64, f)
+				// The receipt instant anchors every worker-local span: the
+				// spans ship back as offsets from it on THIS process's
+				// monotonic clock, and the coordinator re-anchors them at
+				// its own dispatch time — no absolute wall time crosses the
+				// process boundary.
+				rec := newSpanRec(f.Trace, time.Now())
+				as, aerr := peerAnswer(bat32, bat64, f, rec)
+				encStart := time.Now()
+				payload := encodeAssignResp(as, aerr)
+				rec.add("encode", encStart)
 				resp := &netcluster.Frame{
 					Type: netcluster.FrameAssignResp, Seq: f.Seq,
-					Payload: encodeAssignResp(as, aerr),
+					Payload: payload,
+					Trace:   rec.ext(f.Trace),
 				}
 				// A send failure means the coordinator is gone; the recv
 				// loop notices on its next Recv.
 				_ = tr.Send(0, resp)
 			}(f)
+		case netcluster.FrameMetrics:
+			// Metrics federation pull: answer with this process's registry
+			// snapshot. Runs off the recv goroutine so a large snapshot
+			// never stalls shard installs or the heartbeat.
+			wg.Add(1)
+			go func(f *netcluster.Frame) {
+				defer wg.Done()
+				_ = tr.Send(0, &netcluster.Frame{
+					Type: netcluster.FrameMetrics, Seq: f.Seq,
+					Payload: netcluster.EncodeSnapshot(nil, telemetry.Default.Snapshot()),
+				})
+			}(f)
 		}
+	}
+}
+
+// spanRec collects worker-local spans for a sampled request as offsets
+// from the request-receipt anchor. nil (unsampled request) records
+// nothing, so the common path pays only the nil check.
+type spanRec struct {
+	anchor time.Time
+	spans  []telemetry.RemoteSpan
+}
+
+// newSpanRec returns a recorder when the incoming frame carries a
+// sampled trace context, nil otherwise.
+func newSpanRec(ext *netcluster.TraceExt, receipt time.Time) *spanRec {
+	if ext == nil || !ext.Sampled {
+		return nil
+	}
+	return &spanRec{anchor: receipt}
+}
+
+// add records a span from start to now.
+func (r *spanRec) add(name string, start time.Time) {
+	if r == nil {
+		return
+	}
+	r.spans = append(r.spans, telemetry.RemoteSpan{
+		Name:  name,
+		Start: start.Sub(r.anchor),
+		Dur:   time.Since(start),
+	})
+}
+
+// ext builds the reply's trace extension: the request's context echoed
+// back with the recorded spans piggybacked. nil for unsampled requests.
+func (r *spanRec) ext(req *netcluster.TraceExt) *netcluster.TraceExt {
+	if r == nil || req == nil {
+		return nil
+	}
+	return &netcluster.TraceExt{
+		TraceID: req.TraceID, Parent: req.Parent, Sampled: true, Spans: r.spans,
 	}
 }
 
@@ -149,8 +217,10 @@ func peerInstall(reg *serve.Registry, f *netcluster.Frame) error {
 }
 
 // peerAnswer runs one assign RPC against the local shard batchers at
-// the request's element width.
-func peerAnswer(bat32 *serve.BatcherOf[float32], bat64 *serve.BatcherOf[float64], f *netcluster.Frame) ([]serve.Assignment, error) {
+// the request's element width, recording decode and GEMM spans on rec
+// when the request is sampled.
+func peerAnswer(bat32 *serve.BatcherOf[float32], bat64 *serve.BatcherOf[float64], f *netcluster.Frame, rec *spanRec) ([]serve.Assignment, error) {
+	decStart := time.Now()
 	key, nrows, d, rows, err := decodeAssignReq(f.Payload)
 	if err != nil {
 		return nil, err
@@ -164,13 +234,21 @@ func peerAnswer(bat32 *serve.BatcherOf[float32], bat64 *serve.BatcherOf[float64]
 		if _, err := netcluster.FloatsAt(rows, 0, nrows*d, q.Data); err != nil {
 			return nil, err
 		}
-		return bat32.AssignBatch(key, q)
+		rec.add("decode", decStart)
+		gemmStart := time.Now()
+		as, err := bat32.AssignBatch(key, q)
+		rec.add("shard_gemm", gemmStart)
+		return as, err
 	case 8:
 		q := matrix.New[float64](nrows, d)
 		if _, err := netcluster.FloatsAt(rows, 0, nrows*d, q.Data); err != nil {
 			return nil, err
 		}
-		return bat64.AssignBatch(key, q)
+		rec.add("decode", decStart)
+		gemmStart := time.Now()
+		as, err := bat64.AssignBatch(key, q)
+		rec.add("shard_gemm", gemmStart)
+		return as, err
 	default:
 		return nil, fmt.Errorf("assign request element width %d", f.Elem)
 	}

@@ -11,6 +11,7 @@ import (
 	"knor/internal/matrix"
 	"knor/internal/netcluster"
 	"knor/internal/serve"
+	"knor/internal/telemetry"
 	"knor/internal/topology"
 )
 
@@ -455,6 +456,10 @@ func (sr *ShardRegistry) restoreLocked(name string, cm canonModel) error {
 	}
 	sr.splits[name] = &split{version: cm.version, gen: gen, offsets: offsets, replicas: reps}
 	sr.canon[name] = cm
+	telemetry.Log("shardserve", telemetry.SevInfo, "plan installed",
+		telemetry.F("model", name), telemetry.F("version", cm.version),
+		telemetry.F("gen", gen), telemetry.F("shards", shards),
+		telemetry.F("replicas", sr.replicas))
 	return nil
 }
 
@@ -467,6 +472,8 @@ func (sr *ShardRegistry) rebalance() {
 	sr.mu.Lock()
 	defer sr.mu.Unlock()
 	telRebalances.Inc()
+	telemetry.Log("shardserve", telemetry.SevInfo, "rebalance",
+		telemetry.F("models", len(sr.canon)), telemetry.F("live", len(sr.livePlacementLocked())))
 	for name, cm := range sr.canon {
 		if err := sr.restoreLocked(name, cm); err != nil {
 			// Re-spreading a version that already published cannot
@@ -489,6 +496,25 @@ type ShardHealth struct {
 	Placed int `json:"placed"`
 	Want   int `json:"want"`
 	Live   int `json:"live"`
+}
+
+// CopiesOn counts the shard copies the current plans place on machine
+// m — the coordinator-side "live shards per rank" figure the
+// federated /v1/cluster/stats reports.
+func (sr *ShardRegistry) CopiesOn(m int) int {
+	sr.mu.RLock()
+	defer sr.mu.RUnlock()
+	n := 0
+	for _, sp := range sr.splits {
+		for _, ms := range sp.replicas {
+			for _, r := range ms {
+				if r == m {
+					n++
+				}
+			}
+		}
+	}
+	return n
 }
 
 // GroupHealth reports every shard group of every model, sorted by

@@ -7,6 +7,7 @@ import (
 	"knor/internal/matrix"
 	"knor/internal/netcluster"
 	"knor/internal/serve"
+	"knor/internal/telemetry"
 )
 
 // Remote is the cluster-mode seam between the shard layout and real
@@ -28,8 +29,12 @@ type Remote interface {
 	LocalMachine(m int) bool
 	// AssignRemote answers query rows against one shard snapshot on
 	// machine m's process. elem tags the row payload's element width
-	// (4 or 8); rows is nrows×d values encoded with AppendFloats.
-	AssignRemote(m int, key string, elem byte, nrows, d int, rows []byte) ([]serve.Assignment, error)
+	// (4 or 8); rows is nrows×d values encoded with AppendFloats. When
+	// tr is a sampled trace its context rides with the request and the
+	// peer's worker-local spans are stitched back into tr, re-anchored
+	// at this side's dispatch time (skew-safe offsets, never absolute
+	// remote wall times). A nil tr costs nothing.
+	AssignRemote(m int, key string, elem byte, nrows, d int, rows []byte, tr *telemetry.Trace) ([]serve.Assignment, error)
 	// RestoreRemote installs one shard of a model's centroids on
 	// machine m's process at the given version.
 	RestoreRemote(m int, key string, version, node int, elem byte, krows, d int, payload []byte) error
@@ -153,7 +158,7 @@ func decodeAssignResp(b []byte) ([]serve.Assignment, error) {
 // against its local shard snapshot, and the per-row answers ride back
 // — the same values the in-process batcher call would produce, since
 // every replica holds identical centroid bits at identical versions.
-func remoteAssignBatch[T blas.Float](rm Remote, m int, key string, rows *matrix.Mat[T]) ([]serve.Assignment, error) {
+func remoteAssignBatch[T blas.Float](rm Remote, m int, key string, rows *matrix.Mat[T], tr *telemetry.Trace) ([]serve.Assignment, error) {
 	payload := netcluster.AppendFloats(nil, rows.Data)
-	return rm.AssignRemote(m, key, byte(blas.ElemBytes[T]()), rows.Rows(), rows.Cols(), payload)
+	return rm.AssignRemote(m, key, byte(blas.ElemBytes[T]()), rows.Rows(), rows.Cols(), payload, tr)
 }

@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Severity levels for journal events.
+const (
+	SevInfo  = "info"
+	SevWarn  = "warn"
+	SevError = "error"
+)
+
+// Field is one key=value annotation on a journal event. Values are
+// pre-rendered to strings so events are immutable once logged.
+type Field struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+// F builds a Field from any value.
+func F(k string, v any) Field { return Field{K: k, V: fmt.Sprint(v)} }
+
+// Event is one structured journal entry. Seq increases by one per
+// event and never repeats within a process, so clients can poll
+// /debug/events with a since-seq cursor and miss nothing that is still
+// in the ring. MonoUS is the offset from journal creation on the
+// monotonic clock (robust to wall-clock steps); Wall is for humans.
+type Event struct {
+	Seq       uint64    `json:"seq"`
+	Wall      time.Time `json:"wall"`
+	MonoUS    int64     `json:"mono_us"`
+	Component string    `json:"component"`
+	Severity  string    `json:"severity"`
+	Msg       string    `json:"msg"`
+	Fields    []Field   `json:"fields,omitempty"`
+}
+
+// String renders the event as a single grep-friendly line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s] %s: %s", e.Wall.Format(time.RFC3339Nano), e.Severity, e.Component, e.Msg)
+	for _, f := range e.Fields {
+		fmt.Fprintf(&b, " %s=%s", f.K, f.V)
+	}
+	return b.String()
+}
+
+// Journal is a fixed-capacity ring of structured events: cheap enough
+// to leave on everywhere, bounded so a chatty component can't grow
+// memory, and cursor-addressable so pollers can resume. A nil *Journal
+// drops everything, so components log unconditionally.
+type Journal struct {
+	mu     sync.Mutex
+	ring   []Event
+	next   int
+	seq    uint64
+	start  time.Time
+	mirror io.Writer
+}
+
+// DefaultJournalCap is the ring size used when NewJournal gets a
+// non-positive capacity.
+const DefaultJournalCap = 1024
+
+// NewJournal builds a journal retaining the most recent capacity
+// events (DefaultJournalCap when capacity <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCap
+	}
+	return &Journal{ring: make([]Event, 0, capacity), start: time.Now()}
+}
+
+// DefaultJournal is the process-wide journal every subsystem logs to;
+// knorserve's GET /debug/events serves it.
+var DefaultJournal = NewJournal(0)
+
+// Log appends an event to the process-wide DefaultJournal.
+func Log(component, severity, msg string, fields ...Field) {
+	DefaultJournal.Log(component, severity, msg, fields...)
+}
+
+// SetMirror makes every subsequent event also render one line to w
+// (nil to stop mirroring). Intended for -events-log style stderr tees.
+func (j *Journal) SetMirror(w io.Writer) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.mirror = w
+	j.mu.Unlock()
+}
+
+// Log appends one event. Safe for concurrent use; no-op on nil.
+func (j *Journal) Log(component, severity, msg string, fields ...Field) {
+	if j == nil {
+		return
+	}
+	now := time.Now()
+	j.mu.Lock()
+	j.seq++
+	ev := Event{
+		Seq:       j.seq,
+		Wall:      now,
+		MonoUS:    now.Sub(j.start).Microseconds(),
+		Component: component,
+		Severity:  severity,
+		Msg:       msg,
+		Fields:    fields,
+	}
+	if len(j.ring) < cap(j.ring) {
+		j.ring = append(j.ring, ev)
+	} else {
+		j.ring[j.next] = ev
+		j.next = (j.next + 1) % cap(j.ring)
+	}
+	mirror := j.mirror
+	j.mu.Unlock()
+	if mirror != nil {
+		fmt.Fprintln(mirror, ev.String())
+	}
+}
+
+// LastSeq returns the sequence number of the most recent event (0 when
+// empty).
+func (j *Journal) LastSeq() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Since returns up to max events with Seq > seq in ascending order
+// (max <= 0 means no bound). Events older than the ring has already
+// been overwritten are simply absent — the caller can detect the gap
+// from the first returned Seq.
+func (j *Journal) Since(seq uint64, max int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := len(j.ring)
+	out := make([]Event, 0, n)
+	// Oldest-first walk: ring is either still filling (start at 0) or
+	// full (start at next, the oldest slot).
+	start := 0
+	if n == cap(j.ring) {
+		start = j.next
+	}
+	for i := 0; i < n; i++ {
+		ev := j.ring[(start+i)%n]
+		if ev.Seq > seq {
+			out = append(out, ev)
+		}
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}

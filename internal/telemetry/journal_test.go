@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestJournalRingAndCursor: the ring retains the newest capacity
+// events, Since returns ascending events strictly after the cursor,
+// and sequence numbers never repeat across wrap-around.
+func TestJournalRingAndCursor(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Log("test", SevInfo, "event", F("i", i))
+	}
+	if got := j.LastSeq(); got != 10 {
+		t.Fatalf("LastSeq = %d, want 10", got)
+	}
+	evs := j.Since(0, 0)
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d (ascending, newest 4)", i, ev.Seq, want)
+		}
+		if ev.MonoUS < 0 {
+			t.Fatalf("event %d: negative monotonic offset %d", i, ev.MonoUS)
+		}
+	}
+	// Cursor: only events after seq 8.
+	evs = j.Since(8, 0)
+	if len(evs) != 2 || evs[0].Seq != 9 || evs[1].Seq != 10 {
+		t.Fatalf("Since(8) = %+v, want seqs 9,10", evs)
+	}
+	// Bounded: the newest max events.
+	evs = j.Since(0, 1)
+	if len(evs) != 1 || evs[0].Seq != 10 {
+		t.Fatalf("Since(0, max=1) = %+v, want just seq 10", evs)
+	}
+	// Cursor past the end: nothing.
+	if evs := j.Since(10, 0); len(evs) != 0 {
+		t.Fatalf("Since(LastSeq) returned %d events, want 0", len(evs))
+	}
+}
+
+// TestJournalMirror: with a mirror set, each event renders one
+// grep-friendly line including component, severity, and fields.
+func TestJournalMirror(t *testing.T) {
+	j := NewJournal(8)
+	var sb strings.Builder
+	j.SetMirror(&sb)
+	j.Log("topology", SevWarn, "machine dead", F("machine", 2))
+	line := sb.String()
+	for _, want := range []string{"[warn]", "topology", "machine dead", "machine=2"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("mirror line %q missing %q", line, want)
+		}
+	}
+	j.SetMirror(nil)
+	j.Log("topology", SevInfo, "quiet")
+	if sb.String() != line {
+		t.Fatal("mirror kept writing after SetMirror(nil)")
+	}
+}
+
+// TestJournalNilAndConcurrent: a nil journal drops silently, and
+// concurrent writers with a reader are race-clean (run under -race).
+func TestJournalNilAndConcurrent(t *testing.T) {
+	var nilJ *Journal
+	nilJ.Log("x", SevInfo, "dropped")
+	nilJ.SetMirror(nil)
+	if nilJ.Since(0, 0) != nil || nilJ.LastSeq() != 0 {
+		t.Fatal("nil journal should be empty")
+	}
+
+	j := NewJournal(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j.Log("worker", SevInfo, "tick", F("g", g), F("i", i))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			j.Since(0, 0)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := j.LastSeq(); got != 400 {
+		t.Fatalf("LastSeq = %d, want 400", got)
+	}
+	evs := j.Since(0, 0)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs %d -> %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry names instruments and renders them in Prometheus text
@@ -18,6 +19,13 @@ import (
 type Registry struct {
 	mu    sync.Mutex
 	insts map[string]*instrument
+
+	// maxLabelSets caps the distinct label-value tuples per labeled
+	// family; beyond it new tuples collapse into one _overflow series
+	// (<= 0 means unlimited). Keeps a misbehaving client — e.g. a label
+	// derived from request content — from growing the registry without
+	// bound.
+	maxLabelSets atomic.Int64
 }
 
 // instrument is one registered family: a scalar instrument, a callback,
@@ -25,6 +33,7 @@ type Registry struct {
 type instrument struct {
 	name, help, kind string // kind: counter | gauge | histogram
 	labels           []string
+	reg              *Registry
 
 	counter *Counter
 	gauge   *Gauge
@@ -42,10 +51,21 @@ type child struct {
 	hist      *Histogram
 }
 
+// DefaultMaxLabelSets is the per-family cap on distinct label-value
+// tuples a new registry starts with.
+const DefaultMaxLabelSets = 1024
+
 // NewRegistry builds an empty registry. Most callers want Default.
 func NewRegistry() *Registry {
-	return &Registry{insts: map[string]*instrument{}}
+	r := &Registry{insts: map[string]*instrument{}}
+	r.maxLabelSets.Store(DefaultMaxLabelSets)
+	return r
 }
+
+// SetMaxLabelSets changes the per-family cap on distinct label-value
+// tuples (<= 0 means unlimited). Existing series are never evicted;
+// the cap only gates creation of new ones.
+func (r *Registry) SetMaxLabelSets(n int) { r.maxLabelSets.Store(int64(n)) }
 
 // Default is the process-wide registry every subsystem registers
 // against at init; knorserve's GET /metrics serves it.
@@ -61,7 +81,7 @@ func (r *Registry) get(name, help, kind string, labels []string) *instrument {
 		}
 		return in
 	}
-	in := &instrument{name: name, help: help, kind: kind, labels: labels}
+	in := &instrument{name: name, help: help, kind: kind, labels: labels, reg: r}
 	if len(labels) > 0 {
 		in.children = map[string]*child{}
 	}
@@ -144,6 +164,17 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...s
 // childKey joins label values; \xff never appears in sane label values.
 func childKey(vals []string) string { return strings.Join(vals, "\xff") }
 
+// OverflowLabel is the label value every dimension of a dropped tuple
+// collapses to once a family hits the registry's label-set cap.
+const OverflowLabel = "_overflow"
+
+// droppedLabels is the counter bumped each time a new label tuple is
+// routed to the overflow series instead of getting its own child.
+func (r *Registry) droppedLabels() *Counter {
+	return r.Counter("knor_telemetry_dropped_labels_total",
+		"Label tuples collapsed into _overflow series by the per-family cardinality cap.")
+}
+
 func (in *instrument) child(vals []string) *child {
 	if len(vals) != len(in.labels) {
 		panic(fmt.Sprintf("telemetry: %q wants %d label values, got %d",
@@ -151,12 +182,31 @@ func (in *instrument) child(vals []string) *child {
 	}
 	key := childKey(vals)
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	c, ok := in.children[key]
-	if !ok {
-		c = &child{labelVals: append([]string(nil), vals...)}
-		in.children[key] = c
+	if ok {
+		in.mu.Unlock()
+		return c
 	}
+	ovals := make([]string, len(in.labels))
+	for i := range ovals {
+		ovals[i] = OverflowLabel
+	}
+	okey := childKey(ovals)
+	if max := in.reg.maxLabelSets.Load(); max > 0 && int64(len(in.children)) >= max && key != okey {
+		// At the cap: collapse this tuple into the single overflow child
+		// so exposition stays bounded no matter what label values arrive.
+		c, ok = in.children[okey]
+		if !ok {
+			c = &child{labelVals: ovals}
+			in.children[okey] = c
+		}
+		in.mu.Unlock()
+		in.reg.droppedLabels().Inc()
+		return c
+	}
+	c = &child{labelVals: append([]string(nil), vals...)}
+	in.children[key] = c
+	in.mu.Unlock()
 	return c
 }
 

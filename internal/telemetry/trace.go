@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,28 +28,72 @@ type Trace struct {
 	end    time.Time
 }
 
-// Span records a named stage spanning [start, end).
+// SpanContext is the propagatable identity of a sampled trace: enough
+// to carry across a process boundary (trace ID + parent span + sampled
+// bit) without shipping the span list itself. The zero value means
+// "not sampled".
+type SpanContext struct {
+	TraceID uint64
+	Parent  uint64
+	Sampled bool
+}
+
+var spanIDs atomic.Uint64
+
+// NewSpanID returns a process-unique span identifier for use as the
+// Parent of an outgoing SpanContext.
+func NewSpanID() uint64 { return spanIDs.Add(1) }
+
+// Context returns the trace's propagatable context with a fresh parent
+// span ID. The zero SpanContext for a nil (unsampled) trace.
+func (t *Trace) Context() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: t.ID, Parent: NewSpanID(), Sampled: true}
+}
+
+// Span records a named stage spanning [start, end). Offsets and
+// durations are clamped non-negative so out-of-order or racing Span
+// calls can never render a negative bar in a dump.
 func (t *Trace) Span(name string, start, end time.Time) {
 	if t == nil {
 		return
 	}
+	t.SpanAt(name, start.Sub(t.Begin), end.Sub(start))
+}
+
+// SpanAt records a stage from an explicit offset and duration relative
+// to the trace's begin time. This is the skew-safe entry point for
+// spans measured on another machine: the remote side reports offsets
+// from an event both sides can anchor (request receipt), never
+// absolute wall times, and the caller adds its local dispatch offset.
+func (t *Trace) SpanAt(name string, start, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	if start < 0 {
+		start = 0
+	}
+	if dur < 0 {
+		dur = 0
+	}
 	t.mu.Lock()
-	t.stages = append(t.stages, Stage{
-		Name:  name,
-		Start: start.Sub(t.Begin),
-		Dur:   end.Sub(start),
-	})
+	t.stages = append(t.stages, Stage{Name: name, Start: start, Dur: dur})
 	t.mu.Unlock()
 }
 
-// Stages returns a snapshot of the recorded stages.
+// Stages returns a snapshot of the recorded stages, sorted by start
+// offset (stable, so same-offset spans keep insertion order).
 func (t *Trace) Stages() []Stage {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]Stage(nil), t.stages...)
+	out := append([]Stage(nil), t.stages...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
 }
 
 // End returns the trace's completion time (zero until finished).
@@ -59,6 +104,18 @@ func (t *Trace) End() time.Time {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.end
+}
+
+// RemoteSpan is one span measured on another process, expressed as
+// offsets from an anchor event both sides observe (the moment the
+// worker received the request). Offsets are measured on the worker's
+// own monotonic clock and re-anchored by the caller at its local
+// dispatch time, so wall-clock skew between machines never enters a
+// stitched timeline.
+type RemoteSpan struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
 }
 
 // Tracer samples one request in every Every and keeps the most recent

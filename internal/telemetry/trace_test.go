@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTraceOutOfOrderSpans: Span calls whose start precedes the trace
+// begin, or whose end precedes their start (clock adjustment, racing
+// goroutines finishing out of order), must never produce a negative
+// offset or duration, and Stages renders sorted by start offset.
+func TestTraceOutOfOrderSpans(t *testing.T) {
+	begin := time.Now()
+	tr := &Trace{ID: 7, Begin: begin}
+
+	tr.Span("late", begin.Add(30*time.Millisecond), begin.Add(40*time.Millisecond))
+	tr.Span("early", begin.Add(10*time.Millisecond), begin.Add(20*time.Millisecond))
+	tr.Span("backwards", begin.Add(5*time.Millisecond), begin.Add(2*time.Millisecond))
+	tr.Span("before_begin", begin.Add(-3*time.Millisecond), begin.Add(1*time.Millisecond))
+
+	st := tr.Stages()
+	if len(st) != 4 {
+		t.Fatalf("got %d stages, want 4", len(st))
+	}
+	for _, s := range st {
+		if s.Start < 0 {
+			t.Fatalf("stage %q has negative start %v", s.Name, s.Start)
+		}
+		if s.Dur < 0 {
+			t.Fatalf("stage %q has negative duration %v", s.Name, s.Dur)
+		}
+	}
+	for i := 1; i < len(st); i++ {
+		if st[i-1].Start > st[i].Start {
+			t.Fatalf("stages not sorted by start: %q@%v after %q@%v",
+				st[i-1].Name, st[i-1].Start, st[i].Name, st[i].Start)
+		}
+	}
+	if st[0].Name != "before_begin" || st[len(st)-1].Name != "late" {
+		t.Fatalf("unexpected sort order: %+v", st)
+	}
+}
+
+// TestTraceSpanAtClamps: the explicit-offset entry point used for
+// remote spans clamps negative inputs too.
+func TestTraceSpanAtClamps(t *testing.T) {
+	tr := &Trace{ID: 1, Begin: time.Now()}
+	tr.SpanAt("remote", -5*time.Millisecond, -1*time.Millisecond)
+	st := tr.Stages()
+	if len(st) != 1 || st[0].Start != 0 || st[0].Dur != 0 {
+		t.Fatalf("SpanAt did not clamp: %+v", st)
+	}
+}
+
+// TestTraceContext: sampled traces carry their ID with a fresh parent
+// span and the sampled bit; nil traces propagate the zero context.
+func TestTraceContext(t *testing.T) {
+	tr := &Trace{ID: 99, Begin: time.Now()}
+	c1, c2 := tr.Context(), tr.Context()
+	if !c1.Sampled || c1.TraceID != 99 {
+		t.Fatalf("context = %+v, want sampled trace 99", c1)
+	}
+	if c1.Parent == c2.Parent || c1.Parent == 0 {
+		t.Fatalf("parent span IDs not unique: %d vs %d", c1.Parent, c2.Parent)
+	}
+	var nilTr *Trace
+	if c := nilTr.Context(); c != (SpanContext{}) {
+		t.Fatalf("nil trace context = %+v, want zero", c)
+	}
+	nilTr.SpanAt("x", 0, 0) // must not panic
+}

@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"knor/internal/telemetry"
 )
 
 // State is a machine's membership state.
@@ -248,6 +250,13 @@ func (t *Topology) transitionLocked(m int, to State) {
 		}
 	}
 	telMachinesLive.Set(float64(live))
+	sev := telemetry.SevInfo
+	if to == Dead {
+		sev = telemetry.SevWarn
+	}
+	telemetry.Log("topology", sev, "membership transition",
+		telemetry.F("machine", m), telemetry.F("to", to.String()),
+		telemetry.F("live", live), telemetry.F("epoch", t.epoch))
 }
 
 // Live returns the live machine IDs in ascending order.

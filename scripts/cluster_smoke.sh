@@ -86,7 +86,7 @@ wait_healthy() {
 PIDS="$PIDS $!"
 
 "$TMP/knorserve" -addr "$HTTP" -listen 127.0.0.1:$CPORT -machines 3 -replicas 2 \
-    -threads 1 >"$TMP/coord.log" 2>&1 &
+    -threads 1 -trace-sample 1 >"$TMP/coord.log" 2>&1 &
 PIDS="$PIDS $!"
 "$TMP/knorserve" -join 127.0.0.1:$CPORT -threads 1 >"$TMP/worker1.log" 2>&1 &
 W1=$!
@@ -117,6 +117,28 @@ grep -q '^knor_net_frames_total{type="shard"} [1-9]' "$TMP/metrics.txt" || \
 grep -q '^knor_net_frames_total{type="assign_req"} [1-9]' "$TMP/metrics.txt" || \
     fail "no assign RPC frames counted"
 
+# Cluster-wide observability: the federated scrape must carry the worker
+# processes' own series under rank labels (pulled over FrameMetrics, not
+# recorded on the coordinator), and a fully-sampled /assign must show
+# worker-local spans stitched into the coordinator's trace.
+curl -fsS "http://$HTTP/metrics/cluster" >"$TMP/fedmetrics.txt" || \
+    fail "federated metrics scrape failed"
+grep -q 'knor_peer_shards{rank="2"} [1-9]' "$TMP/fedmetrics.txt" || \
+    fail "federated scrape missing worker rank 2 shard gauge"
+grep -q 'knor_net_bytes_total{rank="2",' "$TMP/fedmetrics.txt" || \
+    fail "federated scrape missing worker rank 2 transport bytes"
+grep -q 'knor_federation_stale{rank="1"} 0' "$TMP/fedmetrics.txt" || \
+    fail "healthy worker rank 1 not marked fresh on federated scrape"
+curl -fsS "http://$HTTP/debug/traces" >"$TMP/traces.json" || \
+    fail "trace dump scrape failed"
+grep -q 'rank[12]/shard_gemm' "$TMP/traces.json" || \
+    fail "no worker shard_gemm span stitched into a coordinator trace"
+curl -fsS "http://$HTTP/debug/events" >"$TMP/events.json" || \
+    fail "event journal scrape failed"
+grep -q '"msg":"peer joined"' "$TMP/events.json" || \
+    fail "event journal missing the worker join events"
+echo "cluster-smoke: federated metrics carry worker series, traces stitch across processes"
+
 kill -9 "$W1" 2>/dev/null || fail "worker 1 already dead before the kill"
 # The coordinator notices the dropped connection (or the missed pulses)
 # and marks the machine dead; replicas=2 means every shard group keeps
@@ -126,6 +148,15 @@ until curl -fsS "http://$HTTP/v1/machines" 2>/dev/null | grep -q '"live":false';
     [ "$(date +%s)" -lt "$deadline" ] || fail "killed worker never marked dead"
     sleep 0.2
 done
+
+# The killed worker's rank must degrade to a stale marker on the
+# federated scrape (ranks follow join-arrival order, so W1 is rank 1 or
+# 2), and the scrape itself must keep answering promptly.
+curl -fsS "http://$HTTP/metrics/cluster" >"$TMP/fedmetrics2.txt" || \
+    fail "federated metrics scrape failed after worker kill"
+grep -q 'knor_federation_stale{rank="[12]"} 1' "$TMP/fedmetrics2.txt" || \
+    fail "killed worker not marked stale on federated scrape"
+echo "cluster-smoke: dead worker degraded to knor_federation_stale on /metrics/cluster"
 
 killed_ans=$(curl -fsS -X POST "http://$HTTP/v1/assign" -d "$ROWS") || \
     fail "assign failed after worker kill"
